@@ -1,0 +1,33 @@
+// §5.1's provisioning argument, quantified: per-VIP peak provisioning vs a
+// shared cloud-peak pool vs an elastic p99 pool, in SLB cores (300 Kpps per
+// core, [42]).
+#include "exhibit.h"
+#include "mitigate/provisioning.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Ablation: defense provisioning (§5.1)",
+                "SLB cores required under three provisioning strategies");
+
+  const auto& study = bench::shared_study();
+  util::TextTable table;
+  table.set_header({"direction", "attacked VIPs", "per-VIP peak cores",
+                    "cloud peak cores", "elastic p99 cores",
+                    "overprovision factor"});
+  for (netflow::Direction dir :
+       {netflow::Direction::kInbound, netflow::Direction::kOutbound}) {
+    const auto plan = mitigate::plan_provisioning(
+        study.detection().minutes, dir, study.sampling());
+    table.row(std::string(netflow::to_string(dir)), plan.attacked_vips,
+              util::format_double(plan.per_vip_peak_cores, 1),
+              util::format_double(plan.cloud_peak_cores, 1),
+              util::format_double(plan.elastic_cores, 1),
+              util::format_double(plan.overprovision_factor(), 1) + "x");
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "Paper: a 9.2 Mpps UDP flood costs ~31 SLB cores; peak/median spreads "
+      "of 20x-1000x make static per-VIP provisioning wasteful — elastic, "
+      "multiplexed resources are the cost-effective design.");
+  return 0;
+}

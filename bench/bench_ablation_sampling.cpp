@@ -1,0 +1,63 @@
+// Ablation: NetFlow sampling rate vs what the study can see.
+//
+// The paper inherits 1:4096 sampling and argues (§3.2, citing [12,22,34])
+// that sampling preserves flood detection but undercounts flows/spread.
+// This sweep regenerates the same scenario at different sampling rates and
+// measures both effects.
+#include <cstdio>
+
+#include "core/study.h"
+#include "exhibit.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Ablation: sampling rate",
+                "Detection and spread estimation vs packet sampling");
+
+  util::TextTable table;
+  table.set_header({"sampling", "records", "incidents", "flood recall",
+                    "median BF remotes seen"});
+  for (std::uint32_t sampling : {1024u, 4096u, 16384u}) {
+    auto config = sim::ScenarioConfig::smoke();
+    config.vips.vip_count = 300;
+    config.days = 3;
+    config.seed = 5150;
+    config.sampling = sampling;
+    const core::Study study(config);
+
+    std::size_t floods = 0;
+    std::size_t hit = 0;
+    for (const auto& e : study.truth().episodes) {
+      if (!sim::is_volume_based(e.type)) continue;
+      if (e.peak_true_pps < 10'000.0) continue;  // comparable loud set
+      ++floods;
+      for (const auto& inc : study.detection().incidents) {
+        if (inc.type == e.type && inc.direction == e.direction &&
+            inc.vip == e.vip && inc.start < e.end + 2 && e.start < inc.end + 2) {
+          ++hit;
+          break;
+        }
+      }
+    }
+
+    std::vector<double> bf_remotes;
+    for (const auto& inc : study.detection().incidents) {
+      if (inc.type == sim::AttackType::kBruteForce) {
+        bf_remotes.push_back(static_cast<double>(inc.peak_unique_remotes));
+      }
+    }
+
+    table.row("1:" + std::to_string(sampling), study.record_count(),
+              study.detection().incidents.size(),
+              std::to_string(hit) + "/" + std::to_string(floods),
+              util::format_double(util::median(bf_remotes), 0));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "Loud floods survive coarser sampling almost unchanged; spread-based "
+      "features (distinct brute-force sources seen) shrink with the "
+      "sampling rate — the paper's 'numbers of flows are a lower bound' "
+      "caveat (§3.2).");
+  return 0;
+}

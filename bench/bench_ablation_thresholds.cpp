@@ -1,0 +1,93 @@
+// Ablation: volume change threshold and EWMA window vs detection outcome.
+//
+// The paper fixes the change threshold at 100 sampled pkts/min (~7 Kpps) and
+// the baseline at the EWMA of the past 10 windows. This sweep shows the
+// trade-off those choices sit on: lower thresholds catch more ground-truth
+// floods but start flagging benign variation; shorter EWMA windows adapt
+// faster but absorb slow-ramping attacks.
+#include <cstdio>
+
+#include "core/study.h"
+#include "exhibit.h"
+
+namespace {
+
+dm::sim::ScenarioConfig ablation_config() {
+  auto config = dm::sim::ScenarioConfig::smoke();
+  config.vips.vip_count = 300;
+  config.days = 3;
+  config.seed = 1234;
+  return config;
+}
+
+/// Ground-truth floods with at least one overlapping detected incident.
+std::pair<std::size_t, std::size_t> flood_recall(const dm::core::Study& study) {
+  std::size_t total = 0;
+  std::size_t hit = 0;
+  for (const auto& e : study.truth().episodes) {
+    if (!dm::sim::is_volume_based(e.type)) continue;
+    ++total;
+    for (const auto& inc : study.detection().incidents) {
+      if (inc.type == e.type && inc.direction == e.direction &&
+          inc.vip == e.vip && inc.start < e.end + 2 && e.start < inc.end + 2) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return {hit, total};
+}
+
+/// Detected volume incidents with no overlapping ground-truth episode of the
+/// same type (benign variation flagged as attack).
+std::size_t flood_false_alarms(const dm::core::Study& study) {
+  std::size_t fp = 0;
+  for (const auto& inc : study.detection().incidents) {
+    if (!dm::sim::is_volume_based(inc.type)) continue;
+    bool matched = false;
+    for (const auto& e : study.truth().episodes) {
+      if (inc.type == e.type && inc.direction == e.direction &&
+          inc.vip == e.vip && inc.start < e.end + 2 && e.start < inc.end + 2) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++fp;
+  }
+  return fp;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dm;
+  bench::banner("Ablation: detection thresholds",
+                "Volume change threshold and EWMA window sweep");
+
+  util::TextTable table;
+  table.set_header({"threshold (pkts/min)", "ewma window", "flood recall",
+                    "false alarms", "total incidents"});
+  for (double threshold : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    detect::DetectionConfig dc;
+    dc.volume_change_threshold = threshold;
+    const core::Study study(ablation_config(), dc);
+    const auto [hit, total] = flood_recall(study);
+    table.row(util::format_double(threshold, 0), dc.ewma_window,
+              std::to_string(hit) + "/" + std::to_string(total),
+              flood_false_alarms(study), study.detection().incidents.size());
+  }
+  for (std::size_t window : {3u, 10u, 30u}) {
+    detect::DetectionConfig dc;
+    dc.ewma_window = window;
+    const core::Study study(ablation_config(), dc);
+    const auto [hit, total] = flood_recall(study);
+    table.row("100", window, std::to_string(hit) + "/" + std::to_string(total),
+              flood_false_alarms(study), study.detection().incidents.size());
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "The paper's 100 pkts/min (~7 Kpps) sits where recall flattens and "
+      "false alarms stay near zero — the 'conservative' operating point "
+      "§2.2 describes.");
+  return 0;
+}

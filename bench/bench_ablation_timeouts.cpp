@@ -1,0 +1,46 @@
+// Ablation: per-type inactive timeouts (Table 1) vs one global timeout.
+//
+// Grouping attack minutes with a single global T either shreds long
+// low-duty-cycle attacks into fragments (T too small) or fuses distinct
+// attacks into one (T too large); the per-type table keeps incident counts
+// close to the ground-truth episode count.
+#include <cstdio>
+
+#include "core/study.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Ablation: inactive timeouts",
+                "Per-type Table 1 timeouts vs fixed global timeouts");
+
+  auto config = sim::ScenarioConfig::smoke();
+  config.vips.vip_count = 300;
+  config.days = 3;
+  config.seed = 99;
+
+  util::TextTable table;
+  table.set_header({"timeout policy", "incidents", "episodes (truth)",
+                    "incidents/episode"});
+
+  const auto run = [&](const std::string& label, detect::TimeoutTable timeouts) {
+    const core::Study study(config, detect::DetectionConfig{}, timeouts);
+    const double ratio = static_cast<double>(study.detection().incidents.size()) /
+                         static_cast<double>(study.truth().episodes.size());
+    table.row(label, study.detection().incidents.size(),
+              study.truth().episodes.size(), util::format_double(ratio, 2));
+  };
+
+  run("per-type (Table 1)", detect::TimeoutTable::paper());
+  for (util::Minute global : {1, 10, 60, 240}) {
+    detect::TimeoutTable t{};
+    for (auto& v : t.timeout) v = global;
+    run("global T=" + std::to_string(global) + " min", t);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "§2.2/Fig 1: a single T cannot serve SYN floods (gaps < 1 min) and "
+      "ICMP/TDS activity (gaps of hours) simultaneously; the per-type "
+      "choice keeps the incident/episode ratio nearest 1.");
+  return 0;
+}

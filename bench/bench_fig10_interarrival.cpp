@@ -1,0 +1,55 @@
+// Figure 10: median inter-arrival time between consecutive attacks on the
+// same VIP, plus the §5.2 extras: ramp-up times and the UDP-flood
+// bimodality decomposition.
+#include "analysis/timing.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 10", "Attack inter-arrival time by type");
+
+  const auto& study = bench::shared_study();
+  const auto in = analysis::compute_timing(study.detection().incidents,
+                                           netflow::Direction::kInbound);
+  const auto out = analysis::compute_timing(study.detection().incidents,
+                                            netflow::Direction::kOutbound);
+
+  util::TextTable table;
+  table.set_header({"Attack", "in median (min)", "out median (min)",
+                    "in ramp-up", "out ramp-up"});
+  for (sim::AttackType t : sim::kAllAttackTypes) {
+    const auto& i = in.interarrival[sim::index_of(t)];
+    const auto& o = out.interarrival[sim::index_of(t)];
+    const auto& ri = in.ramp_up[sim::index_of(t)];
+    const auto& ro = out.ramp_up[sim::index_of(t)];
+    table.row(std::string(sim::to_string(t)),
+              i.samples ? util::format_double(i.median, 0) : "-",
+              o.samples ? util::format_double(o.median, 0) : "-",
+              ri.samples ? util::format_double(ri.median, 1) + " min" : "-",
+              ro.samples ? util::format_double(ro.median, 1) + " min" : "-");
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // §5.2: UDP flood bimodality.
+  for (netflow::Direction dir :
+       {netflow::Direction::kInbound, netflow::Direction::kOutbound}) {
+    const auto bimodal = analysis::decompose_bimodal(
+        study.detection().incidents, sim::AttackType::kUdpFlood, dir,
+        study.sampling());
+    std::printf("\nUDP flood (%s): %s small attacks (median %s, gap %.0f min) "
+                "vs %s large (median %s, gap %.0f min)\n",
+                std::string(netflow::to_string(dir)).c_str(),
+                util::format_percent(bimodal.small_fraction).c_str(),
+                util::format_pps(bimodal.small_median_peak_pps).c_str(),
+                bimodal.small_median_interarrival,
+                util::format_percent(bimodal.large_fraction).c_str(),
+                util::format_pps(bimodal.large_median_peak_pps).c_str(),
+                bimodal.large_median_interarrival);
+  }
+  bench::paper_note(
+      "Paper: most types repeat every few hundred minutes; outbound SYN/UDP "
+      "repeat every ~25 min vs ~100 inbound. Ramp-up medians: 2-3 min "
+      "inbound, 1 min outbound. UDP floods split 81%/19% into small-rare "
+      "(8 Kpps @226 min) and large-frequent (457 Kpps @95 min).");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 11: AS classes generating inbound attacks — (a) share of attacks
+// involving each class, (b) average share per individual AS of the class.
+#include "analysis/as_analysis.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 11", "AS classes behind inbound attacks");
+
+  const auto& study = bench::shared_study();
+  const auto spoof = analysis::analyze_spoofing(
+      study.trace(), study.detection().incidents, &study.blacklist());
+  const auto result = analysis::analyze_as(
+      study.trace(), study.detection().incidents, study.scenario().ases(),
+      netflow::Direction::kInbound, &spoof, &study.blacklist());
+
+  util::TextTable table;
+  table.set_header({"AS class", "11a: % of attacks", "11b: avg % per AS",
+                    "packet share"});
+  for (std::size_t c = 0; c < analysis::kAsClassCount; ++c) {
+    table.row(std::string(cloud::to_string(cloud::kAllAsClasses[c])),
+              util::format_percent(result.class_share[c]),
+              util::format_percent(result.per_as_share[c], 3),
+              util::format_percent(result.packet_share[c]));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nmapped incidents: %llu / %llu; top AS involvement: %s (ASN %u)\n",
+              static_cast<unsigned long long>(result.incidents_mapped),
+              static_cast<unsigned long long>(result.incidents_total),
+              util::format_percent(result.top_as_share).c_str(), result.top_asn);
+  bench::paper_note(
+      "Paper: small ISPs 25.4% and customer networks 15.9% of inbound "
+      "attacks; per-AS averages highest for big clouds and IXPs; one AS in "
+      "Spain is involved in >35% of attacks.");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 13: origins of inbound DNS reflection and spam by AS class —
+// (a) share of attacks involving the class, (b) average share per AS.
+#include "analysis/as_analysis.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 13", "AS classes behind inbound DNS and spam");
+
+  const auto& study = bench::shared_study();
+  const auto spoof = analysis::analyze_spoofing(
+      study.trace(), study.detection().incidents, &study.blacklist());
+  const auto result = analysis::analyze_as(
+      study.trace(), study.detection().incidents, study.scenario().ases(),
+      netflow::Direction::kInbound, &spoof, &study.blacklist());
+
+  const std::size_t dns = sim::index_of(sim::AttackType::kDnsReflection);
+  const std::size_t spam = sim::index_of(sim::AttackType::kSpam);
+
+  // Per-AS averages need the class sizes; recompute them from the registry.
+  std::array<double, analysis::kAsClassCount> class_sizes{};
+  for (const auto& as : study.scenario().ases().all()) {
+    class_sizes[static_cast<std::size_t>(as.cls)] += 1.0;
+  }
+
+  util::TextTable table;
+  table.set_header({"AS class", "DNS % of attacks", "SPAM % of attacks",
+                    "DNS avg %/AS", "SPAM avg %/AS"});
+  for (std::size_t c = 0; c < analysis::kAsClassCount; ++c) {
+    const double dns_share = result.type_class_share[dns][c];
+    const double spam_share = result.type_class_share[spam][c];
+    table.row(std::string(cloud::to_string(cloud::kAllAsClasses[c])),
+              util::format_percent(dns_share),
+              util::format_percent(spam_share),
+              util::format_percent(class_sizes[c] > 0 ? dns_share / class_sizes[c] : 0, 3),
+              util::format_percent(class_sizes[c] > 0 ? spam_share / class_sizes[c] : 0, 3));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "Paper: DNS reflection arrives roughly evenly from all AS classes "
+      "(IXPs stand out per AS, each attack touches a median of 17 "
+      "resolvers); spam comes from big clouds (81% of packets from one "
+      "Singapore cloud AS), small ISPs, and customer networks; NICs almost "
+      "never appear.");
+  return 0;
+}

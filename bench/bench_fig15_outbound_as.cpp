@@ -1,0 +1,36 @@
+// Figure 15: AS classes targeted by outbound attacks — share of attacks and
+// average share per AS — plus the §6.2 clustering statistics.
+#include "analysis/as_analysis.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 15", "AS classes targeted by outbound attacks");
+
+  const auto& study = bench::shared_study();
+  const auto result = analysis::analyze_as(
+      study.trace(), study.detection().incidents, study.scenario().ases(),
+      netflow::Direction::kOutbound, nullptr, &study.blacklist());
+
+  util::TextTable table;
+  table.set_header({"AS class", "15a: % of attacks", "15b: avg % per AS",
+                    "packet share"});
+  for (std::size_t c = 0; c < analysis::kAsClassCount; ++c) {
+    table.row(std::string(cloud::to_string(cloud::kAllAsClasses[c])),
+              util::format_percent(result.class_share[c]),
+              util::format_percent(result.per_as_share[c], 3),
+              util::format_percent(result.packet_share[c]));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nattacks confined to a single AS: %s  (paper: 80%%)\n",
+              util::format_percent(result.single_as_fraction).c_str());
+  std::printf("top-10 AS coverage: %s (paper 8.9%%); top-100: %s (paper 16.3%%)\n",
+              util::format_percent(result.top10_share).c_str(),
+              util::format_percent(result.top100_share).c_str());
+  bench::paper_note(
+      "Paper: 42% of outbound attacks hit big clouds (mostly SQL and TDS); "
+      "small ISPs 25%, customer networks 13%; only 1.4% of brute-force hits "
+      "mobile networks (NAT); 40% of outbound packets went to one Romanian "
+      "hosting AS, 23.6% of outbound DNS reflection to one French ISP.");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 2: percentage of total inbound and outbound attacks per type.
+#include "analysis/overview.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 2", "Percentage of total attacks by type and direction");
+
+  const auto& study = bench::shared_study();
+  const auto mix = analysis::compute_attack_mix(study.detection().incidents);
+
+  util::TextTable table;
+  table.set_header({"Attack", "Inbound %", "Outbound %"});
+  for (sim::AttackType t : sim::kAllAttackTypes) {
+    table.row(std::string(sim::to_string(t)),
+              util::format_percent(mix.share(t, netflow::Direction::kInbound)),
+              util::format_percent(mix.share(t, netflow::Direction::kOutbound)));
+  }
+  table.row("TOTAL", util::format_percent(mix.inbound_share()),
+            util::format_percent(1.0 - mix.inbound_share()));
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nincidents: inbound=%llu outbound=%llu\n",
+              static_cast<unsigned long long>(mix.inbound_total),
+              static_cast<unsigned long long>(mix.outbound_total));
+  bench::paper_note(
+      "35.1% inbound vs 64.9% outbound; outbound/inbound ratios: SYN ~5x, "
+      "UDP ~2x, brute-force ~4x, SQL ~5x; port scans mostly inbound.");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 3: (a) CDF of attacks per (VIP, day); (b)/(c) attack mix for VIPs
+// with occasional (<=10/day) vs frequent (>10/day) attacks.
+#include "analysis/vip_frequency.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 3", "Attack frequency per VIP");
+
+  const auto& study = bench::shared_study();
+  for (netflow::Direction dir :
+       {netflow::Direction::kInbound, netflow::Direction::kOutbound}) {
+    const auto freq =
+        analysis::compute_vip_frequency(study.detection().incidents, dir);
+    std::printf("--- %s ---\n", std::string(netflow::to_string(dir)).c_str());
+    std::printf("(VIP, day) pairs: %zu; single-attack pairs: %s; "
+                ">10 attacks/day: %s; max attacks/day: %u\n",
+                freq.pairs.size(),
+                util::format_percent(freq.single_attack_fraction).c_str(),
+                util::format_percent(freq.frequent_fraction).c_str(),
+                freq.max_attacks_per_day);
+
+    std::printf("Fig 3a CDF of attacks/day:");
+    for (double q : {0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      std::printf("  p%.0f=%.0f", q * 100, freq.attacks_per_day.quantile(q));
+    }
+    std::printf("\n");
+
+    util::TextTable table;
+    table.set_header({"Attack", "occasional VIPs %", "frequent VIPs %"});
+    for (sim::AttackType t : sim::kAllAttackTypes) {
+      table.row(std::string(sim::to_string(t)),
+                util::format_percent(freq.occasional_mix[sim::index_of(t)]),
+                util::format_percent(freq.frequent_mix[sim::index_of(t)]));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  bench::paper_note(
+      "53% of inbound and 44% of outbound (VIP, day) pairs see exactly one "
+      "attack; tails reach 39 inbound and >144 outbound attacks per day. "
+      "Occasional VIPs skew to TDS/port-scan/brute-force; frequent VIPs to "
+      "floods.");
+  return 0;
+}

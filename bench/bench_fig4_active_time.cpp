@@ -1,0 +1,30 @@
+// Figure 4: CDF of the fraction of a VIP's active time spent under attack.
+#include "analysis/active_time.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 4", "Share of VIP active time in attack");
+
+  const auto& study = bench::shared_study();
+  for (netflow::Direction dir :
+       {netflow::Direction::kInbound, netflow::Direction::kOutbound}) {
+    const auto result = analysis::compute_active_time(
+        study.trace(), study.detection().minutes, dir);
+    std::printf("--- %s ---  attacked VIPs: %zu\n",
+                std::string(netflow::to_string(dir)).c_str(),
+                result.vips.size());
+    std::printf("attack-time fraction:");
+    for (double q : {0.25, 0.5, 0.75, 0.9, 0.97}) {
+      std::printf("  p%.0f=%s", q * 100,
+                  util::format_percent(result.fraction_cdf.quantile(q), 2).c_str());
+    }
+    std::printf("\nVIPs in attack >50%% of active time: %s\n\n",
+                util::format_percent(result.majority_attacked_fraction).c_str());
+  }
+  bench::paper_note(
+      "50% of VIPs see inbound attacks for 0.2% of their active time "
+      "(outbound: 1.2%); 3% of inbound / 8% of outbound attack VIPs spend "
+      ">50% of their active time in attack.");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5: the compromise case study — a dormant partner VIP receives a
+// week of inbound RDP brute-force, then erupts with outbound UDP floods.
+// Prints the daily time series for the case VIP plus the detected
+// inbound-to-outbound chains.
+#include <algorithm>
+#include <map>
+
+#include "detect/correlator.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 5",
+                "Inbound brute-force followed by outbound UDP flood on the "
+                "same VIP");
+
+  const auto& study = bench::shared_study();
+
+  // Locate the scripted case-study VIP: the inbound brute-force episode with
+  // the longest duration on a VIP that also originates outbound UDP floods.
+  const sim::AttackEpisode* bf = nullptr;
+  for (const auto& e : study.truth().episodes) {
+    if (e.type == sim::AttackType::kBruteForce &&
+        e.direction == netflow::Direction::kInbound &&
+        (bf == nullptr || e.duration() > bf->duration())) {
+      bf = &e;
+    }
+  }
+  if (bf == nullptr) {
+    std::printf("no brute-force episode found\n");
+    return 1;
+  }
+
+  std::printf("case VIP: %s (inbound RDP brute-force %s..%s from %zu hosts)\n\n",
+              bf->vip.to_string().c_str(), util::format_minute(bf->start).c_str(),
+              util::format_minute(bf->end).c_str(), bf->remote_hosts.size());
+
+  // Half-day buckets: estimated RDP connections and outbound UDP rate.
+  std::map<std::int64_t, std::pair<std::uint64_t, std::uint64_t>> buckets;
+  const auto sampling = study.sampling();
+  for (const auto& w : study.trace().series(bf->vip, netflow::Direction::kInbound)) {
+    buckets[w.minute / 720].first += w.remote_admin_flows;
+  }
+  for (const auto& w : study.trace().series(bf->vip, netflow::Direction::kOutbound)) {
+    buckets[w.minute / 720].second += w.udp_packets;
+  }
+  util::TextTable table;
+  table.set_header({"half-day", "est. RDP connections (K)", "est. UDP out (Kpps avg)"});
+  for (const auto& [bucket, counts] : buckets) {
+    table.row("d" + util::format_double(static_cast<double>(bucket) / 2.0, 1),
+              util::format_double(static_cast<double>(counts.first) * sampling / 1000.0, 1),
+              util::format_double(static_cast<double>(counts.second) * sampling /
+                                      (720.0 * 60.0) / 1000.0, 2));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const auto chains =
+      detect::find_compromise_chains(study.detection().incidents);
+  std::printf("\ndetected inbound->outbound compromise chains: %zu\n",
+              chains.size());
+  for (std::size_t i = 0; i < chains.size() && i < 5; ++i) {
+    const auto& c = chains[i];
+    const auto& in = study.detection().incidents[c.inbound_incident];
+    const auto& out = study.detection().incidents[c.outbound_incident];
+    std::printf("  vip=%s  %s in at %s -> %s out at %s (gap %s)\n",
+                c.vip.to_string().c_str(),
+                std::string(sim::to_string(in.type)).c_str(),
+                util::format_minute(in.start).c_str(),
+                std::string(sim::to_string(out.type)).c_str(),
+                util::format_minute(out.start).c_str(),
+                util::format_minutes(static_cast<double>(c.gap_minutes)).c_str());
+  }
+  bench::paper_note(
+      "Paper case: ~70K RDP connections/min at peak for >1 week (70.3% of "
+      "packets from 3 addresses in one Asian AS), then outbound UDP floods "
+      "against 491 sites peaking at 23 Kpps for >2 days.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6: the 99th percentile and peak number of VIPs simultaneously
+// involved in the same type of attack (start times within five minutes).
+#include <algorithm>
+#include <vector>
+
+#include "detect/correlator.h"
+#include "exhibit.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 6",
+                "VIPs simultaneously involved in same-type attacks");
+
+  const auto& study = bench::shared_study();
+  const auto events = detect::find_multi_vip(study.detection().incidents);
+
+  util::TextTable table;
+  table.set_header({"Attack", "dir", "events", "p99 #VIPs", "peak #VIPs"});
+  for (sim::AttackType t : sim::kAllAttackTypes) {
+    for (netflow::Direction dir :
+         {netflow::Direction::kInbound, netflow::Direction::kOutbound}) {
+      std::vector<double> sizes;
+      for (const auto& e : events) {
+        if (e.type == t && e.direction == dir) {
+          sizes.push_back(static_cast<double>(e.vip_count));
+        }
+      }
+      if (sizes.empty()) continue;
+      std::sort(sizes.begin(), sizes.end());
+      table.row(std::string(sim::to_string(t)),
+                std::string(netflow::to_string(dir)), sizes.size(),
+                util::format_double(util::quantile_sorted(sizes, 0.99), 0),
+                util::format_double(sizes.back(), 0));
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Multi-vector summary (§4.2) shares this correlation machinery.
+  const auto mv = detect::find_multi_vector(study.detection().incidents);
+  std::size_t mv_in = 0, mv_out = 0, bf_syn_icmp = 0;
+  for (const auto& e : mv) {
+    (e.direction == netflow::Direction::kInbound ? mv_in : mv_out) += 1;
+    if (e.direction == netflow::Direction::kOutbound &&
+        e.has(sim::AttackType::kBruteForce) &&
+        (e.has(sim::AttackType::kSynFlood) || e.has(sim::AttackType::kIcmpFlood))) {
+      ++bf_syn_icmp;
+    }
+  }
+  std::printf("\nmulti-vector events: inbound=%zu outbound=%zu "
+              "(outbound brute-force+flood bundles: %zu)\n",
+              mv_in, mv_out, bf_syn_icmp);
+  bench::paper_note(
+      "Inbound brute-force campaigns peak at 66 VIPs (53 at p99); outbound "
+      "UDP/spam/brute-force/SQL involve ~20 VIPs at p99, >40 at peak. 106 "
+      "VIPs saw inbound multi-vector attacks, 74 outbound; 35 VIPs paired "
+      "brute-force with SYN/ICMP floods.");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 7: median and peak aggregate attack throughput (whole cloud) per
+// attack type and overall, in estimated packets/second.
+#include "analysis/throughput.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 7", "Aggregate attack throughput by type");
+
+  const auto& study = bench::shared_study();
+  util::TextTable table;
+  table.set_header({"Attack", "in median", "in peak", "out median", "out peak"});
+  const auto in = analysis::compute_aggregate_throughput(
+      study.detection().minutes, netflow::Direction::kInbound, study.sampling());
+  const auto out = analysis::compute_aggregate_throughput(
+      study.detection().minutes, netflow::Direction::kOutbound, study.sampling());
+  for (sim::AttackType t : sim::kAllAttackTypes) {
+    const auto& i = in.by_type[sim::index_of(t)];
+    const auto& o = out.by_type[sim::index_of(t)];
+    table.row(std::string(sim::to_string(t)),
+              i.samples ? util::format_pps(i.median_pps) : "-",
+              i.samples ? util::format_pps(i.peak_pps) : "-",
+              o.samples ? util::format_pps(o.median_pps) : "-",
+              o.samples ? util::format_pps(o.peak_pps) : "-");
+  }
+  table.row("Overall", util::format_pps(in.overall.median_pps),
+            util::format_pps(in.overall.peak_pps),
+            util::format_pps(out.overall.median_pps),
+            util::format_pps(out.overall.peak_pps));
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "Paper: overall inbound median 595 Kpps / peak 9.4 Mpps; outbound "
+      "median 662 Kpps / peak 2.25 Mpps. Inbound UDP peaks at 9.2 Mpps, SYN "
+      "at 1.7 Mpps; volume-attack inbound peaks are 13-238x outbound. Note "
+      "the scaled-down trace: shapes and ratios transfer, absolute "
+      "aggregates scale with VIP count x days (EXPERIMENTS.md).");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 8: median and maximum per-VIP (per-incident) peak attack throughput
+// by type, plus the peak/median spread that motivates multiplexed defenses.
+#include "analysis/throughput.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 8", "Per-VIP peak attack throughput by type");
+
+  const auto& study = bench::shared_study();
+  util::TextTable table;
+  table.set_header({"Attack", "dir", "median peak", "max peak", "max/median"});
+  for (netflow::Direction dir :
+       {netflow::Direction::kInbound, netflow::Direction::kOutbound}) {
+    const auto result = analysis::compute_per_vip_throughput(
+        study.detection().incidents, dir, study.sampling());
+    for (sim::AttackType t : sim::kAllAttackTypes) {
+      const auto& s = result.by_type[sim::index_of(t)];
+      if (s.samples == 0) continue;
+      table.row(std::string(sim::to_string(t)),
+                std::string(netflow::to_string(dir)),
+                util::format_pps(s.median_pps), util::format_pps(s.peak_pps),
+                util::format_double(result.spread(t), 1) + "x");
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "Paper: single VIPs absorb up to 8.7 Mpps (UDP) and 1.7 Mpps (SYN); "
+      "port-scan peak/median spread reaches ~1000x, inbound brute-force "
+      "361x, outbound brute-force 75x — over-provisioning per VIP is "
+      "wasteful, multiplexing wins.");
+  return 0;
+}

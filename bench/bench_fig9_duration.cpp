@@ -1,0 +1,31 @@
+// Figure 9: median and 99th-percentile attack duration by type.
+#include "analysis/timing.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Figure 9", "Attack duration by type");
+
+  const auto& study = bench::shared_study();
+  util::TextTable table;
+  table.set_header({"Attack", "in median", "in p99", "out median", "out p99"});
+  const auto in = analysis::compute_timing(study.detection().incidents,
+                                           netflow::Direction::kInbound);
+  const auto out = analysis::compute_timing(study.detection().incidents,
+                                            netflow::Direction::kOutbound);
+  for (sim::AttackType t : sim::kAllAttackTypes) {
+    const auto& i = in.duration[sim::index_of(t)];
+    const auto& o = out.duration[sim::index_of(t)];
+    table.row(std::string(sim::to_string(t)),
+              i.samples ? util::format_minutes(i.median) : "-",
+              i.samples ? util::format_minutes(i.p99) : "-",
+              o.samples ? util::format_minutes(o.median) : "-",
+              o.samples ? util::format_minutes(o.p99) : "-");
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "Paper: median durations within 10 minutes everywhere; port scans "
+      "finish within a minute (p99 ~100 min); SYN floods p99 85 min; DNS "
+      "reflection lasts longest (days at p99). Fast detection is mandatory.");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// §7 made executable: replay the detected attacks against the cloud's
+// mitigation practices and report what each mechanism absorbs — plus the
+// §5.2 point that 5-minute reaction loops are too slow for 1-3 minute ramps.
+#include <map>
+
+#include "analysis/spoof_analysis.h"
+#include "exhibit.h"
+#include "mitigate/engine.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Mitigation (§7)",
+                "Replaying detected attacks against existing security "
+                "practices");
+
+  const auto& study = bench::shared_study();
+  const auto spoof = analysis::analyze_spoofing(
+      study.trace(), study.detection().incidents, &study.blacklist());
+
+  const mitigate::MitigationEngine engine{mitigate::MitigationPolicy{}};
+  const auto report =
+      engine.evaluate(study.trace(), study.detection().incidents,
+                      study.sampling(), &study.blacklist(), &spoof);
+
+  util::TextTable table;
+  table.set_header({"Attack", "incidents", "absorbed"});
+  for (sim::AttackType t : sim::kAllAttackTypes) {
+    const std::size_t i = sim::index_of(t);
+    if (report.incidents_by_type[i] == 0) continue;
+    table.row(std::string(sim::to_string(t)), report.incidents_by_type[i],
+              util::format_percent(report.absorption_by_type[i]));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::map<mitigate::ActionKind, std::size_t> per_kind;
+  for (const auto& a : report.actions) per_kind[a.kind] += 1;
+  std::printf("\nactions taken:\n");
+  for (const auto& [kind, n] : per_kind) {
+    std::printf("  %-18s %zu\n", std::string(mitigate::to_string(kind)).c_str(),
+                n);
+  }
+  std::printf("\noverall absorption: %s; VIPs shut down: %llu; median time "
+              "to mitigate: %.1f min\n",
+              util::format_percent(report.total_absorption).c_str(),
+              static_cast<unsigned long long>(report.shutdown_vips),
+              report.median_time_to_mitigate);
+
+  // Reaction-latency sweep: the §5.2 argument that 5-minute detection loops
+  // miss the ramp.
+  std::printf("\nreaction latency sweep (volume attacks ramp in 1-3 min):\n");
+  for (util::Minute latency : {0, 1, 2, 5, 10}) {
+    mitigate::MitigationPolicy policy;
+    policy.inline_latency = latency;
+    const auto swept = mitigate::MitigationEngine{policy}.evaluate(
+        study.trace(), study.detection().incidents, study.sampling(),
+        &study.blacklist(), &spoof);
+    std::printf("  latency %2lld min -> absorption %s\n",
+                static_cast<long long>(latency),
+                util::format_percent(swept.total_absorption).c_str());
+  }
+  bench::paper_note(
+      "§7: SYN cookies, rate limits, blacklists, outbound caps, SMTP "
+      "limits, and aggressive VM shutdown; §5.2: ~5-minute detection is not "
+      "fast enough to beat 1-3 minute ramp-ups; §6.1: blacklists cannot "
+      "touch the 67% of SYN floods that spoof their sources.");
+  return 0;
+}

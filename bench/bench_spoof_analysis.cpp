@@ -1,0 +1,29 @@
+// §6.1: Anderson-Darling spoofed-source inference — fraction of inbound
+// attacks per type whose source addresses are uniform over the IPv4 space.
+#include "analysis/spoof_analysis.h"
+#include "exhibit.h"
+
+int main() {
+  using namespace dm;
+  bench::banner("Spoofing (§6.1)",
+                "Anderson-Darling uniformity test over attack sources");
+
+  const auto& study = bench::shared_study();
+  const auto spoof = analysis::analyze_spoofing(
+      study.trace(), study.detection().incidents, &study.blacklist());
+
+  util::TextTable table;
+  table.set_header({"Attack", "tested incidents", "% spoofed"});
+  for (sim::AttackType t : sim::kAllAttackTypes) {
+    const std::size_t i = sim::index_of(t);
+    if (spoof.tested[i] == 0) continue;
+    table.row(std::string(sim::to_string(t)), spoof.tested[i],
+              util::format_percent(spoof.spoofed_fraction[i]));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  bench::paper_note(
+      "Paper: 67.1% of inbound TCP SYN floods carry spoofed (uniformly "
+      "distributed) sources — unlike the 2006 Internet study, where most "
+      "floods were unspoofed.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared scaffolding for the experiment binaries (one per paper exhibit).
+//
+// Each binary regenerates one table or figure of the paper from a common
+// paper-scale study. Scale is configurable through environment variables so
+// CI can run a reduced configuration:
+//   DM_DAYS, DM_VIPS, DM_SEED — override ScenarioConfig::paper_scale().
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/study.h"
+#include "util/table.h"
+
+namespace dm::bench {
+
+inline sim::ScenarioConfig scaled_config() {
+  sim::ScenarioConfig config = sim::ScenarioConfig::paper_scale();
+  if (const char* days = std::getenv("DM_DAYS")) config.days = std::atoi(days);
+  if (const char* vips = std::getenv("DM_VIPS")) {
+    config.vips.vip_count = static_cast<std::uint32_t>(std::atoi(vips));
+  }
+  if (const char* seed = std::getenv("DM_SEED")) {
+    config.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  return config;
+}
+
+/// The shared study: built once per process.
+inline const core::Study& shared_study() {
+  static const core::Study study{scaled_config()};
+  return study;
+}
+
+inline void banner(const std::string& exhibit, const std::string& caption) {
+  std::printf("=== %s ===\n%s\n\n", exhibit.c_str(), caption.c_str());
+}
+
+inline void paper_note(const std::string& note) {
+  std::printf("\n[paper] %s\n", note.c_str());
+}
+
+}  // namespace dm::bench

@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks of the hot primitives: the change-point
+// detector, longest-prefix matching, packet sampling, and the
+// Anderson-Darling test.
+#include <benchmark/benchmark.h>
+
+#include "cloud/as_registry.h"
+#include "detect/detectors.h"
+#include "netflow/sampler.h"
+#include "util/anderson_darling.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dm;
+
+void BM_ChangePointDetector(benchmark::State& state) {
+  detect::ChangePointDetector detector(10, 100.0);
+  util::Rng rng(1);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.uniform(0.0, 40.0);
+  util::Minute minute = 0;
+  for (auto _ : state) {
+    bool alarm = false;
+    for (double v : values) {
+      alarm ^= detector.observe(minute++, v);
+    }
+    benchmark::DoNotOptimize(alarm);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(values.size()));
+  }
+}
+BENCHMARK(BM_ChangePointDetector);
+
+void BM_PrefixSetMatch(benchmark::State& state) {
+  cloud::AsRegistry registry({}, 42);
+  util::Rng rng(7);
+  std::vector<netflow::IPv4> probes(4096);
+  for (auto& p : probes) p = netflow::IPv4(static_cast<std::uint32_t>(rng()));
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (auto p : probes) hits += registry.lookup(p) != nullptr;
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(probes.size()));
+  }
+}
+BENCHMARK(BM_PrefixSetMatch);
+
+void BM_PacketSampler(benchmark::State& state) {
+  const netflow::PacketSampler sampler(4096);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (int i = 0; i < 1024; ++i) {
+      total += sampler.sample_packets(500'000, rng);
+    }
+    benchmark::DoNotOptimize(total);
+    state.SetItemsProcessed(state.items_processed() + 1024);
+  }
+}
+BENCHMARK(BM_PacketSampler);
+
+void BM_AndersonDarling(benchmark::State& state) {
+  util::Rng rng(11);
+  std::vector<double> samples(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : samples) s = rng.uniform01();
+  for (auto _ : state) {
+    const auto result = util::anderson_darling_uniform(samples);
+    benchmark::DoNotOptimize(result.statistic);
+  }
+}
+BENCHMARK(BM_AndersonDarling)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks of the end-to-end pipeline stages:
+// trace generation, window aggregation, and detection.
+#include <benchmark/benchmark.h>
+
+#include "core/study.h"
+#include "detect/pipeline.h"
+#include "netflow/window_aggregator.h"
+#include "sim/trace_generator.h"
+
+namespace {
+
+using namespace dm;
+
+sim::ScenarioConfig perf_config() {
+  auto config = sim::ScenarioConfig::smoke();
+  config.vips.vip_count = 200;
+  config.days = 1;
+  config.seed = 77;
+  return config;
+}
+
+const sim::Scenario& perf_scenario() {
+  static const sim::Scenario scenario{perf_config()};
+  return scenario;
+}
+
+const sim::TraceResult& perf_trace() {
+  static const sim::TraceResult trace = sim::generate_trace(perf_scenario());
+  return trace;
+}
+
+const netflow::WindowedTrace& perf_windows() {
+  static const netflow::WindowedTrace windows = [] {
+    auto records = perf_trace().records;
+    return netflow::aggregate_windows(
+        std::move(records), perf_scenario().vips().cloud_space(),
+        &perf_scenario().tds().as_prefix_set());
+  }();
+  return windows;
+}
+
+void BM_GenerateTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = sim::generate_trace(perf_scenario());
+    benchmark::DoNotOptimize(result.records.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(result.records.size()));
+  }
+}
+BENCHMARK(BM_GenerateTrace)->Unit(benchmark::kMillisecond);
+
+void BM_AggregateWindows(benchmark::State& state) {
+  for (auto _ : state) {
+    auto records = perf_trace().records;  // the copy is part of the workload
+    const auto windows = netflow::aggregate_windows(
+        std::move(records), perf_scenario().vips().cloud_space(),
+        &perf_scenario().tds().as_prefix_set());
+    benchmark::DoNotOptimize(windows.windows().data());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<std::int64_t>(perf_trace().records.size()));
+  }
+}
+BENCHMARK(BM_AggregateWindows)->Unit(benchmark::kMillisecond);
+
+void BM_DetectMinutes(benchmark::State& state) {
+  const detect::DetectionPipeline pipeline;
+  for (auto _ : state) {
+    const auto minutes = pipeline.detect_minutes(perf_windows());
+    benchmark::DoNotOptimize(minutes.data());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<std::int64_t>(perf_windows().windows().size()));
+  }
+}
+BENCHMARK(BM_DetectMinutes)->Unit(benchmark::kMillisecond);
+
+void BM_FullDetection(benchmark::State& state) {
+  const detect::DetectionPipeline pipeline;
+  for (auto _ : state) {
+    const auto result = pipeline.run(perf_windows());
+    benchmark::DoNotOptimize(result.incidents.data());
+  }
+}
+BENCHMARK(BM_FullDetection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

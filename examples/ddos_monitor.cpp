@@ -1,0 +1,77 @@
+// ddos_monitor: streaming inbound attack monitoring.
+//
+// Demonstrates the streaming detector API: NetFlow windows are fed
+// minute-by-minute (as an edge collector would deliver them) and alerts
+// print the moment a window trips a detector — no batch pipeline involved.
+//
+//   ./build/examples/ddos_monitor [minutes]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "detect/detectors.h"
+#include "netflow/window_aggregator.h"
+#include "sim/trace_generator.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dm;
+  const util::Minute monitor_minutes =
+      argc > 1 ? std::atoll(argv[1]) : 12 * util::kMinutesPerHour;
+
+  // A small cloud under observation.
+  sim::ScenarioConfig config = sim::ScenarioConfig::smoke();
+  config.vips.vip_count = 120;
+  config.days = 1;
+  config.seed = 555;
+  const sim::Scenario scenario(config);
+  auto generated = sim::generate_trace(scenario);
+  const auto trace = netflow::aggregate_windows(
+      std::move(generated.records), scenario.vips().cloud_space(),
+      &scenario.tds().as_prefix_set());
+
+  // Order windows by time (the aggregator sorts by VIP) to emulate a feed.
+  std::vector<const netflow::VipMinuteStats*> feed;
+  for (const auto& w : trace.windows()) {
+    if (w.direction == netflow::Direction::kInbound) feed.push_back(&w);
+  }
+  std::sort(feed.begin(), feed.end(),
+            [](const netflow::VipMinuteStats* a, const netflow::VipMinuteStats* b) {
+              if (a->minute != b->minute) return a->minute < b->minute;
+              return a->vip < b->vip;
+            });
+
+  // One streaming detector per VIP, created on first sight.
+  std::map<std::uint32_t, detect::SeriesDetector> detectors;
+  const detect::DetectionConfig detection_config;
+  std::size_t alerts = 0;
+
+  std::printf("monitoring %zu VIPs for %lld minutes of inbound NetFlow...\n\n",
+              scenario.vips().size(),
+              static_cast<long long>(monitor_minutes));
+  for (const auto* w : feed) {
+    if (w->minute >= monitor_minutes) break;
+    auto [it, inserted] =
+        detectors.try_emplace(w->vip.value(), detection_config);
+    const auto verdicts = it->second.observe(*w);
+    for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+      if (!verdicts[t].attack) continue;
+      ++alerts;
+      if (alerts <= 40) {
+        std::printf("[%s] ALERT %-11s vip=%-15s ~%s, %u remotes\n",
+                    util::format_minute(w->minute).c_str(),
+                    std::string(sim::to_string(sim::kAllAttackTypes[t])).c_str(),
+                    w->vip.to_string().c_str(),
+                    util::format_pps(static_cast<double>(verdicts[t].sampled_packets) *
+                                     config.sampling / 60.0)
+                        .c_str(),
+                    verdicts[t].unique_remotes);
+      }
+    }
+  }
+  if (alerts > 40) std::printf("... and %zu more alerts\n", alerts - 40);
+  std::printf("\ntotal alert-minutes: %zu (ground truth had %zu episodes)\n",
+              alerts, generated.truth.episodes.size());
+  return 0;
+}

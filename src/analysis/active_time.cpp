@@ -1,0 +1,54 @@
+#include "analysis/active_time.h"
+
+#include <map>
+#include <set>
+
+namespace dm::analysis {
+
+using detect::MinuteDetection;
+using netflow::Direction;
+
+ActiveTimeResult compute_active_time(const netflow::WindowedTrace& trace,
+                                     std::span<const MinuteDetection> detections,
+                                     Direction direction) {
+  // Active minutes: windows (any direction counts as activity for the VIP;
+  // the paper's "active traffic" is not direction-scoped, but attacks are).
+  std::map<std::uint32_t, std::set<util::Minute>> active;
+  for (const auto& w : trace.windows()) {
+    active[w.vip.value()].insert(w.minute);
+  }
+
+  // Distinct (vip, minute) pairs under attack in this direction — each
+  // minute counts once even under a multi-vector attack.
+  std::map<std::uint32_t, std::uint64_t> attack_minutes;
+  std::set<std::pair<std::uint32_t, util::Minute>> flagged;
+  for (const MinuteDetection& d : detections) {
+    if (d.direction != direction) continue;
+    flagged.emplace(d.vip.value(), d.minute);
+  }
+  for (const auto& [vip, minute] : flagged) attack_minutes[vip] += 1;
+
+  ActiveTimeResult result;
+  std::uint64_t majority = 0;
+  for (const auto& [vip, attacked] : attack_minutes) {
+    VipActiveTime v;
+    v.vip = netflow::IPv4(vip);
+    v.attack_minutes = attacked;
+    const auto it = active.find(vip);
+    // An attacked minute is by definition active; guard against windows the
+    // detector saw but the activity map somehow lacks.
+    v.active_minutes =
+        it == active.end() ? attacked
+                           : std::max<std::uint64_t>(it->second.size(), attacked);
+    result.fraction_cdf.add(v.attack_fraction());
+    if (v.attack_fraction() > 0.5) ++majority;
+    result.vips.push_back(v);
+  }
+  if (!result.vips.empty()) {
+    result.majority_attacked_fraction =
+        static_cast<double>(majority) / static_cast<double>(result.vips.size());
+  }
+  return result;
+}
+
+}  // namespace dm::analysis

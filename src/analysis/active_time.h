@@ -1,0 +1,42 @@
+// Fraction of each VIP's active time spent under attack (paper §4.1, Fig 4).
+//
+// "Active time" is the number of minutes in which the VIP shows any traffic
+// in the sampled NetFlow; attack time is the number of minutes flagged by
+// the detectors. The Fig 4 CDF is over VIPs that had at least one attack.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "detect/incident.h"
+#include "netflow/window_aggregator.h"
+#include "util/cdf.h"
+
+namespace dm::analysis {
+
+struct VipActiveTime {
+  netflow::IPv4 vip;
+  std::uint64_t active_minutes = 0;
+  std::uint64_t attack_minutes = 0;
+
+  [[nodiscard]] double attack_fraction() const noexcept {
+    return active_minutes == 0 ? 0.0
+                               : static_cast<double>(attack_minutes) /
+                                     static_cast<double>(active_minutes);
+  }
+};
+
+struct ActiveTimeResult {
+  std::vector<VipActiveTime> vips;   ///< only VIPs with >= 1 attack minute
+  util::EmpiricalCdf fraction_cdf;   ///< the Fig 4 curve (values in [0, 1])
+  /// Fraction of attacked VIPs spending > 50% of their active time under
+  /// attack (§4.1: 3% inbound, 8% outbound).
+  double majority_attacked_fraction = 0.0;
+};
+
+[[nodiscard]] ActiveTimeResult compute_active_time(
+    const netflow::WindowedTrace& trace,
+    std::span<const detect::MinuteDetection> detections,
+    netflow::Direction direction);
+
+}  // namespace dm::analysis

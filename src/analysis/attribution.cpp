@@ -1,0 +1,71 @@
+#include "analysis/attribution.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dm::analysis {
+
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::OrientedFlow;
+using netflow::Protocol;
+using sim::AttackType;
+
+bool record_matches(AttackType type, const FlowRecord& r, Direction direction,
+                    const netflow::PrefixSet* blacklist) noexcept {
+  const OrientedFlow flow{&r, direction};
+  namespace ports = netflow::ports;
+  switch (type) {
+    case AttackType::kSynFlood:
+      return r.protocol == Protocol::kTcp && netflow::is_pure_syn(r.tcp_flags);
+    case AttackType::kUdpFlood:
+      return r.protocol == Protocol::kUdp && r.src_port != ports::kDns;
+    case AttackType::kIcmpFlood:
+      return r.protocol == Protocol::kIcmp;
+    case AttackType::kDnsReflection:
+      return r.protocol == Protocol::kUdp && r.src_port == ports::kDns;
+    case AttackType::kSpam:
+      return r.protocol == Protocol::kTcp && flow.service_port() == ports::kSmtp;
+    case AttackType::kBruteForce:
+      return r.protocol == Protocol::kTcp &&
+             ports::is_remote_admin(flow.service_port());
+    case AttackType::kSqlInjection:
+      return r.protocol == Protocol::kTcp && ports::is_sql(flow.service_port());
+    case AttackType::kPortScan:
+      return r.protocol == Protocol::kTcp &&
+             (netflow::is_illegal(r.tcp_flags) ||
+              netflow::is_bare_rst(r.tcp_flags));
+    case AttackType::kTds:
+      return blacklist != nullptr && blacklist->contains(flow.remote_ip());
+  }
+  return false;
+}
+
+std::vector<RemoteContribution> incident_remotes(
+    const netflow::WindowedTrace& trace, const detect::AttackIncident& incident,
+    const netflow::PrefixSet* blacklist) {
+  std::unordered_map<netflow::IPv4, std::uint64_t> acc;
+  const auto series = trace.series(incident.vip, incident.direction);
+  for (const auto& window : series) {
+    if (window.minute < incident.start) continue;
+    if (window.minute >= incident.end) break;
+    for (const FlowRecord& r : trace.records_of(window)) {
+      if (!record_matches(incident.type, r, incident.direction, blacklist)) {
+        continue;
+      }
+      const OrientedFlow flow{&r, incident.direction};
+      acc[flow.remote_ip()] += r.packets;
+    }
+  }
+  std::vector<RemoteContribution> out;
+  out.reserve(acc.size());
+  for (const auto& [remote, packets] : acc) out.push_back({remote, packets});
+  std::sort(out.begin(), out.end(),
+            [](const RemoteContribution& a, const RemoteContribution& b) {
+              if (a.packets != b.packets) return a.packets > b.packets;
+              return a.remote < b.remote;
+            });
+  return out;
+}
+
+}  // namespace dm::analysis

@@ -1,0 +1,37 @@
+// Connecting detected incidents back to the raw records that triggered them:
+// which remote endpoints, with how many packets. This feeds the spoofing
+// test (§6.1), the AS/geo attribution (Fig 11-15), and Table 3's service
+// inference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/incident.h"
+#include "netflow/window_aggregator.h"
+
+namespace dm::analysis {
+
+/// One remote endpoint's share of an incident's sampled traffic.
+struct RemoteContribution {
+  netflow::IPv4 remote;
+  std::uint64_t packets = 0;
+};
+
+/// True when a record belongs to the traffic class of an attack type (the
+/// same per-type filters the detectors use: pure SYN for SYN floods, UDP
+/// minus DNS responses for UDP floods, destination-port filters for the
+/// application attacks, illegal flags for scans).
+[[nodiscard]] bool record_matches(sim::AttackType type,
+                                  const netflow::FlowRecord& record,
+                                  netflow::Direction direction,
+                                  const netflow::PrefixSet* blacklist) noexcept;
+
+/// All remote endpoints of an incident with their sampled packet counts,
+/// aggregated across the incident's minutes. `blacklist` is required for
+/// TDS incidents (identifies which remotes are TDS hosts).
+[[nodiscard]] std::vector<RemoteContribution> incident_remotes(
+    const netflow::WindowedTrace& trace, const detect::AttackIncident& incident,
+    const netflow::PrefixSet* blacklist = nullptr);
+
+}  // namespace dm::analysis

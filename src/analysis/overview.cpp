@@ -1,0 +1,19 @@
+#include "analysis/overview.h"
+
+namespace dm::analysis {
+
+AttackMix compute_attack_mix(std::span<const detect::AttackIncident> incidents) {
+  AttackMix mix;
+  for (const auto& inc : incidents) {
+    if (inc.direction == netflow::Direction::kInbound) {
+      mix.inbound[sim::index_of(inc.type)] += 1;
+      mix.inbound_total += 1;
+    } else {
+      mix.outbound[sim::index_of(inc.type)] += 1;
+      mix.outbound_total += 1;
+    }
+  }
+  return mix;
+}
+
+}  // namespace dm::analysis

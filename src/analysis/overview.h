@@ -1,0 +1,42 @@
+// Attack overview statistics (paper §3.1, Fig 2): how the detected attacks
+// split across the nine types and two directions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "detect/incident.h"
+
+namespace dm::analysis {
+
+/// Counts and shares of attacks per (type, direction).
+struct AttackMix {
+  std::array<std::uint64_t, sim::kAttackTypeCount> inbound{};
+  std::array<std::uint64_t, sim::kAttackTypeCount> outbound{};
+  std::uint64_t inbound_total = 0;
+  std::uint64_t outbound_total = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return inbound_total + outbound_total;
+  }
+  /// Share of *all* attacks (both directions) — the Fig 2 y-axis.
+  [[nodiscard]] double share(sim::AttackType t, netflow::Direction d) const noexcept {
+    const std::uint64_t n = d == netflow::Direction::kInbound
+                                ? inbound[sim::index_of(t)]
+                                : outbound[sim::index_of(t)];
+    return total() == 0 ? 0.0
+                        : static_cast<double>(n) / static_cast<double>(total());
+  }
+  /// Inbound share of all attacks (§3.1's 35.1% / 64.9% split).
+  [[nodiscard]] double inbound_share() const noexcept {
+    return total() == 0
+               ? 0.0
+               : static_cast<double>(inbound_total) / static_cast<double>(total());
+  }
+};
+
+[[nodiscard]] AttackMix compute_attack_mix(
+    std::span<const detect::AttackIncident> incidents);
+
+}  // namespace dm::analysis

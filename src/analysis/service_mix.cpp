@@ -1,0 +1,162 @@
+#include "analysis/service_mix.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/attribution.h"
+
+namespace dm::analysis {
+
+using cloud::ServiceType;
+using detect::AttackIncident;
+using detect::MinuteDetection;
+using netflow::Direction;
+using netflow::FlowRecord;
+using sim::AttackType;
+
+namespace {
+
+std::size_t reported_index(ServiceType s) noexcept {
+  for (std::size_t i = 0; i < kReportedServiceCount; ++i) {
+    if (kReportedServices[i] == s) return i;
+  }
+  return kReportedServiceCount;  // not reported
+}
+
+}  // namespace
+
+ServiceAttackTable compute_service_attack_table(
+    const netflow::WindowedTrace& trace,
+    std::span<const MinuteDetection> detections,
+    std::span<const AttackIncident> incidents) {
+  // Victim VIPs and the set of inbound attack types each received.
+  std::map<std::uint32_t, std::uint32_t> victim_types;  // vip -> type mask
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != Direction::kInbound) continue;
+    victim_types[inc.vip.value()] |= 1u << sim::index_of(inc.type);
+  }
+
+  // Attack classes active per (vip, minute) — to filter attack traffic out.
+  std::map<std::pair<std::uint32_t, util::Minute>, std::uint32_t> attack_at;
+  for (const MinuteDetection& d : detections) {
+    if (d.direction != Direction::kInbound) continue;
+    attack_at[{d.vip.value(), d.minute}] |= 1u << sim::index_of(d.type);
+  }
+
+  // Legitimate inbound traffic per victim VIP, bucketed by service.
+  struct Tally {
+    std::array<std::uint64_t, kReportedServiceCount> per_service{};
+    std::uint64_t total = 0;
+  };
+  std::map<std::uint32_t, Tally> tallies;
+
+  for (const auto& w : trace.windows()) {
+    if (w.direction != Direction::kInbound) continue;
+    const auto victim = victim_types.find(w.vip.value());
+    if (victim == victim_types.end()) continue;
+    std::uint32_t active_mask = 0;
+    const auto at = attack_at.find({w.vip.value(), w.minute});
+    if (at != attack_at.end()) active_mask = at->second;
+
+    Tally& tally = tallies[w.vip.value()];
+    for (const FlowRecord& r : trace.records_of(w)) {
+      // Drop records that belong to an attack class active this minute.
+      bool is_attack = false;
+      for (std::size_t t = 0; t < sim::kAttackTypeCount && !is_attack; ++t) {
+        if ((active_mask >> t) & 1u) {
+          is_attack = record_matches(sim::kAllAttackTypes[t], r,
+                                     Direction::kInbound, nullptr);
+        }
+      }
+      if (is_attack) continue;
+      tally.total += r.packets;
+      bool known = false;
+      const ServiceType s = cloud::service_for_port(r.protocol, r.dst_port, &known);
+      if (!known) continue;
+      const std::size_t idx = reported_index(s);
+      if (idx < kReportedServiceCount) tally.per_service[idx] += r.packets;
+    }
+  }
+
+  // Apply the 10% rule and cross-tabulate.
+  ServiceAttackTable table;
+  table.victim_vips = victim_types.size();
+  if (table.victim_vips == 0) return table;
+  std::array<std::uint64_t, kReportedServiceCount> hosting{};
+  std::array<std::array<std::uint64_t, sim::kAttackTypeCount>,
+             kReportedServiceCount>
+      cells{};
+
+  for (const auto& [vip, mask] : victim_types) {
+    const auto it = tallies.find(vip);
+    if (it == tallies.end() || it->second.total == 0) continue;
+    const Tally& tally = it->second;
+    for (std::size_t s = 0; s < kReportedServiceCount; ++s) {
+      const double share = static_cast<double>(tally.per_service[s]) /
+                           static_cast<double>(tally.total);
+      if (share < kServiceTrafficShare) continue;
+      hosting[s] += 1;
+      for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+        if ((mask >> t) & 1u) cells[s][t] += 1;
+      }
+    }
+  }
+
+  const double denom = static_cast<double>(table.victim_vips) / 100.0;
+  for (std::size_t s = 0; s < kReportedServiceCount; ++s) {
+    table.hosting_share[s] = static_cast<double>(hosting[s]) / denom;
+    for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+      table.cell[s][t] = static_cast<double>(cells[s][t]) / denom;
+    }
+  }
+  return table;
+}
+
+OutboundAppTargets compute_outbound_app_targets(
+    const netflow::WindowedTrace& trace,
+    std::span<const AttackIncident> incidents) {
+  OutboundAppTargets out;
+  // For each attacking VIP, which application ports its attack traffic hits.
+  std::map<std::uint32_t, std::uint32_t> vip_services;  // vip -> service mask
+  std::set<std::uint32_t> web_vips;
+
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != Direction::kOutbound) continue;
+    const auto series = trace.series(inc.vip, Direction::kOutbound);
+    for (const auto& w : series) {
+      if (w.minute < inc.start) continue;
+      if (w.minute >= inc.end) break;
+      for (const FlowRecord& r : trace.records_of(w)) {
+        if (!record_matches(inc.type, r, Direction::kOutbound, nullptr) &&
+            inc.type != sim::AttackType::kTds) {
+          continue;
+        }
+        bool known = false;
+        const ServiceType s =
+            cloud::service_for_port(r.protocol, r.dst_port, &known);
+        if (!known) continue;
+        const std::size_t idx = reported_index(s);
+        if (idx < kReportedServiceCount) {
+          vip_services[inc.vip.value()] |= 1u << idx;
+          if (s == ServiceType::kHttp || s == ServiceType::kHttps) {
+            web_vips.insert(inc.vip.value());
+          }
+        }
+      }
+    }
+  }
+
+  out.attacking_vips = vip_services.size();
+  for (const auto& [vip, mask] : vip_services) {
+    for (std::size_t s = 0; s < kReportedServiceCount; ++s) {
+      if ((mask >> s) & 1u) out.vips_per_service[s] += 1;
+    }
+  }
+  if (out.attacking_vips > 0) {
+    out.web_share = static_cast<double>(web_vips.size()) /
+                    static_cast<double>(out.attacking_vips);
+  }
+  return out;
+}
+
+}  // namespace dm::analysis

@@ -1,0 +1,60 @@
+// Cloud services under attack (paper §4.4 Table 3) and Internet applications
+// under outbound attack (§6.2 Fig 16).
+//
+// Table 3 methodology: take the VIPs with inbound attacks, remove the attack
+// traffic from their inbound records, infer hosted services from the
+// remaining (legitimate) traffic's destination ports — a service counts when
+// its port carries at least 10% of the VIP's traffic — then cross-tabulate
+// hosted services against the attack types each VIP received.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "cloud/service.h"
+#include "detect/incident.h"
+#include "netflow/window_aggregator.h"
+
+namespace dm::analysis {
+
+/// Services the tables report (Table 3 rows / Fig 16 bars).
+inline constexpr cloud::ServiceType kReportedServices[] = {
+    cloud::ServiceType::kRdp,  cloud::ServiceType::kHttp,
+    cloud::ServiceType::kHttps, cloud::ServiceType::kSsh,
+    cloud::ServiceType::kIpEncap, cloud::ServiceType::kSql,
+    cloud::ServiceType::kSmtp,
+};
+inline constexpr std::size_t kReportedServiceCount = std::size(kReportedServices);
+
+/// Table 3: all cells in percent of total victim VIPs.
+struct ServiceAttackTable {
+  std::uint64_t victim_vips = 0;
+  /// share[s] = % of victim VIPs hosting service s (the "Total" column).
+  std::array<double, kReportedServiceCount> hosting_share{};
+  /// cell[s][t] = % of victim VIPs hosting service s that received attack t.
+  std::array<std::array<double, sim::kAttackTypeCount>, kReportedServiceCount>
+      cell{};
+};
+
+/// The >= 10% traffic-share rule of §4.4.
+inline constexpr double kServiceTrafficShare = 0.10;
+
+[[nodiscard]] ServiceAttackTable compute_service_attack_table(
+    const netflow::WindowedTrace& trace,
+    std::span<const detect::MinuteDetection> detections,
+    std::span<const detect::AttackIncident> incidents);
+
+/// Fig 16: number of VIPs whose outbound attacks target each application.
+struct OutboundAppTargets {
+  std::array<std::uint64_t, kReportedServiceCount> vips_per_service{};
+  std::uint64_t attacking_vips = 0;
+  /// §6.2: share of attacking VIPs targeting web (HTTP or HTTPS) — 64.5%.
+  double web_share = 0.0;
+};
+
+[[nodiscard]] OutboundAppTargets compute_outbound_app_targets(
+    const netflow::WindowedTrace& trace,
+    std::span<const detect::AttackIncident> incidents);
+
+}  // namespace dm::analysis

@@ -1,0 +1,59 @@
+// Attack-signature extraction (paper §4.1: "Understanding the VIPs under
+// frequent attacks is important for operators to extract the right attack
+// signatures (e.g., popular attack sources) to protect these VIPs from
+// future attacks").
+//
+// Given a VIP's detected incidents and the trace, extract the concrete
+// filtering rules its history supports: repeat source addresses, dominant
+// source ports (the juno fingerprint), dominant protocols/target ports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <span>
+#include <vector>
+
+#include "analysis/attribution.h"
+#include "detect/incident.h"
+#include "netflow/window_aggregator.h"
+
+namespace dm::analysis {
+
+/// One extracted filtering rule for a VIP.
+struct SignatureRule {
+  enum class Kind : std::uint8_t {
+    kBlockSource,      ///< a source address seen across repeat attacks
+    kBlockSourcePort,  ///< a fixed attack source port (e.g. juno's 1024/3072)
+    kRateLimitPort,    ///< a destination port drawing repeated floods
+  };
+  Kind kind = Kind::kBlockSource;
+  netflow::IPv4 source;        ///< kBlockSource
+  std::uint16_t port = 0;      ///< kBlockSourcePort / kRateLimitPort
+  /// Incidents this rule would have touched.
+  std::uint32_t incidents = 0;
+  /// Share of the VIP's attack packets the rule covers.
+  double packet_share = 0.0;
+};
+
+struct SignatureConfig {
+  /// A source must appear in at least this many distinct incidents.
+  std::uint32_t min_incidents = 2;
+  /// ... or carry at least this share of the VIP's attack packets.
+  double min_packet_share = 0.10;
+  /// Maximum number of block-source rules to emit (ACL budget).
+  std::size_t max_source_rules = 32;
+  /// A source port is "fixed" when it carries this share of flood packets.
+  double fixed_port_share = 0.30;
+};
+
+/// Extracts rules for one VIP from its inbound incidents. Incidents of other
+/// VIPs in the span are ignored.
+[[nodiscard]] std::vector<SignatureRule> extract_signatures(
+    const netflow::WindowedTrace& trace,
+    std::span<const detect::AttackIncident> incidents, netflow::IPv4 vip,
+    const SignatureConfig& config = {},
+    const netflow::PrefixSet* blacklist = nullptr);
+
+[[nodiscard]] std::string to_string(const SignatureRule& rule);
+
+}  // namespace dm::analysis

@@ -1,0 +1,68 @@
+#include "analysis/throughput.h"
+
+#include <map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dm::analysis {
+
+using detect::AttackIncident;
+using detect::MinuteDetection;
+using netflow::Direction;
+
+AggregateThroughput compute_aggregate_throughput(
+    std::span<const MinuteDetection> detections, Direction direction,
+    std::uint32_t sampling) {
+  AggregateThroughput out;
+  out.direction = direction;
+
+  // minute -> sampled packets per type (summed over VIPs).
+  std::map<util::Minute, std::array<std::uint64_t, sim::kAttackTypeCount>> per_minute;
+  for (const MinuteDetection& d : detections) {
+    if (d.direction != direction) continue;
+    per_minute[d.minute][sim::index_of(d.type)] += d.sampled_packets;
+  }
+
+  const double scale = static_cast<double>(sampling) / 60.0;
+  std::array<std::vector<double>, sim::kAttackTypeCount> series;
+  std::vector<double> overall;
+  overall.reserve(per_minute.size());
+  for (const auto& [minute, counts] : per_minute) {
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+      if (counts[t] > 0) {
+        series[t].push_back(static_cast<double>(counts[t]) * scale);
+        total += counts[t];
+      }
+    }
+    overall.push_back(static_cast<double>(total) * scale);
+  }
+
+  for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+    const auto s = util::summarize(series[t]);
+    out.by_type[t] = {s.p50, s.max, s.count};
+  }
+  const auto s = util::summarize(overall);
+  out.overall = {s.p50, s.max, s.count};
+  return out;
+}
+
+PerVipThroughput compute_per_vip_throughput(
+    std::span<const AttackIncident> incidents, Direction direction,
+    std::uint32_t sampling) {
+  PerVipThroughput out;
+  out.direction = direction;
+  std::array<std::vector<double>, sim::kAttackTypeCount> peaks;
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != direction) continue;
+    peaks[sim::index_of(inc.type)].push_back(inc.estimated_peak_pps(sampling));
+  }
+  for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+    const auto s = util::summarize(peaks[t]);
+    out.by_type[t] = {s.p50, s.max, s.count};
+  }
+  return out;
+}
+
+}  // namespace dm::analysis

@@ -1,0 +1,109 @@
+#include "analysis/timing.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dm::analysis {
+
+using detect::AttackIncident;
+using netflow::Direction;
+
+namespace {
+
+TimingStat stat_of(std::vector<double>& xs) {
+  if (xs.empty()) return {};
+  std::sort(xs.begin(), xs.end());
+  return {util::quantile_sorted(xs, 0.5), util::quantile_sorted(xs, 0.99),
+          xs.size()};
+}
+
+/// Inter-arrival samples per type: gaps between consecutive incident starts
+/// on the same VIP.
+std::array<std::vector<double>, sim::kAttackTypeCount> interarrival_samples(
+    std::span<const AttackIncident> incidents, Direction direction) {
+  std::map<std::pair<int, std::uint32_t>, std::vector<util::Minute>> starts;
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != direction) continue;
+    starts[{static_cast<int>(inc.type), inc.vip.value()}].push_back(inc.start);
+  }
+  std::array<std::vector<double>, sim::kAttackTypeCount> out;
+  for (auto& [key, times] : starts) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      out[static_cast<std::size_t>(key.first)].push_back(
+          static_cast<double>(times[i] - times[i - 1]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TimingResult compute_timing(std::span<const AttackIncident> incidents,
+                            Direction direction) {
+  TimingResult out;
+  out.direction = direction;
+
+  std::array<std::vector<double>, sim::kAttackTypeCount> durations;
+  std::array<std::vector<double>, sim::kAttackTypeCount> ramps;
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != direction) continue;
+    const std::size_t t = sim::index_of(inc.type);
+    durations[t].push_back(static_cast<double>(inc.duration()));
+    if (sim::is_volume_based(inc.type)) {
+      ramps[t].push_back(static_cast<double>(inc.ramp_up_minutes));
+    }
+  }
+  auto gaps = interarrival_samples(incidents, direction);
+
+  for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+    out.duration[t] = stat_of(durations[t]);
+    out.interarrival[t] = stat_of(gaps[t]);
+    out.ramp_up[t] = stat_of(ramps[t]);
+  }
+  return out;
+}
+
+BimodalDecomposition decompose_bimodal(std::span<const AttackIncident> incidents,
+                                       sim::AttackType type, Direction direction,
+                                       std::uint32_t sampling, double split_pps) {
+  // Assemble (peak, inter-arrival-to-next) per incident, keyed by VIP order.
+  std::map<std::uint32_t, std::vector<const AttackIncident*>> by_vip;
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != direction || inc.type != type) continue;
+    by_vip[inc.vip.value()].push_back(&inc);
+  }
+
+  std::vector<double> small_peaks, small_gaps, large_peaks, large_gaps;
+  for (auto& [vip, list] : by_vip) {
+    std::sort(list.begin(), list.end(),
+              [](const AttackIncident* a, const AttackIncident* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const double peak = list[i]->estimated_peak_pps(sampling);
+      const bool small = peak < split_pps;
+      (small ? small_peaks : large_peaks).push_back(peak);
+      if (i + 1 < list.size()) {
+        const double gap = static_cast<double>(list[i + 1]->start - list[i]->start);
+        (small ? small_gaps : large_gaps).push_back(gap);
+      }
+    }
+  }
+
+  BimodalDecomposition d;
+  const double total = static_cast<double>(small_peaks.size() + large_peaks.size());
+  if (total == 0) return d;
+  d.small_fraction = static_cast<double>(small_peaks.size()) / total;
+  d.large_fraction = static_cast<double>(large_peaks.size()) / total;
+  d.small_median_peak_pps = util::median(small_peaks);
+  d.large_median_peak_pps = util::median(large_peaks);
+  d.small_median_interarrival = util::median(small_gaps);
+  d.large_median_interarrival = util::median(large_gaps);
+  return d;
+}
+
+}  // namespace dm::analysis

@@ -1,0 +1,51 @@
+// Attack timing characterization (paper §5.2, Fig 9 and Fig 10): duration,
+// ramp-up, and inter-arrival distributions per attack type, plus the UDP
+// flood bimodality decomposition.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "detect/incident.h"
+#include "util/cdf.h"
+
+namespace dm::analysis {
+
+struct TimingStat {
+  double median = 0.0;
+  double p99 = 0.0;
+  std::uint64_t samples = 0;
+};
+
+struct TimingResult {
+  netflow::Direction direction = netflow::Direction::kInbound;
+  /// Fig 9: duration in minutes per type.
+  std::array<TimingStat, sim::kAttackTypeCount> duration{};
+  /// Fig 10: inter-arrival minutes (start-to-start on the same VIP) per type.
+  std::array<TimingStat, sim::kAttackTypeCount> interarrival{};
+  /// §5.2: ramp-up minutes of volume-based attacks.
+  std::array<TimingStat, sim::kAttackTypeCount> ramp_up{};
+};
+
+[[nodiscard]] TimingResult compute_timing(
+    std::span<const detect::AttackIncident> incidents,
+    netflow::Direction direction);
+
+/// The §5.2 UDP decomposition: split a type's incidents into a small-peak
+/// and a large-peak population at `split_pps` and report each population's
+/// median peak and median inter-arrival.
+struct BimodalDecomposition {
+  double small_fraction = 0.0;
+  double small_median_peak_pps = 0.0;
+  double small_median_interarrival = 0.0;
+  double large_fraction = 0.0;
+  double large_median_peak_pps = 0.0;
+  double large_median_interarrival = 0.0;
+};
+
+[[nodiscard]] BimodalDecomposition decompose_bimodal(
+    std::span<const detect::AttackIncident> incidents, sim::AttackType type,
+    netflow::Direction direction, std::uint32_t sampling,
+    double split_pps = 50'000.0);
+
+}  // namespace dm::analysis

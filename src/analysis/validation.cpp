@@ -1,0 +1,185 @@
+#include "analysis/validation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dm::analysis {
+
+using detect::AttackIncident;
+using netflow::Direction;
+using sim::AttackEpisode;
+using sim::AttackType;
+
+namespace {
+
+/// Attack types the hardware appliances understand (§3.2: "TCP SYN floods,
+/// UDP floods, ICMP floods, and TCP NULL scan").
+bool appliance_covers(const AttackEpisode& e) noexcept {
+  if (e.direction != Direction::kInbound) return false;
+  if (sim::is_flood(e.type)) return true;
+  return e.type == AttackType::kPortScan &&
+         e.scan_kind == sim::PortScanKind::kNull;
+}
+
+}  // namespace
+
+std::vector<ApplianceAlert> simulate_appliance_alerts(
+    const sim::GroundTruth& truth, const ValidationConfig& config,
+    util::Rng& rng) {
+  // Qualifying episodes grouped per (vip, type); nearby ones merge into one
+  // alert, mirroring the appliances' aggregation.
+  std::map<std::pair<std::uint32_t, int>, std::vector<const AttackEpisode*>>
+      grouped;
+  for (const AttackEpisode& e : truth.episodes) {
+    if (!appliance_covers(e)) continue;
+    if (e.peak_true_pps < config.appliance_min_pps) continue;
+    grouped[{e.vip.value(), static_cast<int>(e.type)}].push_back(&e);
+  }
+
+  std::vector<ApplianceAlert> alerts;
+  for (auto& [key, episodes] : grouped) {
+    std::sort(episodes.begin(), episodes.end(),
+              [](const AttackEpisode* a, const AttackEpisode* b) {
+                return a->start < b->start;
+              });
+    ApplianceAlert open;
+    bool has_open = false;
+    for (const AttackEpisode* e : episodes) {
+      if (has_open && e->start <= open.end + config.appliance_merge_window) {
+        open.end = std::max(open.end, e->end);
+        continue;
+      }
+      if (has_open) alerts.push_back(open);
+      open.vip = e->vip;
+      open.type = e->type;
+      open.start = e->start;
+      open.end = e->end;
+      open.false_positive = false;
+      has_open = true;
+    }
+    if (has_open) alerts.push_back(open);
+  }
+
+  // False positives: alerts on traffic that was never an attack. They can
+  // never match a detection, which is one of the paper's two stated causes
+  // of imperfect coverage.
+  const auto fp_count = static_cast<std::size_t>(
+      static_cast<double>(alerts.size()) * config.appliance_false_positive_rate);
+  const std::size_t real = alerts.size();
+  for (std::size_t i = 0; i < fp_count && real > 0; ++i) {
+    ApplianceAlert fp = alerts[rng.below(real)];
+    fp.false_positive = true;
+    // Shift far from any matching detection window.
+    fp.start += 7 * util::kMinutesPerDay + static_cast<util::Minute>(rng.below(1000));
+    fp.end = fp.start + 5;
+    alerts.push_back(fp);
+  }
+  return alerts;
+}
+
+std::vector<IncidentReport> simulate_incident_reports(
+    const sim::GroundTruth& truth, const ValidationConfig& config,
+    util::Rng& rng) {
+  std::vector<IncidentReport> reports;
+  for (const AttackEpisode& e : truth.episodes) {
+    if (e.direction != Direction::kOutbound) continue;
+    if (!rng.chance(config.report_probability[sim::index_of(e.type)])) continue;
+    IncidentReport r;
+    r.vip = e.vip;
+    r.kind = ReportKind::kNetFlowType;
+    r.type = e.type;
+    r.start = e.start;
+    r.end = e.end;
+    r.labeled_attack = !rng.chance(config.mislabel_rate);
+    reports.push_back(r);
+  }
+  // Application-level incidents with no NetFlow signature.
+  for (std::uint32_t i = 0; i < config.other_reports; ++i) {
+    IncidentReport r;
+    r.vip = netflow::IPv4(0);  // synthetic: tenant identified out of band
+    r.kind = ReportKind::kOther;
+    r.start = static_cast<util::Minute>(rng.below(10'000));
+    r.end = r.start + 60;
+    reports.push_back(r);
+  }
+  for (std::uint32_t i = 0; i < config.ftp_brute_force_reports; ++i) {
+    IncidentReport r;
+    r.vip = netflow::IPv4(1);
+    r.kind = ReportKind::kFtpBruteForce;
+    r.start = static_cast<util::Minute>(rng.below(10'000));
+    r.end = r.start + 120;
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+ValidationResult validate(std::span<const AttackIncident> detected,
+                          std::span<const ApplianceAlert> alerts,
+                          std::span<const IncidentReport> reports,
+                          const ValidationConfig& config) {
+  ValidationResult out;
+
+  // Index detections by (vip, type, direction) for interval matching.
+  std::map<std::tuple<std::uint32_t, int, int>, std::vector<const AttackIncident*>>
+      index;
+  for (const AttackIncident& inc : detected) {
+    index[{inc.vip.value(), static_cast<int>(inc.type),
+           static_cast<int>(inc.direction)}]
+        .push_back(&inc);
+  }
+  const auto overlaps = [&](const AttackIncident& inc, util::Minute start,
+                            util::Minute end) {
+    return inc.start <= end + config.match_slack &&
+           start <= inc.end + config.match_slack;
+  };
+  const auto has_match = [&](netflow::IPv4 vip, AttackType type, Direction dir,
+                             util::Minute start, util::Minute end) {
+    const auto it = index.find(
+        {vip.value(), static_cast<int>(type), static_cast<int>(dir)});
+    if (it == index.end()) return false;
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [&](const AttackIncident* inc) {
+                         return overlaps(*inc, start, end);
+                       });
+  };
+
+  for (const ApplianceAlert& a : alerts) {
+    auto& row = out.inbound[sim::index_of(a.type)];
+    row.total += 1;
+    if (!a.false_positive &&
+        has_match(a.vip, a.type, Direction::kInbound, a.start, a.end)) {
+      row.matched += 1;
+    }
+  }
+  for (const IncidentReport& r : reports) {
+    if (r.kind != ReportKind::kNetFlowType) {
+      out.outbound_other.total += 1;
+      continue;  // no NetFlow signature, never matched (paper exception 1/2)
+    }
+    auto& row = out.outbound[sim::index_of(r.type)];
+    row.total += 1;
+    if (has_match(r.vip, r.type, Direction::kOutbound, r.start, r.end)) {
+      row.matched += 1;
+    }
+  }
+
+  std::uint64_t in_total = 0, in_matched = 0, out_total = 0, out_matched = 0;
+  for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+    in_total += out.inbound[t].total;
+    in_matched += out.inbound[t].matched;
+    out_total += out.outbound[t].total;
+    out_matched += out.outbound[t].matched;
+  }
+  out_total += out.outbound_other.total;
+  if (in_total > 0) {
+    out.inbound_coverage =
+        static_cast<double>(in_matched) / static_cast<double>(in_total);
+  }
+  if (out_total > 0) {
+    out.outbound_coverage =
+        static_cast<double>(out_matched) / static_cast<double>(out_total);
+  }
+  return out;
+}
+
+}  // namespace dm::analysis

@@ -1,0 +1,71 @@
+#include "analysis/vip_frequency.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dm::analysis {
+
+using detect::AttackIncident;
+using netflow::Direction;
+
+VipFrequency compute_vip_frequency(std::span<const AttackIncident> incidents,
+                                   Direction direction,
+                                   std::uint32_t frequent_threshold) {
+  VipFrequency out;
+  out.direction = direction;
+
+  // Count incidents per (VIP, start-day). An incident belongs to the day it
+  // starts on.
+  std::map<std::pair<std::uint32_t, std::int64_t>, std::uint32_t> counts;
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != direction) continue;
+    counts[{inc.vip.value(), util::day_of(inc.start)}] += 1;
+  }
+
+  std::uint64_t singles = 0;
+  std::uint64_t frequent_pairs = 0;
+  for (const auto& [key, n] : counts) {
+    out.pairs.push_back({netflow::IPv4(key.first), key.second, n});
+    out.attacks_per_day.add(static_cast<double>(n));
+    out.max_attacks_per_day = std::max(out.max_attacks_per_day, n);
+    if (n == 1) ++singles;
+    if (n > frequent_threshold) ++frequent_pairs;
+  }
+  if (!counts.empty()) {
+    out.single_attack_fraction =
+        static_cast<double>(singles) / static_cast<double>(counts.size());
+    out.frequent_fraction =
+        static_cast<double>(frequent_pairs) / static_cast<double>(counts.size());
+  }
+
+  // Fig 3b/3c: split the attack mix by whether the incident's (VIP, day)
+  // pair is occasional or frequent.
+  std::array<std::uint64_t, sim::kAttackTypeCount> occ{};
+  std::array<std::uint64_t, sim::kAttackTypeCount> freq{};
+  std::uint64_t occ_total = 0;
+  std::uint64_t freq_total = 0;
+  for (const AttackIncident& inc : incidents) {
+    if (inc.direction != direction) continue;
+    const auto it = counts.find({inc.vip.value(), util::day_of(inc.start)});
+    if (it == counts.end()) continue;
+    if (it->second > frequent_threshold) {
+      freq[sim::index_of(inc.type)] += 1;
+      ++freq_total;
+    } else {
+      occ[sim::index_of(inc.type)] += 1;
+      ++occ_total;
+    }
+  }
+  // Both mixes are normalized by the direction's total attacks — matching
+  // the paper's "percentage of attacks over total inbound attacks" axis.
+  const double total = static_cast<double>(occ_total + freq_total);
+  if (total > 0) {
+    for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+      out.occasional_mix[t] = static_cast<double>(occ[t]) / total;
+      out.frequent_mix[t] = static_cast<double>(freq[t]) / total;
+    }
+  }
+  return out;
+}
+
+}  // namespace dm::analysis

@@ -1,0 +1,51 @@
+// Per-VIP attack frequency (paper §4.1, Fig 3).
+//
+// Counts attacks per (VIP, day) pair, builds the Fig 3a CDF, and splits the
+// attack mix between VIPs with occasional (<= threshold attacks/day) and
+// frequent (> threshold) attacks for Fig 3b/3c.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "detect/incident.h"
+#include "util/cdf.h"
+
+namespace dm::analysis {
+
+/// One (VIP, day) pair's attack count.
+struct VipDayCount {
+  netflow::IPv4 vip;
+  std::int64_t day = 0;
+  std::uint32_t attacks = 0;
+};
+
+/// Fig 3 statistics for one direction.
+struct VipFrequency {
+  netflow::Direction direction = netflow::Direction::kInbound;
+  std::vector<VipDayCount> pairs;     ///< every (VIP, day) with >= 1 attack
+  util::EmpiricalCdf attacks_per_day; ///< the Fig 3a curve
+
+  /// Fraction of pairs with exactly one attack (§4.1: 53% in / 44% out).
+  double single_attack_fraction = 0.0;
+  /// Fraction of pairs with more than `frequent_threshold` attacks.
+  double frequent_fraction = 0.0;
+  std::uint32_t max_attacks_per_day = 0;
+
+  /// Attack-type shares among incidents on occasional vs frequent VIPs
+  /// (Fig 3b/3c): each array sums to ~1 over types.
+  std::array<double, sim::kAttackTypeCount> occasional_mix{};
+  std::array<double, sim::kAttackTypeCount> frequent_mix{};
+};
+
+/// The paper's frequent-VIP threshold: "more than 10 attacks per day".
+inline constexpr std::uint32_t kFrequentThreshold = 10;
+
+[[nodiscard]] VipFrequency compute_vip_frequency(
+    std::span<const detect::AttackIncident> incidents,
+    netflow::Direction direction,
+    std::uint32_t frequent_threshold = kFrequentThreshold);
+
+}  // namespace dm::analysis

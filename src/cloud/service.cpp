@@ -1,0 +1,82 @@
+#include "cloud/service.h"
+
+namespace dm::cloud {
+
+using netflow::Protocol;
+namespace ports = netflow::ports;
+
+std::string_view to_string(ServiceType s) noexcept {
+  switch (s) {
+    case ServiceType::kHttp: return "HTTP";
+    case ServiceType::kHttps: return "HTTPS";
+    case ServiceType::kRdp: return "RDP";
+    case ServiceType::kSsh: return "SSH";
+    case ServiceType::kVnc: return "VNC";
+    case ServiceType::kSql: return "SQL";
+    case ServiceType::kSmtp: return "SMTP";
+    case ServiceType::kMedia: return "Media";
+    case ServiceType::kDns: return "DNS";
+    case ServiceType::kIpEncap: return "IPEncap";
+  }
+  return "?";
+}
+
+const ServiceProfile& profile_of(ServiceType s) noexcept {
+  // Rates are true (unsampled) per-minute volumes at unit popularity. Web
+  // dominates by orders of magnitude ("99% of the total traffic", §4.4);
+  // admin services see a handful of clients ("a single VIP typically
+  // connects to only a few Internet hosts", §2.2).
+  static const ServiceProfile kProfiles[] = {
+      {ServiceType::kHttp, Protocol::kTcp, {ports::kHttp, ports::kHttpAlt}, 2,
+       60'000.0, 220.0, 700.0, 2.2},
+      {ServiceType::kHttps, Protocol::kTcp, {ports::kHttps, 0}, 1,
+       35'000.0, 140.0, 750.0, 2.4},
+      {ServiceType::kRdp, Protocol::kTcp, {ports::kRdp, 0}, 1,
+       1'400.0, 1.6, 420.0, 0.9},
+      {ServiceType::kSsh, Protocol::kTcp, {ports::kSsh, 0}, 1,
+       700.0, 1.3, 180.0, 0.8},
+      {ServiceType::kVnc, Protocol::kTcp, {ports::kVnc, 0}, 1,
+       600.0, 1.2, 400.0, 0.9},
+      {ServiceType::kSql, Protocol::kTcp, {ports::kSqlServer, ports::kMySql}, 2,
+       2'200.0, 2.4, 350.0, 1.4},
+      {ServiceType::kSmtp, Protocol::kTcp, {ports::kSmtp, 0}, 1,
+       1'800.0, 7.0, 600.0, 0.5},
+      {ServiceType::kMedia, Protocol::kUdp, {1935, 554}, 2,
+       180'000.0, 90.0, 1200.0, 0.04},
+      {ServiceType::kDns, Protocol::kUdp, {ports::kDns, 0}, 1,
+       9'000.0, 60.0, 120.0, 1.0},
+      {ServiceType::kIpEncap, Protocol::kIpEncap, {0, 0}, 1,
+       8'000.0, 3.0, 900.0, 1.0},
+  };
+  return kProfiles[static_cast<std::size_t>(s)];
+}
+
+ServiceType service_for_port(Protocol protocol, std::uint16_t port,
+                             bool* known) noexcept {
+  if (known != nullptr) *known = true;
+  if (protocol == Protocol::kIpEncap) return ServiceType::kIpEncap;
+  if (protocol == Protocol::kUdp) {
+    if (port == ports::kDns) return ServiceType::kDns;
+    if (port == 1935 || port == 554) return ServiceType::kMedia;
+    if (port == ports::kHttp || port == ports::kHttpAlt) return ServiceType::kHttp;
+    if (known != nullptr) *known = false;
+    return ServiceType::kMedia;
+  }
+  switch (port) {
+    case ports::kHttp:
+    case ports::kHttpAlt: return ServiceType::kHttp;
+    case ports::kHttps: return ServiceType::kHttps;
+    case ports::kRdp: return ServiceType::kRdp;
+    case ports::kSsh: return ServiceType::kSsh;
+    case ports::kVnc: return ServiceType::kVnc;
+    case ports::kSqlServer:
+    case ports::kMySql: return ServiceType::kSql;
+    case ports::kSmtp: return ServiceType::kSmtp;
+    case ports::kDns: return ServiceType::kDns;
+    default:
+      if (known != nullptr) *known = false;
+      return ServiceType::kHttp;
+  }
+}
+
+}  // namespace dm::cloud

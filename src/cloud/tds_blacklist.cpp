@@ -1,0 +1,55 @@
+#include "cloud/tds_blacklist.h"
+
+#include <algorithm>
+
+namespace dm::cloud {
+
+using netflow::IPv4;
+using netflow::Prefix;
+
+TdsBlacklist::TdsBlacklist(const TdsBlacklistConfig& config,
+                           const AsRegistry& registry, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x7d5'7d5'7d5ULL);
+  hosts_.reserve(config.host_count);
+
+  const double weights[] = {config.small_cloud_weight, config.customer_weight,
+                            config.small_isp_weight};
+  const AsClass classes[] = {AsClass::kSmallCloud, AsClass::kCustomer,
+                             AsClass::kSmallIsp};
+
+  std::vector<IPv4> seen;  // dedup via sorted insert at the end
+  for (std::uint32_t i = 0; i < config.host_count; ++i) {
+    IPv4 host;
+    if (rng.chance(config.big_cloud_fraction)) {
+      host = registry.host_in_class(AsClass::kBigCloud, rng);
+      big_cloud_hosts_.push_back(host);
+    } else {
+      const AsClass cls = classes[rng.weighted_index(weights)];
+      host = registry.host_in_class(cls, rng);
+    }
+    hosts_.push_back(host);
+  }
+
+  std::sort(hosts_.begin(), hosts_.end());
+  hosts_.erase(std::unique(hosts_.begin(), hosts_.end()), hosts_.end());
+  for (IPv4 host : hosts_) set_.add(Prefix(host, 32));
+
+  // Guarantee at least one big-cloud host so the Fig 12 concentration is
+  // always reproducible.
+  if (big_cloud_hosts_.empty()) {
+    const IPv4 host = registry.host_in_class(AsClass::kBigCloud, rng);
+    big_cloud_hosts_.push_back(host);
+    if (!set_.contains(host)) {
+      hosts_.push_back(host);
+      set_.add(Prefix(host, 32));
+    }
+  }
+}
+
+IPv4 TdsBlacklist::random_big_cloud_host(util::Rng& rng) const noexcept {
+  if (big_cloud_hosts_.empty()) return random_host(rng);
+  return big_cloud_hosts_[static_cast<std::size_t>(
+      rng.below(big_cloud_hosts_.size()))];
+}
+
+}  // namespace dm::cloud

@@ -1,0 +1,74 @@
+// Traffic Distribution System (TDS) blacklist.
+//
+// Substitutes for the dedicated-malicious-host list of Li et al. [37] that
+// the paper's communication-pattern detector consumes (§2.2): a synthetic
+// set of Internet hosts that deliver malicious web content. Per §3.1, TDS
+// hosts "often use source ports uniformly distributed between 1024 and
+// 5000", and big clouds contribute 35% of TDS attacks with only 0.21% of
+// TDS IPs — the generator reproduces both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cloud/as_registry.h"
+#include "netflow/ipv4.h"
+#include "util/rng.h"
+
+namespace dm::cloud {
+
+/// Parameters for synthesizing the blacklist.
+struct TdsBlacklistConfig {
+  std::uint32_t host_count = 3000;
+  /// Fraction of TDS hosts living in big-cloud address space (§6.1: 0.21%).
+  double big_cloud_fraction = 0.0021;
+  /// Remaining hosts are spread over these classes with the given weights.
+  double small_cloud_weight = 0.45;
+  double customer_weight = 0.30;
+  double small_isp_weight = 0.25;
+};
+
+/// An immutable set of TDS host addresses with fast membership and
+/// uniform sampling.
+class TdsBlacklist {
+ public:
+  /// Synthesizes `config.host_count` hosts from the registry's address space.
+  TdsBlacklist(const TdsBlacklistConfig& config, const AsRegistry& registry,
+               std::uint64_t seed);
+
+  [[nodiscard]] bool contains(netflow::IPv4 ip) const noexcept {
+    return set_.contains(ip);
+  }
+
+  [[nodiscard]] std::span<const netflow::IPv4> hosts() const noexcept {
+    return hosts_;
+  }
+
+  /// Uniformly random TDS host.
+  [[nodiscard]] netflow::IPv4 random_host(util::Rng& rng) const noexcept {
+    return hosts_[static_cast<std::size_t>(rng.below(hosts_.size()))];
+  }
+
+  /// Random TDS host hosted in big-cloud space (used to reproduce the
+  /// "35% of TDS attacks from big clouds" concentration). Falls back to any
+  /// host when none exists.
+  [[nodiscard]] netflow::IPv4 random_big_cloud_host(util::Rng& rng) const noexcept;
+
+  /// Prefix-set view (each host as a /32) for the window aggregator.
+  [[nodiscard]] const netflow::PrefixSet& as_prefix_set() const noexcept {
+    return set_;
+  }
+
+  /// The TDS source-port range the paper reports (1024-5000).
+  [[nodiscard]] static std::uint16_t random_tds_port(util::Rng& rng) noexcept {
+    return static_cast<std::uint16_t>(1024 + rng.below(5000 - 1024 + 1));
+  }
+
+ private:
+  std::vector<netflow::IPv4> hosts_;
+  std::vector<netflow::IPv4> big_cloud_hosts_;
+  netflow::PrefixSet set_;
+};
+
+}  // namespace dm::cloud

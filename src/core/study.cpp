@@ -1,0 +1,18 @@
+#include "core/study.h"
+
+namespace dm::core {
+
+Study::Study(sim::ScenarioConfig config, detect::DetectionConfig detection,
+             detect::TimeoutTable timeouts)
+    : scenario_(std::move(config)) {
+  sim::TraceResult result = sim::generate_trace(scenario_);
+  truth_ = std::move(result.truth);
+  record_count_ = result.records.size();
+  windowed_ = netflow::aggregate_windows(std::move(result.records),
+                                         scenario_.vips().cloud_space(),
+                                         &scenario_.tds().as_prefix_set());
+  const detect::DetectionPipeline pipeline(detection, timeouts);
+  detection_ = pipeline.run(windowed_);
+}
+
+}  // namespace dm::core

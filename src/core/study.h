@@ -1,0 +1,56 @@
+// The top-level study orchestrator: the public entry point a downstream
+// user calls to reproduce the paper end-to-end.
+//
+//   dm::core::Study study(dm::sim::ScenarioConfig::paper_scale());
+//   const auto& incidents = study.detection().incidents;
+//
+// A Study owns the simulated world, the generated trace, the windowed
+// aggregation, and the detection result; the analysis functions in
+// dm::analysis consume its parts to regenerate each paper exhibit.
+#pragma once
+
+#include <memory>
+
+#include "detect/pipeline.h"
+#include "netflow/window_aggregator.h"
+#include "sim/trace_generator.h"
+
+namespace dm::core {
+
+class Study {
+ public:
+  /// Builds the world, generates the trace, aggregates it, and runs the
+  /// detection pipeline. Deterministic for a given config.
+  explicit Study(sim::ScenarioConfig config,
+                 detect::DetectionConfig detection = {},
+                 detect::TimeoutTable timeouts = detect::TimeoutTable::paper());
+
+  [[nodiscard]] const sim::Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const sim::GroundTruth& truth() const noexcept { return truth_; }
+  [[nodiscard]] const netflow::WindowedTrace& trace() const noexcept {
+    return windowed_;
+  }
+  [[nodiscard]] const detect::DetectionResult& detection() const noexcept {
+    return detection_;
+  }
+  [[nodiscard]] std::uint32_t sampling() const noexcept {
+    return scenario_.config().sampling;
+  }
+  /// TDS blacklist as a prefix set (needed by attribution helpers).
+  [[nodiscard]] const netflow::PrefixSet& blacklist() const noexcept {
+    return scenario_.tds().as_prefix_set();
+  }
+  /// Total sampled records the trace contained before aggregation.
+  [[nodiscard]] std::uint64_t record_count() const noexcept {
+    return record_count_;
+  }
+
+ private:
+  sim::Scenario scenario_;
+  sim::GroundTruth truth_;
+  netflow::WindowedTrace windowed_;
+  detect::DetectionResult detection_;
+  std::uint64_t record_count_ = 0;
+};
+
+}  // namespace dm::core

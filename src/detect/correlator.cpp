@@ -1,0 +1,146 @@
+#include "detect/correlator.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace dm::detect {
+
+using netflow::Direction;
+using netflow::IPv4;
+using sim::AttackType;
+
+std::vector<MultiVectorEvent> find_multi_vector(
+    std::span<const AttackIncident> incidents) {
+  // Order incident indices by (vip, direction, start).
+  std::vector<std::uint32_t> order(incidents.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto& x = incidents[a];
+    const auto& y = incidents[b];
+    return std::make_tuple(x.vip.value(), static_cast<int>(x.direction), x.start) <
+           std::make_tuple(y.vip.value(), static_cast<int>(y.direction), y.start);
+  });
+
+  std::vector<MultiVectorEvent> events;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const AttackIncident& head = incidents[order[i]];
+    // Greedy cluster: everything on the same (vip, direction) starting
+    // within the window of the cluster head.
+    std::size_t j = i + 1;
+    MultiVectorEvent event;
+    event.vip = head.vip;
+    event.direction = head.direction;
+    event.start = head.start;
+    event.incident_indices.push_back(order[i]);
+    event.type_mask = 1u << sim::index_of(head.type);
+    while (j < order.size()) {
+      const AttackIncident& next = incidents[order[j]];
+      if (next.vip != head.vip || next.direction != head.direction ||
+          next.start - head.start >= kCorrelationWindow) {
+        break;
+      }
+      event.incident_indices.push_back(order[j]);
+      event.type_mask |= 1u << sim::index_of(next.type);
+      ++j;
+    }
+    if (event.type_count() >= 2) events.push_back(std::move(event));
+    i = j;
+  }
+  return events;
+}
+
+std::vector<MultiVipEvent> find_multi_vip(
+    std::span<const AttackIncident> incidents) {
+  std::vector<std::uint32_t> order(incidents.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto& x = incidents[a];
+    const auto& y = incidents[b];
+    return std::make_tuple(static_cast<int>(x.type), static_cast<int>(x.direction),
+                           x.start, x.vip.value()) <
+           std::make_tuple(static_cast<int>(y.type), static_cast<int>(y.direction),
+                           y.start, y.vip.value());
+  });
+
+  std::vector<MultiVipEvent> events;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const AttackIncident& head = incidents[order[i]];
+    std::size_t j = i + 1;
+    MultiVipEvent event;
+    event.type = head.type;
+    event.direction = head.direction;
+    event.start = head.start;
+    event.incident_indices.push_back(order[i]);
+    std::vector<std::uint32_t> vips{head.vip.value()};
+    while (j < order.size()) {
+      const AttackIncident& next = incidents[order[j]];
+      if (next.type != head.type || next.direction != head.direction ||
+          next.start - head.start >= kCorrelationWindow) {
+        break;
+      }
+      event.incident_indices.push_back(order[j]);
+      vips.push_back(next.vip.value());
+      ++j;
+    }
+    std::sort(vips.begin(), vips.end());
+    vips.erase(std::unique(vips.begin(), vips.end()), vips.end());
+    event.vip_count = static_cast<std::uint32_t>(vips.size());
+    if (event.vip_count >= 2) events.push_back(std::move(event));
+    i = j;
+  }
+  return events;
+}
+
+std::vector<CompromiseChain> find_compromise_chains(
+    std::span<const AttackIncident> incidents, util::Minute max_gap) {
+  // For each VIP: earliest inbound brute-force/flood, first outbound after it.
+  struct PerVip {
+    std::uint32_t inbound = 0;
+    util::Minute inbound_start = -1;
+    std::uint32_t outbound = 0;
+    util::Minute outbound_start = -1;
+  };
+  std::map<std::uint32_t, PerVip> by_vip;
+
+  for (std::uint32_t i = 0; i < incidents.size(); ++i) {
+    const AttackIncident& inc = incidents[i];
+    auto& slot = by_vip[inc.vip.value()];
+    if (inc.direction == Direction::kInbound) {
+      const bool entry_vector = inc.type == AttackType::kBruteForce ||
+                                sim::is_flood(inc.type) ||
+                                inc.type == AttackType::kSqlInjection;
+      if (entry_vector &&
+          (slot.inbound_start < 0 || inc.start < slot.inbound_start)) {
+        slot.inbound = i;
+        slot.inbound_start = inc.start;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < incidents.size(); ++i) {
+    const AttackIncident& inc = incidents[i];
+    if (inc.direction != Direction::kOutbound) continue;
+    auto it = by_vip.find(inc.vip.value());
+    if (it == by_vip.end() || it->second.inbound_start < 0) continue;
+    PerVip& slot = it->second;
+    if (inc.start <= slot.inbound_start) continue;
+    if (slot.outbound_start < 0 || inc.start < slot.outbound_start) {
+      slot.outbound = i;
+      slot.outbound_start = inc.start;
+    }
+  }
+
+  std::vector<CompromiseChain> chains;
+  for (const auto& [vip_value, slot] : by_vip) {
+    if (slot.inbound_start < 0 || slot.outbound_start < 0) continue;
+    const util::Minute gap = slot.outbound_start - slot.inbound_start;
+    if (gap > max_gap) continue;
+    chains.push_back(CompromiseChain{IPv4(vip_value), slot.inbound,
+                                     slot.outbound, gap});
+  }
+  return chains;
+}
+
+}  // namespace dm::detect

@@ -1,0 +1,69 @@
+// Cross-incident correlation (paper §4.2-§4.3):
+//  - multi-vector attacks: different attack types hitting (or leaving) the
+//    same VIP with start times within five minutes;
+//  - multi-VIP events: same-type attacks starting on many VIPs within five
+//    minutes (one attacker sweeping the cloud);
+//  - compromise chains: inbound attack followed by outbound attacks from
+//    the same VIP (the Fig 5 pattern).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "detect/incident.h"
+
+namespace dm::detect {
+
+/// The correlation window: "we identify these attacks if their start times
+/// ... differ less than five minutes" (§4.2/§4.3).
+inline constexpr util::Minute kCorrelationWindow = 5;
+
+/// A set of simultaneous different-type incidents on one VIP.
+struct MultiVectorEvent {
+  netflow::IPv4 vip;
+  netflow::Direction direction = netflow::Direction::kInbound;
+  util::Minute start = 0;
+  std::vector<std::uint32_t> incident_indices;  ///< into the input span
+  std::uint32_t type_mask = 0;                  ///< bit per sim::AttackType
+
+  [[nodiscard]] bool has(sim::AttackType t) const noexcept {
+    return (type_mask >> sim::index_of(t)) & 1u;
+  }
+  [[nodiscard]] std::size_t type_count() const noexcept {
+    return static_cast<std::size_t>(__builtin_popcount(type_mask));
+  }
+};
+
+/// A set of simultaneous same-type incidents across VIPs.
+struct MultiVipEvent {
+  sim::AttackType type = sim::AttackType::kSynFlood;
+  netflow::Direction direction = netflow::Direction::kInbound;
+  util::Minute start = 0;
+  std::uint32_t vip_count = 0;
+  std::vector<std::uint32_t> incident_indices;
+};
+
+/// An inbound-then-outbound pattern on one VIP.
+struct CompromiseChain {
+  netflow::IPv4 vip;
+  std::uint32_t inbound_incident = 0;   ///< index of the earliest inbound
+  std::uint32_t outbound_incident = 0;  ///< index of the first outbound after it
+  util::Minute gap_minutes = 0;         ///< outbound start - inbound start
+};
+
+/// Finds multi-vector events. Every returned event has >= 2 distinct types.
+[[nodiscard]] std::vector<MultiVectorEvent> find_multi_vector(
+    std::span<const AttackIncident> incidents);
+
+/// Finds multi-VIP events. Every returned event has >= 2 distinct VIPs.
+[[nodiscard]] std::vector<MultiVipEvent> find_multi_vip(
+    std::span<const AttackIncident> incidents);
+
+/// Finds VIPs whose outbound attacks start after an inbound brute-force or
+/// flood on the same VIP (within `max_gap` minutes).
+[[nodiscard]] std::vector<CompromiseChain> find_compromise_chains(
+    std::span<const AttackIncident> incidents,
+    util::Minute max_gap = 14 * util::kMinutesPerDay);
+
+}  // namespace dm::detect

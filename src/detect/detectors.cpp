@@ -1,0 +1,121 @@
+#include "detect/detectors.h"
+
+namespace dm::detect {
+
+using netflow::VipMinuteStats;
+using sim::AttackType;
+
+ChangePointDetector::ChangePointDetector(std::size_t ewma_window,
+                                         double change_threshold,
+                                         std::size_t min_history) noexcept
+    : ewma_(util::Ewma::for_window(ewma_window)),
+      threshold_(change_threshold),
+      min_history_(min_history) {}
+
+bool ChangePointDetector::observe(util::Minute minute, double value) noexcept {
+  // Treat silence since the previous window (or since the trace start) as
+  // zero-valued observations.
+  const util::Minute reference = last_minute_ < 0 ? 0 : last_minute_ + 1;
+  if (minute > reference) {
+    ewma_.decay(static_cast<std::size_t>(minute - reference));
+  }
+  last_minute_ = minute;
+
+  // The very first windows of the trace cannot alarm: a cold baseline would
+  // flag every series that simply starts busy, and would then stay frozen
+  // forever. Counted silent minutes contribute history, so a mid-trace
+  // dormant VIP still alarms on its first real window.
+  const bool warm = ewma_.count() >= min_history_;
+  const bool alarm = warm && value - ewma_.value() > threshold_;
+  if (!alarm) {
+    ewma_.update(value);
+  }
+  return alarm;
+}
+
+SeriesDetector::SeriesDetector(const DetectionConfig& config) noexcept
+    : config_(config),
+      syn_(config.ewma_window, config.volume_change_threshold, config.min_history),
+      udp_(config.ewma_window, config.volume_change_threshold, config.min_history),
+      icmp_(config.ewma_window, config.volume_change_threshold, config.min_history),
+      dns_(config.ewma_window, config.volume_change_threshold, config.min_history),
+      spam_spread_(config.ewma_window, config.spam_unique_ips, config.min_history),
+      admin_spread_(config.ewma_window, config.brute_force_unique_ips,
+                    config.min_history),
+      admin_conn_(config.ewma_window, config.brute_force_connections,
+                  config.min_history),
+      sql_conn_(config.ewma_window, config.sql_connections, config.min_history) {}
+
+SeriesDetector::Verdicts SeriesDetector::observe(
+    const VipMinuteStats& w) noexcept {
+  Verdicts v{};
+
+  // --- Volume-based (§2.2): per-protocol packet spikes. DNS responses are
+  // carved out of the UDP class so reflection is not double-counted.
+  const std::uint64_t udp_flood_packets =
+      w.udp_packets >= w.dns_response_packets
+          ? w.udp_packets - w.dns_response_packets
+          : 0;
+
+  if (syn_.observe(w.minute, static_cast<double>(w.syn_packets))) {
+    v[sim::index_of(AttackType::kSynFlood)] = {true, w.syn_packets,
+                                               w.unique_remote_ips};
+  }
+  if (udp_.observe(w.minute, static_cast<double>(udp_flood_packets))) {
+    v[sim::index_of(AttackType::kUdpFlood)] = {true, udp_flood_packets,
+                                               w.unique_remote_ips};
+  }
+  if (icmp_.observe(w.minute, static_cast<double>(w.icmp_packets))) {
+    v[sim::index_of(AttackType::kIcmpFlood)] = {true, w.icmp_packets,
+                                                w.unique_remote_ips};
+  }
+  if (dns_.observe(w.minute, static_cast<double>(w.dns_response_packets))) {
+    v[sim::index_of(AttackType::kDnsReflection)] = {
+        true, w.dns_response_packets, w.unique_remote_ips};
+  }
+
+  // --- Spread-based (§2.2): fan-in/out and connection-count spikes.
+  const bool spam_alarm = spam_spread_.observe(
+      w.minute, static_cast<double>(w.unique_smtp_remotes));
+  if (spam_alarm) {
+    v[sim::index_of(AttackType::kSpam)] = {true, w.smtp_packets,
+                                           w.unique_smtp_remotes};
+  }
+  // Both brute-force features are evaluated every window to keep their
+  // baselines advancing; either spiking alarms.
+  const bool bf_fan = admin_spread_.observe(
+      w.minute, static_cast<double>(w.unique_admin_remotes));
+  const bool bf_conn = admin_conn_.observe(
+      w.minute, static_cast<double>(w.remote_admin_flows));
+  if (bf_fan || bf_conn) {
+    v[sim::index_of(AttackType::kBruteForce)] = {true, w.admin_packets,
+                                                 w.unique_admin_remotes};
+  }
+  const bool sql_alarm =
+      sql_conn_.observe(w.minute, static_cast<double>(w.sql_flows));
+  if (sql_alarm) {
+    v[sim::index_of(AttackType::kSqlInjection)] = {true, w.sql_packets,
+                                                   w.unique_remote_ips};
+  }
+
+  // --- Signature-based (§2.2): any illegal-flag packet marks the window;
+  // sustained bare-RST backscatter counts as scan activity too (§3.1).
+  const std::uint64_t scan_packets =
+      w.null_scan_packets + w.xmas_scan_packets +
+      (w.bare_rst_packets >= config_.rst_scan_packets ? w.bare_rst_packets : 0);
+  if (w.null_scan_packets > 0 || w.xmas_scan_packets > 0 ||
+      w.bare_rst_packets >= config_.rst_scan_packets) {
+    v[sim::index_of(AttackType::kPortScan)] = {true, scan_packets,
+                                               w.unique_remote_ips};
+  }
+
+  // --- Communication-pattern-based (§2.2): contact with TDS hosts.
+  if (w.blacklist_flows >= config_.blacklist_flows) {
+    v[sim::index_of(AttackType::kTds)] = {true, w.blacklist_packets,
+                                          w.unique_blacklist_remotes};
+  }
+
+  return v;
+}
+
+}  // namespace dm::detect

@@ -1,0 +1,104 @@
+// The four per-window detection methods of the paper (§2.2, Table 1):
+// volume-based (sequential change-point vs an EWMA baseline), spread-based
+// (fan-in/out and connection-count spikes), signature-based (illegal TCP
+// flags), and communication-pattern-based (TDS blacklist contact).
+//
+// Detectors are streaming: feed the one-minute windows of a single
+// (VIP, direction) series in time order. Silent minutes between windows are
+// absorbed as zeros, so a long-dormant VIP whose first traffic is a flood
+// alarms immediately (the Fig 5 case study path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "netflow/window_aggregator.h"
+#include "sim/attack_type.h"
+#include "util/ewma.h"
+#include "util/time.h"
+
+namespace dm::detect {
+
+/// Tunable thresholds; defaults are the paper's (§2.2), expressed over
+/// *sampled* counts at 1:4096.
+struct DetectionConfig {
+  /// EWMA baseline span: "the past 10 time windows".
+  std::size_t ewma_window = 10;
+  /// Volume change threshold: "100 packets per minute in NetFlow ...
+  /// corresponding to an estimated value of about 7K pps".
+  double volume_change_threshold = 100.0;
+  /// Spread thresholds: "10 and 20 Internet IPs ... for brute-force and
+  /// spam ... and 30 connections for SQL".
+  double brute_force_unique_ips = 10.0;
+  double spam_unique_ips = 20.0;
+  double sql_connections = 30.0;
+  /// Brute-force's second feature (Table 1 lists "fan-in/out ratio,
+  /// #conn/min"): a connection-count spike alone also alarms, which is what
+  /// catches few-host password sweeps like the §4.3 two-host subnet scan.
+  double brute_force_connections = 30.0;
+  /// Minutes of history (observations plus counted silence) a change-point
+  /// baseline needs before it may alarm. Prevents the first windows of the
+  /// trace from alarming on a cold baseline; VIPs that go quiet mid-trace
+  /// accumulate history through their silent minutes, so the dormant-VIP
+  /// cold start (Fig 5) still alarms.
+  std::size_t min_history = 3;
+  /// Bare-RST packets per window that count as scan backscatter.
+  std::uint64_t rst_scan_packets = 3;
+  /// TDS flows per window that mark malicious web activity.
+  std::uint32_t blacklist_flows = 1;
+};
+
+/// What one detector family reports for one window.
+struct WindowVerdict {
+  bool attack = false;
+  /// Sampled attack packets attributed to this type in the window.
+  std::uint64_t sampled_packets = 0;
+  /// Distinct remote endpoints involved (where the family measures it).
+  std::uint32_t unique_remotes = 0;
+};
+
+/// Sequential change-point detector over one traffic-class counter.
+/// Alarm when (value - EWMA(past windows)) exceeds the threshold; alarmed
+/// windows are NOT absorbed into the baseline, so sustained attacks stay
+/// visible for their whole duration.
+class ChangePointDetector {
+ public:
+  ChangePointDetector(std::size_t ewma_window, double change_threshold,
+                      std::size_t min_history = 3) noexcept;
+
+  /// Advances to `minute` (absorbing the silent gap as zeros) and tests the
+  /// window's value. Call with non-decreasing minutes.
+  [[nodiscard]] bool observe(util::Minute minute, double value) noexcept;
+
+  [[nodiscard]] double baseline() const noexcept { return ewma_.value(); }
+
+ private:
+  util::Ewma ewma_;
+  double threshold_;
+  std::size_t min_history_;
+  util::Minute last_minute_ = -1;
+};
+
+/// All per-type detectors for one (VIP, direction) series.
+class SeriesDetector {
+ public:
+  explicit SeriesDetector(const DetectionConfig& config) noexcept;
+
+  /// Verdicts for one window, indexed by sim::AttackType.
+  using Verdicts = std::array<WindowVerdict, sim::kAttackTypeCount>;
+  [[nodiscard]] Verdicts observe(const netflow::VipMinuteStats& window) noexcept;
+
+ private:
+  DetectionConfig config_;
+  ChangePointDetector syn_;
+  ChangePointDetector udp_;
+  ChangePointDetector icmp_;
+  ChangePointDetector dns_;
+  ChangePointDetector spam_spread_;
+  ChangePointDetector admin_spread_;
+  ChangePointDetector admin_conn_;
+  ChangePointDetector sql_conn_;
+};
+
+}  // namespace dm::detect

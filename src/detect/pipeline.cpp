@@ -1,0 +1,42 @@
+#include "detect/pipeline.h"
+
+namespace dm::detect {
+
+using netflow::VipMinuteStats;
+using netflow::WindowedTrace;
+
+std::vector<MinuteDetection> DetectionPipeline::detect_minutes(
+    const WindowedTrace& trace) const {
+  std::vector<MinuteDetection> out;
+  const auto windows = trace.windows();
+
+  std::size_t i = 0;
+  while (i < windows.size()) {
+    // One contiguous (vip, direction) series.
+    const netflow::IPv4 vip = windows[i].vip;
+    const netflow::Direction dir = windows[i].direction;
+    SeriesDetector detector(config_);
+    for (; i < windows.size() && windows[i].vip == vip &&
+           windows[i].direction == dir;
+         ++i) {
+      const VipMinuteStats& w = windows[i];
+      const auto verdicts = detector.observe(w);
+      for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+        if (!verdicts[t].attack) continue;
+        out.push_back(MinuteDetection{
+            vip, dir, sim::kAllAttackTypes[t], w.minute,
+            verdicts[t].sampled_packets, verdicts[t].unique_remotes});
+      }
+    }
+  }
+  return out;
+}
+
+DetectionResult DetectionPipeline::run(const WindowedTrace& trace) const {
+  DetectionResult result;
+  result.minutes = detect_minutes(trace);
+  result.incidents = build_incidents(result.minutes, timeouts_);
+  return result;
+}
+
+}  // namespace dm::detect

@@ -1,0 +1,42 @@
+// The end-to-end detection pipeline: windowed trace -> minute detections ->
+// attack incidents.
+#pragma once
+
+#include <vector>
+
+#include "detect/detectors.h"
+#include "detect/incident.h"
+#include "netflow/window_aggregator.h"
+
+namespace dm::detect {
+
+/// Output of one pipeline run.
+struct DetectionResult {
+  std::vector<MinuteDetection> minutes;
+  std::vector<AttackIncident> incidents;
+};
+
+/// Runs the per-series detectors over every (VIP, direction) series of the
+/// trace and groups the flagged minutes into incidents.
+class DetectionPipeline {
+ public:
+  explicit DetectionPipeline(DetectionConfig config = {},
+                             TimeoutTable timeouts = TimeoutTable::paper())
+      : config_(config), timeouts_(timeouts) {}
+
+  [[nodiscard]] const DetectionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const TimeoutTable& timeouts() const noexcept { return timeouts_; }
+
+  /// Flags attack minutes without grouping (exposed for timeout selection).
+  [[nodiscard]] std::vector<MinuteDetection> detect_minutes(
+      const netflow::WindowedTrace& trace) const;
+
+  /// Full run: detect + group.
+  [[nodiscard]] DetectionResult run(const netflow::WindowedTrace& trace) const;
+
+ private:
+  DetectionConfig config_;
+  TimeoutTable timeouts_;
+};
+
+}  // namespace dm::detect

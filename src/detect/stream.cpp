@@ -1,0 +1,198 @@
+#include "detect/stream.h"
+
+#include <algorithm>
+
+namespace dm::detect {
+
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::OrientedFlow;
+using netflow::Protocol;
+using netflow::VipMinuteStats;
+
+StreamMonitor::StreamMonitor(netflow::PrefixSet cloud_space,
+                             const netflow::PrefixSet* blacklist,
+                             DetectionConfig config, TimeoutTable timeouts,
+                             AlertCallback on_alert,
+                             IncidentCallback on_incident)
+    : cloud_space_(std::move(cloud_space)),
+      blacklist_(blacklist),
+      config_(config),
+      timeouts_(timeouts),
+      on_alert_(std::move(on_alert)),
+      on_incident_(std::move(on_incident)) {}
+
+void StreamMonitor::ingest(const FlowRecord& record) {
+  ++records_ingested_;
+  if (record.minute <= watermark_) {
+    ++records_dropped_;  // late arrival; its window is already committed
+    return;
+  }
+  const auto direction = netflow::classify(record, cloud_space_);
+  if (!direction) {
+    ++records_dropped_;
+    return;
+  }
+
+  // A record for minute M commits all earlier minutes.
+  advance_to(record.minute);
+
+  const OrientedFlow flow{&record, *direction};
+  const SeriesKey key{flow.vip().value(), *direction};
+  OpenWindow& open = open_minutes_[record.minute][key];
+  VipMinuteStats& w = open.stats;
+  if (w.flows == 0) {
+    w.vip = flow.vip();
+    w.minute = record.minute;
+    w.direction = *direction;
+  }
+
+  w.packets += record.packets;
+  w.bytes += record.bytes;
+  w.flows += 1;
+  switch (record.protocol) {
+    case Protocol::kTcp:
+      w.tcp_packets += record.packets;
+      if (netflow::is_pure_syn(record.tcp_flags)) w.syn_packets += record.packets;
+      if (netflow::is_null_scan(record.tcp_flags)) {
+        w.null_scan_packets += record.packets;
+      }
+      if (netflow::is_xmas_scan(record.tcp_flags)) {
+        w.xmas_scan_packets += record.packets;
+      }
+      if (netflow::is_bare_rst(record.tcp_flags)) {
+        w.bare_rst_packets += record.packets;
+      }
+      break;
+    case Protocol::kUdp:
+      w.udp_packets += record.packets;
+      if (record.src_port == netflow::ports::kDns) {
+        w.dns_response_packets += record.packets;
+      }
+      break;
+    case Protocol::kIcmp:
+      w.icmp_packets += record.packets;
+      break;
+    case Protocol::kIpEncap:
+      w.ipencap_packets += record.packets;
+      break;
+  }
+
+  const std::uint32_t remote = flow.remote_ip().value();
+  if (open.remotes.insert(remote).second) w.unique_remote_ips += 1;
+
+  const std::uint16_t service_port = flow.service_port();
+  if (record.protocol == Protocol::kTcp &&
+      service_port == netflow::ports::kSmtp) {
+    w.smtp_flows += 1;
+    w.smtp_packets += record.packets;
+    if (open.smtp_remotes.insert(remote).second) w.unique_smtp_remotes += 1;
+  }
+  if (record.protocol == Protocol::kTcp &&
+      netflow::ports::is_remote_admin(service_port)) {
+    w.remote_admin_flows += 1;
+    w.admin_packets += record.packets;
+    if (open.admin_remotes.insert(remote).second) w.unique_admin_remotes += 1;
+  }
+  if (record.protocol == Protocol::kTcp && netflow::ports::is_sql(service_port)) {
+    w.sql_flows += 1;
+    w.sql_packets += record.packets;
+  }
+  if (blacklist_ != nullptr && blacklist_->contains(flow.remote_ip())) {
+    w.blacklist_flows += 1;
+    w.blacklist_packets += record.packets;
+    if (open.blacklist_remotes.insert(remote).second) {
+      w.unique_blacklist_remotes += 1;
+    }
+  }
+}
+
+void StreamMonitor::advance_to(util::Minute minute) {
+  while (!open_minutes_.empty() && open_minutes_.begin()->first < minute) {
+    close_minute(open_minutes_.begin()->first);
+  }
+  watermark_ = std::max(watermark_, minute - 1);
+  expire_incidents(minute);
+}
+
+void StreamMonitor::close_minute(util::Minute minute) {
+  const auto it = open_minutes_.find(minute);
+  if (it == open_minutes_.end()) return;
+  for (const auto& [key, open] : it->second) {
+    feed_window(key, open);
+    ++windows_closed_;
+  }
+  open_minutes_.erase(it);
+}
+
+void StreamMonitor::feed_window(const SeriesKey& key, const OpenWindow& open) {
+  auto [det_it, inserted] = detectors_.try_emplace(key, config_);
+  const auto verdicts = det_it->second.observe(open.stats);
+  for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+    if (!verdicts[t].attack) continue;
+    MinuteDetection detection{open.stats.vip, key.direction,
+                              sim::kAllAttackTypes[t], open.stats.minute,
+                              verdicts[t].sampled_packets,
+                              verdicts[t].unique_remotes};
+    ++alerts_;
+    if (on_alert_) on_alert_(detection);
+    feed_detection(detection);
+  }
+}
+
+void StreamMonitor::feed_detection(const MinuteDetection& d) {
+  const std::tuple<std::uint32_t, int, int> key{
+      d.vip.value(), static_cast<int>(d.type), static_cast<int>(d.direction)};
+  OpenIncident& open = open_incidents_[key];
+  AttackIncident& inc = open.incident;
+  const util::Minute timeout = timeouts_.of(d.type);
+
+  if (open.active && d.minute - (inc.end - 1) - 1 > timeout) {
+    // Gap exceeded: the previous incident is complete.
+    ++incidents_;
+    if (on_incident_) on_incident_(inc);
+    open.active = false;
+  }
+  if (!open.active) {
+    inc = AttackIncident{};
+    inc.vip = d.vip;
+    inc.direction = d.direction;
+    inc.type = d.type;
+    inc.start = d.minute;
+    open.active = true;
+  }
+  inc.end = d.minute + 1;
+  inc.active_minutes += 1;
+  inc.total_sampled_packets += d.sampled_packets;
+  if (d.sampled_packets > inc.peak_sampled_ppm) {
+    inc.peak_sampled_ppm = d.sampled_packets;
+    // Streaming ramp-up: the first minute that set the running peak is the
+    // best online estimate; refined whenever the peak grows.
+    inc.ramp_up_minutes = d.minute - inc.start;
+  }
+  inc.peak_unique_remotes = std::max(inc.peak_unique_remotes, d.unique_remotes);
+}
+
+void StreamMonitor::expire_incidents(util::Minute now) {
+  for (auto& [key, open] : open_incidents_) {
+    if (!open.active) continue;
+    const util::Minute timeout = timeouts_.of(open.incident.type);
+    if (now - (open.incident.end - 1) - 1 > timeout) {
+      ++incidents_;
+      if (on_incident_) on_incident_(open.incident);
+      open.active = false;
+    }
+  }
+}
+
+void StreamMonitor::finish() {
+  while (!open_minutes_.empty()) close_minute(open_minutes_.begin()->first);
+  for (auto& [key, open] : open_incidents_) {
+    if (!open.active) continue;
+    ++incidents_;
+    if (on_incident_) on_incident_(open.incident);
+    open.active = false;
+  }
+}
+
+}  // namespace dm::detect

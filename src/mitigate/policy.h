@@ -1,0 +1,74 @@
+// Mitigation policies (paper §7, "Existing security practices").
+//
+// The paper closes by describing how the measured attacks are actually
+// handled: SYN cookies and rate limiting at the load-balancing
+// infrastructure, source blacklisting, port filters (the juno-tool fixed
+// source ports of §4.4), outbound bandwidth caps, SMTP limits, and
+// aggressive shutdown of misbehaving VMs. This module makes those practices
+// executable: a policy configures them, the engine replays detected
+// incidents against them and reports what each practice would have absorbed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace dm::mitigate {
+
+/// The §7 mechanism families.
+enum class ActionKind : std::uint8_t {
+  kSynCookies,        ///< infrastructure SYN-cookie activation
+  kRateLimit,         ///< per-VIP packet rate limiting
+  kSourceBlacklist,   ///< blocking the attack's top source addresses
+  kPortFilter,        ///< filtering signature ports (e.g. juno 1024/3072)
+  kOutboundCap,       ///< per-VM outbound bandwidth cap
+  kSmtpLimit,         ///< outbound e-mail rate limiting / open-relay block
+  kVipShutdown,       ///< shutting the misbehaving VIP down
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ActionKind k) noexcept {
+  switch (k) {
+    case ActionKind::kSynCookies: return "syn-cookies";
+    case ActionKind::kRateLimit: return "rate-limit";
+    case ActionKind::kSourceBlacklist: return "source-blacklist";
+    case ActionKind::kPortFilter: return "port-filter";
+    case ActionKind::kOutboundCap: return "outbound-cap";
+    case ActionKind::kSmtpLimit: return "smtp-limit";
+    case ActionKind::kVipShutdown: return "vip-shutdown";
+  }
+  return "?";
+}
+
+/// Tunable mitigation behaviour. Latencies are minutes from an incident's
+/// first detected minute to the mechanism being effective; §5.2 notes
+/// today's flood defenses take ~5 minutes — too slow for 1-3 minute ramps.
+struct MitigationPolicy {
+  bool enable_syn_cookies = true;
+  bool enable_rate_limit = true;
+  bool enable_source_blacklist = true;
+  bool enable_port_filter = true;
+  bool enable_outbound_cap = true;
+  bool enable_smtp_limit = true;
+  bool enable_vip_shutdown = true;
+
+  /// Activation latency of in-network mechanisms (minutes after detection).
+  util::Minute inline_latency = 2;
+  /// Latency of operator-driven shutdown of an abusive VIP.
+  util::Minute shutdown_latency = 30;
+  /// Outbound incidents on one VIP before the shutdown policy fires
+  /// ("aggressively shuts down any misbehaving tenant VMs", §7).
+  std::uint32_t shutdown_after_incidents = 3;
+
+  /// Rate limit allowance as a multiple of the VIP's benign baseline.
+  double rate_limit_headroom = 4.0;
+  /// Blacklist capacity: how many top source addresses can be blocked per
+  /// incident (TCAM/ACL budget).
+  std::uint32_t blacklist_entries = 64;
+  /// Per-VM outbound cap in true packets/second.
+  double outbound_cap_pps = 50'000.0;
+  /// Outbound SMTP allowance in true packets/second.
+  double smtp_cap_pps = 200.0;
+};
+
+}  // namespace dm::mitigate

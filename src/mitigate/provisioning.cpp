@@ -1,0 +1,67 @@
+#include "mitigate/provisioning.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dm::mitigate {
+
+using detect::MinuteDetection;
+
+ProvisioningPlan plan_provisioning(std::span<const MinuteDetection> detections,
+                                   netflow::Direction direction,
+                                   std::uint32_t sampling,
+                                   const ProvisioningConfig& config) {
+  ProvisioningPlan plan;
+  const double pps_per_sampled_ppm = static_cast<double>(sampling) / 60.0;
+
+  // Per-VIP peak sampled load and the cloud-wide per-minute load.
+  std::map<std::uint32_t, std::uint64_t> vip_minute_load;  // current minute
+  std::map<std::uint32_t, std::uint64_t> vip_peak;
+  std::map<util::Minute, std::uint64_t> cloud_minute;
+  std::map<std::pair<std::uint32_t, util::Minute>, std::uint64_t> vip_at_minute;
+
+  for (const MinuteDetection& d : detections) {
+    if (d.direction != direction) continue;
+    vip_at_minute[{d.vip.value(), d.minute}] += d.sampled_packets;
+    cloud_minute[d.minute] += d.sampled_packets;
+  }
+  for (const auto& [key, load] : vip_at_minute) {
+    auto& peak = vip_peak[key.first];
+    peak = std::max(peak, load);
+  }
+
+  for (const auto& [vip, peak] : vip_peak) {
+    plan.per_vip_peak_cores +=
+        static_cast<double>(peak) * pps_per_sampled_ppm / config.pps_per_core;
+  }
+  plan.attacked_vips = vip_peak.size();
+
+  std::vector<double> minute_loads;
+  minute_loads.reserve(cloud_minute.size());
+  std::uint64_t cloud_peak = 0;
+  for (const auto& [minute, load] : cloud_minute) {
+    minute_loads.push_back(static_cast<double>(load));
+    cloud_peak = std::max(cloud_peak, load);
+  }
+  plan.cloud_peak_cores =
+      static_cast<double>(cloud_peak) * pps_per_sampled_ppm / config.pps_per_core;
+
+  if (!minute_loads.empty()) {
+    std::sort(minute_loads.begin(), minute_loads.end());
+    const double p99 =
+        util::quantile_sorted(minute_loads, config.elastic_quantile);
+    plan.elastic_cores = p99 * pps_per_sampled_ppm / config.pps_per_core;
+    std::size_t bursts = 0;
+    for (double load : minute_loads) {
+      if (load > p99) ++bursts;
+    }
+    plan.elastic_burst_fraction =
+        static_cast<double>(bursts) / static_cast<double>(minute_loads.size());
+  }
+  return plan;
+}
+
+}  // namespace dm::mitigate

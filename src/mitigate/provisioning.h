@@ -1,0 +1,49 @@
+// Defense resource provisioning (paper §5.1).
+//
+// The paper argues from its throughput measurements that static
+// overprovisioning of defense capacity is wasteful: "a software load
+// balancer (SLB) can handle 300 Kpps per core ... in the worst case
+// handling inbound UDP floods may waste 31 extra cores", and peak/median
+// ratios of 20x-1000x mean per-VIP peak provisioning is hopeless. This
+// model turns detected incidents into core budgets under three strategies:
+//
+//  - per-VIP peak:   every attacked VIP gets its own peak-sized appliance;
+//  - cloud peak:     one shared pool sized for the cloud-wide attack peak;
+//  - elastic:        a shared pool sized for the p99 minute, scaling beyond
+//                    it on demand (the paper's recommended direction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "detect/incident.h"
+
+namespace dm::mitigate {
+
+struct ProvisioningConfig {
+  /// SLB processing capacity in true packets/second per core [42].
+  double pps_per_core = 300'000.0;
+  /// Quantile the elastic pool is pre-provisioned for.
+  double elastic_quantile = 0.99;
+};
+
+struct ProvisioningPlan {
+  double per_vip_peak_cores = 0.0;  ///< sum of every attacked VIP's peak need
+  double cloud_peak_cores = 0.0;    ///< cloud-wide simultaneous attack peak
+  double elastic_cores = 0.0;       ///< p99 minute of cloud-wide attack load
+  /// Fraction of minutes the elastic pool must burst beyond its base size.
+  double elastic_burst_fraction = 0.0;
+  std::uint64_t attacked_vips = 0;
+
+  [[nodiscard]] double overprovision_factor() const noexcept {
+    return elastic_cores > 0.0 ? per_vip_peak_cores / elastic_cores : 0.0;
+  }
+};
+
+/// Computes the plan from detected attack minutes (one direction).
+[[nodiscard]] ProvisioningPlan plan_provisioning(
+    std::span<const detect::MinuteDetection> detections,
+    netflow::Direction direction, std::uint32_t sampling,
+    const ProvisioningConfig& config = {});
+
+}  // namespace dm::mitigate

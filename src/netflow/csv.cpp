@@ -1,0 +1,106 @@
+#include "netflow/csv.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace dm::netflow {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw FormatError("csv line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Splits the next comma field from `rest`; empty fields are errors.
+std::string_view take_field(std::string_view& rest, std::size_t line_no) {
+  if (rest.empty()) fail(line_no, "missing field");
+  const auto comma = rest.find(',');
+  std::string_view field = rest.substr(0, comma);
+  rest = comma == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(comma + 1);
+  if (field.empty()) fail(line_no, "empty field");
+  return field;
+}
+
+template <typename T>
+T parse_number(std::string_view field, std::size_t line_no, const char* name) {
+  T value{};
+  const auto [end, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || end != field.data() + field.size()) {
+    fail(line_no, std::string("bad ") + name + " '" + std::string(field) + "'");
+  }
+  return value;
+}
+
+IPv4 parse_ip(std::string_view field, std::size_t line_no, const char* name) {
+  const auto ip = IPv4::parse(field);
+  if (!ip) {
+    fail(line_no, std::string("bad ") + name + " '" + std::string(field) + "'");
+  }
+  return *ip;
+}
+
+}  // namespace
+
+FlowRecord parse_csv_row(std::string_view line, std::size_t line_no) {
+  std::string_view rest = line;
+  FlowRecord r;
+  r.minute = parse_number<std::int64_t>(take_field(rest, line_no), line_no,
+                                        "minute");
+  r.src_ip = parse_ip(take_field(rest, line_no), line_no, "src_ip");
+  r.src_port = parse_number<std::uint16_t>(take_field(rest, line_no), line_no,
+                                           "src_port");
+  r.dst_ip = parse_ip(take_field(rest, line_no), line_no, "dst_ip");
+  r.dst_port = parse_number<std::uint16_t>(take_field(rest, line_no), line_no,
+                                           "dst_port");
+  const auto proto =
+      parse_number<unsigned>(take_field(rest, line_no), line_no, "proto");
+  switch (proto) {
+    case 0: r.protocol = Protocol::kIpEncap; break;
+    case 1: r.protocol = Protocol::kIcmp; break;
+    case 6: r.protocol = Protocol::kTcp; break;
+    case 17: r.protocol = Protocol::kUdp; break;
+    default: fail(line_no, "unsupported protocol " + std::to_string(proto));
+  }
+  const auto flags =
+      parse_number<unsigned>(take_field(rest, line_no), line_no, "tcp_flags");
+  if (flags > 63) fail(line_no, "tcp_flags out of range");
+  r.tcp_flags = static_cast<TcpFlags>(flags);
+  r.packets = parse_number<std::uint32_t>(take_field(rest, line_no), line_no,
+                                          "packets");
+  if (r.packets == 0) fail(line_no, "packets must be >= 1");
+  r.bytes = parse_number<std::uint64_t>(take_field(rest, line_no), line_no,
+                                        "bytes");
+  if (!rest.empty()) fail(line_no, "trailing fields");
+  return r;
+}
+
+void write_csv(std::ostream& out, std::span<const FlowRecord> records) {
+  out << kCsvHeader << '\n';
+  for (const FlowRecord& r : records) {
+    out << r.minute << ',' << r.src_ip.to_string() << ',' << r.src_port << ','
+        << r.dst_ip.to_string() << ',' << r.dst_port << ','
+        << static_cast<unsigned>(r.protocol) << ','
+        << static_cast<unsigned>(r.tcp_flags) << ',' << r.packets << ','
+        << r.bytes << '\n';
+  }
+}
+
+std::vector<FlowRecord> read_csv(std::istream& in) {
+  std::vector<FlowRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line_no == 1 && line == kCsvHeader) continue;
+    records.push_back(parse_csv_row(line, line_no));
+  }
+  return records;
+}
+
+}  // namespace dm::netflow

@@ -1,0 +1,35 @@
+// CSV interchange for flow records.
+//
+// The binary .dmnf format is compact; CSV is for interop — importing flows
+// exported from other collectors (nfdump/SiLK-style pipelines) and eyeball
+// debugging. Schema (one header line, then one row per record):
+//
+//   minute,src_ip,src_port,dst_ip,dst_port,proto,tcp_flags,packets,bytes
+//
+// proto is the IANA number (0/1/6/17); tcp_flags is the numeric cumulative
+// mask (0-63).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netflow/flow_record.h"
+
+namespace dm::netflow {
+
+inline constexpr std::string_view kCsvHeader =
+    "minute,src_ip,src_port,dst_ip,dst_port,proto,tcp_flags,packets,bytes";
+
+/// Writes records with a header line.
+void write_csv(std::ostream& out, std::span<const FlowRecord> records);
+
+/// Parses a CSV stream. Throws dm::FormatError naming the offending line on
+/// malformed input. A leading header line is skipped if present.
+[[nodiscard]] std::vector<FlowRecord> read_csv(std::istream& in);
+
+/// Parses a single data row; exposed for tests.
+[[nodiscard]] FlowRecord parse_csv_row(std::string_view line, std::size_t line_no);
+
+}  // namespace dm::netflow

@@ -1,0 +1,17 @@
+#include "netflow/flow_record.h"
+
+#include <sstream>
+
+namespace dm::netflow {
+
+std::string to_string(const FlowRecord& r) {
+  std::ostringstream os;
+  os << util::format_minute(r.minute) << ' ' << to_string(r.protocol) << ' '
+     << r.src_ip.to_string() << ':' << r.src_port << " -> "
+     << r.dst_ip.to_string() << ':' << r.dst_port;
+  if (r.protocol == Protocol::kTcp) os << " [" << to_string(r.tcp_flags) << ']';
+  os << " pkts=" << r.packets << " bytes=" << r.bytes;
+  return os.str();
+}
+
+}  // namespace dm::netflow

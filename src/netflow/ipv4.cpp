@@ -1,0 +1,84 @@
+#include "netflow/ipv4.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace dm::netflow {
+
+std::optional<IPv4> IPv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned part = 0;
+    const auto [next, ec] = std::from_chars(cursor, end, part);
+    if (ec != std::errc{} || part > 255 || next == cursor) return std::nullopt;
+    value = (value << 8) | part;
+    cursor = next;
+    if (octet < 3) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+  }
+  if (cursor != end) return std::nullopt;
+  return IPv4(value);
+}
+
+std::string IPv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto ip = IPv4::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  int bits = 0;
+  const std::string_view len = text.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(len.data(), len.data() + len.size(), bits);
+  if (ec != std::errc{} || next != len.data() + len.size() || bits < 0 ||
+      bits > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*ip, bits);
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(bits_);
+}
+
+PrefixSet::PrefixSet(const std::vector<Prefix>& prefixes)
+    : by_length_(33) {
+  for (const Prefix& p : prefixes) add(p);
+}
+
+void PrefixSet::add(Prefix p) {
+  if (by_length_.empty()) by_length_.resize(33);
+  auto& bucket = by_length_[static_cast<std::size_t>(p.length())];
+  const std::uint32_t net = p.network().value();
+  const auto it = std::lower_bound(bucket.begin(), bucket.end(), net);
+  if (it != bucket.end() && *it == net) return;  // duplicate
+  bucket.insert(it, net);
+  ++count_;
+}
+
+std::optional<Prefix> PrefixSet::match(IPv4 ip) const noexcept {
+  if (by_length_.empty()) return std::nullopt;
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_length_[static_cast<std::size_t>(len)];
+    if (bucket.empty()) continue;
+    const Prefix probe(ip, len);
+    const std::uint32_t net = probe.network().value();
+    if (std::binary_search(bucket.begin(), bucket.end(), net)) return probe;
+  }
+  return std::nullopt;
+}
+
+bool PrefixSet::contains(IPv4 ip) const noexcept { return match(ip).has_value(); }
+
+}  // namespace dm::netflow

@@ -1,0 +1,120 @@
+// IPv4 addresses and CIDR prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dm::netflow {
+
+/// An IPv4 address as a host-order 32-bit value. A plain value type: cheap
+/// to copy, totally ordered, hashable.
+class IPv4 {
+ public:
+  constexpr IPv4() = default;
+  explicit constexpr IPv4(std::uint32_t value) noexcept : value_(value) {}
+
+  /// Builds from dotted octets a.b.c.d.
+  static constexpr IPv4 from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                    std::uint8_t d) noexcept {
+    return IPv4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<IPv4> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Dotted-quad rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Address scaled into [0, 1): used by the Anderson-Darling spoof test.
+  [[nodiscard]] constexpr double as_unit_interval() const noexcept {
+    return static_cast<double>(value_) / 4294967296.0;
+  }
+
+  friend constexpr auto operator<=>(IPv4, IPv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (network address + mask length).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Requires bits <= 32. The base address is masked down to the network.
+  constexpr Prefix(IPv4 base, int bits) noexcept
+      : bits_(bits < 0 ? 0 : (bits > 32 ? 32 : bits)),
+        base_(IPv4(base.value() & mask())) {}
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr IPv4 network() const noexcept { return base_; }
+  [[nodiscard]] constexpr int length() const noexcept { return bits_; }
+
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return bits_ == 0 ? 0u : ~std::uint32_t{0} << (32 - bits_);
+  }
+
+  /// Number of addresses covered.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - bits_);
+  }
+
+  [[nodiscard]] constexpr bool contains(IPv4 ip) const noexcept {
+    return (ip.value() & mask()) == base_.value();
+  }
+
+  /// The i-th address in the prefix (i < size()).
+  [[nodiscard]] constexpr IPv4 at(std::uint64_t i) const noexcept {
+    return IPv4(base_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  int bits_ = 32;
+  IPv4 base_{};
+};
+
+/// Longest-prefix-match structure over arbitrary (possibly nested) prefixes.
+/// One hash set of network addresses per mask length; lookup probes the 33
+/// lengths from most to least specific — constant time, no allocation.
+class PrefixSet {
+ public:
+  PrefixSet() = default;
+  explicit PrefixSet(const std::vector<Prefix>& prefixes);
+
+  void add(Prefix p);
+
+  [[nodiscard]] bool contains(IPv4 ip) const noexcept;
+
+  /// The longest (most specific) prefix containing ip, if any.
+  [[nodiscard]] std::optional<Prefix> match(IPv4 ip) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> by_length_;  // sorted networks, index = mask length
+  std::size_t count_ = 0;
+};
+
+}  // namespace dm::netflow
+
+template <>
+struct std::hash<dm::netflow::IPv4> {
+  std::size_t operator()(dm::netflow::IPv4 ip) const noexcept {
+    // Fibonacci hashing spreads sequential VIP addresses across buckets.
+    return static_cast<std::size_t>(ip.value()) * 0x9e3779b97f4a7c15ULL >> 16;
+  }
+};

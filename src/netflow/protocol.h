@@ -1,0 +1,61 @@
+// IP protocol numbers and the well-known ports the study keys on (Table 1,
+// Table 3, Fig 16 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dm::netflow {
+
+/// IANA protocol numbers used in the study. kIpEncap (protocol 0 traffic in
+/// Table 3 — "IP Encap (0)") models the encapsulated traffic class the paper
+/// reports.
+enum class Protocol : std::uint8_t {
+  kIpEncap = 0,
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kIpEncap: return "IPENCAP";
+    case Protocol::kIcmp: return "ICMP";
+    case Protocol::kTcp: return "TCP";
+    case Protocol::kUdp: return "UDP";
+  }
+  return "?";
+}
+
+namespace ports {
+// Application ports the paper's filters and Table 3 rows use.
+inline constexpr std::uint16_t kSsh = 22;
+inline constexpr std::uint16_t kSmtp = 25;
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kHttpAlt = 8080;
+inline constexpr std::uint16_t kHttps = 443;
+inline constexpr std::uint16_t kSqlServer = 1433;
+inline constexpr std::uint16_t kMySql = 3306;
+inline constexpr std::uint16_t kRdp = 3389;
+inline constexpr std::uint16_t kVnc = 5900;
+
+/// True for the SQL ports the paper filters on ("TCP traffic with
+/// destination port 1433 or 3306").
+[[nodiscard]] constexpr bool is_sql(std::uint16_t port) noexcept {
+  return port == kSqlServer || port == kMySql;
+}
+
+/// True for the remote-administration ports used in brute-force detection
+/// (SSH, RDP, VNC — §2.2).
+[[nodiscard]] constexpr bool is_remote_admin(std::uint16_t port) noexcept {
+  return port == kSsh || port == kRdp || port == kVnc;
+}
+
+/// True for web ports (HTTP 80/8080, HTTPS 443).
+[[nodiscard]] constexpr bool is_web(std::uint16_t port) noexcept {
+  return port == kHttp || port == kHttpAlt || port == kHttps;
+}
+}  // namespace ports
+
+}  // namespace dm::netflow

@@ -1,0 +1,32 @@
+#include "netflow/sampler.h"
+
+#include "util/error.h"
+
+namespace dm::netflow {
+
+PacketSampler::PacketSampler(std::uint32_t rate_denominator)
+    : n_(rate_denominator) {
+  if (n_ == 0) throw dm::ConfigError("PacketSampler: rate denominator must be >= 1");
+}
+
+std::uint64_t PacketSampler::sample_packets(std::uint64_t true_packets,
+                                            util::Rng& rng) const noexcept {
+  if (n_ == 1) return true_packets;
+  return rng.binomial(true_packets, probability());
+}
+
+std::optional<PacketSampler::Sampled> PacketSampler::sample_flow(
+    std::uint64_t true_packets, std::uint64_t true_bytes,
+    util::Rng& rng) const noexcept {
+  const std::uint64_t kept = sample_packets(true_packets, rng);
+  if (kept == 0) return std::nullopt;
+  // Bytes of the surviving packets: proportional share of the flow's bytes.
+  const double share = true_packets == 0
+                           ? 0.0
+                           : static_cast<double>(kept) /
+                                 static_cast<double>(true_packets);
+  return Sampled{kept, static_cast<std::uint64_t>(
+                           static_cast<double>(true_bytes) * share + 0.5)};
+}
+
+}  // namespace dm::netflow

@@ -1,0 +1,53 @@
+// Packet sampling: the 1:4096 thinning the paper's NetFlow deployment uses.
+//
+// The simulator produces *true* per-flow packet counts; PacketSampler thins
+// them to what the edge-router NetFlow process would record. Flows whose
+// sampled count is zero vanish from the dataset entirely — the source of the
+// paper's "we may not detect an attack over its entire duration" caveat.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.h"
+
+namespace dm::netflow {
+
+/// Bernoulli packet sampler at rate 1:N.
+class PacketSampler {
+ public:
+  /// `rate_denominator` is the N of 1:N sampling (4096 in the paper);
+  /// 1 means "record everything".
+  explicit PacketSampler(std::uint32_t rate_denominator);
+
+  [[nodiscard]] std::uint32_t rate_denominator() const noexcept { return n_; }
+
+  /// Probability that any individual packet is sampled.
+  [[nodiscard]] double probability() const noexcept { return 1.0 / n_; }
+
+  /// Thins a true packet count: Binomial(true_packets, 1/N) draw.
+  [[nodiscard]] std::uint64_t sample_packets(std::uint64_t true_packets,
+                                             util::Rng& rng) const noexcept;
+
+  /// Thins packets and scales bytes proportionally (NetFlow reports bytes of
+  /// the sampled packets). Returns nullopt when no packet survives — the
+  /// flow is absent from the records.
+  struct Sampled {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] std::optional<Sampled> sample_flow(std::uint64_t true_packets,
+                                                   std::uint64_t true_bytes,
+                                                   util::Rng& rng) const noexcept;
+
+  /// Scales a sampled count back to an estimated true count (the paper's
+  /// "estimated volumes calculated based on ... the sampling rate").
+  [[nodiscard]] double estimate_true(double sampled) const noexcept {
+    return sampled * static_cast<double>(n_);
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace dm::netflow

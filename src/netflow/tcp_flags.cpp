@@ -1,0 +1,23 @@
+#include "netflow/tcp_flags.h"
+
+namespace dm::netflow {
+
+std::string to_string(TcpFlags flags) {
+  if (flags == TcpFlags::kNone) return "none";
+  std::string out;
+  auto append = [&](TcpFlags bit, const char* name) {
+    if (has_flag(flags, bit)) {
+      if (!out.empty()) out += '|';
+      out += name;
+    }
+  };
+  append(TcpFlags::kFin, "FIN");
+  append(TcpFlags::kSyn, "SYN");
+  append(TcpFlags::kRst, "RST");
+  append(TcpFlags::kPsh, "PSH");
+  append(TcpFlags::kAck, "ACK");
+  append(TcpFlags::kUrg, "URG");
+  return out;
+}
+
+}  // namespace dm::netflow

@@ -1,0 +1,80 @@
+// TCP flag bitmask plus the illegal-combination predicates used by the
+// signature-based detector (paper §2.2: TCP NULL and Xmas port scans
+// "violate protocol specifications ... not used by normal traffic").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dm::netflow {
+
+/// TCP control-bit mask as carried in a NetFlow record (cumulative OR of the
+/// flags seen on the flow's packets).
+enum class TcpFlags : std::uint8_t {
+  kNone = 0x00,
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+  kUrg = 0x20,
+};
+
+[[nodiscard]] constexpr TcpFlags operator|(TcpFlags a, TcpFlags b) noexcept {
+  return static_cast<TcpFlags>(static_cast<std::uint8_t>(a) |
+                               static_cast<std::uint8_t>(b));
+}
+
+[[nodiscard]] constexpr TcpFlags operator&(TcpFlags a, TcpFlags b) noexcept {
+  return static_cast<TcpFlags>(static_cast<std::uint8_t>(a) &
+                               static_cast<std::uint8_t>(b));
+}
+
+[[nodiscard]] constexpr bool has_flag(TcpFlags flags, TcpFlags bit) noexcept {
+  return (flags & bit) != TcpFlags::kNone;
+}
+
+/// The Xmas-scan signature: FIN+PSH+URG lit simultaneously.
+inline constexpr TcpFlags kXmasFlags =
+    TcpFlags::kFin | TcpFlags::kPsh | TcpFlags::kUrg;
+
+/// Flags of a connection-opening SYN (no ACK) — the unit the SYN-flood
+/// volume detector counts.
+[[nodiscard]] constexpr bool is_pure_syn(TcpFlags flags) noexcept {
+  return has_flag(flags, TcpFlags::kSyn) && !has_flag(flags, TcpFlags::kAck);
+}
+
+/// TCP NULL scan: a TCP segment with no flags at all.
+[[nodiscard]] constexpr bool is_null_scan(TcpFlags flags) noexcept {
+  return flags == TcpFlags::kNone;
+}
+
+/// TCP Xmas scan: FIN, PSH and URG together (and no SYN/ACK/RST).
+[[nodiscard]] constexpr bool is_xmas_scan(TcpFlags flags) noexcept {
+  return (flags & (kXmasFlags | TcpFlags::kSyn | TcpFlags::kAck |
+                   TcpFlags::kRst)) == kXmasFlags;
+}
+
+/// Any flag combination that violates the TCP specification and therefore
+/// signals a scan/fingerprint tool: NULL, Xmas, or SYN+FIN without ACK.
+/// NetFlow flags are the cumulative OR over a flow's packets, so a completed
+/// legitimate connection legitimately shows SYN|FIN|ACK|PSH — the ACK
+/// exclusion keeps those out.
+[[nodiscard]] constexpr bool is_illegal(TcpFlags flags) noexcept {
+  return is_null_scan(flags) || is_xmas_scan(flags) ||
+         (has_flag(flags, TcpFlags::kSyn) && has_flag(flags, TcpFlags::kFin) &&
+          !has_flag(flags, TcpFlags::kAck));
+}
+
+/// Bare RST (no ACK): the backscatter signature of victims of spoofed-source
+/// floods reflecting to the cloud (§3.1 "significant number of inbound TCP
+/// RST packets").
+[[nodiscard]] constexpr bool is_bare_rst(TcpFlags flags) noexcept {
+  return has_flag(flags, TcpFlags::kRst) && !has_flag(flags, TcpFlags::kAck) &&
+         !has_flag(flags, TcpFlags::kSyn);
+}
+
+/// Renders e.g. "SYN|ACK"; "none" for an empty mask.
+[[nodiscard]] std::string to_string(TcpFlags flags);
+
+}  // namespace dm::netflow

@@ -1,0 +1,283 @@
+#include "netflow/trace_io.h"
+
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace dm::netflow {
+namespace {
+
+constexpr std::size_t kBlockRecords = 4096;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// ZigZag for signed minute deltas.
+std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+class ByteCursor {
+ public:
+  explicit ByteCursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos_ >= bytes_.size() || shift > 63) {
+        throw FormatError("trace: truncated varint");
+      }
+      const std::uint8_t b = bytes_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_u16(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff),
+                         static_cast<char>(v >> 8)};
+  out.write(bytes, 2);
+}
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(bytes, 4);
+}
+
+std::uint16_t read_u16(std::istream& in) {
+  unsigned char bytes[2];
+  in.read(reinterpret_cast<char*>(bytes), 2);
+  if (!in) throw FormatError("trace: truncated header");
+  return static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) throw FormatError("trace: truncated header");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+/// Reads a varint directly from the stream (used for block headers).
+/// Returns false cleanly on immediate EOF.
+bool stream_varint(std::istream& in, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      if (shift == 0) return false;
+      throw FormatError("trace: truncated block header");
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) throw FormatError("trace: varint overflow");
+  }
+}
+
+void stream_put_varint(std::ostream& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+TraceWriter::TraceWriter(std::ostream& out, std::uint32_t sampling_denominator)
+    : out_(out) {
+  write_u32(out_, kTraceMagic);
+  write_u16(out_, kTraceVersion);
+  write_u32(out_, sampling_denominator);
+  pending_.reserve(kBlockRecords);
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an explicit finish() surfaces errors.
+  }
+}
+
+void TraceWriter::write(const FlowRecord& record) {
+  pending_.push_back(record);
+  ++count_;
+  if (pending_.size() >= kBlockRecords) flush_block();
+}
+
+void TraceWriter::write_all(std::span<const FlowRecord> records) {
+  for (const auto& r : records) write(r);
+}
+
+void TraceWriter::flush_block() {
+  if (pending_.empty()) return;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(pending_.size() * 16);
+  const util::Minute base = pending_.front().minute;
+  put_varint(payload, zigzag(base));
+  for (const FlowRecord& r : pending_) {
+    put_varint(payload, zigzag(r.minute - base));
+    put_varint(payload, r.src_ip.value());
+    put_varint(payload, r.dst_ip.value());
+    put_varint(payload, r.src_port);
+    put_varint(payload, r.dst_port);
+    put_varint(payload, static_cast<std::uint8_t>(r.protocol));
+    put_varint(payload, static_cast<std::uint8_t>(r.tcp_flags));
+    put_varint(payload, r.packets);
+    put_varint(payload, r.bytes);
+  }
+  stream_put_varint(out_, pending_.size());
+  stream_put_varint(out_, payload.size());
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  write_u32(out_, crc32(payload));
+  if (!out_) throw FormatError("trace: write failure");
+  pending_.clear();
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  flush_block();
+  stream_put_varint(out_, 0);  // end marker
+  out_.flush();
+  finished_ = true;
+  if (!out_) throw FormatError("trace: write failure at finish");
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(in) {
+  if (read_u32(in_) != kTraceMagic) throw FormatError("trace: bad magic");
+  const std::uint16_t version = read_u16(in_);
+  if (version != kTraceVersion) {
+    throw FormatError("trace: unsupported version " + std::to_string(version));
+  }
+  sampling_ = read_u32(in_);
+  if (sampling_ == 0) throw FormatError("trace: zero sampling denominator");
+}
+
+bool TraceReader::load_block() {
+  if (eof_) return false;
+  std::uint64_t record_count = 0;
+  if (!stream_varint(in_, record_count)) {
+    throw FormatError("trace: missing end marker");
+  }
+  if (record_count == 0) {
+    eof_ = true;
+    return false;
+  }
+  std::uint64_t payload_size = 0;
+  if (!stream_varint(in_, payload_size)) {
+    throw FormatError("trace: truncated block");
+  }
+  std::vector<std::uint8_t> payload(payload_size);
+  in_.read(reinterpret_cast<char*>(payload.data()),
+           static_cast<std::streamsize>(payload_size));
+  if (!in_) throw FormatError("trace: truncated block payload");
+  const std::uint32_t expected_crc = read_u32(in_);
+  if (crc32(payload) != expected_crc) throw FormatError("trace: CRC mismatch");
+
+  ByteCursor cursor{payload};
+  const util::Minute base = unzigzag(cursor.varint());
+  block_.clear();
+  block_.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    FlowRecord r;
+    r.minute = base + unzigzag(cursor.varint());
+    r.src_ip = IPv4(static_cast<std::uint32_t>(cursor.varint()));
+    r.dst_ip = IPv4(static_cast<std::uint32_t>(cursor.varint()));
+    r.src_port = static_cast<std::uint16_t>(cursor.varint());
+    r.dst_port = static_cast<std::uint16_t>(cursor.varint());
+    r.protocol = static_cast<Protocol>(cursor.varint());
+    r.tcp_flags = static_cast<TcpFlags>(cursor.varint());
+    r.packets = static_cast<std::uint32_t>(cursor.varint());
+    r.bytes = cursor.varint();
+    block_.push_back(r);
+  }
+  cursor_ = 0;
+  return true;
+}
+
+bool TraceReader::next(FlowRecord& out) {
+  while (cursor_ >= block_.size()) {
+    if (!load_block()) return false;
+  }
+  out = block_[cursor_++];
+  return true;
+}
+
+std::vector<FlowRecord> TraceReader::read_all() {
+  std::vector<FlowRecord> all;
+  FlowRecord r;
+  while (next(r)) all.push_back(r);
+  return all;
+}
+
+void write_trace_file(const std::string& path, std::span<const FlowRecord> records,
+                      std::uint32_t sampling_denominator) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw FormatError("trace: cannot open for writing: " + path);
+  TraceWriter writer(out, sampling_denominator);
+  writer.write_all(records);
+  writer.finish();
+}
+
+std::vector<FlowRecord> read_trace_file(const std::string& path,
+                                        std::uint32_t* sampling) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FormatError("trace: cannot open for reading: " + path);
+  TraceReader reader(in);
+  if (sampling != nullptr) *sampling = reader.sampling_denominator();
+  return reader.read_all();
+}
+
+}  // namespace dm::netflow

@@ -1,0 +1,92 @@
+// Binary serialization of sampled NetFlow traces.
+//
+// Format (little-endian, varint-packed):
+//   file   := header block* end-block
+//   header := magic 'DMNF' (u32) | version (u16) | sampling denominator (u32)
+//   block  := record-count varint (>0) | payload-size varint | payload | crc32
+//   end    := record-count varint == 0
+// Payload packs each record's fields as varints, with the minute
+// delta-encoded against the block's first record. A CRC32 of the payload
+// guards against truncation/corruption; readers throw dm::FormatError.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netflow/flow_record.h"
+
+namespace dm::netflow {
+
+inline constexpr std::uint32_t kTraceMagic = 0x464e4d44;  // "DMNF"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// Streams FlowRecords into an ostream in the block format above.
+class TraceWriter {
+ public:
+  /// Writes the file header immediately. The stream must outlive the writer.
+  TraceWriter(std::ostream& out, std::uint32_t sampling_denominator);
+
+  /// Destructor finishes the file (flushes the open block and writes the end
+  /// marker) if finish() was not called; errors are swallowed there, so call
+  /// finish() explicitly when you care.
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const FlowRecord& record);
+  void write_all(std::span<const FlowRecord> records);
+
+  /// Flushes pending records and writes the end marker. Idempotent.
+  void finish();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return count_; }
+
+ private:
+  void flush_block();
+
+  std::ostream& out_;
+  std::vector<FlowRecord> pending_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Reads a trace produced by TraceWriter. Validates magic, version and
+/// per-block CRCs; throws dm::FormatError on any mismatch.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in);
+
+  [[nodiscard]] std::uint32_t sampling_denominator() const noexcept {
+    return sampling_;
+  }
+
+  /// Reads the next record; false at end of file.
+  [[nodiscard]] bool next(FlowRecord& out);
+
+  /// Reads all remaining records.
+  [[nodiscard]] std::vector<FlowRecord> read_all();
+
+ private:
+  bool load_block();
+
+  std::istream& in_;
+  std::uint32_t sampling_ = 0;
+  std::vector<FlowRecord> block_;
+  std::size_t cursor_ = 0;
+  bool eof_ = false;
+};
+
+/// Convenience round-trips through files on disk.
+void write_trace_file(const std::string& path, std::span<const FlowRecord> records,
+                      std::uint32_t sampling_denominator);
+[[nodiscard]] std::vector<FlowRecord> read_trace_file(const std::string& path,
+                                                      std::uint32_t* sampling = nullptr);
+
+/// CRC32 (IEEE 802.3 polynomial) over a byte span; exposed for tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace dm::netflow

@@ -1,0 +1,199 @@
+#include "netflow/window_aggregator.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace dm::netflow {
+
+std::optional<Direction> classify(const FlowRecord& record,
+                                  const PrefixSet& cloud_space) noexcept {
+  const bool src_cloud = cloud_space.contains(record.src_ip);
+  const bool dst_cloud = cloud_space.contains(record.dst_ip);
+  if (src_cloud == dst_cloud) return std::nullopt;
+  return dst_cloud ? Direction::kInbound : Direction::kOutbound;
+}
+
+WindowedTrace::WindowedTrace(std::vector<FlowRecord> records,
+                             std::vector<Direction> directions,
+                             std::vector<VipMinuteStats> windows,
+                             std::uint64_t unclassified_records)
+    : records_(std::move(records)),
+      directions_(std::move(directions)),
+      windows_(std::move(windows)),
+      unclassified_(unclassified_records) {}
+
+std::span<const FlowRecord> WindowedTrace::records_of(
+    const VipMinuteStats& window) const noexcept {
+  return std::span<const FlowRecord>(records_).subspan(
+      window.first_record, window.last_record - window.first_record);
+}
+
+std::span<const VipMinuteStats> WindowedTrace::series(IPv4 vip,
+                                                      Direction dir) const noexcept {
+  const auto key_less = [](const VipMinuteStats& w,
+                           std::pair<IPv4, Direction> key) {
+    if (w.vip != key.first) return w.vip < key.first;
+    return static_cast<int>(w.direction) < static_cast<int>(key.second);
+  };
+  const auto key_greater = [](std::pair<IPv4, Direction> key,
+                              const VipMinuteStats& w) {
+    if (w.vip != key.first) return key.first < w.vip;
+    return static_cast<int>(key.second) < static_cast<int>(w.direction);
+  };
+  const auto lo = std::lower_bound(windows_.begin(), windows_.end(),
+                                   std::make_pair(vip, dir), key_less);
+  const auto hi = std::upper_bound(lo, windows_.end(), std::make_pair(vip, dir),
+                                   key_greater);
+  return {lo, hi};
+}
+
+std::vector<IPv4> WindowedTrace::vips() const {
+  std::vector<IPv4> out;
+  for (const auto& w : windows_) {
+    if (out.empty() || out.back() != w.vip) out.push_back(w.vip);
+  }
+  // windows_ is sorted by VIP, so adjacent dedup suffices.
+  return out;
+}
+
+WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
+                                const PrefixSet& cloud_space,
+                                const PrefixSet* blacklist) {
+  // Orient every record; drop what the study cannot attribute to a VIP.
+  std::vector<Direction> dirs;
+  dirs.reserve(records.size());
+  std::uint64_t unclassified = 0;
+  {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto dir = classify(records[i], cloud_space);
+      if (!dir) {
+        ++unclassified;
+        continue;
+      }
+      records[keep] = records[i];
+      dirs.push_back(*dir);
+      ++keep;
+    }
+    records.resize(keep);
+  }
+
+  // Sort records and directions together by (vip, direction, minute, remote).
+  std::vector<std::uint32_t> order(records.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto key_of = [&](std::uint32_t i) {
+    const OrientedFlow f{&records[i], dirs[i]};
+    return std::make_tuple(f.vip().value(), static_cast<int>(dirs[i]),
+                           records[i].minute, f.remote_ip().value());
+  };
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return key_of(a) < key_of(b); });
+
+  std::vector<FlowRecord> sorted_records;
+  std::vector<Direction> sorted_dirs;
+  sorted_records.reserve(records.size());
+  sorted_dirs.reserve(records.size());
+  for (std::uint32_t i : order) {
+    sorted_records.push_back(records[i]);
+    sorted_dirs.push_back(dirs[i]);
+  }
+
+  // Single pass building windows; remote IPs arrive sorted within a window,
+  // so distinct counts fall out of adjacent comparisons.
+  std::vector<VipMinuteStats> windows;
+  VipMinuteStats* current = nullptr;
+  IPv4 last_remote, last_admin_remote, last_smtp_remote, last_blacklist_remote;
+  bool any_remote = false, any_admin = false, any_smtp = false, any_blacklist = false;
+
+  for (std::uint32_t i = 0; i < sorted_records.size(); ++i) {
+    const FlowRecord& r = sorted_records[i];
+    const OrientedFlow flow{&r, sorted_dirs[i]};
+    const IPv4 vip = flow.vip();
+
+    if (current == nullptr || current->vip != vip ||
+        current->direction != flow.direction || current->minute != r.minute) {
+      VipMinuteStats w;
+      w.vip = vip;
+      w.minute = r.minute;
+      w.direction = flow.direction;
+      w.first_record = i;
+      w.last_record = i;
+      windows.push_back(w);
+      current = &windows.back();
+      any_remote = any_admin = any_smtp = any_blacklist = false;
+    }
+
+    current->last_record = i + 1;
+    current->packets += r.packets;
+    current->bytes += r.bytes;
+    current->flows += 1;
+
+    switch (r.protocol) {
+      case Protocol::kTcp:
+        current->tcp_packets += r.packets;
+        if (is_pure_syn(r.tcp_flags)) current->syn_packets += r.packets;
+        if (is_null_scan(r.tcp_flags)) current->null_scan_packets += r.packets;
+        if (is_xmas_scan(r.tcp_flags)) current->xmas_scan_packets += r.packets;
+        if (is_bare_rst(r.tcp_flags)) current->bare_rst_packets += r.packets;
+        break;
+      case Protocol::kUdp:
+        current->udp_packets += r.packets;
+        // A DNS response travels *from* the resolver's port 53; for inbound
+        // reflection that is the remote side, for the outbound case the VIP.
+        if (r.src_port == ports::kDns) current->dns_response_packets += r.packets;
+        break;
+      case Protocol::kIcmp:
+        current->icmp_packets += r.packets;
+        break;
+      case Protocol::kIpEncap:
+        current->ipencap_packets += r.packets;
+        break;
+    }
+
+    const IPv4 remote = flow.remote_ip();
+    if (!any_remote || remote != last_remote) {
+      current->unique_remote_ips += 1;
+      last_remote = remote;
+      any_remote = true;
+    }
+
+    const std::uint16_t service_port = flow.service_port();
+    if (r.protocol == Protocol::kTcp && service_port == ports::kSmtp) {
+      current->smtp_flows += 1;
+      current->smtp_packets += r.packets;
+      if (!any_smtp || remote != last_smtp_remote) {
+        current->unique_smtp_remotes += 1;
+        last_smtp_remote = remote;
+        any_smtp = true;
+      }
+    }
+    if (r.protocol == Protocol::kTcp && ports::is_remote_admin(service_port)) {
+      current->remote_admin_flows += 1;
+      current->admin_packets += r.packets;
+      if (!any_admin || remote != last_admin_remote) {
+        current->unique_admin_remotes += 1;
+        last_admin_remote = remote;
+        any_admin = true;
+      }
+    }
+    if (r.protocol == Protocol::kTcp && ports::is_sql(service_port)) {
+      current->sql_flows += 1;
+      current->sql_packets += r.packets;
+    }
+
+    if (blacklist != nullptr && blacklist->contains(remote)) {
+      current->blacklist_flows += 1;
+      current->blacklist_packets += r.packets;
+      if (!any_blacklist || remote != last_blacklist_remote) {
+        current->unique_blacklist_remotes += 1;
+        last_blacklist_remote = remote;
+        any_blacklist = true;
+      }
+    }
+  }
+
+  return WindowedTrace(std::move(sorted_records), std::move(sorted_dirs),
+                       std::move(windows), unclassified);
+}
+
+}  // namespace dm::netflow

@@ -1,0 +1,119 @@
+// Grouping sampled NetFlow into per-(VIP, minute, direction) feature
+// windows — the paper's SCOPE aggregation step ("We aggregate the NetFlow
+// data by VIP in each one-minute window", §2.2) done in-process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netflow/flow_record.h"
+#include "netflow/ipv4.h"
+
+namespace dm::netflow {
+
+/// Aggregated features of one VIP's traffic in one direction during one
+/// one-minute window. All counts are of *sampled* traffic.
+struct VipMinuteStats {
+  IPv4 vip;
+  util::Minute minute = 0;
+  Direction direction = Direction::kInbound;
+
+  // Volumes per protocol / flag class (sampled packets).
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t tcp_packets = 0;
+  std::uint64_t udp_packets = 0;
+  std::uint64_t icmp_packets = 0;
+  std::uint64_t ipencap_packets = 0;
+  std::uint64_t syn_packets = 0;          ///< pure SYN (no ACK)
+  std::uint64_t null_scan_packets = 0;    ///< TCP with no flags
+  std::uint64_t xmas_scan_packets = 0;    ///< FIN+PSH+URG
+  std::uint64_t bare_rst_packets = 0;     ///< RST without ACK/SYN
+  std::uint64_t dns_response_packets = 0; ///< UDP from/to remote port 53
+
+  // Spread features (per-window distinct counts in the sampled data).
+  std::uint32_t flows = 0;
+  std::uint32_t unique_remote_ips = 0;
+  std::uint32_t smtp_flows = 0;             ///< dst port 25
+  std::uint32_t unique_smtp_remotes = 0;    ///< distinct remotes on SMTP flows
+  std::uint32_t remote_admin_flows = 0;     ///< dst port 22/3389/5900
+  std::uint32_t unique_admin_remotes = 0;   ///< distinct remotes on admin flows
+  std::uint32_t sql_flows = 0;              ///< dst port 1433/3306
+
+  // Per-application packet counters (attack-throughput attribution).
+  std::uint64_t smtp_packets = 0;
+  std::uint64_t admin_packets = 0;
+  std::uint64_t sql_packets = 0;
+
+  // Communication-pattern feature.
+  std::uint32_t blacklist_flows = 0;        ///< flows touching a TDS host
+  std::uint32_t unique_blacklist_remotes = 0;
+  std::uint64_t blacklist_packets = 0;
+
+  // Index range [first_record, last_record) into WindowedTrace::records().
+  std::uint32_t first_record = 0;
+  std::uint32_t last_record = 0;
+};
+
+/// The aggregated dataset: oriented records sorted by
+/// (VIP, direction, minute, remote IP) plus one VipMinuteStats per non-empty
+/// window, in the same order. Per-VIP time series are contiguous slices.
+class WindowedTrace {
+ public:
+  WindowedTrace() = default;
+  WindowedTrace(std::vector<FlowRecord> records, std::vector<Direction> directions,
+                std::vector<VipMinuteStats> windows,
+                std::uint64_t unclassified_records);
+
+  [[nodiscard]] std::span<const VipMinuteStats> windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] std::span<const FlowRecord> records() const noexcept {
+    return records_;
+  }
+
+  /// Records belonging to a window (same index space as windows()).
+  [[nodiscard]] std::span<const FlowRecord> records_of(
+      const VipMinuteStats& window) const noexcept;
+
+  /// Direction of records()[i] relative to the cloud.
+  [[nodiscard]] Direction direction_of(std::size_t record_index) const noexcept {
+    return directions_[record_index];
+  }
+
+  /// Contiguous window slice for one (vip, direction) series, sorted by
+  /// minute. Empty when the VIP has no traffic in that direction.
+  [[nodiscard]] std::span<const VipMinuteStats> series(IPv4 vip,
+                                                       Direction dir) const noexcept;
+
+  /// Distinct VIPs present in the trace (either direction), ascending.
+  [[nodiscard]] std::vector<IPv4> vips() const;
+
+  /// Records that matched neither/both cloud prefixes and were dropped.
+  [[nodiscard]] std::uint64_t unclassified_records() const noexcept {
+    return unclassified_;
+  }
+
+ private:
+  std::vector<FlowRecord> records_;
+  std::vector<Direction> directions_;
+  std::vector<VipMinuteStats> windows_;
+  std::uint64_t unclassified_ = 0;
+};
+
+/// Orients a record against the cloud address space: inbound when only the
+/// destination is a cloud address, outbound when only the source is.
+/// nullopt when neither or both are (transit/intra-cloud — outside the
+/// study's scope).
+[[nodiscard]] std::optional<Direction> classify(const FlowRecord& record,
+                                                const PrefixSet& cloud_space) noexcept;
+
+/// Builds the windowed dataset. `blacklist` (may be null) marks TDS hosts
+/// for the communication-pattern feature.
+[[nodiscard]] WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
+                                              const PrefixSet& cloud_space,
+                                              const PrefixSet* blacklist = nullptr);
+
+}  // namespace dm::netflow

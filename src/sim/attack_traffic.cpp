@@ -1,0 +1,320 @@
+#include "sim/attack_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm::sim {
+
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::IPv4;
+using netflow::Protocol;
+using netflow::TcpFlags;
+
+namespace {
+
+std::uint16_t ephemeral_port(util::Rng& rng) noexcept {
+  return static_cast<std::uint16_t>(1024 + rng.below(64512));
+}
+
+/// Mean bytes per packet by attack family.
+double packet_bytes(AttackType t) noexcept {
+  switch (t) {
+    case AttackType::kSynFlood: return 40.0;
+    case AttackType::kUdpFlood: return 480.0;
+    case AttackType::kIcmpFlood: return 84.0;
+    case AttackType::kDnsReflection: return 1500.0;  // full-size responses (§3.1)
+    case AttackType::kSpam: return 620.0;
+    case AttackType::kBruteForce: return 130.0;
+    case AttackType::kSqlInjection: return 420.0;
+    case AttackType::kPortScan: return 40.0;
+    case AttackType::kTds: return 700.0;
+  }
+  return 100.0;
+}
+
+}  // namespace
+
+AttackTrafficModel::AttackTrafficModel(const cloud::AsRegistry& ases,
+                                       const cloud::TdsBlacklist& tds)
+    : ases_(&ases), tds_(&tds) {}
+
+void AttackTrafficModel::emit_minute(const AttackEpisode& e, util::Minute minute,
+                                     const netflow::PacketSampler& sampler,
+                                     util::Rng& rng,
+                                     std::vector<FlowRecord>& out) const {
+  const double pps = e.planned_pps(minute);
+  if (pps <= 0.0) return;
+  // Plateau noise: real floods wobble around their planned rate.
+  const double true_ppm = pps * 60.0 * rng.lognormal_median(1.0, 0.08);
+  const std::uint64_t sampled = rng.poisson(true_ppm * sampler.probability());
+  if (sampled == 0) return;
+
+  switch (e.type) {
+    case AttackType::kSynFlood:
+    case AttackType::kUdpFlood:
+    case AttackType::kIcmpFlood:
+      emit_flood(e, minute, sampled, rng, out);
+      break;
+    case AttackType::kDnsReflection:
+      emit_dns_reflection(e, minute, sampled, rng, out);
+      break;
+    case AttackType::kSpam:
+    case AttackType::kBruteForce:
+    case AttackType::kSqlInjection:
+    case AttackType::kTds:
+      emit_connections(e, minute, sampled, rng, out);
+      break;
+    case AttackType::kPortScan:
+      emit_port_scan(e, minute, sampled, rng, out);
+      break;
+  }
+}
+
+std::vector<AttackTrafficModel::Share> AttackTrafficModel::distribute(
+    const AttackEpisode& e, std::uint64_t sampled_packets, util::Rng& rng) const {
+  std::vector<Share> shares;
+  const std::size_t n = e.remote_hosts.size();
+  if (n == 0) return shares;
+
+  if (sampled_packets >= n * 4) {
+    // Dense regime: Poisson share per host approximates the multinomial.
+    double total_weight = 0.0;
+    if (!e.remote_weights.empty()) {
+      for (double w : e.remote_weights) total_weight += w;
+    } else {
+      total_weight = static_cast<double>(n);
+    }
+    shares.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double w = e.remote_weights.empty() ? 1.0 : e.remote_weights[i];
+      const std::uint64_t pkts = rng.poisson(
+          static_cast<double>(sampled_packets) * w / total_weight);
+      if (pkts > 0) shares.push_back({i, pkts});
+    }
+    return shares;
+  }
+
+  // Sparse regime: draw a host per packet, then merge.
+  std::vector<std::uint32_t> picks;
+  picks.reserve(sampled_packets);
+  for (std::uint64_t p = 0; p < sampled_packets; ++p) {
+    const std::size_t idx =
+        e.remote_weights.empty()
+            ? static_cast<std::size_t>(rng.below(n))
+            : rng.weighted_index(e.remote_weights);
+    picks.push_back(static_cast<std::uint32_t>(idx));
+  }
+  std::sort(picks.begin(), picks.end());
+  for (std::size_t i = 0; i < picks.size();) {
+    std::size_t j = i;
+    while (j < picks.size() && picks[j] == picks[i]) ++j;
+    shares.push_back({picks[i], j - i});
+    i = j;
+  }
+  return shares;
+}
+
+void AttackTrafficModel::emit_flood(const AttackEpisode& e, util::Minute minute,
+                                    std::uint64_t sampled, util::Rng& rng,
+                                    std::vector<FlowRecord>& out) const {
+  const double bytes_per_pkt = packet_bytes(e.type);
+  auto base_record = [&](std::uint64_t pkts) {
+    FlowRecord r;
+    r.minute = minute;
+    r.packets = static_cast<std::uint32_t>(std::min<std::uint64_t>(pkts, 0xffffffffu));
+    r.bytes = static_cast<std::uint64_t>(static_cast<double>(pkts) * bytes_per_pkt);
+    switch (e.type) {
+      case AttackType::kSynFlood:
+        r.protocol = Protocol::kTcp;
+        r.tcp_flags = TcpFlags::kSyn;
+        break;
+      case AttackType::kUdpFlood:
+        r.protocol = Protocol::kUdp;
+        break;
+      default:
+        r.protocol = Protocol::kIcmp;
+        break;
+    }
+    return r;
+  };
+
+  auto fill_endpoints = [&](FlowRecord& r, IPv4 remote) {
+    std::uint16_t remote_port = ephemeral_port(rng);
+    if (e.type == AttackType::kSynFlood && e.fixed_source_ports) {
+      remote_port = rng.chance(0.5) ? 1024 : 3072;  // juno tool bug (§4.4)
+    }
+    if (e.direction == Direction::kInbound) {
+      r.src_ip = remote;
+      r.dst_ip = e.vip;
+      r.src_port = remote_port;
+      r.dst_port = e.target_port;
+    } else {
+      r.src_ip = e.vip;
+      r.dst_ip = remote;
+      r.src_port = ephemeral_port(rng);
+      r.dst_port = e.target_port;
+    }
+    if (e.type == AttackType::kIcmpFlood) {
+      r.src_port = 0;
+      r.dst_port = 0;
+    }
+  };
+
+  if (e.spoofed_sources && e.direction == Direction::kInbound) {
+    // Every spoofed source is unique, so every sampled packet is its own
+    // flow record. Cap the per-minute record count for pathological rates.
+    const std::uint64_t records = std::min<std::uint64_t>(sampled, 60'000);
+    const std::uint64_t per_record = std::max<std::uint64_t>(1, sampled / records);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      FlowRecord r = base_record(per_record);
+      fill_endpoints(r, cloud::AsRegistry::spoofed_address(rng));
+      out.push_back(r);
+    }
+    return;
+  }
+
+  for (const Share& share : distribute(e, sampled, rng)) {
+    FlowRecord r = base_record(share.packets);
+    fill_endpoints(r, e.remote_hosts[share.host_index]);
+    out.push_back(r);
+  }
+}
+
+void AttackTrafficModel::emit_dns_reflection(const AttackEpisode& e,
+                                             util::Minute minute,
+                                             std::uint64_t sampled, util::Rng& rng,
+                                             std::vector<FlowRecord>& out) const {
+  // Responses travel resolver:53 -> victim:ephemeral.
+  for (const Share& share : distribute(e, sampled, rng)) {
+    FlowRecord r;
+    r.minute = minute;
+    r.protocol = Protocol::kUdp;
+    r.packets = static_cast<std::uint32_t>(share.packets);
+    r.bytes = share.packets * 1500;
+    const IPv4 remote = e.remote_hosts[share.host_index];
+    if (e.direction == Direction::kInbound) {
+      r.src_ip = remote;      // open resolver in the Internet
+      r.dst_ip = e.vip;       // reflection victim in the cloud
+      r.src_port = netflow::ports::kDns;
+      r.dst_port = ephemeral_port(rng);
+    } else {
+      r.src_ip = e.vip;       // the cloud-hosted DNS server case (§3.1)
+      r.dst_ip = remote;
+      r.src_port = netflow::ports::kDns;
+      r.dst_port = ephemeral_port(rng);
+    }
+    out.push_back(r);
+  }
+}
+
+void AttackTrafficModel::emit_connections(const AttackEpisode& e,
+                                          util::Minute minute,
+                                          std::uint64_t sampled, util::Rng& rng,
+                                          std::vector<FlowRecord>& out) const {
+  // Each sampled connection is its own flow (fresh ephemeral port). Bound
+  // the record count, folding excess packets into the connections.
+  const std::uint64_t connections = std::min<std::uint64_t>(sampled, 20'000);
+  const double bytes_per_pkt = packet_bytes(e.type);
+
+  for (std::uint64_t c = 0; c < connections; ++c) {
+    const std::size_t host_idx =
+        e.remote_weights.empty()
+            ? static_cast<std::size_t>(rng.below(e.remote_hosts.size()))
+            : rng.weighted_index(e.remote_weights);
+    const IPv4 remote = e.remote_hosts[host_idx];
+
+    FlowRecord r;
+    r.minute = minute;
+    r.protocol = Protocol::kTcp;
+    r.packets = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, sampled / connections));
+    r.bytes = static_cast<std::uint64_t>(static_cast<double>(r.packets) *
+                                         bytes_per_pkt);
+    // Completed handshake plus payload; brute-force attempts usually reset.
+    r.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck | TcpFlags::kPsh;
+    if (e.type == AttackType::kBruteForce && rng.chance(0.4)) {
+      r.tcp_flags = r.tcp_flags | TcpFlags::kRst;
+    }
+
+    std::uint16_t remote_port = ephemeral_port(rng);
+    std::uint16_t service_port = e.target_port;
+    if (e.type == AttackType::kTds) {
+      // TDS hosts serve from ports uniform in [1024, 5000] (§3.1).
+      service_port = cloud::TdsBlacklist::random_tds_port(rng);
+    }
+
+    if (e.direction == Direction::kInbound) {
+      r.src_ip = remote;
+      r.dst_ip = e.vip;
+      if (e.type == AttackType::kTds) {
+        r.src_port = service_port;        // TDS host's serving port
+        r.dst_port = e.target_port != 0 ? e.target_port : ephemeral_port(rng);
+      } else {
+        r.src_port = remote_port;
+        r.dst_port = e.target_port;       // attacked service on the VIP
+      }
+    } else {
+      r.src_ip = e.vip;
+      r.dst_ip = remote;
+      if (e.type == AttackType::kTds) {
+        r.src_port = ephemeral_port(rng);
+        r.dst_port = service_port;        // contacting the TDS host
+      } else {
+        r.src_port = remote_port;
+        r.dst_port = e.target_port;       // attacked service in the Internet
+      }
+    }
+    out.push_back(r);
+  }
+}
+
+void AttackTrafficModel::emit_port_scan(const AttackEpisode& e,
+                                        util::Minute minute,
+                                        std::uint64_t sampled, util::Rng& rng,
+                                        std::vector<FlowRecord>& out) const {
+  // Every probe has a distinct destination port, so every sampled packet is
+  // a distinct flow. Cap and fold as in emit_connections.
+  const std::uint64_t probes = std::min<std::uint64_t>(sampled, 20'000);
+
+  for (std::uint64_t p = 0; p < probes; ++p) {
+    const std::size_t host_idx =
+        static_cast<std::size_t>(rng.below(e.remote_hosts.size()));
+    const IPv4 remote = e.remote_hosts[host_idx];
+
+    FlowRecord r;
+    r.minute = minute;
+    r.protocol = Protocol::kTcp;
+    r.packets = static_cast<std::uint32_t>(std::max<std::uint64_t>(1, sampled / probes));
+    r.bytes = r.packets * 40;
+    switch (e.scan_kind) {
+      case PortScanKind::kNull:
+        r.tcp_flags = TcpFlags::kNone;
+        break;
+      case PortScanKind::kXmas:
+        r.tcp_flags = netflow::kXmasFlags;
+        break;
+      case PortScanKind::kRstBackscatter:
+        r.tcp_flags = TcpFlags::kRst;
+        break;
+    }
+
+    const std::uint16_t scanned_port =
+        e.target_port != 0 ? e.target_port
+                           : static_cast<std::uint16_t>(1 + rng.below(65535));
+    if (e.direction == Direction::kInbound) {
+      r.src_ip = remote;
+      r.dst_ip = e.vip;
+      r.src_port = ephemeral_port(rng);
+      r.dst_port = scanned_port;
+    } else {
+      r.src_ip = e.vip;
+      r.dst_ip = remote;
+      r.src_port = ephemeral_port(rng);
+      r.dst_port = scanned_port;
+    }
+    out.push_back(r);
+  }
+}
+
+}  // namespace dm::sim

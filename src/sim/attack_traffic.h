@@ -1,0 +1,63 @@
+// Turning ground-truth attack episodes into sampled NetFlow records.
+//
+// One emitter per attack family; the dispatcher picks by episode type. Flood
+// traffic aggregates into one record per (source, minute) — how NetFlow
+// represents a sustained flow — while connection-style attacks (brute-force,
+// SQL, spam, TDS, scans) produce one record per sampled connection, because
+// every connection has a fresh ephemeral port and therefore its own flow key
+// (the paper's "70K flows per minute with a few packets sampled in each
+// flow", §4.2).
+#pragma once
+
+#include <vector>
+
+#include "cloud/as_registry.h"
+#include "cloud/tds_blacklist.h"
+#include "netflow/flow_record.h"
+#include "netflow/sampler.h"
+#include "sim/episode.h"
+#include "util/rng.h"
+
+namespace dm::sim {
+
+class AttackTrafficModel {
+ public:
+  AttackTrafficModel(const cloud::AsRegistry& ases, const cloud::TdsBlacklist& tds);
+
+  /// Emits the sampled records of `episode` for `minute` into `out`.
+  /// No-op when the episode is inactive at that minute or no packet
+  /// survives sampling.
+  void emit_minute(const AttackEpisode& episode, util::Minute minute,
+                   const netflow::PacketSampler& sampler, util::Rng& rng,
+                   std::vector<netflow::FlowRecord>& out) const;
+
+ private:
+  struct Share {
+    std::uint32_t host_index = 0;
+    std::uint64_t packets = 0;
+  };
+
+  /// Distributes `sampled_packets` over the episode's remote hosts by
+  /// weight; at most one Share per host.
+  [[nodiscard]] std::vector<Share> distribute(const AttackEpisode& episode,
+                                              std::uint64_t sampled_packets,
+                                              util::Rng& rng) const;
+
+  void emit_flood(const AttackEpisode& e, util::Minute minute,
+                  std::uint64_t sampled, util::Rng& rng,
+                  std::vector<netflow::FlowRecord>& out) const;
+  void emit_dns_reflection(const AttackEpisode& e, util::Minute minute,
+                           std::uint64_t sampled, util::Rng& rng,
+                           std::vector<netflow::FlowRecord>& out) const;
+  void emit_connections(const AttackEpisode& e, util::Minute minute,
+                        std::uint64_t sampled, util::Rng& rng,
+                        std::vector<netflow::FlowRecord>& out) const;
+  void emit_port_scan(const AttackEpisode& e, util::Minute minute,
+                      std::uint64_t sampled, util::Rng& rng,
+                      std::vector<netflow::FlowRecord>& out) const;
+
+  const cloud::AsRegistry* ases_;
+  const cloud::TdsBlacklist* tds_;
+};
+
+}  // namespace dm::sim

@@ -1,0 +1,112 @@
+// The nine attack classes of the study (paper Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace dm::sim {
+
+/// Attack taxonomy of Table 1.
+enum class AttackType : std::uint8_t {
+  kSynFlood,       ///< TCP SYN flood (volume-based detection)
+  kUdpFlood,       ///< UDP flood (volume-based)
+  kIcmpFlood,      ///< ICMP flood (volume-based)
+  kDnsReflection,  ///< DNS reflection/amplification (volume-based)
+  kSpam,           ///< email spam (spread-based)
+  kBruteForce,     ///< SSH/RDP/VNC password guessing (spread-based)
+  kSqlInjection,   ///< SQL vulnerability probing (spread-based)
+  kPortScan,       ///< NULL/Xmas scans (signature + spread-based)
+  kTds,            ///< malicious web activity via TDS hosts (communication
+                   ///< pattern-based)
+};
+
+inline constexpr AttackType kAllAttackTypes[] = {
+    AttackType::kSynFlood, AttackType::kUdpFlood,      AttackType::kIcmpFlood,
+    AttackType::kDnsReflection, AttackType::kSpam,     AttackType::kBruteForce,
+    AttackType::kSqlInjection,  AttackType::kPortScan, AttackType::kTds,
+};
+
+inline constexpr std::size_t kAttackTypeCount = std::size(kAllAttackTypes);
+
+[[nodiscard]] constexpr std::size_t index_of(AttackType t) noexcept {
+  return static_cast<std::size_t>(t);
+}
+
+[[nodiscard]] constexpr std::string_view to_string(AttackType t) noexcept {
+  switch (t) {
+    case AttackType::kSynFlood: return "SYN";
+    case AttackType::kUdpFlood: return "UDP";
+    case AttackType::kIcmpFlood: return "ICMP";
+    case AttackType::kDnsReflection: return "DNS";
+    case AttackType::kSpam: return "SPAM";
+    case AttackType::kBruteForce: return "Brute-force";
+    case AttackType::kSqlInjection: return "SQL";
+    case AttackType::kPortScan: return "PortScan";
+    case AttackType::kTds: return "TDS";
+  }
+  return "?";
+}
+
+/// Volume-based attacks (Table 1 "Detection method" column).
+[[nodiscard]] constexpr bool is_volume_based(AttackType t) noexcept {
+  return t == AttackType::kSynFlood || t == AttackType::kUdpFlood ||
+         t == AttackType::kIcmpFlood || t == AttackType::kDnsReflection;
+}
+
+/// The flood subtypes (SYN/UDP/ICMP).
+[[nodiscard]] constexpr bool is_flood(AttackType t) noexcept {
+  return t == AttackType::kSynFlood || t == AttackType::kUdpFlood ||
+         t == AttackType::kIcmpFlood;
+}
+
+/// Spread-based attacks.
+[[nodiscard]] constexpr bool is_spread_based(AttackType t) noexcept {
+  return t == AttackType::kSpam || t == AttackType::kBruteForce ||
+         t == AttackType::kSqlInjection;
+}
+
+/// Per-type inactive timeout from Table 1: consecutive attack minutes of the
+/// same (VIP, type) separated by no more than this many quiet minutes belong
+/// to the same attack incident.
+[[nodiscard]] constexpr util::Minute inactive_timeout(AttackType t) noexcept {
+  switch (t) {
+    case AttackType::kSynFlood: return 1;
+    case AttackType::kUdpFlood: return 1;
+    case AttackType::kIcmpFlood: return 120;
+    case AttackType::kDnsReflection: return 60;
+    case AttackType::kSpam: return 60;
+    case AttackType::kBruteForce: return 60;
+    case AttackType::kSqlInjection: return 30;
+    case AttackType::kPortScan: return 60;
+    case AttackType::kTds: return 120;
+  }
+  return 60;
+}
+
+/// Brute-force target protocols (§2.2: SSH, RDP, VNC).
+enum class BruteForceProtocol : std::uint8_t { kSsh, kRdp, kVnc };
+
+[[nodiscard]] constexpr std::string_view to_string(BruteForceProtocol p) noexcept {
+  switch (p) {
+    case BruteForceProtocol::kSsh: return "SSH";
+    case BruteForceProtocol::kRdp: return "RDP";
+    case BruteForceProtocol::kVnc: return "VNC";
+  }
+  return "?";
+}
+
+/// Port-scan flavors the signature detector recognizes.
+enum class PortScanKind : std::uint8_t { kNull, kXmas, kRstBackscatter };
+
+[[nodiscard]] constexpr std::string_view to_string(PortScanKind k) noexcept {
+  switch (k) {
+    case PortScanKind::kNull: return "NULL";
+    case PortScanKind::kXmas: return "Xmas";
+    case PortScanKind::kRstBackscatter: return "RST";
+  }
+  return "?";
+}
+
+}  // namespace dm::sim

@@ -1,0 +1,189 @@
+#include "sim/benign_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm::sim {
+
+using cloud::AsClass;
+using cloud::GeoRegion;
+using cloud::ServiceProfile;
+using cloud::ServiceType;
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::IPv4;
+using netflow::Protocol;
+using netflow::TcpFlags;
+
+namespace {
+
+/// Where benign clients come from: mostly ISPs, consumer and mobile
+/// networks. Indexed like cloud::kAllAsClasses.
+constexpr double kBenignClientMix[] = {6, 8, 15, 20, 20, 18, 8, 2, 3};
+
+/// UTC offset (hours) approximating each region's local time.
+int utc_offset_hours(GeoRegion region) noexcept {
+  switch (region) {
+    case GeoRegion::kNorthAmericaWest: return -8;
+    case GeoRegion::kNorthAmericaEast: return -5;
+    case GeoRegion::kWesternEurope: return 1;
+    case GeoRegion::kSpain: return 1;
+    case GeoRegion::kFrance: return 1;
+    case GeoRegion::kEasternEurope: return 2;
+    case GeoRegion::kRomania: return 2;
+    case GeoRegion::kEastAsia: return 8;
+    case GeoRegion::kSoutheastAsia: return 8;
+    case GeoRegion::kOceania: return 10;
+    case GeoRegion::kLatinAmerica: return -4;
+    case GeoRegion::kAfrica: return 2;
+  }
+  return 0;
+}
+
+std::uint16_t ephemeral_port(util::Rng& rng) noexcept {
+  return static_cast<std::uint16_t>(1024 + rng.below(64512));
+}
+
+}  // namespace
+
+double diurnal_factor(util::Minute minute, GeoRegion region) noexcept {
+  const double local_minute =
+      static_cast<double>(util::minute_of_day(minute)) +
+      60.0 * utc_offset_hours(region);
+  // Peak at 15:00 local, trough at 03:00.
+  const double phase = 2.0 * 3.14159265358979323846 *
+                       (local_minute - 15.0 * 60.0) / 1440.0;
+  return 1.0 + 0.45 * std::cos(phase);
+}
+
+BenignTrafficModel::BenignTrafficModel(const ScenarioConfig& config,
+                                       const cloud::VipRegistry& vips,
+                                       const cloud::AsRegistry& ases,
+                                       std::uint64_t seed,
+                                       const cloud::TdsBlacklist* tds)
+    : config_(&config), vips_(&vips), trace_end_(config.total_minutes()) {
+  util::Rng rng(seed ^ 0xbe9119'be9119ULL);
+  pools_.resize(vips.size());
+  for (std::uint32_t i = 0; i < vips.size(); ++i) {
+    const auto& vip = vips.all()[i];
+    double clients_per_minute = 0.0;
+    for (ServiceType s : vip.services) {
+      clients_per_minute += cloud::profile_of(s).base_clients_per_minute;
+    }
+    clients_per_minute *= vip.popularity;
+    const auto pool_size = static_cast<std::size_t>(
+        std::clamp(clients_per_minute * 8.0, 8.0, 20'000.0));
+    auto& pool = pools_[i];
+    pool.reserve(pool_size);
+    for (std::size_t k = 0; k < pool_size; ++k) {
+      const AsClass cls =
+          cloud::kAllAsClasses[rng.weighted_index(kBenignClientMix)];
+      netflow::IPv4 host = ases.host_in_class(cls, rng);
+      for (int retry = 0; tds != nullptr && tds->contains(host) && retry < 8;
+           ++retry) {
+        host = ases.host_in_class(cls, rng);
+      }
+      pool.push_back(host);
+    }
+  }
+}
+
+void BenignTrafficModel::emit_minute(std::uint32_t vip_index, util::Minute minute,
+                                     const netflow::PacketSampler& sampler,
+                                     util::Rng& rng,
+                                     std::vector<FlowRecord>& out) const {
+  const cloud::VipInfo& vip = vips_->all()[vip_index];
+  if (!vip.active_at(minute, trace_end_)) return;
+  const GeoRegion region = vips_->data_centers()[vip.data_center].region;
+  const double diurnal = diurnal_factor(minute, region);
+  const std::span<const IPv4> pool = pools_[vip_index];
+
+  for (ServiceType s : vip.services) {
+    const ServiceProfile& profile = cloud::profile_of(s);
+    const double scale = vip.popularity * config_->benign_scale * diurnal;
+    const double true_in_ppm = profile.base_packets_per_minute * scale;
+    const double true_out_ppm = true_in_ppm * profile.response_ratio;
+    const double active_clients =
+        std::max(1.0, profile.base_clients_per_minute * scale);
+
+    const std::uint64_t in_sampled = rng.poisson(true_in_ppm * sampler.probability());
+    if (in_sampled > 0) {
+      emit_flows(vip.vip, profile, minute, in_sampled, active_clients,
+                 /*outbound=*/false, rng, pool, out);
+    }
+    const std::uint64_t out_sampled =
+        rng.poisson(true_out_ppm * sampler.probability());
+    if (out_sampled > 0) {
+      emit_flows(vip.vip, profile, minute, out_sampled, active_clients,
+                 /*outbound=*/true, rng, pool, out);
+    }
+  }
+}
+
+void BenignTrafficModel::emit_flows(IPv4 vip, const ServiceProfile& profile,
+                                    util::Minute minute,
+                                    std::uint64_t sampled_packets,
+                                    double active_clients, bool outbound,
+                                    util::Rng& rng, std::span<const IPv4> pool,
+                                    std::vector<FlowRecord>& out) const {
+  // How many distinct client flows do the sampled packets land in?
+  const std::uint64_t client_draw = std::max<std::uint64_t>(
+      1, rng.poisson(std::min(active_clients, 4'000.0)));
+  const std::uint64_t flows = std::min(sampled_packets, client_draw);
+
+  // Split sampled packets across flows: give each flow one packet, then
+  // scatter the remainder uniformly.
+  std::vector<std::uint64_t> pkts(flows, 1);
+  for (std::uint64_t extra = sampled_packets - flows; extra > 0; --extra) {
+    pkts[static_cast<std::size_t>(rng.below(flows))] += 1;
+  }
+
+  for (std::uint64_t f = 0; f < flows; ++f) {
+    const IPv4 client = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    FlowRecord r;
+    r.minute = minute;
+    r.protocol = profile.protocol;
+    r.packets = static_cast<std::uint32_t>(pkts[static_cast<std::size_t>(f)]);
+    r.bytes = static_cast<std::uint64_t>(
+        static_cast<double>(r.packets) * profile.mean_packet_bytes *
+        rng.lognormal_median(1.0, 0.2));
+
+    const std::uint16_t service_port =
+        profile.port_count > 1 && rng.chance(0.5) ? profile.ports[1]
+                                                  : profile.ports[0];
+    if (profile.protocol == Protocol::kTcp) {
+      // Cumulative flag OR of a normal exchange; a small share of lone SYNs
+      // (unanswered connection attempts) keeps the baseline realistic.
+      const double roll = rng.uniform01();
+      if (roll < 0.60) {
+        r.tcp_flags = TcpFlags::kAck | TcpFlags::kPsh;
+      } else if (roll < 0.97) {
+        r.tcp_flags =
+            TcpFlags::kSyn | TcpFlags::kAck | TcpFlags::kPsh | TcpFlags::kFin;
+      } else {
+        r.tcp_flags = TcpFlags::kSyn;
+        r.packets = 1;
+        r.bytes = 40;
+      }
+    }
+
+    if (!outbound) {
+      r.src_ip = client;
+      r.dst_ip = vip;
+      r.src_port = ephemeral_port(rng);
+      r.dst_port = service_port;
+    } else {
+      r.src_ip = vip;
+      r.dst_ip = client;
+      r.src_port = service_port;
+      r.dst_port = ephemeral_port(rng);
+    }
+    if (profile.protocol == Protocol::kIpEncap) {
+      r.src_port = 0;
+      r.dst_port = 0;
+    }
+    out.push_back(r);
+  }
+}
+
+}  // namespace dm::sim

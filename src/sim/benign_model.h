@@ -1,0 +1,63 @@
+// Benign traffic synthesis.
+//
+// For every active VIP and minute, the model derives the true packet volume
+// of each hosted service (base rate x popularity x diurnal curve x noise),
+// thins it through the NetFlow sampler, and materializes the surviving
+// packets as flow records against the VIP's stable client pool. Most
+// VIP-minutes yield nothing — exactly like 1:4096-sampled NetFlow of a
+// long-tail tenant population.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/as_registry.h"
+#include "cloud/tds_blacklist.h"
+#include "cloud/vip_registry.h"
+#include "netflow/flow_record.h"
+#include "netflow/sampler.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace dm::sim {
+
+class BenignTrafficModel {
+ public:
+  /// Builds per-VIP client pools (deterministic from `seed`). Pool hosts
+  /// never coincide with TDS-blacklisted addresses when `tds` is given —
+  /// legitimate clients do not live on dedicated malicious hosts.
+  BenignTrafficModel(const ScenarioConfig& config, const cloud::VipRegistry& vips,
+                     const cloud::AsRegistry& ases, std::uint64_t seed,
+                     const cloud::TdsBlacklist* tds = nullptr);
+
+  /// Emits the sampled benign records of one VIP for one minute (both
+  /// directions) into `out`. `vip_index` indexes VipRegistry::all().
+  void emit_minute(std::uint32_t vip_index, util::Minute minute,
+                   const netflow::PacketSampler& sampler, util::Rng& rng,
+                   std::vector<netflow::FlowRecord>& out) const;
+
+  /// The client pool backing a VIP (exposed for tests).
+  [[nodiscard]] std::span<const netflow::IPv4> pool_of(std::uint32_t vip_index) const {
+    return pools_[vip_index];
+  }
+
+ private:
+  void emit_flows(netflow::IPv4 vip, const cloud::ServiceProfile& profile,
+                  util::Minute minute, std::uint64_t sampled_packets,
+                  double active_clients, bool outbound, util::Rng& rng,
+                  std::span<const netflow::IPv4> pool,
+                  std::vector<netflow::FlowRecord>& out) const;
+
+  const ScenarioConfig* config_;
+  const cloud::VipRegistry* vips_;
+  util::Minute trace_end_;
+  std::vector<std::vector<netflow::IPv4>> pools_;
+};
+
+/// Diurnal load factor in [0.55, 1.45]: peak in the data center region's
+/// local afternoon. Exposed for tests and the volume-detector property
+/// suite (the EWMA baseline must absorb it without alarms).
+[[nodiscard]] double diurnal_factor(util::Minute minute,
+                                    cloud::GeoRegion region) noexcept;
+
+}  // namespace dm::sim

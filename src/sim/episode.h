@@ -1,0 +1,106 @@
+// Ground-truth attack episodes.
+//
+// The scheduler plans episodes; the traffic generator turns them into
+// sampled NetFlow; validation and calibration compare detector output
+// against them. An episode is one contiguous attack by one actor against or
+// from one VIP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cloud/as_registry.h"
+#include "netflow/flow_record.h"
+#include "sim/attack_type.h"
+#include "util/time.h"
+
+namespace dm::sim {
+
+/// One planned attack.
+struct AttackEpisode {
+  std::uint32_t id = 0;
+  AttackType type = AttackType::kSynFlood;
+  netflow::Direction direction = netflow::Direction::kInbound;
+  netflow::IPv4 vip;  ///< the cloud endpoint (victim if inbound, source if outbound)
+
+  util::Minute start = 0;
+  util::Minute end = 0;  ///< exclusive
+  /// Peak true (unsampled) packets-per-second of the episode.
+  double peak_true_pps = 0.0;
+  /// Minutes from start until the rate reaches 90% of peak (§5.2 ramp-up).
+  double ramp_up_minutes = 1.0;
+
+  /// Shared by episodes launched by the same actor at the same time against
+  /// multiple VIPs ("attacks on multiple VIPs", §4.3). 0 = standalone.
+  std::uint32_t campaign_id = 0;
+  /// Shared by simultaneous different-type attacks on one VIP
+  /// ("multi-vector attacks", §4.2). 0 = standalone.
+  std::uint32_t multi_vector_group = 0;
+
+  /// Destination port of the attack traffic (the targeted application).
+  std::uint16_t target_port = 0;
+  BruteForceProtocol brute_force_protocol = BruteForceProtocol::kSsh;
+  PortScanKind scan_kind = PortScanKind::kNull;
+  /// SYN floods: sources drawn uniformly from the whole address space
+  /// (§6.1: 67.1% of SYN floods are spoofed).
+  bool spoofed_sources = false;
+  /// The juno SYN-flood tool bug (§4.4): all attack packets carry source
+  /// port 1024 or 3072.
+  bool fixed_source_ports = false;
+
+  /// Remote endpoints (attack sources for inbound, victims for outbound).
+  /// Empty when sources are spoofed (drawn fresh per packet).
+  std::vector<netflow::IPv4> remote_hosts;
+  /// Unnormalized weight of each remote host's share of the traffic
+  /// (parallel to remote_hosts; empty = uniform). Lets a few hosts dominate,
+  /// e.g. Fig 5's "70.3% of attack packets are from three IP addresses".
+  std::vector<double> remote_weights;
+
+  /// Spam's on-off pattern (§3.1): when > 0, the episode alternates
+  /// `on_minutes` of traffic with `off_minutes` of silence.
+  util::Minute on_minutes = 0;
+  util::Minute off_minutes = 0;
+
+  [[nodiscard]] util::Minute duration() const noexcept { return end - start; }
+  [[nodiscard]] bool active_at(util::Minute m) const noexcept {
+    if (m < start || m >= end) return false;
+    if (on_minutes <= 0) return true;
+    const util::Minute phase = (m - start) % (on_minutes + off_minutes);
+    return phase < on_minutes;
+  }
+
+  /// Planned true pps averaged over minute m: linear ramp to peak over
+  /// ramp_up_minutes, then plateau. The rate is evaluated at the middle of
+  /// the minute, so a one-minute attack with a sub-minute ramp still spends
+  /// the window at its peak. 0 outside the episode or in an off-phase.
+  [[nodiscard]] double planned_pps(util::Minute m) const noexcept {
+    if (!active_at(m)) return 0.0;
+    const double mid = static_cast<double>(m - start) + 0.5;
+    if (ramp_up_minutes <= 0.0 || mid >= ramp_up_minutes) return peak_true_pps;
+    // Reach 90% of peak at ramp_up_minutes, interpolating from 10%.
+    const double t = mid / ramp_up_minutes;
+    return peak_true_pps * (0.1 + 0.8 * t);
+  }
+};
+
+/// The full ground truth of a generated scenario.
+struct GroundTruth {
+  std::vector<AttackEpisode> episodes;
+
+  [[nodiscard]] std::span<const AttackEpisode> all() const noexcept {
+    return episodes;
+  }
+
+  /// Episodes of one type/direction (convenience for calibration checks).
+  [[nodiscard]] std::vector<const AttackEpisode*> of(
+      AttackType type, netflow::Direction dir) const {
+    std::vector<const AttackEpisode*> out;
+    for (const auto& e : episodes) {
+      if (e.type == type && e.direction == dir) out.push_back(&e);
+    }
+    return out;
+  }
+};
+
+}  // namespace dm::sim

@@ -1,0 +1,348 @@
+#include "sim/scenario.h"
+
+namespace dm::sim {
+
+using netflow::Direction;
+
+namespace {
+
+// AS-class weight arrays are indexed {BigCloud, SmallCloud, Mobile,
+// LargeISP, SmallISP, Customer, EDU, IXP, NIC} (cloud::kAllAsClasses order).
+// Inbound weights describe attack *origins* (Fig 11a: small ISPs ~25%,
+// customer networks ~16%; Fig 12: big clouds mostly UDP/SQL/TDS, mobile
+// mostly UDP/DNS/brute-force). Outbound weights describe attack *targets*
+// (Fig 15a: 42% big cloud, small ISP 25%, customer 13%).
+
+constexpr std::array<double, 9> kInSynOrigins{2, 10, 5, 15, 30, 25, 8, 3, 2};
+constexpr std::array<double, 9> kInUdpOrigins{15, 10, 10, 12, 25, 15, 5, 5, 3};
+constexpr std::array<double, 9> kInIcmpOrigins{3, 10, 6, 15, 28, 22, 8, 5, 3};
+constexpr std::array<double, 9> kInDnsOrigins{10, 10, 11, 11, 11, 11, 12, 13, 11};
+constexpr std::array<double, 9> kInSpamOrigins{20, 10, 2, 15, 25, 25, 2, 1, 0.4};
+constexpr std::array<double, 9> kInBfOrigins{3, 15, 12, 10, 25, 20, 8, 4, 3};
+constexpr std::array<double, 9> kInSqlOrigins{25, 15, 3, 10, 20, 15, 5, 4, 3};
+constexpr std::array<double, 9> kInScanOrigins{4, 12, 6, 14, 26, 20, 8, 6, 4};
+constexpr std::array<double, 9> kInTdsOrigins{};  // unused: hosts come from the blacklist
+
+constexpr std::array<double, 9> kOutSynTargets{20, 15, 2, 12, 25, 15, 5, 4, 2};
+constexpr std::array<double, 9> kOutUdpTargets{18, 20, 2, 12, 22, 15, 5, 4, 2};
+constexpr std::array<double, 9> kOutIcmpTargets{15, 15, 3, 15, 25, 18, 5, 2, 2};
+constexpr std::array<double, 9> kOutDnsTargets{10, 10, 3, 25, 25, 17, 5, 3, 2};
+constexpr std::array<double, 9> kOutSpamTargets{10, 25, 1, 30, 12, 18, 2, 1, 1};
+constexpr std::array<double, 9> kOutBfTargets{8, 12, 1.4, 12, 30, 25, 6, 3, 2};
+constexpr std::array<double, 9> kOutSqlTargets{50, 12, 1, 8, 12, 10, 3, 2, 2};
+constexpr std::array<double, 9> kOutScanTargets{10, 12, 3, 15, 28, 22, 5, 3, 2};
+constexpr std::array<double, 9> kOutTdsTargets{};  // unused: blacklist hosts
+
+/// Builds the 18-entry table once. Shares per direction are normalized by
+/// the scheduler; the raw values below are the Fig 2 bar heights (in % of
+/// *all* attacks) so out/in ratios (§3.1: SYN x5, UDP x2, BF x4, SQL x5)
+/// hold by construction.
+std::array<std::array<AttackParams, kAttackTypeCount>, 2> build_tables() {
+  std::array<std::array<AttackParams, kAttackTypeCount>, 2> t{};
+  auto& in = t[0];
+  auto& out = t[1];
+
+  // ---------- TCP SYN flood ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kSynFlood)];
+    p.session_share = 6.5;
+    p.p_single = 0.30;
+    p.repeat_cap = 39;  // Fig 3a tail: 39 inbound attacks in a day
+    p.peak_pps_median = 25'000, p.peak_pps_sigma = 1.6, p.peak_pps_cap = 1.7e6;
+    p.duration_median = 6, p.duration_sigma = 1.1, p.duration_cap = 600;
+    p.interarrival_median = 100, p.ramp_up_median = 2.5;
+    p.host_count_median = 60, p.host_count_sigma = 1.4, p.host_count_cap = 4'000;
+    p.spoofed_fraction = 0.671;  // §6.1
+    p.campaign_probability = 0.02, p.campaign_size_median = 2, p.campaign_size_cap = 8;
+    p.multi_vector_probability = 0.28;
+    p.origin_class_weights = kInSynOrigins;
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kSynFlood)];
+    p.session_share = 4.0;  // ~5x inbound (plus the scripted serial attacker
+                            // and the multi-vector SYN companions)
+    p.p_single = 0.33;
+    p.repeat_alpha = 1.05;
+    p.repeat_cap = 150;  // §4.1: one VIP with >144 SYN floods in a day
+    p.peak_pps_median = 14'000, p.peak_pps_sigma = 1.1, p.peak_pps_cap = 184'000;
+    p.duration_median = 3, p.duration_sigma = 1.0, p.duration_cap = 200;
+    p.interarrival_median = 25, p.ramp_up_median = 1.0;  // §5.2
+    p.host_count_median = 25, p.host_count_sigma = 1.0, p.host_count_cap = 600;
+    p.campaign_probability = 0.02, p.campaign_size_median = 3, p.campaign_size_cap = 12;
+    p.multi_vector_probability = 0.012;
+    p.origin_class_weights = kOutSynTargets;
+  }
+
+  // ---------- UDP flood ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kUdpFlood)];
+    p.session_share = 7.0;
+    p.p_single = 0.30;
+    p.repeat_cap = 30;
+    // §5.2 bimodality: 81% small (8 Kpps, 226 min apart), 19% large
+    // (457 Kpps, 95 min apart).
+    p.peak_pps_median = 11'000, p.peak_pps_sigma = 1.3, p.peak_pps_cap = 9.2e6;
+    p.mode2_probability = 0.19, p.mode2_pps_median = 457'000;
+    p.mode2_interarrival_median = 95;
+    p.duration_median = 5, p.duration_sigma = 1.2, p.duration_cap = 700;
+    p.interarrival_median = 226, p.ramp_up_median = 2.0;
+    p.host_count_median = 120, p.host_count_sigma = 1.5, p.host_count_cap = 6'000;
+    p.campaign_probability = 0.02, p.campaign_size_median = 2, p.campaign_size_cap = 10;
+    p.multi_vector_probability = 0.28;
+    p.origin_class_weights = kInUdpOrigins;
+    p.hub = HubKind::kSpain, p.hub_fraction = 0.25;  // §6.1
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kUdpFlood)];
+    p.session_share = 11.0;  // ~2x inbound
+    p.p_single = 0.35;
+    p.repeat_cap = 80;
+    p.peak_pps_median = 11'000, p.peak_pps_sigma = 1.0, p.peak_pps_cap = 1.6e6;
+    p.mode2_probability = 0.19, p.mode2_pps_median = 200'000;
+    p.mode2_interarrival_median = 95;
+    p.duration_median = 5, p.duration_sigma = 1.2, p.duration_cap = 3000;
+    p.interarrival_median = 25, p.ramp_up_median = 1.0;
+    p.host_count_median = 8, p.host_count_sigma = 1.2, p.host_count_cap = 500;  // §6.2
+    p.campaign_probability = 0.08, p.campaign_size_median = 12, p.campaign_size_cap = 45;
+    p.multi_vector_probability = 0.010;
+    p.origin_class_weights = kOutUdpTargets;
+    p.hub = HubKind::kRomania, p.hub_fraction = 0.10;  // §6.2 (packet-heavy)
+  }
+
+  // ---------- ICMP flood ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kIcmpFlood)];
+    p.session_share = 5.5;
+    p.p_single = 0.40;
+    p.repeat_cap = 25;
+    p.peak_pps_median = 15'000, p.peak_pps_sigma = 1.2, p.peak_pps_cap = 600'000;
+    p.duration_median = 8, p.duration_sigma = 1.3, p.duration_cap = 2000;
+    p.interarrival_median = 150, p.ramp_up_median = 2.0;
+    p.host_count_median = 40, p.host_count_sigma = 1.2, p.host_count_cap = 2'000;
+    p.multi_vector_probability = 0.28;
+    p.origin_class_weights = kInIcmpOrigins;
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kIcmpFlood)];
+    p.session_share = 3.2;
+    p.p_single = 0.40;
+    p.repeat_cap = 25;
+    p.peak_pps_median = 10'000, p.peak_pps_sigma = 1.0, p.peak_pps_cap = 45'000;
+    p.duration_median = 6, p.duration_sigma = 1.2, p.duration_cap = 1500;
+    p.interarrival_median = 120, p.ramp_up_median = 1.0;
+    p.host_count_median = 15, p.host_count_sigma = 1.0, p.host_count_cap = 300;
+    p.multi_vector_probability = 0.012;
+    p.origin_class_weights = kOutIcmpTargets;
+  }
+
+  // ---------- DNS reflection ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kDnsReflection)];
+    p.session_share = 2.6;
+    p.p_single = 0.50;
+    p.repeat_cap = 12;
+    p.peak_pps_median = 50'000, p.peak_pps_sigma = 1.3, p.peak_pps_cap = 2.0e6;
+    p.duration_median = 10, p.duration_sigma = 1.6, p.duration_cap = 4000;  // longest (§5.2)
+    p.interarrival_median = 200, p.ramp_up_median = 2.5;
+    p.host_count_median = 60, p.host_count_sigma = 1.4, p.host_count_cap = 6'000;
+    // §3.1: up to 6K distinct resolvers at the tail; §6.1: a median attack
+    // shows only ~17 resolvers in the sampled records.
+    p.multi_vector_probability = 0.22;
+    p.origin_class_weights = kInDnsOrigins;
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kDnsReflection)];
+    p.session_share = 0.4;
+    p.p_single = 0.60;
+    p.repeat_cap = 8;
+    p.peak_pps_median = 8'200, p.peak_pps_sigma = 0.5, p.peak_pps_cap = 20'000;
+    p.duration_median = 60, p.duration_sigma = 1.6, p.duration_cap = 4000;
+    p.interarrival_median = 300, p.ramp_up_median = 1.0;
+    p.host_count_median = 17, p.host_count_sigma = 0.8, p.host_count_cap = 200;  // §6.1
+    p.origin_class_weights = kOutDnsTargets;
+    p.hub = HubKind::kFrance, p.hub_fraction = 0.236;  // §6.2
+  }
+
+  // ---------- Spam ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kSpam)];
+    p.session_share = 1.6;
+    p.p_single = 0.50;
+    p.repeat_cap = 6;
+    p.peak_pps_median = 3'200, p.peak_pps_sigma = 0.8, p.peak_pps_cap = 30'000;
+    p.duration_median = 45, p.duration_sigma = 1.2, p.duration_cap = 2000;
+    p.interarrival_median = 300, p.ramp_up_median = 2.0;
+    p.host_count_median = 60, p.host_count_sigma = 1.0, p.host_count_cap = 3'000;
+    p.origin_class_weights = kInSpamOrigins;
+    p.hub = HubKind::kSingaporeSpam, p.hub_fraction = 0.5;  // §6.1: 81% of packets
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kSpam)];
+    p.session_share = 4.5;  // on-off phases split into ~1.5x incidents
+    p.p_single = 0.45;
+    p.repeat_cap = 8;
+    p.peak_pps_median = 2'266, p.peak_pps_sigma = 0.7, p.peak_pps_cap = 40'000;  // §3.1
+    p.duration_median = 360, p.duration_sigma = 1.0, p.duration_cap = 4000;
+    p.interarrival_median = 400, p.ramp_up_median = 1.0;
+    p.host_count_median = 1'500, p.host_count_sigma = 0.9, p.host_count_cap = 8'000;
+    p.campaign_probability = 0.08, p.campaign_size_median = 14, p.campaign_size_cap = 30;
+    p.origin_class_weights = kOutSpamTargets;
+    p.on_minutes_median = 60, p.off_minutes_median = 300;  // §3.1 on-off pattern
+  }
+
+  // ---------- Brute-force ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kBruteForce)];
+    p.session_share = 3.0;
+    p.p_single = 0.42;
+    p.repeat_cap = 8;
+    p.peak_pps_median = 5'500, p.peak_pps_sigma = 1.1, p.peak_pps_cap = 500'000;
+    p.duration_median = 10, p.duration_sigma = 1.3, p.duration_cap = 3000;
+    p.interarrival_median = 180, p.ramp_up_median = 2.0;
+    p.host_count_median = 40, p.host_count_sigma = 1.5, p.host_count_cap = 12'000;  // §3.1
+    p.campaign_probability = 0.06, p.campaign_size_median = 6, p.campaign_size_cap = 66;  // §4.3
+    p.multi_vector_probability = 0.02;
+    p.origin_class_weights = kInBfOrigins;
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kBruteForce)];
+    p.session_share = 17.0;  // ~4x inbound
+    p.p_single = 0.38;
+    p.repeat_cap = 10;
+    p.peak_pps_median = 4'500, p.peak_pps_sigma = 0.9, p.peak_pps_cap = 120'000;
+    p.duration_median = 9, p.duration_sigma = 1.2, p.duration_cap = 2000;
+    p.interarrival_median = 200, p.ramp_up_median = 1.0;
+    p.host_count_median = 60, p.host_count_sigma = 1.1, p.host_count_cap = 5'000;  // §3.1
+    p.campaign_probability = 0.12, p.campaign_size_median = 14, p.campaign_size_cap = 45;
+    p.multi_vector_probability = 0.10;  // §4.2: BF together with SYN/ICMP floods
+    p.origin_class_weights = kOutBfTargets;
+    p.hub = HubKind::kSpain, p.hub_fraction = 0.20;  // §6.2
+  }
+
+  // ---------- SQL injection ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kSqlInjection)];
+    p.session_share = 3.2;
+    p.p_single = 0.45;
+    p.repeat_cap = 8;
+    p.peak_pps_median = 3'500, p.peak_pps_sigma = 0.9, p.peak_pps_cap = 80'000;
+    p.duration_median = 8, p.duration_sigma = 1.2, p.duration_cap = 1000;
+    p.interarrival_median = 250, p.ramp_up_median = 2.0;
+    p.host_count_median = 4, p.host_count_sigma = 1.0, p.host_count_cap = 100;
+    p.origin_class_weights = kInSqlOrigins;
+    p.hub = HubKind::kSpain, p.hub_fraction = 0.25;
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kSqlInjection)];
+    p.session_share = 11.0;  // ~5x inbound
+    p.p_single = 0.40;
+    p.repeat_cap = 12;
+    p.peak_pps_median = 3'000, p.peak_pps_sigma = 0.9, p.peak_pps_cap = 60'000;
+    p.duration_median = 7, p.duration_sigma = 1.1, p.duration_cap = 800;
+    p.interarrival_median = 220, p.ramp_up_median = 1.0;
+    p.host_count_median = 10, p.host_count_sigma = 1.2, p.host_count_cap = 400;
+    p.campaign_probability = 0.08, p.campaign_size_median = 10, p.campaign_size_cap = 30;
+    p.origin_class_weights = kOutSqlTargets;
+    p.hub = HubKind::kSpain, p.hub_fraction = 0.20;
+  }
+
+  // ---------- Port scan ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kPortScan)];
+    p.session_share = 16.0;
+    p.p_single = 0.30;
+    p.repeat_cap = 8;
+    // §5.1: 1000x spread between peak and median volumes.
+    p.peak_pps_median = 800, p.peak_pps_sigma = 1.8, p.peak_pps_cap = 900'000;
+    p.duration_median = 1, p.duration_sigma = 1.4, p.duration_cap = 150;  // Fig 9
+    p.interarrival_median = 200, p.ramp_up_median = 0.5;
+    p.host_count_median = 2, p.host_count_sigma = 0.9, p.host_count_cap = 60;
+    p.origin_class_weights = kInScanOrigins;
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kPortScan)];
+    p.session_share = 0.8;  // "much fewer outbound port scans" (§3.1)
+    p.p_single = 0.50;
+    p.repeat_cap = 6;
+    p.peak_pps_median = 500, p.peak_pps_sigma = 1.2, p.peak_pps_cap = 40'000;
+    p.duration_median = 1, p.duration_sigma = 1.2, p.duration_cap = 120;
+    p.interarrival_median = 250, p.ramp_up_median = 0.5;
+    p.host_count_median = 30, p.host_count_sigma = 1.2, p.host_count_cap = 2'000;
+    p.origin_class_weights = kOutScanTargets;
+  }
+
+  // ---------- TDS (malicious web activity) ----------
+  {
+    AttackParams& p = in[index_of(AttackType::kTds)];
+    p.session_share = 10.0;
+    p.p_single = 0.30;
+    p.repeat_cap = 8;
+    p.peak_pps_median = 1'500, p.peak_pps_sigma = 1.2, p.peak_pps_cap = 40'000;
+    p.duration_median = 20, p.duration_sigma = 1.4, p.duration_cap = 1500;
+    p.interarrival_median = 300, p.ramp_up_median = 1.5;
+    p.host_count_median = 8, p.host_count_sigma = 1.1, p.host_count_cap = 120;  // §3.1: 89 at tail
+    p.origin_class_weights = kInTdsOrigins;
+    p.hub_fraction = 0.35;  // §6.1: big clouds on 35% of TDS attacks
+  }
+  {
+    AttackParams& p = out[index_of(AttackType::kTds)];
+    p.session_share = 4.9;
+    p.p_single = 0.45;
+    p.repeat_cap = 8;
+    p.peak_pps_median = 1'200, p.peak_pps_sigma = 1.2, p.peak_pps_cap = 31'000;
+    p.duration_median = 25, p.duration_sigma = 1.4, p.duration_cap = 1500;
+    p.interarrival_median = 300, p.ramp_up_median = 1.0;
+    p.host_count_median = 8, p.host_count_sigma = 1.1, p.host_count_cap = 120;
+    p.origin_class_weights = kOutTdsTargets;
+    p.hub_fraction = 0.35;
+    p.hub = HubKind::kSpain;  // Spain hub also on outbound TDS (§6.2)
+  }
+
+  return t;
+}
+
+}  // namespace
+
+const AttackParams& default_attack_params(AttackType type, Direction dir) noexcept {
+  static const auto tables = build_tables();
+  return tables[dir == Direction::kInbound ? 0 : 1][index_of(type)];
+}
+
+ScenarioConfig ScenarioConfig::smoke() {
+  ScenarioConfig c;
+  c.seed = 7;
+  c.days = 2;
+  c.vips.vip_count = 150;
+  c.vips.data_center_count = 4;
+  c.ases.small_isp = 60;
+  c.ases.customer = 80;
+  c.ases.small_cloud = 15;
+  c.ases.mobile = 10;
+  c.ases.large_isp = 10;
+  c.ases.edu = 12;
+  c.ases.ixp = 5;
+  c.ases.nic = 4;
+  c.tds.host_count = 300;
+  c.inbound_sessions_per_vip_day = 0.06;
+  c.outbound_sessions_per_vip_day = 0.08;
+  c.benign_scale = 0.05;
+  return c;
+}
+
+ScenarioConfig ScenarioConfig::paper_scale() {
+  ScenarioConfig c;
+  c.seed = 42;
+  c.days = 7;
+  c.vips.vip_count = 1500;
+  c.vips.data_center_count = 10;
+  return c;
+}
+
+ScenarioConfig ScenarioConfig::holiday_season() {
+  ScenarioConfig c = paper_scale();
+  c.seed = 1112;  // a different month of "traffic"
+  c.inbound_flood_seasonality = 2.5;
+  return c;
+}
+
+}  // namespace dm::sim

@@ -1,0 +1,863 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dm::sim {
+
+using cloud::AsClass;
+using cloud::AsInfo;
+using cloud::GeoRegion;
+using cloud::ServiceType;
+using cloud::TenantClass;
+using cloud::VipInfo;
+using netflow::Direction;
+using netflow::IPv4;
+using util::Minute;
+
+namespace {
+
+double clamp_lognormal(util::Rng& rng, double median, double sigma, double lo,
+                       double hi) {
+  return std::clamp(rng.lognormal_median(median, sigma), lo, hi);
+}
+
+/// Hosts for non-TDS attacks must not collide with the TDS blacklist:
+/// hitting a dedicated malicious host by accident would misclassify the
+/// incident as malicious web activity.
+IPv4 clean_host_in(const cloud::AsRegistry& ases, const cloud::TdsBlacklist& tds,
+                   const AsInfo& as, util::Rng& rng) {
+  IPv4 host = ases.host_in(as, rng);
+  for (int retry = 0; tds.contains(host) && retry < 8; ++retry) {
+    host = ases.host_in(as, rng);
+  }
+  return host;
+}
+
+IPv4 clean_host_in_class(const cloud::AsRegistry& ases,
+                         const cloud::TdsBlacklist& tds, AsClass cls,
+                         util::Rng& rng) {
+  IPv4 host = ases.host_in_class(cls, rng);
+  for (int retry = 0; tds.contains(host) && retry < 8; ++retry) {
+    host = ases.host_in_class(cls, rng);
+  }
+  return host;
+}
+
+}  // namespace
+
+EpisodeScheduler::EpisodeScheduler(const ScenarioConfig& config,
+                                   const cloud::VipRegistry& vips,
+                                   const cloud::AsRegistry& ases,
+                                   const cloud::TdsBlacklist& tds)
+    : config_(&config),
+      vips_(&vips),
+      ases_(&ases),
+      tds_(&tds),
+      rng_(config.seed ^ 0x5c4ed'5c4edULL) {}
+
+GroundTruth EpisodeScheduler::schedule() {
+  GroundTruth truth;
+  const Minute trace_end = config_->total_minutes();
+
+  for (int day = 0; day < config_->days; ++day) {
+    const Minute day_start = static_cast<Minute>(day) * util::kMinutesPerDay;
+    for (Direction dir : {Direction::kInbound, Direction::kOutbound}) {
+      const double rate = dir == Direction::kInbound
+                              ? config_->inbound_sessions_per_vip_day
+                              : config_->outbound_sessions_per_vip_day;
+      const std::uint64_t sessions =
+          rng_.poisson(rate * static_cast<double>(vips_->size()));
+      for (std::uint64_t s = 0; s < sessions; ++s) {
+        SessionPlan plan;
+        plan.direction = dir;
+        plan.type = pick_type(dir);
+        plan.vip_index = dir == Direction::kInbound
+                             ? pick_inbound_victim(plan.type)
+                             : pick_outbound_source(plan.type);
+        plan.day_start = day_start;
+        const AttackParams& p = default_attack_params(plan.type, dir);
+        plan.mode2 = p.mode2_probability > 0.0 && rng_.chance(p.mode2_probability);
+        run_session(plan, truth);
+      }
+    }
+  }
+
+  if (config_->include_case_study) script_case_study(truth);
+  if (config_->include_spam_eruption) script_spam_eruption(truth);
+  if (config_->include_subnet_scan) script_subnet_scan(truth);
+  if (config_->include_dns_server_case) script_dns_server_case(truth);
+  if (config_->include_romania_barrage) script_romania_barrage(truth);
+  if (config_->include_serial_attacker) script_serial_attacker(truth);
+
+  // Clip everything to the trace and drop degenerate episodes.
+  std::erase_if(truth.episodes, [&](AttackEpisode& e) {
+    e.end = std::min(e.end, trace_end);
+    if (e.start >= trace_end || e.end <= e.start) return true;
+    return e.remote_hosts.empty() && !e.spoofed_sources;
+  });
+  return truth;
+}
+
+namespace {
+
+std::uint32_t draw_attack_count(const AttackParams& p, util::Rng& rng) {
+  if (rng.chance(p.p_single)) return 1;
+  const double extra = rng.pareto(p.repeat_alpha, 1.0, std::max(2.0, p.repeat_cap));
+  return static_cast<std::uint32_t>(
+      std::clamp(1.0 + extra, 2.0, std::max(2.0, p.repeat_cap)));
+}
+
+}  // namespace
+
+double EpisodeScheduler::episodes_per_session(AttackType type,
+                                              Direction dir) const {
+  const AttackParams& p = default_attack_params(type, dir);
+  // Deterministic scratch stream: the estimate must not perturb rng_.
+  util::Rng scratch(0x9e37'79b9'7f4a'7c15ULL ^
+                    (static_cast<std::uint64_t>(index_of(type)) << 8) ^
+                    static_cast<std::uint64_t>(dir));
+  constexpr int kTrials = 512;
+  double total = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    const double count = draw_attack_count(p, scratch);
+    double episodes = count;
+    if (scratch.chance(p.campaign_probability)) {
+      const double size = std::clamp(
+          scratch.lognormal_median(p.campaign_size_median, 0.8), 1.0,
+          p.campaign_size_cap);
+      // Campaign members run shortened trains of ~count/2 episodes.
+      episodes += (size - 1.0) * std::max(1.0, count / 2.0);
+    }
+    total += episodes;
+  }
+  return total / kTrials;
+}
+
+util::Minute EpisodeScheduler::reserve_slot(IPv4 vip, AttackType type,
+                                             Direction dir, Minute start,
+                                             Minute duration) {
+  auto& intervals = slots_[{vip.value(), static_cast<int>(type),
+                            static_cast<int>(dir)}];
+  const Minute pad = inactive_timeout(type) + 2;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    auto it = intervals.lower_bound(start);
+    if (it != intervals.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second + pad > start) {
+        start = prev->second + pad;
+        moved = true;
+        continue;
+      }
+    }
+    if (it != intervals.end() && start + duration + pad > it->first) {
+      start = it->second + pad;
+      moved = true;
+    }
+  }
+  intervals.emplace(start, start + duration);
+  return start;
+}
+
+void EpisodeScheduler::place_episode(AttackEpisode& e) {
+  const Minute duration = e.end - e.start;
+  e.start = reserve_slot(e.vip, e.type, e.direction, e.start, duration);
+  e.end = e.start + duration;
+}
+
+AttackType EpisodeScheduler::pick_type(Direction dir) {
+  std::array<double, kAttackTypeCount>& cache =
+      dir == Direction::kInbound ? type_weights_in_ : type_weights_out_;
+  if (cache[0] == 0.0) {
+    for (std::size_t i = 0; i < kAttackTypeCount; ++i) {
+      const AttackType t = kAllAttackTypes[i];
+      cache[i] = default_attack_params(t, dir).session_share /
+                 std::max(1.0, episodes_per_session(t, dir));
+      // §3.1: inbound floods surge in the holiday season.
+      if (dir == Direction::kInbound && is_flood(t)) {
+        cache[i] *= config_->inbound_flood_seasonality;
+      }
+    }
+  }
+  return kAllAttackTypes[rng_.weighted_index(
+      std::span<const double>(cache))];
+}
+
+std::uint32_t EpisodeScheduler::pick_inbound_victim(AttackType type) {
+  const auto all = vips_->all();
+  std::vector<double> weights(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const VipInfo& v = all[i];
+    double w = 1.0;
+    switch (type) {
+      case AttackType::kSynFlood:
+      case AttackType::kUdpFlood:
+      case AttackType::kIcmpFlood:
+      case AttackType::kDnsReflection:
+        w = 0.3 + v.popularity * (v.hosts(ServiceType::kMedia)   ? 1.3
+                                  : v.hosts(ServiceType::kHttp)  ? 1.8
+                                  : v.hosts(ServiceType::kHttps) ? 1.6
+                                                                 : 1.0);
+        break;
+      case AttackType::kSpam:
+        w = v.hosts(ServiceType::kSmtp) ? 20.0 : 0.05;
+        break;
+      case AttackType::kBruteForce:
+        w = 0.5;
+        if (v.hosts(ServiceType::kRdp)) w += 6.0;
+        if (v.hosts(ServiceType::kSsh)) w += 3.0;
+        if (v.hosts(ServiceType::kVnc)) w += 1.0;
+        break;
+      case AttackType::kSqlInjection:
+        w = v.hosts(ServiceType::kSql) ? 15.0 : 0.5;
+        break;
+      case AttackType::kPortScan:
+        w = 1.0;  // scans search widely (§4.1)
+        break;
+      case AttackType::kTds:
+        w = (v.hosts(ServiceType::kHttp) || v.hosts(ServiceType::kHttps))
+                ? 5.0
+                : (v.hosts(ServiceType::kSmtp) ? 4.0 : 0.3);
+        break;
+    }
+    weights[i] = w;
+  }
+  return static_cast<std::uint32_t>(rng_.weighted_index(weights));
+}
+
+std::uint32_t EpisodeScheduler::pick_outbound_source(AttackType type) {
+  const auto all = vips_->all();
+  std::vector<double> weights(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const VipInfo& v = all[i];
+    double w = 0.0;
+    switch (v.tenant) {
+      case TenantClass::kFreeTrial:
+        w = type == AttackType::kSpam ? 12.0 : 6.0;  // §3.1: spam = free trials
+        break;
+      case TenantClass::kPartner: w = 1.0; break;
+      case TenantClass::kSmallBusiness: w = 1.0; break;
+      case TenantClass::kEnterprise: w = 0.4; break;
+    }
+    if (v.weak_credentials) w += 4.0;  // compromised-VM pathway (§4.1)
+    weights[i] = w;
+  }
+  return static_cast<std::uint32_t>(rng_.weighted_index(weights));
+}
+
+std::uint32_t EpisodeScheduler::attack_count(const AttackParams& p) {
+  return draw_attack_count(p, rng_);
+}
+
+std::uint16_t EpisodeScheduler::pick_target_port(const SessionPlan& plan,
+                                                 const VipInfo& vip,
+                                                 BruteForceProtocol* bf_proto) {
+  namespace ports = netflow::ports;
+  const bool inbound = plan.direction == Direction::kInbound;
+  switch (plan.type) {
+    case AttackType::kSynFlood: {
+      if (!inbound) return rng_.chance(0.75) ? ports::kHttp : ports::kHttps;
+      if (vip.hosts(ServiceType::kHttp) && rng_.chance(0.6)) return ports::kHttp;
+      if (vip.hosts(ServiceType::kHttps) && rng_.chance(0.5)) return ports::kHttps;
+      if (vip.hosts(ServiceType::kSsh) && rng_.chance(0.3)) return ports::kSsh;
+      return rng_.chance(0.7) ? ports::kHttp : ports::kHttps;
+    }
+    case AttackType::kUdpFlood:
+      // 69% of outbound UDP floods hit port 80 (§6.2); inbound UDP floods
+      // chase media services and HTTP ports (§3.1).
+      if (!inbound) return rng_.chance(0.69) ? ports::kHttp : 1935;
+      if (vip.hosts(ServiceType::kMedia) && rng_.chance(0.55)) return 1935;
+      return rng_.chance(0.6) ? ports::kHttp
+                              : static_cast<std::uint16_t>(1024 + rng_.below(6000));
+    case AttackType::kIcmpFlood:
+      return 0;
+    case AttackType::kDnsReflection:
+      return 0;  // per-flow ephemeral destination
+    case AttackType::kSpam:
+      return ports::kSmtp;
+    case AttackType::kBruteForce: {
+      BruteForceProtocol proto;
+      if (inbound) {
+        double w[3] = {1.0, 1.0, 0.3};  // {SSH, RDP, VNC}
+        if (vip.hosts(ServiceType::kRdp)) w[1] += 5.0;
+        if (vip.hosts(ServiceType::kSsh)) w[0] += 3.0;
+        if (vip.hosts(ServiceType::kVnc)) w[2] += 1.5;
+        proto = static_cast<BruteForceProtocol>(rng_.weighted_index(w));
+      } else {
+        // More SSH than RDP brute-force off the cloud (§3.1).
+        const double w[3] = {3.0, 1.5, 0.5};
+        proto = static_cast<BruteForceProtocol>(rng_.weighted_index(w));
+      }
+      if (bf_proto != nullptr) *bf_proto = proto;
+      switch (proto) {
+        case BruteForceProtocol::kSsh: return ports::kSsh;
+        case BruteForceProtocol::kRdp: return ports::kRdp;
+        case BruteForceProtocol::kVnc: return ports::kVnc;
+      }
+      return ports::kSsh;
+    }
+    case AttackType::kSqlInjection:
+      return rng_.chance(0.6) ? ports::kSqlServer : ports::kMySql;
+    case AttackType::kPortScan:
+      return 0;  // per-packet random destination ports
+    case AttackType::kTds:
+      return inbound ? (rng_.chance(0.7) ? ports::kHttp : ports::kHttps) : 0;
+  }
+  return 0;
+}
+
+const AsInfo& EpisodeScheduler::pick_target_as(const AttackParams& p) {
+  const AsClass cls = cloud::kAllAsClasses[rng_.weighted_index(
+      std::span<const double>(p.origin_class_weights))];
+  const AsInfo* chosen = nullptr;
+  (void)ases_->host_in_class(cls, rng_, &chosen);
+  return *chosen;
+}
+
+void EpisodeScheduler::draw_remotes(AttackEpisode& e, const AttackParams& p) {
+  if (e.spoofed_sources) return;
+  const auto n = static_cast<std::size_t>(clamp_lognormal(
+      rng_, p.host_count_median, p.host_count_sigma, 1.0, p.host_count_cap));
+  e.remote_hosts.reserve(n);
+
+  if (e.type == AttackType::kTds) {
+    // Hosts come from the blacklist; the big-cloud TDS concentration (§6.1)
+    // rides on hub_fraction.
+    const bool big_cloud_heavy = rng_.chance(p.hub_fraction);
+    for (std::size_t i = 0; i < n; ++i) {
+      e.remote_hosts.push_back(big_cloud_heavy && rng_.chance(0.6)
+                                   ? tds_->random_big_cloud_host(rng_)
+                                   : tds_->random_host(rng_));
+    }
+    return;
+  }
+
+  const AsInfo* hub = nullptr;
+  switch (p.hub) {
+    case HubKind::kSpain: hub = &ases_->spain_hub(); break;
+    case HubKind::kRomania: hub = &ases_->romania_victim_cloud(); break;
+    case HubKind::kFrance: hub = &ases_->france_dns_target(); break;
+    case HubKind::kSingaporeSpam: hub = &ases_->singapore_spam_cloud(); break;
+    case HubKind::kNone: break;
+  }
+  const bool hub_active = hub != nullptr && rng_.chance(p.hub_fraction);
+
+  if (e.direction == Direction::kOutbound) {
+    // Outbound victims cluster: 80% of attacks target one AS (§6.2).
+    const AsInfo& main_as = hub_active ? *hub : pick_target_as(p);
+    const bool single_as = rng_.chance(0.8);
+    for (std::size_t i = 0; i < n; ++i) {
+      const AsInfo& as =
+          single_as || rng_.chance(0.75) ? main_as : pick_target_as(p);
+      e.remote_hosts.push_back(clean_host_in(*ases_, *tds_, as, rng_));
+    }
+    return;
+  }
+
+  // Inbound sources: botnets cluster — most of an attack's hosts live in a
+  // couple of ASes of one class, which is why the paper's per-class
+  // involvement shares behave like a partition (Fig 11a). A minority of
+  // hosts is drawn broadly; hub episodes concentrate weight on hub hosts
+  // (e.g. 81% of spam packets from the Singapore cloud, §6.1).
+  const bool weighted = hub_active;
+  if (weighted) e.remote_weights.reserve(n);
+  const AsClass primary_class = cloud::kAllAsClasses[rng_.weighted_index(
+      std::span<const double>(p.origin_class_weights))];
+  const AsInfo* primary_ases[3] = {};
+  const std::size_t primary_count = 1 + rng_.below(3);
+  for (std::size_t a = 0; a < primary_count; ++a) {
+    (void)ases_->host_in_class(primary_class, rng_, &primary_ases[a]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hub_active && rng_.chance(0.4)) {
+      e.remote_hosts.push_back(clean_host_in(*ases_, *tds_, *hub, rng_));
+      e.remote_weights.push_back(12.0);
+      continue;
+    }
+    if (rng_.chance(0.85)) {
+      const AsInfo& as = *primary_ases[rng_.below(primary_count)];
+      e.remote_hosts.push_back(clean_host_in(*ases_, *tds_, as, rng_));
+    } else {
+      const AsClass cls = cloud::kAllAsClasses[rng_.weighted_index(
+          std::span<const double>(p.origin_class_weights))];
+      e.remote_hosts.push_back(clean_host_in_class(*ases_, *tds_, cls, rng_));
+    }
+    if (weighted) e.remote_weights.push_back(1.0);
+  }
+}
+
+AttackEpisode EpisodeScheduler::make_episode(const SessionPlan& plan,
+                                             Minute start,
+                                             std::uint32_t campaign_id,
+                                             std::uint32_t mv_group) {
+  const AttackParams& p = default_attack_params(plan.type, plan.direction);
+  const VipInfo& vip = vips_->all()[plan.vip_index];
+
+  AttackEpisode e;
+  e.id = next_episode_id_++;
+  e.type = plan.type;
+  e.direction = plan.direction;
+  e.vip = vip.vip;
+  e.campaign_id = campaign_id;
+  e.multi_vector_group = mv_group;
+  e.start = start;
+  const double duration =
+      clamp_lognormal(rng_, p.duration_median, p.duration_sigma, 1.0, p.duration_cap);
+  e.end = start + static_cast<Minute>(std::lround(duration));
+  if (e.end <= e.start) e.end = e.start + 1;
+
+  const double pps_median = plan.mode2 ? p.mode2_pps_median : p.peak_pps_median;
+  e.peak_true_pps =
+      clamp_lognormal(rng_, pps_median, p.peak_pps_sigma, 250.0, p.peak_pps_cap);
+  // Ramp-up is bounded by a third of the episode so short attacks still
+  // reach their plateau (their duration is attack time, not ramp time).
+  e.ramp_up_minutes =
+      std::min(clamp_lognormal(rng_, p.ramp_up_median, 0.5, 0.2, 10.0),
+               std::max(0.4, static_cast<double>(e.end - e.start) / 3.0));
+
+  e.target_port = pick_target_port(plan, vip, &e.brute_force_protocol);
+  if (plan.type == AttackType::kPortScan) {
+    const bool inbound = plan.direction == Direction::kInbound;
+    const double roll = rng_.uniform01();
+    if (inbound) {
+      e.scan_kind = roll < 0.45   ? PortScanKind::kNull
+                    : roll < 0.70 ? PortScanKind::kXmas
+                                  : PortScanKind::kRstBackscatter;
+    } else {
+      e.scan_kind = roll < 0.6 ? PortScanKind::kNull : PortScanKind::kXmas;
+    }
+  }
+
+  e.spoofed_sources = plan.direction == Direction::kInbound &&
+                      rng_.chance(p.spoofed_fraction);
+  e.fixed_source_ports = plan.type == AttackType::kSynFlood &&
+                         plan.direction == Direction::kInbound &&
+                         rng_.chance(0.012);  // the juno tool share (§4.4)
+
+  if (plan.type == AttackType::kSpam && p.on_minutes_median > 0.0) {
+    e.on_minutes = static_cast<Minute>(
+        std::lround(clamp_lognormal(rng_, p.on_minutes_median, 0.5, 10.0, 600.0)));
+    e.off_minutes = static_cast<Minute>(std::lround(
+        clamp_lognormal(rng_, p.off_minutes_median, 0.5, 30.0, 1200.0)));
+  }
+
+  draw_remotes(e, p);
+  return e;
+}
+
+void EpisodeScheduler::add_episode_train(const SessionPlan& plan,
+                                         std::uint32_t count,
+                                         std::uint32_t campaign_id,
+                                         std::uint32_t mv_group,
+                                         GroundTruth& truth,
+                                         Minute forced_start) {
+  const AttackParams& p = default_attack_params(plan.type, plan.direction);
+  const Minute trace_end = config_->total_minutes();
+  const Minute timeout = inactive_timeout(plan.type);
+
+  const Minute start =
+      forced_start >= 0 ? forced_start
+                        : plan.day_start + static_cast<Minute>(rng_.below(
+                                               util::kMinutesPerDay));
+  AttackEpisode first = make_episode(plan, start, campaign_id, mv_group);
+  place_episode(first);
+  Minute prev_start = first.start;
+  Minute prev_end = first.end;
+  const std::vector<IPv4> hosts = first.remote_hosts;
+  const std::vector<double> weights = first.remote_weights;
+  const bool spoofed = first.spoofed_sources;
+  truth.episodes.push_back(std::move(first));
+
+  double gap_median = plan.mode2 && p.mode2_interarrival_median > 0.0
+                          ? p.mode2_interarrival_median
+                          : p.interarrival_median;
+  // Serial attackers fire rapidly: the §4.1 tail VIPs (39 inbound attacks
+  // per day, >144 outbound SYN floods at 10-minute spacing) need the whole
+  // train to fit within roughly a day.
+  if (count >= 20) {
+    gap_median = std::min(gap_median, 1300.0 / static_cast<double>(count));
+  }
+
+  for (std::uint32_t k = 1; k < count; ++k) {
+    const double gap = clamp_lognormal(rng_, gap_median, p.interarrival_sigma,
+                                       2.0, 3000.0);
+    Minute next = prev_start + static_cast<Minute>(std::lround(gap));
+    // Keep distinct incidents distinct: stay clear of the grouping timeout.
+    if (next < prev_end + timeout + 2) {
+      next = prev_end + timeout + 2 + static_cast<Minute>(rng_.below(5));
+    }
+    if (next >= trace_end) break;
+    AttackEpisode e = make_episode(plan, next, campaign_id, 0);
+    // The same actor re-attacks with the same resources.
+    e.remote_hosts = hosts;
+    e.remote_weights = weights;
+    e.spoofed_sources = spoofed;
+    place_episode(e);
+    prev_start = e.start;
+    prev_end = e.end;
+    truth.episodes.push_back(std::move(e));
+  }
+}
+
+void EpisodeScheduler::run_session(const SessionPlan& plan, GroundTruth& truth) {
+  const AttackParams& p = default_attack_params(plan.type, plan.direction);
+  const std::uint32_t count = attack_count(p);
+
+  // Multi-VIP campaign? (§4.3)
+  std::vector<std::uint32_t> vip_indices{plan.vip_index};
+  std::uint32_t campaign_id = 0;
+  if (rng_.chance(p.campaign_probability)) {
+    campaign_id = next_campaign_id_++;
+    const auto extra = static_cast<std::size_t>(
+        clamp_lognormal(rng_, p.campaign_size_median, 0.8, 1.0,
+                        p.campaign_size_cap) -
+        1.0);
+    for (std::size_t i = 0; i < extra; ++i) {
+      vip_indices.push_back(plan.direction == Direction::kInbound
+                                ? pick_inbound_victim(plan.type)
+                                : pick_outbound_source(plan.type));
+    }
+  }
+
+  // Multi-vector bundle? (§4.2)
+  std::uint32_t mv_group = 0;
+  std::vector<AttackType> companions;
+  if (rng_.chance(p.multi_vector_probability)) {
+    mv_group = next_mv_group_++;
+    if (plan.direction == Direction::kOutbound &&
+        plan.type == AttackType::kBruteForce) {
+      // The distinctive outbound pattern: brute-force with SYN and ICMP
+      // floods (22.3% of outbound multi-vector attacks, §4.2).
+      companions.push_back(AttackType::kSynFlood);
+      if (rng_.chance(0.6)) companions.push_back(AttackType::kIcmpFlood);
+    } else {
+      constexpr AttackType kVolume[] = {
+          AttackType::kSynFlood, AttackType::kUdpFlood, AttackType::kIcmpFlood,
+          AttackType::kDnsReflection};
+      const std::size_t extra = 1 + (rng_.chance(0.3) ? 1u : 0u);
+      for (std::size_t i = 0; i < extra; ++i) {
+        const AttackType companion = kVolume[rng_.below(std::size(kVolume))];
+        if (companion != plan.type) companions.push_back(companion);
+      }
+    }
+  }
+
+  Minute first_start = 0;
+  for (std::size_t v = 0; v < vip_indices.size(); ++v) {
+    SessionPlan sub = plan;
+    sub.vip_index = vip_indices[v];
+    if (v == 0) {
+      const std::size_t before = truth.episodes.size();
+      add_episode_train(sub, count, campaign_id, mv_group, truth);
+      if (truth.episodes.size() > before) {
+        first_start = truth.episodes[before].start;
+      }
+    } else {
+      // Campaign members start within the 5-minute correlation window.
+      // They do not inherit the UDP large-rate mode: a whole campaign of
+      // mode-2 members would push the outbound aggregate past the inbound
+      // peak, inverting §5.1's 13-238x inbound/outbound relationship.
+      sub.mode2 = false;
+      add_episode_train(sub, std::max<std::uint32_t>(1, count / 2), campaign_id,
+                        0, truth,
+                        first_start + static_cast<Minute>(rng_.below(4)));
+    }
+  }
+
+  // Companion multi-vector episodes land on the primary VIP within 5 min.
+  for (AttackType companion : companions) {
+    SessionPlan sub = plan;
+    sub.type = companion;
+    sub.mode2 = false;
+    const Minute start =
+        first_start + static_cast<Minute>(rng_.below(4));
+    AttackEpisode e = make_episode(sub, start, campaign_id, mv_group);
+    place_episode(e);
+    truth.episodes.push_back(std::move(e));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted events
+// ---------------------------------------------------------------------------
+
+void EpisodeScheduler::script_case_study(GroundTruth& truth) {
+  // Fig 5: a dormant partner VIP takes a week of inbound RDP brute-force
+  // from 85 hosts (70.3% of packets from three addresses in one Asian
+  // residential AS), then erupts with outbound UDP floods against 491 sites
+  // at 23 Kpps for more than two days.
+  const Minute trace_end = config_->total_minutes();
+  const VipInfo* victim = nullptr;
+  for (const VipInfo& v : vips_->all()) {
+    if (v.tenant == TenantClass::kPartner && v.active_from >= trace_end) {
+      victim = &v;
+      break;
+    }
+  }
+  if (victim == nullptr) return;
+
+  const AsInfo* asia_customer = nullptr;
+  for (const AsInfo& as : ases_->all()) {
+    if (as.cls == AsClass::kCustomer && as.region == GeoRegion::kEastAsia) {
+      asia_customer = &as;
+      break;
+    }
+  }
+  if (asia_customer == nullptr) asia_customer = &ases_->all()[0];
+
+  AttackEpisode bf;
+  bf.id = next_episode_id_++;
+  bf.type = AttackType::kBruteForce;
+  bf.direction = Direction::kInbound;
+  bf.vip = victim->vip;
+  bf.start = std::max<Minute>(1, trace_end * 3 / 20);
+  bf.end = trace_end * 8 / 10;
+  bf.peak_true_pps = 3'500.0;
+  bf.ramp_up_minutes = 3.0;
+  bf.target_port = netflow::ports::kRdp;
+  bf.brute_force_protocol = BruteForceProtocol::kRdp;
+  for (int i = 0; i < 85; ++i) {
+    if (i < 3) {
+      bf.remote_hosts.push_back(clean_host_in(*ases_, *tds_, *asia_customer, rng_));
+      bf.remote_weights.push_back(70.3 / 3.0);
+    } else {
+      const AsClass cls = cloud::kAllAsClasses[rng_.weighted_index(
+          std::span<const double>(
+              default_attack_params(AttackType::kBruteForce, Direction::kInbound)
+                  .origin_class_weights))];
+      bf.remote_hosts.push_back(clean_host_in_class(*ases_, *tds_, cls, rng_));
+      bf.remote_weights.push_back(29.7 / 82.0);
+    }
+  }
+  place_episode(bf);
+  truth.episodes.push_back(std::move(bf));
+
+  AttackEpisode udp;
+  udp.id = next_episode_id_++;
+  udp.type = AttackType::kUdpFlood;
+  udp.direction = Direction::kOutbound;
+  udp.vip = victim->vip;
+  udp.start = trace_end * 6 / 10;
+  udp.end = std::min(trace_end, udp.start + 2 * util::kMinutesPerDay);
+  udp.peak_true_pps = 23'000.0;
+  udp.ramp_up_minutes = 1.0;
+  udp.target_port = netflow::ports::kHttp;
+  const AttackParams& up =
+      default_attack_params(AttackType::kUdpFlood, Direction::kOutbound);
+  for (int i = 0; i < 491; ++i) {
+    udp.remote_hosts.push_back(clean_host_in(*ases_, *tds_, pick_target_as(up), rng_));
+  }
+  place_episode(udp);
+  truth.episodes.push_back(std::move(udp));
+}
+
+void EpisodeScheduler::script_spam_eruption(GroundTruth& truth) {
+  // §3.1: a one-day eruption from hundreds of (mostly fresh free-trial)
+  // VIPs, each with slow on-off spam toward thousands of mail servers.
+  const Minute trace_end = config_->total_minutes();
+  const Minute day_start =
+      std::min<Minute>(trace_end - 1, (config_->days / 3) * util::kMinutesPerDay);
+  const auto trials = vips_->with_tenant(TenantClass::kFreeTrial);
+  if (trials.empty()) return;
+  const std::size_t wave =
+      std::max<std::size_t>(10, vips_->size() / 40);
+  const std::uint32_t campaign_id = next_campaign_id_++;
+  const AttackParams& p =
+      default_attack_params(AttackType::kSpam, Direction::kOutbound);
+
+  for (std::size_t i = 0; i < wave; ++i) {
+    const std::uint32_t vip_index =
+        trials[static_cast<std::size_t>(rng_.below(trials.size()))];
+    AttackEpisode e;
+    e.id = next_episode_id_++;
+    e.type = AttackType::kSpam;
+    e.direction = Direction::kOutbound;
+    e.vip = vips_->all()[vip_index].vip;
+    e.campaign_id = campaign_id;
+    e.start = day_start + static_cast<Minute>(rng_.below(240));
+    e.end = std::min(trace_end,
+                     e.start + static_cast<Minute>(clamp_lognormal(
+                                   rng_, 420.0, 0.6, 120.0, 1200.0)));
+    e.peak_true_pps = clamp_lognormal(rng_, 2'266.0, 0.4, 400.0, 20'000.0);
+    e.ramp_up_minutes = 1.0;
+    e.target_port = netflow::ports::kSmtp;
+    e.on_minutes = static_cast<Minute>(clamp_lognormal(rng_, 60.0, 0.4, 15.0, 240.0));
+    e.off_minutes = static_cast<Minute>(clamp_lognormal(rng_, 300.0, 0.4, 60.0, 700.0));
+    const auto n = static_cast<std::size_t>(
+        clamp_lognormal(rng_, p.host_count_median, p.host_count_sigma, 50.0,
+                        p.host_count_cap));
+    for (std::size_t h = 0; h < n; ++h) {
+      e.remote_hosts.push_back(clean_host_in(*ases_, *tds_, pick_target_as(p), rng_));
+    }
+    place_episode(e);
+    truth.episodes.push_back(std::move(e));
+  }
+}
+
+void EpisodeScheduler::script_subnet_scan(GroundTruth& truth) {
+  // §4.3: two hosts from small cloud providers brute-force 66 VIPs at once,
+  // then sweep onward through the cloud's subnets — >500 VIPs in a day.
+  const Minute trace_end = config_->total_minutes();
+  const auto scan_day =
+      std::min<Minute>(trace_end - 1,
+                       (config_->days * 2 / 3) * util::kMinutesPerDay);
+  IPv4 scanners[2] = {
+      clean_host_in_class(*ases_, *tds_, AsClass::kSmallCloud, rng_),
+      clean_host_in_class(*ases_, *tds_, AsClass::kSmallCloud, rng_)};
+
+  const auto all = vips_->all();
+  std::size_t cursor = rng_.below(all.size());
+  // One 66-VIP wave (the paper's peak) plus smaller follow-ups as the
+  // scanner moves through the subnets; kept small relative to the VIP
+  // population so the sweep stays an anecdote, not the attack mix.
+  const int waves = 2;
+  for (int w = 0; w < waves; ++w) {
+    const Minute wave_start =
+        scan_day + static_cast<Minute>(w) * 240 + static_cast<Minute>(rng_.below(30));
+    if (wave_start >= trace_end) break;
+    const std::size_t first_wave = std::min<std::size_t>(66, all.size() / 2);
+    const std::size_t wave_size =
+        w == 0 ? first_wave : std::min<std::size_t>(16 + rng_.below(8), first_wave);
+    const std::uint32_t campaign_id = next_campaign_id_++;
+    for (std::size_t i = 0; i < wave_size; ++i) {
+      // Consecutive registry entries approximate a subnet sweep.
+      const VipInfo& victim = all[(cursor + i) % all.size()];
+      AttackEpisode e;
+      e.id = next_episode_id_++;
+      e.type = AttackType::kBruteForce;
+      e.direction = Direction::kInbound;
+      e.vip = victim.vip;
+      e.campaign_id = campaign_id;
+      e.start = wave_start + static_cast<Minute>(rng_.below(4));
+      e.end = e.start + static_cast<Minute>(5 + rng_.below(12));
+      e.peak_true_pps = clamp_lognormal(rng_, 15'000.0, 0.8, 2'000.0, 114'500.0);
+      e.ramp_up_minutes = 1.0;
+      e.target_port = netflow::ports::kSsh;
+      e.brute_force_protocol = BruteForceProtocol::kSsh;
+      e.remote_hosts.assign(scanners, scanners + 2);
+      place_episode(e);
+    truth.episodes.push_back(std::move(e));
+    }
+    cursor = (cursor + wave_size) % all.size();
+  }
+}
+
+void EpisodeScheduler::script_dns_server_case(GroundTruth& truth) {
+  // §3.1: the single VIP hosting a DNS server emits outbound DNS responses
+  // at 5666 pps for a couple of days, repeatedly.
+  const Minute trace_end = config_->total_minutes();
+  const VipInfo* dns_vip = nullptr;
+  for (const VipInfo& v : vips_->all()) {
+    if (v.hosts(ServiceType::kDns)) {
+      dns_vip = &v;
+      break;
+    }
+  }
+  if (dns_vip == nullptr) return;
+
+  const Minute episode_len =
+      std::min<Minute>(2 * util::kMinutesPerDay, trace_end / 3);
+  Minute start = trace_end / 10;
+  for (int rep = 0; rep < 2 && start + 10 < trace_end; ++rep) {
+    AttackEpisode e;
+    e.id = next_episode_id_++;
+    e.type = AttackType::kDnsReflection;
+    e.direction = Direction::kOutbound;
+    e.vip = dns_vip->vip;
+    e.start = start;
+    e.end = std::min(trace_end, start + episode_len);
+    e.peak_true_pps = 8'200.0;  // paper reports 5666 pps; below the
+                                  // sampled detection floor (see EXPERIMENTS.md)
+    e.ramp_up_minutes = 1.0;
+    e.target_port = 0;
+    const AttackParams& p =
+        default_attack_params(AttackType::kDnsReflection, Direction::kOutbound);
+    for (int h = 0; h < 200; ++h) {
+      e.remote_hosts.push_back(clean_host_in(*ases_, *tds_, pick_target_as(p), rng_));
+    }
+    place_episode(e);
+    truth.episodes.push_back(std::move(e));
+    start = e.end + trace_end / 6;
+  }
+}
+
+void EpisodeScheduler::script_romania_barrage(GroundTruth& truth) {
+  // §6.2: 40% of outbound attack packets flow from three VIPs toward one
+  // small-cloud AS in Romania.
+  const Minute trace_end = config_->total_minutes();
+  const AsInfo& romania = ases_->romania_victim_cloud();
+  for (int i = 0; i < 3; ++i) {
+    const std::uint32_t vip_index = pick_outbound_source(AttackType::kUdpFlood);
+    AttackEpisode e;
+    e.id = next_episode_id_++;
+    e.type = AttackType::kUdpFlood;
+    e.direction = Direction::kOutbound;
+    e.vip = vips_->all()[vip_index].vip;
+    e.start = trace_end * (2 + i) / 10;
+    e.end = std::min(trace_end, e.start + util::kMinutesPerDay);
+    e.peak_true_pps = 180'000.0;
+    e.ramp_up_minutes = 1.0;
+    e.target_port = netflow::ports::kHttp;
+    for (int h = 0; h < 40; ++h) {
+      e.remote_hosts.push_back(clean_host_in(*ases_, *tds_, romania, rng_));
+    }
+    place_episode(e);
+    truth.episodes.push_back(std::move(e));
+  }
+}
+
+void EpisodeScheduler::script_serial_attacker(GroundTruth& truth) {
+  // §4.1: one VIP that "generated more than 144 outbound TCP SYN flood
+  // attacks in a day to many web servers ... with a median duration of 1
+  // minute and a median inter-arrival time of 10 minutes", and no
+  // legitimate inbound traffic — a VIP used purely for attacks.
+  const Minute trace_end = config_->total_minutes();
+  // The least-popular free-trial VIP approximates "no legitimate service".
+  const VipInfo* attacker = nullptr;
+  for (const VipInfo& v : vips_->all()) {
+    if (v.tenant != TenantClass::kFreeTrial) continue;
+    if (attacker == nullptr || v.popularity < attacker->popularity) {
+      attacker = &v;
+    }
+  }
+  if (attacker == nullptr) return;
+
+  // "Many web servers" that, like most outbound victims (§6.2), live in a
+  // single AS — a hosting farm.
+  const AttackParams& p =
+      default_attack_params(AttackType::kSynFlood, Direction::kOutbound);
+  const AsInfo& farm = pick_target_as(p);
+  std::vector<IPv4> targets;
+  for (int h = 0; h < 30; ++h) {
+    targets.push_back(clean_host_in(*ases_, *tds_, farm, rng_));
+  }
+
+  Minute start = std::min<Minute>(trace_end - 1,
+                                  (config_->days / 2) * util::kMinutesPerDay +
+                                      static_cast<Minute>(rng_.below(120)));
+  int launched = 0;
+  while (launched < 150 && start + 2 < trace_end) {
+    AttackEpisode e;
+    e.id = next_episode_id_++;
+    e.type = AttackType::kSynFlood;
+    e.direction = Direction::kOutbound;
+    e.vip = attacker->vip;
+    e.start = start;
+    e.end = start + 1 + static_cast<Minute>(rng_.below(2));
+    e.peak_true_pps = clamp_lognormal(rng_, 25'000.0, 0.5, 9'000.0, 184'000.0);
+    e.ramp_up_minutes = 0.3;
+    e.target_port = netflow::ports::kHttp;
+    e.remote_hosts = targets;
+    place_episode(e);
+    truth.episodes.push_back(std::move(e));
+    ++launched;
+    // Median spacing ~10 minutes, but stay clear of the 1-minute timeout.
+    start += 4 + static_cast<Minute>(rng_.below(13));
+  }
+}
+
+}  // namespace dm::sim

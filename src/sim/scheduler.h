@@ -1,0 +1,109 @@
+// Planning the attack population of a scenario.
+//
+// The scheduler turns the calibration tables of scenario.h into a concrete
+// list of ground-truth episodes: per-day attack sessions on chosen VIPs,
+// repeat attacks within a session (Fig 3a), multi-vector bundles (§4.2),
+// multi-VIP campaigns (§4.3), plus the scripted events the paper narrates
+// (the Fig 5 compromise chain, the spam eruption, the two-host subnet scan,
+// the cloud DNS server, and the Romanian packet barrage).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "cloud/as_registry.h"
+#include "cloud/tds_blacklist.h"
+#include "cloud/vip_registry.h"
+#include "sim/episode.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace dm::sim {
+
+class EpisodeScheduler {
+ public:
+  EpisodeScheduler(const ScenarioConfig& config, const cloud::VipRegistry& vips,
+                   const cloud::AsRegistry& ases, const cloud::TdsBlacklist& tds);
+
+  /// Plans the full ground truth. Deterministic given the scenario seed.
+  [[nodiscard]] GroundTruth schedule();
+
+ private:
+  struct SessionPlan {
+    AttackType type;
+    netflow::Direction direction;
+    std::uint32_t vip_index;
+    util::Minute day_start;
+    bool mode2 = false;  ///< UDP bimodality: the large/frequent mode (§5.2)
+  };
+
+  // -- selection helpers ------------------------------------------------
+  /// session_share describes the target share of *attacks*; a session of
+  /// some types expands into many episodes (repeats, campaigns). The
+  /// divisor is the Monte-Carlo-estimated expected episodes per session, so
+  /// type picking corrects for the expansion.
+  [[nodiscard]] double episodes_per_session(AttackType type,
+                                            netflow::Direction dir) const;
+  [[nodiscard]] AttackType pick_type(netflow::Direction dir);
+  [[nodiscard]] std::uint32_t pick_inbound_victim(AttackType type);
+  [[nodiscard]] std::uint32_t pick_outbound_source(AttackType type);
+  [[nodiscard]] std::uint32_t attack_count(const AttackParams& p);
+  [[nodiscard]] std::uint16_t pick_target_port(const SessionPlan& plan,
+                                               const cloud::VipInfo& vip,
+                                               BruteForceProtocol* bf_proto);
+
+  /// Fills remote_hosts/remote_weights/spoofed per the type's origin model.
+  void draw_remotes(AttackEpisode& e, const AttackParams& p);
+
+  /// The paper's clustering: outbound targets usually live in one AS (§6.2).
+  [[nodiscard]] const cloud::AsInfo& pick_target_as(const AttackParams& p);
+
+  // -- session expansion --------------------------------------------------
+  void run_session(const SessionPlan& plan, GroundTruth& truth);
+  /// Emits a train of `count` repeat attacks. `forced_start` (when >= 0)
+  /// pins the first attack's start — used by campaign members so the wave
+  /// stays inside the 5-minute correlation window.
+  void add_episode_train(const SessionPlan& plan, std::uint32_t count,
+                         std::uint32_t campaign_id, std::uint32_t mv_group,
+                         GroundTruth& truth, util::Minute forced_start = -1);
+  [[nodiscard]] AttackEpisode make_episode(const SessionPlan& plan,
+                                           util::Minute start,
+                                           std::uint32_t campaign_id,
+                                           std::uint32_t mv_group);
+
+  // -- scripted events ------------------------------------------------
+  void script_case_study(GroundTruth& truth);       ///< Fig 5
+  void script_spam_eruption(GroundTruth& truth);    ///< §3.1
+  void script_subnet_scan(GroundTruth& truth);      ///< §4.3
+  void script_dns_server_case(GroundTruth& truth);  ///< §3.1
+  void script_romania_barrage(GroundTruth& truth);  ///< §6.2
+  void script_serial_attacker(GroundTruth& truth);  ///< §4.1 tail VIP
+
+  const ScenarioConfig* config_;
+  const cloud::VipRegistry* vips_;
+  const cloud::AsRegistry* ases_;
+  const cloud::TdsBlacklist* tds_;
+  util::Rng rng_;
+  std::uint32_t next_episode_id_ = 1;
+  std::uint32_t next_campaign_id_ = 1;
+  std::uint32_t next_mv_group_ = 1;
+  // Lazily-built type-picking weights (share / expected expansion).
+  std::array<double, kAttackTypeCount> type_weights_in_{};
+  std::array<double, kAttackTypeCount> type_weights_out_{};
+
+  /// Reserved time intervals per (vip, type, direction): independently
+  /// planned incidents are kept farther apart than the grouping timeout, so
+  /// the ground-truth episode count matches what the incident builder can
+  /// recover. Returns the (possibly delayed) start; the duration is kept.
+  [[nodiscard]] util::Minute reserve_slot(netflow::IPv4 vip, AttackType type,
+                                          netflow::Direction dir,
+                                          util::Minute start,
+                                          util::Minute duration);
+  /// Applies reserve_slot to an episode in place.
+  void place_episode(AttackEpisode& e);
+  std::map<std::tuple<std::uint32_t, int, int>, std::map<util::Minute, util::Minute>>
+      slots_;
+};
+
+}  // namespace dm::sim

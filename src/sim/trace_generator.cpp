@@ -1,0 +1,61 @@
+#include "sim/trace_generator.h"
+
+#include "sim/attack_traffic.h"
+#include "sim/benign_model.h"
+#include "sim/scheduler.h"
+
+namespace dm::sim {
+
+namespace {
+
+ScenarioConfig with_trace_minutes(ScenarioConfig config) {
+  config.vips.trace_minutes = config.total_minutes();
+  return config;
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(with_trace_minutes(std::move(config))),
+      ases_(config_.ases, config_.seed),
+      vips_(config_.vips, config_.seed),
+      tds_(config_.tds, ases_, config_.seed) {}
+
+TraceResult generate_trace(const Scenario& scenario) {
+  const ScenarioConfig& config = scenario.config();
+  const netflow::PacketSampler sampler = scenario.sampler();
+
+  TraceResult result;
+  EpisodeScheduler scheduler(config, scenario.vips(), scenario.ases(),
+                             scenario.tds());
+  result.truth = scheduler.schedule();
+
+  // Benign traffic: one RNG stream per VIP so populations are stable under
+  // config changes elsewhere.
+  util::Rng root(config.seed);
+  util::Rng benign_root = root.fork();
+  util::Rng attack_root = root.fork();
+
+  const BenignTrafficModel benign(config, scenario.vips(), scenario.ases(),
+                                  config.seed, &scenario.tds());
+  const util::Minute end = config.total_minutes();
+  for (std::uint32_t v = 0; v < scenario.vips().size(); ++v) {
+    util::Rng vip_rng = benign_root.fork();
+    for (util::Minute m = 0; m < end; ++m) {
+      benign.emit_minute(v, m, sampler, vip_rng, result.records);
+    }
+  }
+
+  // Attack traffic: one RNG stream per episode.
+  const AttackTrafficModel attacks(scenario.ases(), scenario.tds());
+  for (const AttackEpisode& e : result.truth.episodes) {
+    util::Rng episode_rng = attack_root.fork();
+    for (util::Minute m = e.start; m < e.end; ++m) {
+      attacks.emit_minute(e, m, sampler, episode_rng, result.records);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace dm::sim

@@ -1,0 +1,51 @@
+// End-to-end scenario materialization: registries + scheduler + benign and
+// attack traffic models -> a sampled NetFlow trace with ground truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/as_registry.h"
+#include "cloud/tds_blacklist.h"
+#include "cloud/vip_registry.h"
+#include "netflow/flow_record.h"
+#include "netflow/sampler.h"
+#include "sim/episode.h"
+#include "sim/scenario.h"
+
+namespace dm::sim {
+
+/// Owns the static world of one simulated study: the cloud (VIPs, data
+/// centers), the Internet (ASes, geography), and the TDS blacklist — all
+/// deterministic functions of the ScenarioConfig.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const cloud::VipRegistry& vips() const noexcept { return vips_; }
+  [[nodiscard]] const cloud::AsRegistry& ases() const noexcept { return ases_; }
+  [[nodiscard]] const cloud::TdsBlacklist& tds() const noexcept { return tds_; }
+  [[nodiscard]] netflow::PacketSampler sampler() const {
+    return netflow::PacketSampler(config_.sampling);
+  }
+
+ private:
+  ScenarioConfig config_;
+  cloud::AsRegistry ases_;
+  cloud::VipRegistry vips_;
+  cloud::TdsBlacklist tds_;
+};
+
+/// A generated trace: sampled records (unsorted) plus the ground truth that
+/// produced them.
+struct TraceResult {
+  std::vector<netflow::FlowRecord> records;
+  GroundTruth truth;
+};
+
+/// Runs the generator. Deterministic for a given scenario config.
+[[nodiscard]] TraceResult generate_trace(const Scenario& scenario);
+
+}  // namespace dm::sim

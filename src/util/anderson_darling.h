@@ -1,0 +1,34 @@
+// Anderson-Darling goodness-of-fit test against Uniform(0, 1).
+//
+// The paper (§6.1, following Moore et al. and RFC 2330) uses the A² test to
+// decide whether the source addresses of an inbound flood are uniformly
+// distributed over the address space — the signature of spoofing ("an attack
+// has spoofed IPs if A2 value is above 0.05", i.e. the uniformity hypothesis
+// is *not rejected* at the 5% level).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dm::util {
+
+/// Outcome of an Anderson-Darling uniformity test.
+struct AndersonDarlingResult {
+  std::size_t n = 0;
+  double statistic = 0.0;  ///< A² (adjusted for sample size)
+  double p_value = 0.0;    ///< approximate p-value for H0: Uniform(0,1)
+
+  /// True when the uniformity hypothesis survives at significance `alpha` —
+  /// for attack sources this means "consistent with spoofed addresses".
+  [[nodiscard]] bool uniform_at(double alpha = 0.05) const noexcept {
+    return n >= 2 && p_value > alpha;
+  }
+};
+
+/// Runs the test on samples already scaled to [0, 1]. Values are clamped
+/// slightly inside (0, 1) to keep the statistic finite. Fewer than 2 samples
+/// yield p_value = 0 (cannot support uniformity).
+[[nodiscard]] AndersonDarlingResult anderson_darling_uniform(
+    std::span<const double> samples01);
+
+}  // namespace dm::util

@@ -1,0 +1,90 @@
+#include "util/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace dm::util {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : samples_(samples.begin(), samples.end()), sorted_(false) {}
+
+void EmpiricalCdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add_all(std::span<const double> samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  ensure_sorted();
+  return quantile_sorted(samples_, q);
+}
+
+std::span<const double> EmpiricalCdf::sorted() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::vector<CdfPoint> EmpiricalCdf::render(std::size_t points) const {
+  std::vector<CdfPoint> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  const std::size_t n = samples_.size();
+  const std::size_t step = n <= points ? 1 : n / points;
+  out.reserve(n / step + 1);
+  for (std::size_t i = step - 1; i < n; i += step) {
+    out.push_back({samples_[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.empty() || out.back().fraction < 1.0) {
+    out.push_back({samples_[n - 1], 1.0});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> EmpiricalCdf::render_log_x(std::size_t points) const {
+  std::vector<CdfPoint> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  const double lo = std::max(samples_.front(), 1e-9);
+  const double hi = std::max(samples_.back(), lo * (1.0 + 1e-12));
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points == 1 ? 1.0
+                                 : static_cast<double>(i) /
+                                       static_cast<double>(points - 1);
+    const double x = std::exp(log_lo + t * (log_hi - log_lo));
+    out.push_back({x, at(x)});
+  }
+  return out;
+}
+
+std::string to_text(std::span<const CdfPoint> points) {
+  std::ostringstream os;
+  for (const auto& p : points) os << p.x << ' ' << p.fraction << '\n';
+  return os.str();
+}
+
+}  // namespace dm::util

@@ -1,0 +1,62 @@
+// Empirical cumulative distribution functions.
+//
+// Figures 1, 3a and 4 of the paper are CDFs; EmpiricalCdf collects samples
+// and can be queried for quantiles, evaluated at a point, or rendered as a
+// series of (x, F(x)) points for plotting/printing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dm::util {
+
+/// A point on a rendered CDF curve.
+struct CdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;  ///< F(x) in [0, 1]
+};
+
+/// Collects double-valued samples and answers distribution queries.
+/// Samples are sorted lazily on first query after an insert.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  void add(double sample);
+  void add_all(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x; 0 when empty.
+  [[nodiscard]] double at(double x) const;
+
+  /// Linear-interpolated quantile; see util::quantile_sorted.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Renders the curve at `points` positions spaced evenly in *rank* space —
+  /// each rendered x is an order statistic, so tails are represented even
+  /// for heavy-tailed data. Returns at most `points` entries.
+  [[nodiscard]] std::vector<CdfPoint> render(std::size_t points = 64) const;
+
+  /// Renders the curve at log-spaced x positions between min and max sample;
+  /// matches the paper's log-x CDF plots (Fig 1, 3a).
+  [[nodiscard]] std::vector<CdfPoint> render_log_x(std::size_t points = 64) const;
+
+  /// Read-only access to the sorted samples.
+  [[nodiscard]] std::span<const double> sorted() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Formats a CDF as a two-column gnuplot-style text block ("x fraction\n").
+[[nodiscard]] std::string to_text(std::span<const CdfPoint> points);
+
+}  // namespace dm::util

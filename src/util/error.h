@@ -1,0 +1,27 @@
+// Error types shared across the darkmenace libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dm {
+
+/// Base class for all errors thrown by the darkmenace libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when serialized trace data is malformed or truncated.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace dm

@@ -1,0 +1,44 @@
+#include "util/ewma.h"
+
+#include <algorithm>
+
+namespace dm::util {
+
+Ewma::Ewma(double alpha) noexcept : alpha_(std::clamp(alpha, 1e-9, 1.0)) {}
+
+Ewma Ewma::for_window(std::size_t windows) noexcept {
+  const double n = windows == 0 ? 1.0 : static_cast<double>(windows);
+  return Ewma(2.0 / (n + 1.0));
+}
+
+double Ewma::update(double observation) noexcept {
+  if (count_ == 0) {
+    value_ = observation;
+  } else {
+    value_ += alpha_ * (observation - value_);
+  }
+  ++count_;
+  return value_;
+}
+
+void Ewma::decay(std::size_t steps) noexcept {
+  if (steps == 0) return;
+  // (1 - alpha)^steps without pow() drift for the common small counts.
+  double factor = 1.0;
+  double base = 1.0 - alpha_;
+  std::size_t n = steps;
+  while (n > 0) {
+    if (n & 1) factor *= base;
+    base *= base;
+    n >>= 1;
+  }
+  value_ *= factor;
+  count_ += steps;
+}
+
+void Ewma::reset() noexcept {
+  value_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace dm::util

@@ -1,0 +1,46 @@
+// Exponentially weighted moving average used by the sequential change-point
+// detector (paper §2.2: "comparing the traffic volume at the current time
+// window with the EWMA of the past 10 time windows").
+#pragma once
+
+#include <cstddef>
+
+namespace dm::util {
+
+/// Streaming EWMA. `alpha` is the weight of the newest observation; the
+/// paper's "past 10 windows" baseline corresponds to Ewma::for_window(10)
+/// (alpha = 2/(N+1), the span convention).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) noexcept;
+
+  /// EWMA whose effective averaging window is `windows` observations.
+  [[nodiscard]] static Ewma for_window(std::size_t windows) noexcept;
+
+  /// Incorporates an observation and returns the updated average. The first
+  /// observation initializes the average directly.
+  double update(double observation) noexcept;
+
+  /// Absorbs `steps` zero-valued observations in closed form — how the
+  /// change-point detector accounts for the silent minutes between two
+  /// sampled windows of a sparse series.
+  void decay(std::size_t steps) noexcept;
+
+  /// Current average (0 before any observation).
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// Number of observations absorbed so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// True once at least one observation has been absorbed.
+  [[nodiscard]] bool primed() const noexcept { return count_ > 0; }
+
+  void reset() noexcept;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dm::util

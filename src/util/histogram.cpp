@@ -1,0 +1,83 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace dm::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      counts_(buckets == 0 ? 1 : buckets, 0) {
+  if (hi <= lo) throw ConfigError("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::vector<Bucket> Histogram::buckets() const {
+  std::vector<Bucket> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = lo_ + width_ * static_cast<double>(i);
+    out.push_back({lo, lo + width_, counts_[i]});
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t buckets)
+    : log_lo_(std::log(lo)),
+      log_step_((std::log(hi) - std::log(lo)) /
+                static_cast<double>(buckets == 0 ? 1 : buckets)),
+      counts_(buckets == 0 ? 1 : buckets, 0) {
+  if (!(lo > 0.0) || hi <= lo) {
+    throw ConfigError("LogHistogram: requires 0 < lo < hi");
+  }
+}
+
+void LogHistogram::add(double x, std::uint64_t weight) noexcept {
+  const double lx = std::log(std::max(x, 1e-300));
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((lx - log_lo_) / log_step_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::vector<Bucket> LogHistogram::buckets() const {
+  std::vector<Bucket> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = std::exp(log_lo_ + log_step_ * static_cast<double>(i));
+    const double hi = std::exp(log_lo_ + log_step_ * static_cast<double>(i + 1));
+    out.push_back({lo, hi, counts_[i]});
+  }
+  return out;
+}
+
+std::string render_ascii(const std::vector<Bucket>& buckets,
+                         std::size_t max_bar_width) {
+  std::uint64_t peak = 0;
+  for (const auto& b : buckets) peak = std::max(peak, b.count);
+  std::ostringstream os;
+  for (const auto& b : buckets) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        (static_cast<double>(b.count) / static_cast<double>(peak)) *
+                        static_cast<double>(max_bar_width));
+    os << '[' << b.lo << ", " << b.hi << ") " << std::string(bar, '#') << ' '
+       << b.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dm::util

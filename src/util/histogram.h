@@ -1,0 +1,59 @@
+// Histograms for distribution summaries in benches and analyses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dm::util {
+
+/// One rendered histogram bucket.
+struct Bucket {
+  double lo = 0.0;      ///< inclusive lower bound
+  double hi = 0.0;      ///< exclusive upper bound
+  std::uint64_t count = 0;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range samples clamped
+/// into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Log-spaced histogram over [lo, hi); bucket edges grow geometrically.
+/// Matches the paper's log-x axes (durations, inter-arrival, throughput).
+class LogHistogram {
+ public:
+  /// Requires 0 < lo < hi.
+  LogHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+ private:
+  double log_lo_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Renders buckets as an ASCII bar chart (for bench/example output).
+[[nodiscard]] std::string render_ascii(const std::vector<Bucket>& buckets,
+                                       std::size_t max_bar_width = 50);
+
+}  // namespace dm::util

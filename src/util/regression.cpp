@@ -1,0 +1,49 @@
+#include "util/regression.h"
+
+#include <cmath>
+
+namespace dm::util {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) noexcept {
+  LinearFit fit;
+  const std::size_t n = xs.size() < ys.size() ? xs.size() : ys.size();
+  fit.n = n;
+  if (n == 0) return fit;
+
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+
+  if (sxx <= 0.0) {
+    fit.intercept = mean_y;
+    fit.r_squared = syy <= 0.0 ? 1.0 : 0.0;
+    return fit;
+  }
+
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy <= 0.0) {
+    fit.r_squared = 1.0;  // all ys identical; a horizontal fit is exact
+  } else {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  }
+  return fit;
+}
+
+}  // namespace dm::util

@@ -1,0 +1,31 @@
+// Ordinary least-squares linear regression.
+//
+// The paper selects per-attack-type inactive timeouts (Table 1) by fitting a
+// regression line over points of each inactive-time CDF and requiring the
+// average R-squared across inbound/outbound curves to stay above 85%
+// (§2.2 / Fig 1). detect::TimeoutSelector uses this fit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dm::util {
+
+/// Result of a simple y = slope*x + intercept fit.
+struct LinearFit {
+  std::size_t n = 0;
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination; 1 for a perfect fit
+
+  /// Predicted y at x.
+  [[nodiscard]] double at(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// Fits y over x by ordinary least squares. Requires xs.size() == ys.size().
+/// With fewer than 2 points (or zero x-variance) returns a flat fit with
+/// r_squared = 1 when all ys are equal, else 0.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs,
+                                   std::span<const double> ys) noexcept;
+
+}  // namespace dm::util

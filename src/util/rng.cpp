@@ -1,0 +1,159 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace dm::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork() noexcept { return Rng((*this)()); }
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded draw.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return (*this)();
+  return lo + below(span + 1);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until the product drops below exp(-mean).
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      product *= uniform01();
+    } while (product > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double draw = normal(mean, std::sqrt(mean)) + 0.5;
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw);
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double np = static_cast<double>(n) * p;
+  if (np < 32.0 && n < 10'000'000ULL) {
+    // Inversion via geometric skips: expected O(np) work.
+    const double log_q = std::log1p(-p);
+    std::uint64_t hits = 0;
+    double position = 0.0;
+    for (;;) {
+      position += std::floor(std::log(1.0 - uniform01()) / log_q) + 1.0;
+      if (position > static_cast<double>(n)) return hits;
+      ++hits;
+    }
+  }
+  const double variance = np * (1.0 - p);
+  const double draw = normal(np, std::sqrt(variance)) + 0.5;
+  if (draw <= 0.0) return 0;
+  const auto clamped = static_cast<std::uint64_t>(draw);
+  return clamped > n ? n : clamped;
+}
+
+double Rng::exponential(double mean) noexcept {
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; draw until the radius is usable.
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_median(double median, double sigma) noexcept {
+  return median * std::exp(sigma * normal());
+}
+
+double Rng::pareto(double alpha, double lo, double hi) noexcept {
+  if (lo >= hi) return lo;
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double u = uniform01();
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace dm::util

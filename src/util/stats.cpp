@@ -1,0 +1,55 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted[sorted.size() - 1];
+  return sorted[idx] + frac * (sorted[idx + 1] - sorted[idx]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = quantile_sorted(sorted, 0.5);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  s.mean = mean(xs);
+  return s;
+}
+
+}  // namespace dm::util

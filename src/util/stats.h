@@ -1,0 +1,41 @@
+// Descriptive statistics over in-memory samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dm::util {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Quantile with linear interpolation between order statistics
+/// (the "type 7" estimator used by R and NumPy). q is clamped to [0,1].
+/// Returns 0 for an empty span. The input need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile over data the caller has already sorted ascending; avoids the
+/// copy that quantile() makes.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Convenience median.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Five-point summary of a sample, plus mean; all zero when empty.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Computes a Summary in one pass over a copy of the data.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace dm::util

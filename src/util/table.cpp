@@ -1,0 +1,107 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace dm::util {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ' ' &&
+               c != 'K' && c != 'M' && c != 'G' && c != 'x' && c != '/') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_cell(double v) { return format_double(v); }
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return {};
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string{};
+      const bool right = looks_numeric(cell);
+      if (right) {
+        os << std::string(widths[i] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[i] - cell.size(), ' ');
+      }
+      if (i + 1 < columns) os << "  ";
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    os << std::string(total + 2 * (columns - 1), '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_double(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s.empty() ? "0" : s;
+}
+
+std::string format_pps(double pps) {
+  if (pps >= 1e6) return format_double(pps / 1e6, 2) + " Mpps";
+  if (pps >= 1e3) return format_double(pps / 1e3, 1) + " Kpps";
+  return format_double(pps, 0) + " pps";
+}
+
+std::string format_minutes(double minutes) {
+  if (minutes < 60.0) return format_double(minutes, 1) + " min";
+  if (minutes < 1440.0) return format_double(minutes / 60.0, 1) + " hour";
+  if (minutes < 10080.0) return format_double(minutes / 1440.0, 1) + " day";
+  if (minutes < 43200.0) return format_double(minutes / 10080.0, 1) + " week";
+  return format_double(minutes / 43200.0, 1) + " month";
+}
+
+std::string format_percent(double fraction, int digits) {
+  return format_double(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace dm::util

@@ -1,0 +1,61 @@
+// Plain-text table rendering for bench/example output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dm::util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Used by every bench binary to print paper-style tables.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void set_header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have differing cell counts; short rows are
+  /// padded on render.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: appends a row of already-formatted cells.
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    add_row(std::vector<std::string>{to_cell(std::forward<Cells>(cells))...});
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a separator under the header and two spaces between
+  /// columns. Numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals, trimming a trailing ".0…".
+[[nodiscard]] std::string format_double(double v, int digits = 2);
+
+/// Formats a rate in packets/second with a K/M suffix (e.g. "9.4 Mpps").
+[[nodiscard]] std::string format_pps(double pps);
+
+/// Formats a duration given in minutes using the paper's axis units
+/// (min / hour / day / week / month).
+[[nodiscard]] std::string format_minutes(double minutes);
+
+/// Formats a fraction as a percentage string with one decimal ("35.1%").
+[[nodiscard]] std::string format_percent(double fraction, int digits = 1);
+
+}  // namespace dm::util

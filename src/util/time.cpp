@@ -1,0 +1,18 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace dm::util {
+
+std::string format_minute(Minute m) {
+  const std::int64_t day = day_of(m);
+  const Minute mod = minute_of_day(m);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%lld %02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(mod / kMinutesPerHour),
+                static_cast<long long>(mod % kMinutesPerHour));
+  return buf;
+}
+
+}  // namespace dm::util

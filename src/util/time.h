@@ -1,0 +1,35 @@
+// Simulation time: everything in the study is indexed by one-minute windows,
+// matching the paper's NetFlow aggregation granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dm::util {
+
+/// Index of a one-minute window since simulation start (t = 0).
+using Minute = std::int64_t;
+
+inline constexpr Minute kMinutesPerHour = 60;
+inline constexpr Minute kMinutesPerDay = 24 * kMinutesPerHour;
+
+/// Day index (0-based) containing a minute.
+[[nodiscard]] constexpr std::int64_t day_of(Minute m) noexcept {
+  return m >= 0 ? m / kMinutesPerDay : (m - kMinutesPerDay + 1) / kMinutesPerDay;
+}
+
+/// Minute-of-day in [0, 1440).
+[[nodiscard]] constexpr Minute minute_of_day(Minute m) noexcept {
+  const Minute r = m % kMinutesPerDay;
+  return r < 0 ? r + kMinutesPerDay : r;
+}
+
+/// Hour-of-day in [0, 24).
+[[nodiscard]] constexpr int hour_of_day(Minute m) noexcept {
+  return static_cast<int>(minute_of_day(m) / kMinutesPerHour);
+}
+
+/// Formats a minute index as "dD hh:mm" for logs and case-study output.
+[[nodiscard]] std::string format_minute(Minute m);
+
+}  // namespace dm::util

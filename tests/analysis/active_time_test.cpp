@@ -1,0 +1,93 @@
+#include "analysis/active_time.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::analysis {
+namespace {
+
+using detect::MinuteDetection;
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::IPv4;
+
+const IPv4 kVip = IPv4::from_octets(100, 64, 0, 2);
+
+netflow::PrefixSet cloud_space() {
+  netflow::PrefixSet set;
+  set.add(netflow::Prefix(IPv4::from_octets(100, 64, 0, 0), 12));
+  return set;
+}
+
+netflow::WindowedTrace trace_with_active_minutes(int minutes) {
+  std::vector<FlowRecord> records;
+  for (int m = 0; m < minutes; ++m) {
+    FlowRecord r;
+    r.minute = m;
+    r.src_ip = IPv4::from_octets(4, 0, 0, 1);
+    r.dst_ip = kVip;
+    r.src_port = 1000;
+    r.dst_port = 80;
+    r.protocol = netflow::Protocol::kTcp;
+    r.tcp_flags = netflow::TcpFlags::kAck;
+    r.packets = 1;
+    r.bytes = 100;
+    records.push_back(r);
+  }
+  return netflow::aggregate_windows(std::move(records), cloud_space());
+}
+
+MinuteDetection det(util::Minute minute,
+                    sim::AttackType type = sim::AttackType::kSynFlood) {
+  return MinuteDetection{kVip, Direction::kInbound, type, minute, 100, 1};
+}
+
+TEST(ActiveTime, FractionComputedOverActiveMinutes) {
+  const auto trace = trace_with_active_minutes(100);
+  const std::vector<MinuteDetection> detections{det(5), det(6), det(7), det(8)};
+  const auto result =
+      compute_active_time(trace, detections, Direction::kInbound);
+  ASSERT_EQ(result.vips.size(), 1u);
+  EXPECT_EQ(result.vips[0].active_minutes, 100u);
+  EXPECT_EQ(result.vips[0].attack_minutes, 4u);
+  EXPECT_DOUBLE_EQ(result.vips[0].attack_fraction(), 0.04);
+  EXPECT_DOUBLE_EQ(result.majority_attacked_fraction, 0.0);
+}
+
+TEST(ActiveTime, MultiVectorMinutesCountOnce) {
+  const auto trace = trace_with_active_minutes(10);
+  const std::vector<MinuteDetection> detections{
+      det(3, sim::AttackType::kSynFlood),
+      det(3, sim::AttackType::kUdpFlood),  // same minute, second vector
+  };
+  const auto result =
+      compute_active_time(trace, detections, Direction::kInbound);
+  ASSERT_EQ(result.vips.size(), 1u);
+  EXPECT_EQ(result.vips[0].attack_minutes, 1u);
+}
+
+TEST(ActiveTime, MajorityAttackedVipDetected) {
+  const auto trace = trace_with_active_minutes(10);
+  std::vector<MinuteDetection> detections;
+  for (int m = 0; m < 6; ++m) detections.push_back(det(m));
+  const auto result =
+      compute_active_time(trace, detections, Direction::kInbound);
+  EXPECT_DOUBLE_EQ(result.majority_attacked_fraction, 1.0);
+}
+
+TEST(ActiveTime, UnattackedVipsExcluded) {
+  const auto trace = trace_with_active_minutes(10);
+  const auto result = compute_active_time(trace, {}, Direction::kInbound);
+  EXPECT_TRUE(result.vips.empty());
+  EXPECT_DOUBLE_EQ(result.majority_attacked_fraction, 0.0);
+}
+
+TEST(ActiveTime, DirectionScoped) {
+  const auto trace = trace_with_active_minutes(10);
+  const std::vector<MinuteDetection> detections{det(1)};
+  const auto outbound =
+      compute_active_time(trace, detections, Direction::kOutbound);
+  EXPECT_TRUE(outbound.vips.empty());
+}
+
+}  // namespace
+}  // namespace dm::analysis

@@ -1,0 +1,48 @@
+#include "analysis/overview.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::analysis {
+namespace {
+
+using detect::AttackIncident;
+using netflow::Direction;
+using sim::AttackType;
+
+AttackIncident incident(AttackType type, Direction dir) {
+  AttackIncident inc;
+  inc.vip = netflow::IPv4(1);
+  inc.type = type;
+  inc.direction = dir;
+  inc.start = 0;
+  inc.end = 1;
+  return inc;
+}
+
+TEST(AttackMix, CountsAndShares) {
+  std::vector<AttackIncident> incidents;
+  for (int i = 0; i < 3; ++i) {
+    incidents.push_back(incident(AttackType::kSynFlood, Direction::kInbound));
+  }
+  for (int i = 0; i < 7; ++i) {
+    incidents.push_back(incident(AttackType::kSpam, Direction::kOutbound));
+  }
+  const auto mix = compute_attack_mix(incidents);
+  EXPECT_EQ(mix.inbound_total, 3u);
+  EXPECT_EQ(mix.outbound_total, 7u);
+  EXPECT_EQ(mix.total(), 10u);
+  EXPECT_DOUBLE_EQ(mix.share(AttackType::kSynFlood, Direction::kInbound), 0.3);
+  EXPECT_DOUBLE_EQ(mix.share(AttackType::kSpam, Direction::kOutbound), 0.7);
+  EXPECT_DOUBLE_EQ(mix.share(AttackType::kSpam, Direction::kInbound), 0.0);
+  EXPECT_DOUBLE_EQ(mix.inbound_share(), 0.3);
+}
+
+TEST(AttackMix, EmptyInput) {
+  const auto mix = compute_attack_mix({});
+  EXPECT_EQ(mix.total(), 0u);
+  EXPECT_DOUBLE_EQ(mix.inbound_share(), 0.0);
+  EXPECT_DOUBLE_EQ(mix.share(AttackType::kTds, Direction::kInbound), 0.0);
+}
+
+}  // namespace
+}  // namespace dm::analysis

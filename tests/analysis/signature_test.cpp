@@ -1,0 +1,171 @@
+#include "analysis/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::analysis {
+namespace {
+
+using detect::AttackIncident;
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::IPv4;
+using netflow::Protocol;
+using netflow::TcpFlags;
+using sim::AttackType;
+
+const IPv4 kVip = IPv4::from_octets(100, 64, 0, 9);
+const IPv4 kRepeat = IPv4::from_octets(4, 9, 9, 9);
+
+netflow::PrefixSet cloud_space() {
+  netflow::PrefixSet set;
+  set.add(netflow::Prefix(IPv4::from_octets(100, 64, 0, 0), 12));
+  return set;
+}
+
+/// Two SYN-flood incidents; `kRepeat` participates in both, other sources
+/// are one-off. Optionally all packets carry source port 1024.
+struct Fixture {
+  netflow::WindowedTrace trace;
+  std::vector<AttackIncident> incidents;
+};
+
+Fixture make_fixture(bool juno) {
+  std::vector<FlowRecord> records;
+  auto syn = [&](util::Minute m, IPv4 src, std::uint32_t pkts,
+                 std::uint16_t sport) {
+    FlowRecord r;
+    r.minute = m;
+    r.src_ip = src;
+    r.dst_ip = kVip;
+    r.src_port = sport;
+    r.dst_port = 80;
+    r.protocol = Protocol::kTcp;
+    r.tcp_flags = TcpFlags::kSyn;
+    r.packets = pkts;
+    r.bytes = pkts * 40;
+    records.push_back(r);
+  };
+  for (int wave = 0; wave < 2; ++wave) {
+    const util::Minute base = 100 + wave * 500;
+    for (util::Minute m = base; m < base + 5; ++m) {
+      syn(m, kRepeat, 40, juno ? 1024 : static_cast<std::uint16_t>(20'000 + m));
+      for (std::uint32_t s = 0; s < 10; ++s) {
+        syn(m, IPv4(0x05000000u + static_cast<std::uint32_t>(wave) * 100 + s), 5,
+            juno ? 1024 : static_cast<std::uint16_t>(30'000 + s));
+      }
+    }
+  }
+
+  Fixture f{netflow::aggregate_windows(std::move(records), cloud_space()), {}};
+  for (int wave = 0; wave < 2; ++wave) {
+    AttackIncident inc;
+    inc.vip = kVip;
+    inc.direction = Direction::kInbound;
+    inc.type = AttackType::kSynFlood;
+    inc.start = 100 + wave * 500;
+    inc.end = inc.start + 5;
+    f.incidents.push_back(inc);
+  }
+  return f;
+}
+
+TEST(Signature, RepeatSourceBecomesBlockRule) {
+  const Fixture f = make_fixture(false);
+  const auto rules = extract_signatures(f.trace, f.incidents, kVip);
+  const SignatureRule* block = nullptr;
+  for (const auto& rule : rules) {
+    if (rule.kind == SignatureRule::Kind::kBlockSource &&
+        rule.source == kRepeat) {
+      block = &rule;
+    }
+  }
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->incidents, 2u);
+  // kRepeat carries 400 of 900 total attack packets (2 waves x 5 min x 40
+  // pkts vs 2 x 10 sources x 5 min x 5 pkts).
+  EXPECT_NEAR(block->packet_share, 400.0 / 900.0, 1e-9);
+}
+
+TEST(Signature, OneOffSourcesBelowThresholdIgnored) {
+  const Fixture f = make_fixture(false);
+  const auto rules = extract_signatures(f.trace, f.incidents, kVip);
+  for (const auto& rule : rules) {
+    if (rule.kind != SignatureRule::Kind::kBlockSource) continue;
+    EXPECT_EQ(rule.source, kRepeat)
+        << "one-off low-volume source " << rule.source.to_string();
+  }
+}
+
+TEST(Signature, JunoFixedSourcePortDetected) {
+  const Fixture f = make_fixture(true);
+  const auto rules = extract_signatures(f.trace, f.incidents, kVip);
+  bool port_rule = false;
+  for (const auto& rule : rules) {
+    if (rule.kind == SignatureRule::Kind::kBlockSourcePort) {
+      EXPECT_EQ(rule.port, 1024);
+      EXPECT_NEAR(rule.packet_share, 1.0, 1e-9);
+      port_rule = true;
+    }
+  }
+  EXPECT_TRUE(port_rule);
+}
+
+TEST(Signature, NoFixedPortRuleForEphemeralPorts) {
+  const Fixture f = make_fixture(false);
+  const auto rules = extract_signatures(f.trace, f.incidents, kVip);
+  for (const auto& rule : rules) {
+    EXPECT_NE(rule.kind, SignatureRule::Kind::kBlockSourcePort);
+  }
+}
+
+TEST(Signature, RateLimitRuleOnRepeatedTargetPort) {
+  const Fixture f = make_fixture(false);
+  const auto rules = extract_signatures(f.trace, f.incidents, kVip);
+  bool rate_rule = false;
+  for (const auto& rule : rules) {
+    if (rule.kind == SignatureRule::Kind::kRateLimitPort) {
+      EXPECT_EQ(rule.port, 80);  // both floods targeted the web port
+      EXPECT_EQ(rule.incidents, 2u);
+      rate_rule = true;
+    }
+  }
+  EXPECT_TRUE(rate_rule);
+}
+
+TEST(Signature, OtherVipsIgnored) {
+  const Fixture f = make_fixture(false);
+  const auto rules = extract_signatures(
+      f.trace, f.incidents, IPv4::from_octets(100, 64, 0, 123));
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(Signature, SourceRuleBudgetRespected) {
+  const Fixture f = make_fixture(false);
+  SignatureConfig config;
+  config.min_incidents = 1;      // every source qualifies
+  config.min_packet_share = 0.0;
+  config.max_source_rules = 3;
+  const auto rules = extract_signatures(f.trace, f.incidents, kVip, config);
+  std::size_t block_rules = 0;
+  for (const auto& rule : rules) {
+    block_rules += rule.kind == SignatureRule::Kind::kBlockSource;
+  }
+  EXPECT_EQ(block_rules, 3u);
+  // The budget keeps the heaviest source.
+  EXPECT_EQ(rules[0].source, kRepeat);
+}
+
+TEST(Signature, ToStringMentionsEssentials) {
+  SignatureRule rule;
+  rule.kind = SignatureRule::Kind::kBlockSource;
+  rule.source = kRepeat;
+  rule.incidents = 2;
+  rule.packet_share = 0.5;
+  const std::string text = to_string(rule);
+  EXPECT_NE(text.find("block src 4.9.9.9"), std::string::npos);
+  EXPECT_NE(text.find("2 incidents"), std::string::npos);
+  EXPECT_NE(text.find("50%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dm::analysis

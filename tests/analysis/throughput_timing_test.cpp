@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.h"
+#include "analysis/timing.h"
+
+namespace dm::analysis {
+namespace {
+
+using detect::AttackIncident;
+using detect::MinuteDetection;
+using netflow::Direction;
+using sim::AttackType;
+
+MinuteDetection det(std::uint32_t vip, util::Minute minute, AttackType type,
+                    std::uint64_t packets) {
+  return MinuteDetection{netflow::IPv4(vip), Direction::kInbound, type, minute,
+                         packets, 1};
+}
+
+TEST(AggregateThroughput, SumsAcrossVipsPerMinute) {
+  std::vector<MinuteDetection> minutes{
+      det(1, 10, AttackType::kSynFlood, 100),
+      det(2, 10, AttackType::kSynFlood, 200),  // same minute, different VIP
+      det(1, 11, AttackType::kSynFlood, 50),
+  };
+  const auto agg =
+      compute_aggregate_throughput(minutes, Direction::kInbound, 4096);
+  const auto& syn = agg.by_type[sim::index_of(AttackType::kSynFlood)];
+  EXPECT_EQ(syn.samples, 2u);  // two active minutes
+  // Peak minute: 300 sampled ppm -> 300 * 4096 / 60 pps.
+  EXPECT_NEAR(syn.peak_pps, 300.0 * 4096 / 60.0, 1e-6);
+  EXPECT_NEAR(syn.median_pps, (300.0 + 50.0) / 2.0 * 4096 / 60.0, 1e-6);
+  EXPECT_NEAR(agg.overall.peak_pps, 300.0 * 4096 / 60.0, 1e-6);
+}
+
+TEST(AggregateThroughput, DirectionFiltered) {
+  std::vector<MinuteDetection> minutes{det(1, 10, AttackType::kSynFlood, 100)};
+  const auto agg =
+      compute_aggregate_throughput(minutes, Direction::kOutbound, 4096);
+  EXPECT_EQ(agg.overall.samples, 0u);
+}
+
+AttackIncident incident(AttackType type, std::uint64_t peak_ppm,
+                        util::Minute start = 0, util::Minute dur = 10,
+                        std::uint32_t vip = 1) {
+  AttackIncident inc;
+  inc.vip = netflow::IPv4(vip);
+  inc.type = type;
+  inc.direction = Direction::kInbound;
+  inc.start = start;
+  inc.end = start + dur;
+  inc.peak_sampled_ppm = peak_ppm;
+  inc.active_minutes = static_cast<std::uint32_t>(dur);
+  inc.ramp_up_minutes = 2;
+  return inc;
+}
+
+TEST(PerVipThroughput, MedianAndMax) {
+  std::vector<AttackIncident> incidents{
+      incident(AttackType::kUdpFlood, 100),
+      incident(AttackType::kUdpFlood, 1000),
+      incident(AttackType::kUdpFlood, 10'000),
+  };
+  const auto result =
+      compute_per_vip_throughput(incidents, Direction::kInbound, 4096);
+  const auto& udp = result.by_type[sim::index_of(AttackType::kUdpFlood)];
+  EXPECT_EQ(udp.samples, 3u);
+  EXPECT_NEAR(udp.median_pps, 1000.0 * 4096 / 60.0, 1e-6);
+  EXPECT_NEAR(udp.peak_pps, 10'000.0 * 4096 / 60.0, 1e-6);
+  EXPECT_NEAR(result.spread(AttackType::kUdpFlood), 10.0, 1e-9);
+}
+
+TEST(Timing, DurationStatistics) {
+  std::vector<AttackIncident> incidents;
+  for (util::Minute d : {1, 2, 5, 10, 100}) {
+    incidents.push_back(incident(AttackType::kPortScan, 10, 0, d));
+  }
+  const auto timing = compute_timing(incidents, Direction::kInbound);
+  const auto& scan = timing.duration[sim::index_of(AttackType::kPortScan)];
+  EXPECT_EQ(scan.samples, 5u);
+  EXPECT_DOUBLE_EQ(scan.median, 5.0);
+  EXPECT_GT(scan.p99, 80.0);
+}
+
+TEST(Timing, InterArrivalPerVip) {
+  std::vector<AttackIncident> incidents{
+      incident(AttackType::kSynFlood, 10, 0, 5, 1),
+      incident(AttackType::kSynFlood, 10, 100, 5, 1),
+      incident(AttackType::kSynFlood, 10, 250, 5, 1),
+      // Another VIP's lone attack contributes no gap.
+      incident(AttackType::kSynFlood, 10, 40, 5, 2),
+  };
+  const auto timing = compute_timing(incidents, Direction::kInbound);
+  const auto& syn = timing.interarrival[sim::index_of(AttackType::kSynFlood)];
+  EXPECT_EQ(syn.samples, 2u);  // gaps 100 and 150
+  EXPECT_DOUBLE_EQ(syn.median, 125.0);
+}
+
+TEST(Timing, RampUpOnlyForVolumeTypes) {
+  std::vector<AttackIncident> incidents{
+      incident(AttackType::kSynFlood, 10),
+      incident(AttackType::kBruteForce, 10),
+  };
+  const auto timing = compute_timing(incidents, Direction::kInbound);
+  EXPECT_EQ(timing.ramp_up[sim::index_of(AttackType::kSynFlood)].samples, 1u);
+  EXPECT_EQ(timing.ramp_up[sim::index_of(AttackType::kBruteForce)].samples, 0u);
+}
+
+TEST(Bimodal, SplitsPopulations) {
+  std::vector<AttackIncident> incidents;
+  // Small mode: ~8 Kpps (117 ppm sampled), gaps 200; large: ~457 Kpps, gaps 60.
+  for (int i = 0; i < 8; ++i) {
+    incidents.push_back(incident(AttackType::kUdpFlood, 117, i * 200, 5, 1));
+  }
+  for (int i = 0; i < 2; ++i) {
+    incidents.push_back(incident(AttackType::kUdpFlood, 6700, i * 60, 5, 2));
+  }
+  const auto d = decompose_bimodal(incidents, AttackType::kUdpFlood,
+                                   Direction::kInbound, 4096, 50'000.0);
+  EXPECT_NEAR(d.small_fraction, 0.8, 1e-9);
+  EXPECT_NEAR(d.large_fraction, 0.2, 1e-9);
+  EXPECT_NEAR(d.small_median_peak_pps, 117.0 * 4096 / 60, 1.0);
+  EXPECT_NEAR(d.large_median_peak_pps, 6700.0 * 4096 / 60, 10.0);
+  EXPECT_DOUBLE_EQ(d.small_median_interarrival, 200.0);
+  EXPECT_DOUBLE_EQ(d.large_median_interarrival, 60.0);
+}
+
+TEST(Bimodal, EmptyInput) {
+  const auto d = decompose_bimodal({}, AttackType::kUdpFlood,
+                                   Direction::kInbound, 4096);
+  EXPECT_DOUBLE_EQ(d.small_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(d.large_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace dm::analysis

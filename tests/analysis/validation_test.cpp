@@ -1,0 +1,176 @@
+#include "analysis/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::analysis {
+namespace {
+
+using detect::AttackIncident;
+using netflow::Direction;
+using sim::AttackEpisode;
+using sim::AttackType;
+
+AttackEpisode episode(AttackType type, Direction dir, double pps,
+                      util::Minute start = 100, util::Minute dur = 10,
+                      std::uint32_t vip = 1) {
+  AttackEpisode e;
+  e.type = type;
+  e.direction = dir;
+  e.vip = netflow::IPv4(vip);
+  e.start = start;
+  e.end = start + dur;
+  e.peak_true_pps = pps;
+  e.remote_hosts.push_back(netflow::IPv4(0x04000001));
+  return e;
+}
+
+TEST(ApplianceAlerts, OnlyHighVolumeFloodsAlert) {
+  sim::GroundTruth truth;
+  truth.episodes.push_back(
+      episode(AttackType::kSynFlood, Direction::kInbound, 100'000.0));
+  truth.episodes.push_back(
+      episode(AttackType::kSynFlood, Direction::kInbound, 1'000.0, 400));
+  truth.episodes.push_back(
+      episode(AttackType::kBruteForce, Direction::kInbound, 100'000.0, 800));
+  truth.episodes.push_back(
+      episode(AttackType::kSynFlood, Direction::kOutbound, 100'000.0, 900));
+  ValidationConfig config;
+  config.appliance_false_positive_rate = 0.0;
+  util::Rng rng(1);
+  const auto alerts = simulate_appliance_alerts(truth, config, rng);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].type, AttackType::kSynFlood);
+  EXPECT_FALSE(alerts[0].false_positive);
+}
+
+TEST(ApplianceAlerts, NearbyEpisodesMerge) {
+  sim::GroundTruth truth;
+  truth.episodes.push_back(
+      episode(AttackType::kUdpFlood, Direction::kInbound, 80'000.0, 100));
+  truth.episodes.push_back(
+      episode(AttackType::kUdpFlood, Direction::kInbound, 80'000.0, 140));
+  truth.episodes.push_back(
+      episode(AttackType::kUdpFlood, Direction::kInbound, 80'000.0, 2000));
+  ValidationConfig config;
+  config.appliance_false_positive_rate = 0.0;
+  util::Rng rng(2);
+  const auto alerts = simulate_appliance_alerts(truth, config, rng);
+  EXPECT_EQ(alerts.size(), 2u);  // first two merge, third stands alone
+}
+
+TEST(ApplianceAlerts, FalsePositivesInjected) {
+  sim::GroundTruth truth;
+  for (int i = 0; i < 10; ++i) {
+    truth.episodes.push_back(episode(AttackType::kSynFlood, Direction::kInbound,
+                                     100'000.0, 100 + i * 500,
+                                     5, static_cast<std::uint32_t>(i)));
+  }
+  ValidationConfig config;
+  config.appliance_false_positive_rate = 0.3;
+  util::Rng rng(3);
+  const auto alerts = simulate_appliance_alerts(truth, config, rng);
+  std::size_t fp = 0;
+  for (const auto& a : alerts) fp += a.false_positive;
+  EXPECT_EQ(fp, 3u);
+}
+
+TEST(IncidentReports, OnlyOutboundReported) {
+  sim::GroundTruth truth;
+  truth.episodes.push_back(
+      episode(AttackType::kSpam, Direction::kInbound, 5'000.0));
+  ValidationConfig config;
+  config.other_reports = 0;
+  config.ftp_brute_force_reports = 0;
+  // Make reporting certain for spam.
+  config.report_probability[sim::index_of(AttackType::kSpam)] = 1.0;
+  util::Rng rng(4);
+  EXPECT_TRUE(simulate_incident_reports(truth, config, rng).empty());
+
+  truth.episodes.push_back(
+      episode(AttackType::kSpam, Direction::kOutbound, 5'000.0));
+  const auto reports = simulate_incident_reports(truth, config, rng);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ReportKind::kNetFlowType);
+}
+
+TEST(IncidentReports, UnmatchableKindsIncluded) {
+  sim::GroundTruth truth;
+  ValidationConfig config;
+  config.other_reports = 4;
+  config.ftp_brute_force_reports = 2;
+  util::Rng rng(5);
+  const auto reports = simulate_incident_reports(truth, config, rng);
+  std::size_t other = 0;
+  std::size_t ftp = 0;
+  for (const auto& r : reports) {
+    other += r.kind == ReportKind::kOther;
+    ftp += r.kind == ReportKind::kFtpBruteForce;
+  }
+  EXPECT_EQ(other, 4u);
+  EXPECT_EQ(ftp, 2u);
+}
+
+TEST(Validate, MatchesByVipTypeAndTime) {
+  std::vector<AttackIncident> detected(1);
+  detected[0].vip = netflow::IPv4(1);
+  detected[0].type = AttackType::kSynFlood;
+  detected[0].direction = Direction::kInbound;
+  detected[0].start = 100;
+  detected[0].end = 110;
+
+  std::vector<ApplianceAlert> alerts(2);
+  alerts[0] = {netflow::IPv4(1), AttackType::kSynFlood, 95, 120, false};
+  alerts[1] = {netflow::IPv4(2), AttackType::kSynFlood, 95, 120, false};
+
+  const auto result = validate(detected, alerts, {}, ValidationConfig{});
+  EXPECT_EQ(result.inbound[sim::index_of(AttackType::kSynFlood)].total, 2u);
+  EXPECT_EQ(result.inbound[sim::index_of(AttackType::kSynFlood)].matched, 1u);
+  EXPECT_DOUBLE_EQ(result.inbound_coverage, 0.5);
+}
+
+TEST(Validate, FalsePositiveAlertsNeverMatch) {
+  std::vector<AttackIncident> detected(1);
+  detected[0].vip = netflow::IPv4(1);
+  detected[0].type = AttackType::kSynFlood;
+  detected[0].direction = Direction::kInbound;
+  detected[0].start = 100;
+  detected[0].end = 110;
+
+  std::vector<ApplianceAlert> alerts(1);
+  alerts[0] = {netflow::IPv4(1), AttackType::kSynFlood, 95, 120, true};
+  const auto result = validate(detected, alerts, {}, ValidationConfig{});
+  EXPECT_EQ(result.inbound[sim::index_of(AttackType::kSynFlood)].matched, 0u);
+}
+
+TEST(Validate, OtherReportsCountAsMisses) {
+  std::vector<IncidentReport> reports(1);
+  reports[0].kind = ReportKind::kOther;
+  const auto result = validate({}, {}, reports, ValidationConfig{});
+  EXPECT_EQ(result.outbound_other.total, 1u);
+  EXPECT_DOUBLE_EQ(result.outbound_coverage, 0.0);
+}
+
+TEST(Validate, TimeSlackRespected) {
+  std::vector<AttackIncident> detected(1);
+  detected[0].vip = netflow::IPv4(1);
+  detected[0].type = AttackType::kUdpFlood;
+  detected[0].direction = Direction::kOutbound;
+  detected[0].start = 100;
+  detected[0].end = 105;
+
+  std::vector<IncidentReport> reports(1);
+  reports[0].vip = netflow::IPv4(1);
+  reports[0].kind = ReportKind::kNetFlowType;
+  reports[0].type = AttackType::kUdpFlood;
+  reports[0].start = 130;  // within the default 30-minute slack
+  reports[0].end = 140;
+  ValidationConfig config;
+  EXPECT_DOUBLE_EQ(validate(detected, {}, reports, config).outbound_coverage,
+                   1.0);
+  config.match_slack = 5;
+  EXPECT_DOUBLE_EQ(validate(detected, {}, reports, config).outbound_coverage,
+                   0.0);
+}
+
+}  // namespace
+}  // namespace dm::analysis

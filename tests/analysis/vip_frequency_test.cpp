@@ -1,0 +1,83 @@
+#include "analysis/vip_frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::analysis {
+namespace {
+
+using detect::AttackIncident;
+using netflow::Direction;
+using sim::AttackType;
+
+AttackIncident incident(std::uint32_t vip, util::Minute start,
+                        AttackType type = AttackType::kSynFlood,
+                        Direction dir = Direction::kInbound) {
+  AttackIncident inc;
+  inc.vip = netflow::IPv4(vip);
+  inc.type = type;
+  inc.direction = dir;
+  inc.start = start;
+  inc.end = start + 5;
+  return inc;
+}
+
+TEST(VipFrequency, CountsPerVipDay) {
+  std::vector<AttackIncident> incidents{
+      incident(1, 100), incident(1, 500), incident(1, 900),  // day 0: 3
+      incident(1, 2000),                                     // day 1: 1
+      incident(2, 100),                                      // day 0: 1
+  };
+  const auto freq = compute_vip_frequency(incidents, Direction::kInbound);
+  EXPECT_EQ(freq.pairs.size(), 3u);
+  EXPECT_DOUBLE_EQ(freq.single_attack_fraction, 2.0 / 3.0);
+  EXPECT_EQ(freq.max_attacks_per_day, 3u);
+  EXPECT_DOUBLE_EQ(freq.attacks_per_day.quantile(1.0), 3.0);
+}
+
+TEST(VipFrequency, FrequentThresholdSplit) {
+  std::vector<AttackIncident> incidents;
+  // VIP 1: 15 attacks in one day (frequent); VIP 2: 2 attacks (occasional).
+  for (int i = 0; i < 15; ++i) {
+    incidents.push_back(incident(1, i * 60, AttackType::kUdpFlood));
+  }
+  incidents.push_back(incident(2, 100, AttackType::kTds));
+  incidents.push_back(incident(2, 700, AttackType::kTds));
+
+  const auto freq = compute_vip_frequency(incidents, Direction::kInbound);
+  EXPECT_DOUBLE_EQ(freq.frequent_fraction, 0.5);
+  // Mixes are normalized by all inbound incidents (17).
+  EXPECT_NEAR(freq.frequent_mix[sim::index_of(AttackType::kUdpFlood)],
+              15.0 / 17.0, 1e-9);
+  EXPECT_NEAR(freq.occasional_mix[sim::index_of(AttackType::kTds)], 2.0 / 17.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(freq.frequent_mix[sim::index_of(AttackType::kTds)], 0.0);
+}
+
+TEST(VipFrequency, DirectionFilter) {
+  std::vector<AttackIncident> incidents{
+      incident(1, 100, AttackType::kSynFlood, Direction::kInbound),
+      incident(1, 100, AttackType::kSynFlood, Direction::kOutbound),
+  };
+  const auto in = compute_vip_frequency(incidents, Direction::kInbound);
+  const auto out = compute_vip_frequency(incidents, Direction::kOutbound);
+  EXPECT_EQ(in.pairs.size(), 1u);
+  EXPECT_EQ(out.pairs.size(), 1u);
+}
+
+TEST(VipFrequency, EmptyInput) {
+  const auto freq = compute_vip_frequency({}, Direction::kInbound);
+  EXPECT_TRUE(freq.pairs.empty());
+  EXPECT_DOUBLE_EQ(freq.single_attack_fraction, 0.0);
+}
+
+TEST(VipFrequency, CustomThreshold) {
+  std::vector<AttackIncident> incidents;
+  for (int i = 0; i < 5; ++i) incidents.push_back(incident(1, i * 100));
+  const auto strict = compute_vip_frequency(incidents, Direction::kInbound, 2);
+  EXPECT_DOUBLE_EQ(strict.frequent_fraction, 1.0);
+  const auto loose = compute_vip_frequency(incidents, Direction::kInbound, 10);
+  EXPECT_DOUBLE_EQ(loose.frequent_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace dm::analysis

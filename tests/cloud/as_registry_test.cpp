@@ -1,0 +1,118 @@
+#include "cloud/as_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dm::cloud {
+namespace {
+
+AsRegistryConfig small_config() {
+  AsRegistryConfig config;
+  config.big_cloud = 3;
+  config.small_cloud = 12;
+  config.mobile = 8;
+  config.large_isp = 8;
+  config.small_isp = 40;
+  config.customer = 60;
+  config.edu = 10;
+  config.ixp = 5;
+  config.nic = 4;
+  return config;
+}
+
+TEST(AsRegistry, BuildsAllClasses) {
+  const AsRegistry registry(small_config(), 1);
+  EXPECT_EQ(registry.size(), 3u + 12 + 8 + 8 + 40 + 60 + 10 + 5 + 4);
+  EXPECT_EQ(registry.by_class(AsClass::kBigCloud).size(), 3u);
+  EXPECT_EQ(registry.by_class(AsClass::kSmallIsp).size(), 40u);
+  EXPECT_EQ(registry.by_class(AsClass::kNic).size(), 4u);
+}
+
+TEST(AsRegistry, PrefixesAreDisjoint) {
+  const AsRegistry registry(small_config(), 2);
+  // Sample hosts of every AS and verify lookup maps back to the owner.
+  util::Rng rng(3);
+  for (const AsInfo& as : registry.all()) {
+    for (int i = 0; i < 4; ++i) {
+      const auto host = registry.host_in(as, rng);
+      EXPECT_TRUE(as.prefix.contains(host));
+      const AsInfo* found = registry.lookup(host);
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found->asn, as.asn);
+    }
+  }
+}
+
+TEST(AsRegistry, AsnsAreUnique) {
+  const AsRegistry registry(small_config(), 4);
+  std::set<std::uint32_t> asns;
+  for (const AsInfo& as : registry.all()) {
+    EXPECT_TRUE(asns.insert(as.asn).second);
+  }
+}
+
+TEST(AsRegistry, CloudSpaceIsNotAllocated) {
+  const AsRegistry registry(small_config(), 5);
+  // The cloud's 100.64.0.0/12 must not resolve to any synthetic AS.
+  EXPECT_EQ(registry.lookup(netflow::IPv4::from_octets(100, 64, 0, 1)), nullptr);
+  EXPECT_EQ(registry.lookup(netflow::IPv4::from_octets(100, 79, 255, 254)),
+            nullptr);
+}
+
+TEST(AsRegistry, SpecialHubsArePinned) {
+  const AsRegistry registry(small_config(), 6);
+  EXPECT_EQ(registry.spain_hub().region, GeoRegion::kSpain);
+  EXPECT_TRUE(registry.spain_hub().attack_hub);
+  EXPECT_EQ(registry.singapore_spam_cloud().region, GeoRegion::kSoutheastAsia);
+  EXPECT_TRUE(registry.singapore_spam_cloud().spam_hub);
+  EXPECT_EQ(registry.singapore_spam_cloud().cls, AsClass::kBigCloud);
+  EXPECT_EQ(registry.france_dns_target().region, GeoRegion::kFrance);
+  EXPECT_EQ(registry.romania_victim_cloud().region, GeoRegion::kRomania);
+  EXPECT_EQ(registry.romania_victim_cloud().cls, AsClass::kSmallCloud);
+}
+
+TEST(AsRegistry, HostInClassReturnsMember) {
+  const AsRegistry registry(small_config(), 7);
+  util::Rng rng(8);
+  for (AsClass cls : kAllAsClasses) {
+    const AsInfo* chosen = nullptr;
+    const auto host = registry.host_in_class(cls, rng, &chosen);
+    ASSERT_NE(chosen, nullptr);
+    EXPECT_EQ(chosen->cls, cls);
+    EXPECT_TRUE(chosen->prefix.contains(host));
+  }
+}
+
+TEST(AsRegistry, SpoofedAddressesCoverTheSpace) {
+  util::Rng rng(9);
+  std::uint32_t min = 0xffffffffu;
+  std::uint32_t max = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto ip = AsRegistry::spoofed_address(rng);
+    min = std::min(min, ip.value());
+    max = std::max(max, ip.value());
+  }
+  EXPECT_LT(min, 0x10000000u);
+  EXPECT_GT(max, 0xf0000000u);
+}
+
+TEST(AsRegistry, DeterministicForSeed) {
+  const AsRegistry a(small_config(), 42);
+  const AsRegistry b(small_config(), 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.all()[i].prefix, b.all()[i].prefix);
+    EXPECT_EQ(a.all()[i].region, b.all()[i].region);
+  }
+}
+
+TEST(AsRegistry, ClassStrings) {
+  EXPECT_EQ(to_string(AsClass::kBigCloud), "BigCloud");
+  EXPECT_EQ(to_string(AsClass::kNic), "NIC");
+  EXPECT_EQ(to_string(GeoRegion::kSpain), "Spain");
+  EXPECT_EQ(to_string(GeoRegion::kSoutheastAsia), "SE-Asia");
+}
+
+}  // namespace
+}  // namespace dm::cloud

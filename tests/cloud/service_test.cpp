@@ -1,0 +1,96 @@
+#include "cloud/service.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::cloud {
+namespace {
+
+TEST(Service, ProfilesAreSelfConsistent) {
+  for (ServiceType s : kAllServiceTypes) {
+    const ServiceProfile& p = profile_of(s);
+    EXPECT_EQ(p.type, s) << to_string(s);
+    EXPECT_GT(p.base_packets_per_minute, 0.0);
+    EXPECT_GT(p.base_clients_per_minute, 0.0);
+    EXPECT_GT(p.mean_packet_bytes, 0.0);
+    EXPECT_GE(p.port_count, 1);
+    EXPECT_LE(p.port_count, 2);
+  }
+}
+
+TEST(Service, WebDominatesTraffic) {
+  // §4.4: web services carry 99% of cloud traffic — HTTP must outweigh the
+  // admin services by orders of magnitude.
+  EXPECT_GT(profile_of(ServiceType::kHttp).base_packets_per_minute,
+            50 * profile_of(ServiceType::kSsh).base_packets_per_minute);
+}
+
+TEST(Service, PortReverseMapping) {
+  namespace ports = netflow::ports;
+  bool known = false;
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kHttp, &known),
+            ServiceType::kHttp);
+  EXPECT_TRUE(known);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kHttpAlt),
+            ServiceType::kHttp);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kHttps),
+            ServiceType::kHttps);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kRdp),
+            ServiceType::kRdp);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kSsh),
+            ServiceType::kSsh);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kVnc),
+            ServiceType::kVnc);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kSqlServer),
+            ServiceType::kSql);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kMySql),
+            ServiceType::kSql);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kTcp, ports::kSmtp),
+            ServiceType::kSmtp);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kUdp, ports::kDns),
+            ServiceType::kDns);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kUdp, 1935),
+            ServiceType::kMedia);
+  EXPECT_EQ(service_for_port(netflow::Protocol::kIpEncap, 0),
+            ServiceType::kIpEncap);
+}
+
+TEST(Service, UnknownPortsReported) {
+  bool known = true;
+  (void)service_for_port(netflow::Protocol::kTcp, 9999, &known);
+  EXPECT_FALSE(known);
+  known = true;
+  (void)service_for_port(netflow::Protocol::kUdp, 31337, &known);
+  EXPECT_FALSE(known);
+}
+
+TEST(Service, EveryProfilePortMapsBack) {
+  // The Table 3 inference must recognize every port a profile listens on.
+  for (ServiceType s : kAllServiceTypes) {
+    const ServiceProfile& p = profile_of(s);
+    for (int i = 0; i < p.port_count; ++i) {
+      bool known = false;
+      const ServiceType mapped =
+          service_for_port(p.protocol, p.ports[i], &known);
+      EXPECT_TRUE(known) << to_string(s) << " port " << p.ports[i];
+      EXPECT_EQ(mapped, s) << to_string(s) << " port " << p.ports[i];
+    }
+  }
+}
+
+TEST(Service, PortPredicates) {
+  namespace ports = netflow::ports;
+  EXPECT_TRUE(ports::is_sql(1433));
+  EXPECT_TRUE(ports::is_sql(3306));
+  EXPECT_FALSE(ports::is_sql(80));
+  EXPECT_TRUE(ports::is_remote_admin(22));
+  EXPECT_TRUE(ports::is_remote_admin(3389));
+  EXPECT_TRUE(ports::is_remote_admin(5900));
+  EXPECT_FALSE(ports::is_remote_admin(25));
+  EXPECT_TRUE(ports::is_web(80));
+  EXPECT_TRUE(ports::is_web(8080));
+  EXPECT_TRUE(ports::is_web(443));
+  EXPECT_FALSE(ports::is_web(22));
+}
+
+}  // namespace
+}  // namespace dm::cloud

@@ -1,0 +1,98 @@
+#include "cloud/tds_blacklist.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::cloud {
+namespace {
+
+AsRegistryConfig as_config() {
+  AsRegistryConfig config;
+  config.small_isp = 30;
+  config.customer = 40;
+  config.small_cloud = 10;
+  return config;
+}
+
+TEST(TdsBlacklist, MembershipAndSampling) {
+  const AsRegistry ases(as_config(), 1);
+  TdsBlacklistConfig config;
+  config.host_count = 500;
+  const TdsBlacklist tds(config, ases, 1);
+
+  EXPECT_GT(tds.hosts().size(), 400u);  // minor dedup shrinkage allowed
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(tds.contains(tds.random_host(rng)));
+  }
+}
+
+TEST(TdsBlacklist, NonMembersRejected) {
+  const AsRegistry ases(as_config(), 2);
+  TdsBlacklistConfig config;
+  config.host_count = 100;
+  const TdsBlacklist tds(config, ases, 2);
+  // Cloud addresses are never TDS hosts.
+  EXPECT_FALSE(tds.contains(netflow::IPv4::from_octets(100, 64, 1, 1)));
+}
+
+TEST(TdsBlacklist, HostsLiveInKnownAses) {
+  const AsRegistry ases(as_config(), 3);
+  TdsBlacklistConfig config;
+  config.host_count = 300;
+  const TdsBlacklist tds(config, ases, 3);
+  for (const auto host : tds.hosts()) {
+    const AsInfo* as = ases.lookup(host);
+    ASSERT_NE(as, nullptr);
+    EXPECT_TRUE(as->cls == AsClass::kSmallCloud || as->cls == AsClass::kCustomer ||
+                as->cls == AsClass::kSmallIsp || as->cls == AsClass::kBigCloud);
+  }
+}
+
+TEST(TdsBlacklist, BigCloudHostsAlwaysAvailable) {
+  const AsRegistry ases(as_config(), 4);
+  TdsBlacklistConfig config;
+  config.host_count = 50;
+  config.big_cloud_fraction = 0.0;  // none by chance...
+  const TdsBlacklist tds(config, ases, 4);
+  util::Rng rng(5);
+  const auto host = tds.random_big_cloud_host(rng);  // ...one is guaranteed
+  const AsInfo* as = ases.lookup(host);
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(as->cls, AsClass::kBigCloud);
+}
+
+TEST(TdsBlacklist, BigCloudFractionIsSmall) {
+  // §6.1: big clouds hold only ~0.21% of TDS IPs.
+  const AsRegistry ases(as_config(), 5);
+  TdsBlacklistConfig config;
+  config.host_count = 4000;
+  const TdsBlacklist tds(config, ases, 5);
+  std::size_t big = 0;
+  for (const auto host : tds.hosts()) {
+    if (ases.lookup(host)->cls == AsClass::kBigCloud) ++big;
+  }
+  EXPECT_LT(static_cast<double>(big) / static_cast<double>(tds.hosts().size()),
+            0.02);
+}
+
+TEST(TdsBlacklist, TdsPortsInPaperRange) {
+  util::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto port = TdsBlacklist::random_tds_port(rng);
+    EXPECT_GE(port, 1024);
+    EXPECT_LE(port, 5000);
+  }
+}
+
+TEST(TdsBlacklist, PrefixSetViewMatches) {
+  const AsRegistry ases(as_config(), 7);
+  TdsBlacklistConfig config;
+  config.host_count = 200;
+  const TdsBlacklist tds(config, ases, 7);
+  for (const auto host : tds.hosts()) {
+    EXPECT_TRUE(tds.as_prefix_set().contains(host));
+  }
+}
+
+}  // namespace
+}  // namespace dm::cloud

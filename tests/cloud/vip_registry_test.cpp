@@ -1,0 +1,131 @@
+#include "cloud/vip_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+
+namespace dm::cloud {
+namespace {
+
+VipRegistryConfig small_config() {
+  VipRegistryConfig config;
+  config.vip_count = 400;
+  config.data_center_count = 5;
+  config.trace_minutes = 2880;
+  return config;
+}
+
+TEST(VipRegistry, BuildsRequestedPopulation) {
+  const VipRegistry registry(small_config(), 1);
+  EXPECT_EQ(registry.size(), 400u);
+  EXPECT_EQ(registry.data_centers().size(), 5u);
+}
+
+TEST(VipRegistry, RejectsInvalidConfig) {
+  VipRegistryConfig config;
+  config.vip_count = 0;
+  EXPECT_THROW(VipRegistry(config, 1), dm::ConfigError);
+  config.vip_count = 10;
+  config.data_center_count = 0;
+  EXPECT_THROW(VipRegistry(config, 1), dm::ConfigError);
+  config.data_center_count = 17;
+  EXPECT_THROW(VipRegistry(config, 1), dm::ConfigError);
+}
+
+TEST(VipRegistry, VipsAreUniqueAndInCloudSpace) {
+  const VipRegistry registry(small_config(), 2);
+  std::set<std::uint32_t> seen;
+  for (const VipInfo& v : registry.all()) {
+    EXPECT_TRUE(seen.insert(v.vip.value()).second);
+    EXPECT_TRUE(registry.cloud_space().contains(v.vip));
+    EXPECT_FALSE(v.services.empty());
+    EXPECT_GT(v.popularity, 0.0);
+  }
+}
+
+TEST(VipRegistry, LookupRoundTrip) {
+  const VipRegistry registry(small_config(), 3);
+  for (const VipInfo& v : registry.all()) {
+    const VipInfo* found = registry.lookup(v.vip);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->vip, v.vip);
+  }
+  EXPECT_EQ(registry.lookup(netflow::IPv4::from_octets(4, 4, 4, 4)), nullptr);
+}
+
+TEST(VipRegistry, ExactlyOneDnsVip) {
+  const VipRegistry registry(small_config(), 4);
+  EXPECT_EQ(registry.with_service(ServiceType::kDns).size(), 1u);
+}
+
+TEST(VipRegistry, TenantMixRoughlyMatchesConfig) {
+  const VipRegistry registry(small_config(), 5);
+  const auto trials = registry.with_tenant(TenantClass::kFreeTrial);
+  const auto frac =
+      static_cast<double>(trials.size()) / static_cast<double>(registry.size());
+  EXPECT_NEAR(frac, 0.10, 0.05);
+}
+
+TEST(VipRegistry, DormantPartnerExistsForCaseStudy) {
+  const auto config = small_config();
+  const VipRegistry registry(config, 6);
+  bool found = false;
+  for (const VipInfo& v : registry.all()) {
+    if (v.tenant == TenantClass::kPartner &&
+        v.active_from >= config.trace_minutes) {
+      EXPECT_TRUE(v.weak_credentials);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VipRegistry, ActiveWindowSemantics) {
+  VipInfo v;
+  v.active_from = 100;
+  v.active_until = 0;  // until trace end
+  EXPECT_FALSE(v.active_at(99, 1000));
+  EXPECT_TRUE(v.active_at(100, 1000));
+  EXPECT_TRUE(v.active_at(999, 1000));
+  EXPECT_FALSE(v.active_at(1000, 1000));
+  v.active_until = 500;
+  EXPECT_TRUE(v.active_at(499, 1000));
+  EXPECT_FALSE(v.active_at(500, 1000));
+}
+
+TEST(VipRegistry, ServiceMixHasTableThreeShape) {
+  // RDP and HTTP should be the two most common services (Table 3 totals).
+  const VipRegistry registry(small_config(), 7);
+  const auto rdp = registry.with_service(ServiceType::kRdp).size();
+  const auto http = registry.with_service(ServiceType::kHttp).size();
+  const auto smtp = registry.with_service(ServiceType::kSmtp).size();
+  EXPECT_GT(rdp, registry.size() / 5);
+  EXPECT_GT(http, registry.size() / 5);
+  EXPECT_LT(smtp, registry.size() / 8);
+}
+
+TEST(VipRegistry, DeterministicForSeed) {
+  const VipRegistry a(small_config(), 42);
+  const VipRegistry b(small_config(), 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.all()[i].vip, b.all()[i].vip);
+    EXPECT_EQ(a.all()[i].tenant, b.all()[i].tenant);
+    EXPECT_EQ(a.all()[i].services, b.all()[i].services);
+  }
+}
+
+TEST(VipRegistry, DifferentSeedsDiffer) {
+  const VipRegistry a(small_config(), 1);
+  const VipRegistry b(small_config(), 2);
+  std::size_t same_services = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.all()[i].services == b.all()[i].services) ++same_services;
+  }
+  EXPECT_LT(same_services, a.size());
+}
+
+}  // namespace
+}  // namespace dm::cloud

@@ -1,0 +1,160 @@
+#include "detect/correlator.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::detect {
+namespace {
+
+using netflow::Direction;
+using sim::AttackType;
+
+const netflow::IPv4 kVipA = netflow::IPv4::from_octets(100, 64, 0, 1);
+const netflow::IPv4 kVipB = netflow::IPv4::from_octets(100, 64, 0, 2);
+const netflow::IPv4 kVipC = netflow::IPv4::from_octets(100, 64, 0, 3);
+
+AttackIncident incident(netflow::IPv4 vip, AttackType type, Direction dir,
+                        util::Minute start, util::Minute duration = 5) {
+  AttackIncident inc;
+  inc.vip = vip;
+  inc.type = type;
+  inc.direction = dir;
+  inc.start = start;
+  inc.end = start + duration;
+  inc.active_minutes = static_cast<std::uint32_t>(duration);
+  inc.total_sampled_packets = 100;
+  inc.peak_sampled_ppm = 50;
+  return inc;
+}
+
+TEST(MultiVector, DetectsSimultaneousTypes) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kSynFlood, Direction::kInbound, 100),
+      incident(kVipA, AttackType::kUdpFlood, Direction::kInbound, 102),
+      incident(kVipA, AttackType::kIcmpFlood, Direction::kInbound, 104),
+  };
+  const auto events = find_multi_vector(incidents);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type_count(), 3u);
+  EXPECT_TRUE(events[0].has(AttackType::kSynFlood));
+  EXPECT_TRUE(events[0].has(AttackType::kIcmpFlood));
+  EXPECT_EQ(events[0].incident_indices.size(), 3u);
+}
+
+TEST(MultiVector, WindowBoundaryExcludes) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kSynFlood, Direction::kInbound, 100),
+      incident(kVipA, AttackType::kUdpFlood, Direction::kInbound, 105),
+  };
+  // Start difference of exactly 5 is outside "< 5 minutes".
+  EXPECT_TRUE(find_multi_vector(incidents).empty());
+}
+
+TEST(MultiVector, SameTypeDoesNotCount) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kSynFlood, Direction::kInbound, 100),
+      incident(kVipA, AttackType::kSynFlood, Direction::kInbound, 102),
+  };
+  EXPECT_TRUE(find_multi_vector(incidents).empty());
+}
+
+TEST(MultiVector, DirectionsSeparate) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kSynFlood, Direction::kInbound, 100),
+      incident(kVipA, AttackType::kUdpFlood, Direction::kOutbound, 101),
+  };
+  EXPECT_TRUE(find_multi_vector(incidents).empty());
+}
+
+TEST(MultiVip, DetectsCampaign) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 100),
+      incident(kVipB, AttackType::kBruteForce, Direction::kInbound, 101),
+      incident(kVipC, AttackType::kBruteForce, Direction::kInbound, 103),
+  };
+  const auto events = find_multi_vip(incidents);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].vip_count, 3u);
+  EXPECT_EQ(events[0].type, AttackType::kBruteForce);
+}
+
+TEST(MultiVip, SingleVipRepeatsDoNotCount) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 100),
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 102),
+  };
+  EXPECT_TRUE(find_multi_vip(incidents).empty());
+}
+
+TEST(MultiVip, TypesSeparate) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kSynFlood, Direction::kInbound, 100),
+      incident(kVipB, AttackType::kUdpFlood, Direction::kInbound, 101),
+  };
+  EXPECT_TRUE(find_multi_vip(incidents).empty());
+}
+
+TEST(MultiVip, SeparateWaves) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 100),
+      incident(kVipB, AttackType::kBruteForce, Direction::kInbound, 101),
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 300),
+      incident(kVipC, AttackType::kBruteForce, Direction::kInbound, 302),
+  };
+  const auto events = find_multi_vip(incidents);
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(CompromiseChains, DetectsInThenOut) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 100, 1000),
+      incident(kVipA, AttackType::kUdpFlood, Direction::kOutbound, 5000, 100),
+  };
+  const auto chains = find_compromise_chains(incidents);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].vip, kVipA);
+  EXPECT_EQ(chains[0].gap_minutes, 4900);
+  EXPECT_EQ(chains[0].inbound_incident, 0u);
+  EXPECT_EQ(chains[0].outbound_incident, 1u);
+}
+
+TEST(CompromiseChains, OutboundBeforeInboundIgnored) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kUdpFlood, Direction::kOutbound, 100),
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 500),
+  };
+  EXPECT_TRUE(find_compromise_chains(incidents).empty());
+}
+
+TEST(CompromiseChains, GapLimitRespected) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 0),
+      incident(kVipA, AttackType::kSynFlood, Direction::kOutbound, 10'000),
+  };
+  EXPECT_TRUE(find_compromise_chains(incidents, 5'000).empty());
+  EXPECT_EQ(find_compromise_chains(incidents, 20'000).size(), 1u);
+}
+
+TEST(CompromiseChains, PortScanIsNotAnEntryVector) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kPortScan, Direction::kInbound, 100),
+      incident(kVipA, AttackType::kUdpFlood, Direction::kOutbound, 500),
+  };
+  EXPECT_TRUE(find_compromise_chains(incidents).empty());
+}
+
+TEST(CompromiseChains, PicksEarliestInboundAndFirstOutboundAfter) {
+  std::vector<AttackIncident> incidents{
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 200),
+      incident(kVipA, AttackType::kBruteForce, Direction::kInbound, 100),
+      incident(kVipA, AttackType::kSpam, Direction::kOutbound, 50),  // before
+      incident(kVipA, AttackType::kUdpFlood, Direction::kOutbound, 400),
+      incident(kVipA, AttackType::kSynFlood, Direction::kOutbound, 900),
+  };
+  const auto chains = find_compromise_chains(incidents);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].inbound_incident, 1u);   // start 100
+  EXPECT_EQ(chains[0].outbound_incident, 3u);  // start 400
+}
+
+}  // namespace
+}  // namespace dm::detect

@@ -1,0 +1,233 @@
+#include "detect/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dm::detect {
+namespace {
+
+using netflow::Direction;
+using netflow::VipMinuteStats;
+using sim::AttackType;
+
+VipMinuteStats window(util::Minute minute) {
+  VipMinuteStats w;
+  w.vip = netflow::IPv4::from_octets(100, 64, 0, 1);
+  w.minute = minute;
+  w.direction = Direction::kInbound;
+  return w;
+}
+
+TEST(ChangePointDetector, ColdStartSpikesAlarm) {
+  // A dormant VIP whose first traffic is a flood must alarm immediately —
+  // the Fig 5 case-study path.
+  ChangePointDetector d(10, 100.0);
+  EXPECT_TRUE(d.observe(500, 5'000.0));
+}
+
+TEST(ChangePointDetector, SteadyTrafficNeverAlarms) {
+  ChangePointDetector d(10, 100.0);
+  for (util::Minute m = 0; m < 500; ++m) {
+    EXPECT_FALSE(d.observe(m, 50.0)) << "minute " << m;
+  }
+}
+
+TEST(ChangePointDetector, SpikeOverBaselineAlarms) {
+  ChangePointDetector d(10, 100.0);
+  for (util::Minute m = 0; m < 50; ++m) (void)d.observe(m, 40.0);
+  EXPECT_TRUE(d.observe(50, 200.0));
+}
+
+TEST(ChangePointDetector, SubThresholdSpikeIgnored) {
+  ChangePointDetector d(10, 100.0);
+  for (util::Minute m = 0; m < 50; ++m) (void)d.observe(m, 40.0);
+  EXPECT_FALSE(d.observe(50, 120.0));  // change is only 80
+}
+
+TEST(ChangePointDetector, SustainedAttackStaysAlarmed) {
+  // The baseline freezes during alarms, so a long flood is flagged for its
+  // whole duration.
+  ChangePointDetector d(10, 100.0);
+  for (util::Minute m = 0; m < 30; ++m) (void)d.observe(m, 10.0);
+  for (util::Minute m = 30; m < 120; ++m) {
+    EXPECT_TRUE(d.observe(m, 400.0)) << "minute " << m;
+  }
+  // After the attack, normal traffic is quiet again.
+  EXPECT_FALSE(d.observe(120, 10.0));
+}
+
+TEST(ChangePointDetector, GapsDecayBaseline) {
+  ChangePointDetector d(10, 100.0);
+  for (util::Minute m = 0; m < 20; ++m) (void)d.observe(m, 150.0);
+  // After an hour of silence the baseline has decayed to ~0; moderate
+  // traffic looks like a fresh spike.
+  EXPECT_TRUE(d.observe(80, 130.0));
+}
+
+TEST(ChangePointDetector, DiurnalDriftAbsorbed) {
+  // Slow sinusoidal drift (the benign diurnal curve) must not alarm once the
+  // baseline is warm. (The cold-start spike at trace start legitimately
+  // alarms — see ColdStartSpikesAlarm.)
+  ChangePointDetector d(10, 100.0);
+  for (util::Minute m = 0; m < 60; ++m) (void)d.observe(m, 200.0);
+  for (util::Minute m = 60; m < 2940; ++m) {
+    const double value =
+        200.0 + 150.0 * std::sin(2 * 3.14159 * static_cast<double>(m - 60) / 1440.0);
+    EXPECT_FALSE(d.observe(m, value)) << "minute " << m;
+  }
+}
+
+TEST(SeriesDetector, SynFloodDetected) {
+  SeriesDetector d{DetectionConfig{}};
+  for (util::Minute m = 0; m < 15; ++m) {
+    auto w = window(m);
+    w.syn_packets = 5;
+    w.packets = 10;
+    (void)d.observe(w);
+  }
+  auto w = window(15);
+  w.syn_packets = 400;
+  w.packets = 410;
+  w.unique_remote_ips = 350;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kSynFlood)].attack);
+  EXPECT_EQ(v[sim::index_of(AttackType::kSynFlood)].sampled_packets, 400u);
+  EXPECT_FALSE(v[sim::index_of(AttackType::kUdpFlood)].attack);
+}
+
+TEST(SeriesDetector, DnsCarvedOutOfUdp) {
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.udp_packets = 500;
+  w.dns_response_packets = 450;  // mostly reflection
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kDnsReflection)].attack);
+  // Residual UDP (50) is under the threshold.
+  EXPECT_FALSE(v[sim::index_of(AttackType::kUdpFlood)].attack);
+}
+
+TEST(SeriesDetector, BruteForceByFanIn) {
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.unique_admin_remotes = 24;  // the paper's median sampled fan-in
+  w.remote_admin_flows = 25;
+  w.admin_packets = 60;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kBruteForce)].attack);
+  EXPECT_EQ(v[sim::index_of(AttackType::kBruteForce)].unique_remotes, 24u);
+}
+
+TEST(SeriesDetector, BruteForceByConnectionCount) {
+  // Two hosts, many connections — the §4.3 subnet-scan signature.
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.unique_admin_remotes = 2;
+  w.remote_admin_flows = 80;
+  w.admin_packets = 200;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kBruteForce)].attack);
+}
+
+TEST(SeriesDetector, QuietAdminTrafficIgnored) {
+  SeriesDetector d{DetectionConfig{}};
+  for (util::Minute m = 0; m < 100; ++m) {
+    auto w = window(m);
+    w.unique_admin_remotes = 3;
+    w.remote_admin_flows = 4;
+    const auto v = d.observe(w);
+    EXPECT_FALSE(v[sim::index_of(AttackType::kBruteForce)].attack);
+  }
+}
+
+TEST(SeriesDetector, SpamBySmtpSpread) {
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.unique_smtp_remotes = 35;
+  w.smtp_flows = 40;
+  w.smtp_packets = 80;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kSpam)].attack);
+}
+
+TEST(SeriesDetector, SqlByConnectionCount) {
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.sql_flows = 45;
+  w.sql_packets = 90;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kSqlInjection)].attack);
+
+  SeriesDetector d2{DetectionConfig{}};
+  auto w2 = window(10);
+  w2.sql_flows = 10;  // below the 30-connection threshold
+  const auto v2 = d2.observe(w2);
+  EXPECT_FALSE(v2[sim::index_of(AttackType::kSqlInjection)].attack);
+}
+
+TEST(SeriesDetector, SignatureDetectsSinglePacket) {
+  // "even a single logged packet may represent a significant number" (§2.2).
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.null_scan_packets = 1;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kPortScan)].attack);
+}
+
+TEST(SeriesDetector, XmasAndRstSignatures) {
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.xmas_scan_packets = 2;
+  EXPECT_TRUE(d.observe(w)[sim::index_of(AttackType::kPortScan)].attack);
+
+  SeriesDetector d2{DetectionConfig{}};
+  auto w2 = window(10);
+  w2.bare_rst_packets = 2;  // below the RST threshold of 3
+  EXPECT_FALSE(d2.observe(w2)[sim::index_of(AttackType::kPortScan)].attack);
+  auto w3 = window(11);
+  w3.bare_rst_packets = 5;
+  EXPECT_TRUE(d2.observe(w3)[sim::index_of(AttackType::kPortScan)].attack);
+}
+
+TEST(SeriesDetector, TdsByBlacklistContact) {
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.blacklist_flows = 1;
+  w.blacklist_packets = 3;
+  w.unique_blacklist_remotes = 1;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kTds)].attack);
+  EXPECT_EQ(v[sim::index_of(AttackType::kTds)].sampled_packets, 3u);
+}
+
+TEST(SeriesDetector, MultiVectorWindowFlagsAllTypes) {
+  SeriesDetector d{DetectionConfig{}};
+  auto w = window(10);
+  w.syn_packets = 300;
+  w.icmp_packets = 250;
+  w.null_scan_packets = 2;
+  const auto v = d.observe(w);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kSynFlood)].attack);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kIcmpFlood)].attack);
+  EXPECT_TRUE(v[sim::index_of(AttackType::kPortScan)].attack);
+}
+
+// Parameterized: the volume threshold boundary is exact for every flood class.
+class ThresholdBoundary : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdBoundary, AlarmExactlyAboveThreshold) {
+  DetectionConfig config;
+  config.volume_change_threshold = GetParam();
+  ChangePointDetector d(config.ewma_window, config.volume_change_threshold);
+  // Baseline 0 (first window): alarm iff value > threshold.
+  EXPECT_FALSE(
+      ChangePointDetector(10, GetParam()).observe(10, GetParam()));
+  EXPECT_TRUE(
+      ChangePointDetector(10, GetParam()).observe(10, GetParam() + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdBoundary,
+                         ::testing::Values(10.0, 100.0, 500.0));
+
+}  // namespace
+}  // namespace dm::detect

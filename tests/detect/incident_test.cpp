@@ -1,0 +1,165 @@
+#include "detect/incident.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dm::detect {
+namespace {
+
+using netflow::Direction;
+using sim::AttackType;
+
+const netflow::IPv4 kVip = netflow::IPv4::from_octets(100, 64, 0, 1);
+const netflow::IPv4 kVip2 = netflow::IPv4::from_octets(100, 64, 0, 2);
+
+MinuteDetection det(util::Minute minute, AttackType type = AttackType::kSynFlood,
+                    netflow::IPv4 vip = kVip,
+                    Direction dir = Direction::kInbound,
+                    std::uint64_t packets = 100, std::uint32_t remotes = 10) {
+  return MinuteDetection{vip, dir, type, minute, packets, remotes};
+}
+
+TEST(IncidentBuilder, SingleMinuteIncident) {
+  const auto incidents = build_incidents({det(5)}, TimeoutTable::paper());
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].start, 5);
+  EXPECT_EQ(incidents[0].end, 6);
+  EXPECT_EQ(incidents[0].active_minutes, 1u);
+  EXPECT_EQ(incidents[0].duration(), 1);
+}
+
+TEST(IncidentBuilder, ContiguousMinutesMerge) {
+  const auto incidents = build_incidents({det(5), det(6), det(7)},
+                                         TimeoutTable::paper());
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].duration(), 3);
+  EXPECT_EQ(incidents[0].total_sampled_packets, 300u);
+}
+
+TEST(IncidentBuilder, GapBeyondTimeoutSplits) {
+  // SYN flood timeout is 1 minute: a 2-minute gap splits.
+  const auto incidents = build_incidents({det(5), det(8)}, TimeoutTable::paper());
+  EXPECT_EQ(incidents.size(), 2u);
+}
+
+TEST(IncidentBuilder, GapWithinTimeoutMerges) {
+  // Gap of exactly 1 silent minute (5 -> 7) merges for SYN (T=1).
+  const auto incidents = build_incidents({det(5), det(7)}, TimeoutTable::paper());
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].duration(), 3);
+  EXPECT_EQ(incidents[0].active_minutes, 2u);
+}
+
+TEST(IncidentBuilder, PerTypeTimeoutsDiffer) {
+  // The same 40-minute gap merges for ICMP (T=120) but splits SYN (T=1).
+  const auto icmp = build_incidents(
+      {det(0, AttackType::kIcmpFlood), det(41, AttackType::kIcmpFlood)},
+      TimeoutTable::paper());
+  EXPECT_EQ(icmp.size(), 1u);
+  const auto syn = build_incidents({det(0), det(41)}, TimeoutTable::paper());
+  EXPECT_EQ(syn.size(), 2u);
+}
+
+TEST(IncidentBuilder, SeparatesVipsTypesDirections) {
+  const auto incidents = build_incidents(
+      {det(5), det(5, AttackType::kUdpFlood), det(5, AttackType::kSynFlood, kVip2),
+       det(5, AttackType::kSynFlood, kVip, Direction::kOutbound)},
+      TimeoutTable::paper());
+  EXPECT_EQ(incidents.size(), 4u);
+}
+
+TEST(IncidentBuilder, UnsortedInputHandled) {
+  const auto incidents =
+      build_incidents({det(7), det(5), det(6)}, TimeoutTable::paper());
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].start, 5);
+  EXPECT_EQ(incidents[0].end, 8);
+}
+
+TEST(IncidentBuilder, PeakAndRampUp) {
+  std::vector<MinuteDetection> minutes{
+      det(10, AttackType::kUdpFlood, kVip, Direction::kInbound, 50, 5),
+      det(11, AttackType::kUdpFlood, kVip, Direction::kInbound, 120, 9),
+      det(12, AttackType::kUdpFlood, kVip, Direction::kInbound, 400, 30),
+      det(13, AttackType::kUdpFlood, kVip, Direction::kInbound, 380, 28),
+  };
+  const auto incidents = build_incidents(minutes, TimeoutTable::paper());
+  ASSERT_EQ(incidents.size(), 1u);
+  const auto& inc = incidents[0];
+  EXPECT_EQ(inc.peak_sampled_ppm, 400u);
+  EXPECT_EQ(inc.peak_unique_remotes, 30u);
+  EXPECT_EQ(inc.total_sampled_packets, 950u);
+  EXPECT_EQ(inc.ramp_up_minutes, 2);  // first minute at >= 90% of peak
+  // 400 sampled ppm at 1:4096 = ~27.3 Kpps estimated.
+  EXPECT_NEAR(inc.estimated_peak_pps(4096), 400.0 * 4096 / 60.0, 1e-6);
+}
+
+TEST(IncidentBuilder, EmptyInput) {
+  EXPECT_TRUE(build_incidents({}, TimeoutTable::paper()).empty());
+}
+
+TEST(InactiveGaps, ComputesGapsPerSeries) {
+  std::vector<MinuteDetection> minutes{
+      det(1), det(2), det(10),                       // gap of 7 silent minutes
+      det(1, AttackType::kSynFlood, kVip2), det(30, AttackType::kSynFlood, kVip2),
+      det(5, AttackType::kUdpFlood),                 // other type: excluded
+  };
+  const auto gaps =
+      inactive_gaps(minutes, AttackType::kSynFlood, Direction::kInbound);
+  ASSERT_EQ(gaps.size(), 2u);
+  // Sorted by (vip, minute): kVip gaps {7}, kVip2 gaps {28}.
+  EXPECT_EQ(gaps[0], 7.0);
+  EXPECT_EQ(gaps[1], 28.0);
+}
+
+TEST(InactiveGaps, NoGapsForContiguous) {
+  const std::vector<MinuteDetection> minutes{det(1), det(2), det(3)};
+  const auto gaps =
+      inactive_gaps(minutes, AttackType::kSynFlood, Direction::kInbound);
+  EXPECT_TRUE(gaps.empty());
+}
+
+TEST(TimeoutTable, PaperValues) {
+  const auto table = TimeoutTable::paper();
+  EXPECT_EQ(table.of(AttackType::kSynFlood), 1);
+  EXPECT_EQ(table.of(AttackType::kIcmpFlood), 120);
+  EXPECT_EQ(table.of(AttackType::kSqlInjection), 30);
+}
+
+// Property: the number of incidents never exceeds the number of detections,
+// and total packets are conserved.
+class IncidentConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncidentConservation, PacketsAndCountsConserved) {
+  std::vector<MinuteDetection> minutes;
+  std::set<std::pair<int, util::Minute>> seen;  // pipeline never duplicates
+  unsigned state = static_cast<unsigned>(GetParam());
+  std::uint64_t total_packets = 0;
+  for (int i = 0; i < 300; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const auto type = sim::kAllAttackTypes[state % sim::kAttackTypeCount];
+    const auto minute = static_cast<util::Minute>(state / 7 % 2000);
+    if (!seen.insert({static_cast<int>(type), minute}).second) continue;
+    const std::uint64_t pkts = 1 + state % 100;
+    total_packets += pkts;
+    minutes.push_back(det(minute, type, kVip, Direction::kInbound, pkts, 1));
+  }
+  const auto incidents = build_incidents(minutes, TimeoutTable::paper());
+  EXPECT_LE(incidents.size(), minutes.size());
+  std::uint64_t incident_packets = 0;
+  std::uint64_t active = 0;
+  for (const auto& inc : incidents) {
+    incident_packets += inc.total_sampled_packets;
+    active += inc.active_minutes;
+    EXPECT_LE(static_cast<util::Minute>(inc.active_minutes), inc.duration());
+  }
+  EXPECT_EQ(incident_packets, total_packets);
+  EXPECT_EQ(active, minutes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncidentConservation,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dm::detect

@@ -1,0 +1,129 @@
+#include "detect/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::detect {
+namespace {
+
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::IPv4;
+using netflow::Protocol;
+using netflow::TcpFlags;
+
+const IPv4 kVip = IPv4::from_octets(100, 64, 0, 7);
+const IPv4 kRemote = IPv4::from_octets(4, 1, 2, 3);
+
+netflow::PrefixSet cloud_space() {
+  netflow::PrefixSet set;
+  set.add(netflow::Prefix(IPv4::from_octets(100, 64, 0, 0), 12));
+  return set;
+}
+
+FlowRecord syn_packet(util::Minute m, std::uint32_t source_offset,
+                      std::uint32_t packets = 1) {
+  FlowRecord r;
+  r.minute = m;
+  r.src_ip = IPv4(kRemote.value() + source_offset);
+  r.dst_ip = kVip;
+  r.src_port = static_cast<std::uint16_t>(10'000 + source_offset % 50'000);
+  r.dst_port = 80;
+  r.protocol = Protocol::kTcp;
+  r.tcp_flags = TcpFlags::kSyn;
+  r.packets = packets;
+  r.bytes = packets * 40;
+  return r;
+}
+
+TEST(Pipeline, DetectsSynFloodEndToEnd) {
+  std::vector<FlowRecord> records;
+  // Three minutes of flood, 300 sampled SYNs per minute.
+  for (util::Minute m = 100; m < 103; ++m) {
+    for (std::uint32_t s = 0; s < 300; ++s) {
+      records.push_back(syn_packet(m, s));
+    }
+  }
+  const auto trace = netflow::aggregate_windows(std::move(records), cloud_space());
+  const DetectionPipeline pipeline;
+  const auto result = pipeline.run(trace);
+  ASSERT_EQ(result.incidents.size(), 1u);
+  const auto& inc = result.incidents[0];
+  EXPECT_EQ(inc.type, sim::AttackType::kSynFlood);
+  EXPECT_EQ(inc.direction, Direction::kInbound);
+  EXPECT_EQ(inc.vip, kVip);
+  EXPECT_EQ(inc.start, 100);
+  EXPECT_EQ(inc.end, 103);
+  EXPECT_EQ(inc.active_minutes, 3u);
+  EXPECT_EQ(inc.peak_sampled_ppm, 300u);
+}
+
+TEST(Pipeline, QuietTrafficYieldsNothing) {
+  std::vector<FlowRecord> records;
+  for (util::Minute m = 0; m < 200; ++m) {
+    FlowRecord r = syn_packet(m, m % 7u == 0 ? 1 : 2);
+    r.tcp_flags = TcpFlags::kAck | TcpFlags::kPsh;  // ordinary traffic
+    records.push_back(r);
+  }
+  const auto trace = netflow::aggregate_windows(std::move(records), cloud_space());
+  const DetectionPipeline pipeline;
+  EXPECT_TRUE(pipeline.run(trace).incidents.empty());
+}
+
+TEST(Pipeline, SeriesIsolation) {
+  // A flood on one VIP must not raise the baseline of another.
+  std::vector<FlowRecord> records;
+  const IPv4 other_vip = IPv4::from_octets(100, 64, 0, 99);
+  for (util::Minute m = 0; m < 3; ++m) {
+    for (std::uint32_t s = 0; s < 300; ++s) records.push_back(syn_packet(m, s));
+    FlowRecord r = syn_packet(m, 1);
+    r.dst_ip = other_vip;
+    r.tcp_flags = TcpFlags::kAck;
+    records.push_back(r);
+  }
+  const auto trace = netflow::aggregate_windows(std::move(records), cloud_space());
+  const DetectionPipeline pipeline;
+  const auto result = pipeline.run(trace);
+  for (const auto& inc : result.incidents) {
+    EXPECT_EQ(inc.vip, kVip);
+  }
+}
+
+TEST(Pipeline, SplitIncidentsAcrossTimeout) {
+  std::vector<FlowRecord> records;
+  for (std::uint32_t s = 0; s < 300; ++s) records.push_back(syn_packet(10, s));
+  // SYN timeout is 1 minute; next burst 5 minutes later is a new incident.
+  for (std::uint32_t s = 0; s < 300; ++s) records.push_back(syn_packet(15, s));
+  const auto trace = netflow::aggregate_windows(std::move(records), cloud_space());
+  const auto result = DetectionPipeline{}.run(trace);
+  EXPECT_EQ(result.incidents.size(), 2u);
+}
+
+TEST(Pipeline, CustomTimeoutTableMerges) {
+  std::vector<FlowRecord> records;
+  for (std::uint32_t s = 0; s < 300; ++s) records.push_back(syn_packet(10, s));
+  for (std::uint32_t s = 0; s < 300; ++s) records.push_back(syn_packet(15, s));
+  const auto trace = netflow::aggregate_windows(std::move(records), cloud_space());
+  TimeoutTable timeouts = TimeoutTable::paper();
+  timeouts.timeout[sim::index_of(sim::AttackType::kSynFlood)] = 60;
+  const auto result = DetectionPipeline{DetectionConfig{}, timeouts}.run(trace);
+  EXPECT_EQ(result.incidents.size(), 1u);
+}
+
+TEST(Pipeline, MinutesMatchIncidents) {
+  std::vector<FlowRecord> records;
+  for (util::Minute m = 100; m < 110; ++m) {
+    for (std::uint32_t s = 0; s < 200; ++s) records.push_back(syn_packet(m, s));
+  }
+  const auto trace = netflow::aggregate_windows(std::move(records), cloud_space());
+  const auto result = DetectionPipeline{}.run(trace);
+  std::uint64_t from_minutes = 0;
+  for (const auto& d : result.minutes) from_minutes += d.sampled_packets;
+  std::uint64_t from_incidents = 0;
+  for (const auto& inc : result.incidents) {
+    from_incidents += inc.total_sampled_packets;
+  }
+  EXPECT_EQ(from_minutes, from_incidents);
+}
+
+}  // namespace
+}  // namespace dm::detect

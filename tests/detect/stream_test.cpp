@@ -1,0 +1,164 @@
+#include "detect/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "detect/pipeline.h"
+#include "sim/trace_generator.h"
+
+namespace dm::detect {
+namespace {
+
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::IPv4;
+using netflow::Protocol;
+using netflow::TcpFlags;
+
+const IPv4 kVip = IPv4::from_octets(100, 64, 0, 7);
+
+netflow::PrefixSet cloud_space() {
+  netflow::PrefixSet set;
+  set.add(netflow::Prefix(IPv4::from_octets(100, 64, 0, 0), 12));
+  return set;
+}
+
+FlowRecord syn(util::Minute m, std::uint32_t src_offset) {
+  FlowRecord r;
+  r.minute = m;
+  r.src_ip = IPv4(0x04000000u + src_offset);
+  r.dst_ip = kVip;
+  r.src_port = static_cast<std::uint16_t>(20'000 + src_offset % 40'000);
+  r.dst_port = 80;
+  r.protocol = Protocol::kTcp;
+  r.tcp_flags = TcpFlags::kSyn;
+  r.packets = 1;
+  r.bytes = 40;
+  return r;
+}
+
+TEST(StreamMonitor, DetectsFloodOnline) {
+  std::vector<AttackIncident> incidents;
+  std::vector<MinuteDetection> alerts;
+  StreamMonitor monitor(
+      cloud_space(), nullptr, DetectionConfig{}, TimeoutTable::paper(),
+      [&](const MinuteDetection& d) { alerts.push_back(d); },
+      [&](const AttackIncident& inc) { incidents.push_back(inc); });
+
+  for (util::Minute m = 100; m < 105; ++m) {
+    for (std::uint32_t s = 0; s < 300; ++s) monitor.ingest(syn(m, s));
+  }
+  // The flood's last window is still open: no incident yet.
+  EXPECT_TRUE(incidents.empty());
+  monitor.finish();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].type, sim::AttackType::kSynFlood);
+  EXPECT_EQ(incidents[0].start, 100);
+  EXPECT_EQ(incidents[0].end, 105);
+  EXPECT_EQ(incidents[0].active_minutes, 5u);
+  EXPECT_EQ(alerts.size(), 5u);
+  EXPECT_EQ(monitor.alerts(), 5u);
+  EXPECT_EQ(monitor.incidents(), 1u);
+}
+
+TEST(StreamMonitor, IncidentEmittedWhenTimeoutExpires) {
+  std::vector<AttackIncident> incidents;
+  StreamMonitor monitor(cloud_space(), nullptr, DetectionConfig{},
+                        TimeoutTable::paper(), nullptr,
+                        [&](const AttackIncident& inc) {
+                          incidents.push_back(inc);
+                        });
+  for (std::uint32_t s = 0; s < 300; ++s) monitor.ingest(syn(100, s));
+  // Advance wall clock past the SYN timeout (1 min): incident closes
+  // without any new traffic.
+  monitor.advance_to(105);
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].end, 101);
+}
+
+TEST(StreamMonitor, SplitsIncidentsAcrossGaps) {
+  std::vector<AttackIncident> incidents;
+  StreamMonitor monitor(cloud_space(), nullptr, DetectionConfig{},
+                        TimeoutTable::paper(), nullptr,
+                        [&](const AttackIncident& inc) {
+                          incidents.push_back(inc);
+                        });
+  for (std::uint32_t s = 0; s < 300; ++s) monitor.ingest(syn(100, s));
+  for (std::uint32_t s = 0; s < 300; ++s) monitor.ingest(syn(110, s));
+  monitor.finish();
+  EXPECT_EQ(incidents.size(), 2u);
+}
+
+TEST(StreamMonitor, LateRecordsDropped) {
+  StreamMonitor monitor(cloud_space());
+  monitor.ingest(syn(100, 1));
+  monitor.ingest(syn(105, 2));  // commits minutes < 105
+  monitor.ingest(syn(100, 3));  // late
+  EXPECT_EQ(monitor.records_dropped(), 1u);
+}
+
+TEST(StreamMonitor, UnclassifiableRecordsDropped) {
+  StreamMonitor monitor(cloud_space());
+  FlowRecord r = syn(100, 1);
+  r.dst_ip = IPv4::from_octets(4, 4, 4, 4);  // remote-to-remote
+  monitor.ingest(r);
+  EXPECT_EQ(monitor.records_dropped(), 1u);
+}
+
+TEST(StreamMonitor, MatchesBatchPipelineOnSimulatedTrace) {
+  // The gold property: on an in-order feed, the streaming monitor finds the
+  // same incidents as the offline pipeline.
+  auto config = sim::ScenarioConfig::smoke();
+  config.vips.vip_count = 100;
+  config.days = 1;
+  config.seed = 777;
+  const sim::Scenario scenario(config);
+  auto generated = sim::generate_trace(scenario);
+
+  // Batch result.
+  auto records_copy = generated.records;
+  const auto windowed = netflow::aggregate_windows(
+      std::move(records_copy), scenario.vips().cloud_space(),
+      &scenario.tds().as_prefix_set());
+  const auto batch = DetectionPipeline{}.run(windowed);
+
+  // Streaming result over the time-ordered feed.
+  std::stable_sort(generated.records.begin(), generated.records.end(),
+                   [](const FlowRecord& a, const FlowRecord& b) {
+                     return a.minute < b.minute;
+                   });
+  std::vector<AttackIncident> streamed;
+  StreamMonitor monitor(scenario.vips().cloud_space(),
+                        &scenario.tds().as_prefix_set(), DetectionConfig{},
+                        TimeoutTable::paper(), nullptr,
+                        [&](const AttackIncident& inc) {
+                          streamed.push_back(inc);
+                        });
+  for (const auto& r : generated.records) monitor.ingest(r);
+  monitor.finish();
+
+  ASSERT_EQ(streamed.size(), batch.incidents.size());
+  // Sort both the same way and compare the essential fields.
+  const auto key = [](const AttackIncident& inc) {
+    return std::make_tuple(inc.vip.value(), static_cast<int>(inc.direction),
+                           static_cast<int>(inc.type), inc.start);
+  };
+  auto batch_sorted = batch.incidents;
+  std::sort(batch_sorted.begin(), batch_sorted.end(),
+            [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  std::sort(streamed.begin(), streamed.end(),
+            [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(key(streamed[i]), key(batch_sorted[i]));
+    EXPECT_EQ(streamed[i].end, batch_sorted[i].end);
+    EXPECT_EQ(streamed[i].active_minutes, batch_sorted[i].active_minutes);
+    EXPECT_EQ(streamed[i].total_sampled_packets,
+              batch_sorted[i].total_sampled_packets);
+    EXPECT_EQ(streamed[i].peak_sampled_ppm, batch_sorted[i].peak_sampled_ppm);
+  }
+  EXPECT_EQ(monitor.windows_closed(), windowed.windows().size());
+}
+
+}  // namespace
+}  // namespace dm::detect

@@ -1,0 +1,64 @@
+// Properties the study inherits from NetFlow sampling (§3.2): volume
+// estimates are unbiased under thinning, while flow/spread counts are lower
+// bounds that shrink with coarser sampling.
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace dm {
+namespace {
+
+sim::ScenarioConfig config_with_sampling(std::uint32_t sampling) {
+  auto config = sim::ScenarioConfig::smoke();
+  config.vips.vip_count = 120;
+  config.days = 1;
+  config.seed = 90210;
+  config.sampling = sampling;
+  return config;
+}
+
+class SamplingSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SamplingSweep, EstimatedVolumeIsSamplingInvariant) {
+  // The *estimated* total packet volume (sampled x N) must agree across
+  // sampling rates within statistical error, because the underlying true
+  // traffic is the same scenario.
+  const core::Study fine(config_with_sampling(256));
+  const core::Study swept(config_with_sampling(GetParam()));
+
+  const auto estimated = [](const core::Study& study) {
+    double packets = 0.0;
+    for (const auto& w : study.trace().windows()) {
+      packets += static_cast<double>(w.packets);
+    }
+    return packets * study.sampling();
+  };
+  const double fine_estimate = estimated(fine);
+  const double swept_estimate = estimated(swept);
+  ASSERT_GT(fine_estimate, 0.0);
+  EXPECT_NEAR(swept_estimate / fine_estimate, 1.0, 0.05)
+      << "sampling 1:" << GetParam();
+}
+
+TEST_P(SamplingSweep, RecordCountsShrinkWithSampling) {
+  const core::Study fine(config_with_sampling(256));
+  const core::Study swept(config_with_sampling(GetParam()));
+  EXPECT_LT(swept.record_count(), fine.record_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplingSweep,
+                         ::testing::Values(1024u, 4096u, 8192u));
+
+TEST(SamplingInvariance, SpreadIsALowerBound) {
+  // §3.2: "the number of flows we report should be viewed as a lower bound".
+  const core::Study fine(config_with_sampling(512));
+  const core::Study coarse(config_with_sampling(8192));
+  std::uint64_t fine_flows = 0;
+  std::uint64_t coarse_flows = 0;
+  for (const auto& w : fine.trace().windows()) fine_flows += w.flows;
+  for (const auto& w : coarse.trace().windows()) coarse_flows += w.flows;
+  EXPECT_LT(coarse_flows, fine_flows / 4);
+}
+
+}  // namespace
+}  // namespace dm

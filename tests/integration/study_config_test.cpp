@@ -1,0 +1,96 @@
+// Study behaviour under configuration variations: sampling rates, disabled
+// scripted events, custom detection settings.
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace dm {
+namespace {
+
+sim::ScenarioConfig tiny() {
+  auto config = sim::ScenarioConfig::smoke();
+  config.vips.vip_count = 80;
+  config.days = 1;
+  config.seed = 31337;
+  return config;
+}
+
+TEST(StudyConfig, DenserSamplingSeesMore) {
+  auto coarse_config = tiny();
+  coarse_config.sampling = 16384;
+  auto fine_config = tiny();
+  fine_config.sampling = 1024;
+  const core::Study coarse(coarse_config);
+  const core::Study fine(fine_config);
+  EXPECT_GT(fine.record_count(), coarse.record_count() * 4);
+}
+
+TEST(StudyConfig, ScriptedEventsCanBeDisabled) {
+  auto with = tiny();
+  auto without = tiny();
+  without.include_case_study = false;
+  without.include_spam_eruption = false;
+  without.include_subnet_scan = false;
+  without.include_dns_server_case = false;
+  without.include_romania_barrage = false;
+  without.include_serial_attacker = false;
+  const core::Study a(with);
+  const core::Study b(without);
+  EXPECT_GT(a.truth().episodes.size(), b.truth().episodes.size() + 50);
+}
+
+TEST(StudyConfig, ZeroAttackRatesYieldNoGenericSessions) {
+  auto config = tiny();
+  config.inbound_sessions_per_vip_day = 0.0;
+  config.outbound_sessions_per_vip_day = 0.0;
+  config.include_case_study = false;
+  config.include_spam_eruption = false;
+  config.include_subnet_scan = false;
+  config.include_dns_server_case = false;
+  config.include_romania_barrage = false;
+  config.include_serial_attacker = false;
+  const core::Study study(config);
+  EXPECT_TRUE(study.truth().episodes.empty());
+  // Benign-only trace: the conservative detectors stay almost silent.
+  EXPECT_LT(study.detection().incidents.size(), 25u);
+}
+
+TEST(StudyConfig, HigherThresholdDetectsLess) {
+  detect::DetectionConfig strict;
+  strict.volume_change_threshold = 1'000.0;
+  strict.brute_force_unique_ips = 100.0;
+  strict.brute_force_connections = 300.0;
+  strict.spam_unique_ips = 200.0;
+  strict.sql_connections = 300.0;
+  const core::Study loose(tiny());
+  const core::Study tight(tiny(), strict);
+  EXPECT_LT(tight.detection().incidents.size(),
+            loose.detection().incidents.size());
+}
+
+TEST(StudyConfig, BlacklistFeedsTdsDetection) {
+  const core::Study study(tiny());
+  // Every window with blacklist contact involves a genuine TDS host.
+  for (const auto& w : study.trace().windows()) {
+    if (w.blacklist_flows == 0) continue;
+    bool found = false;
+    for (const auto& r : study.trace().records_of(w)) {
+      const netflow::OrientedFlow f{&r, w.direction};
+      if (study.blacklist().contains(f.remote_ip())) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(StudyConfig, SamplingDenominatorPropagates) {
+  auto config = tiny();
+  config.sampling = 2048;
+  const core::Study study(config);
+  EXPECT_EQ(study.sampling(), 2048u);
+}
+
+}  // namespace
+}  // namespace dm

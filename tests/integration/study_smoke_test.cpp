@@ -1,0 +1,87 @@
+// End-to-end smoke: build the world, generate a small trace, run detection,
+// and check the study's basic calibration invariants hold even at tiny
+// scale.
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/overview.h"
+
+namespace dm {
+namespace {
+
+class StudySmoke : public ::testing::Test {
+ protected:
+  static const core::Study& study() {
+    static const core::Study instance{sim::ScenarioConfig::smoke()};
+    return instance;
+  }
+};
+
+TEST_F(StudySmoke, GeneratesRecords) {
+  EXPECT_GT(study().record_count(), 1'000u);
+  EXPECT_GT(study().trace().windows().size(), 100u);
+}
+
+TEST_F(StudySmoke, GroundTruthHasEpisodes) {
+  EXPECT_GT(study().truth().episodes.size(), 10u);
+}
+
+TEST_F(StudySmoke, DetectsIncidentsInBothDirections) {
+  const auto& incidents = study().detection().incidents;
+  ASSERT_FALSE(incidents.empty());
+  const auto mix = analysis::compute_attack_mix(incidents);
+  EXPECT_GT(mix.inbound_total, 0u);
+  EXPECT_GT(mix.outbound_total, 0u);
+}
+
+TEST_F(StudySmoke, OutboundDominates) {
+  // §3.1: 64.9% of attacks are outbound. At smoke scale just require the
+  // direction of the imbalance.
+  const auto mix = analysis::compute_attack_mix(study().detection().incidents);
+  EXPECT_GT(mix.outbound_total, mix.inbound_total);
+}
+
+TEST_F(StudySmoke, IncidentsAreWellFormed) {
+  for (const auto& inc : study().detection().incidents) {
+    EXPECT_LT(inc.start, inc.end);
+    EXPECT_GE(inc.active_minutes, 1u);
+    EXPECT_LE(static_cast<util::Minute>(inc.active_minutes), inc.duration());
+    EXPECT_GT(inc.total_sampled_packets, 0u);
+    EXPECT_GE(inc.total_sampled_packets, inc.peak_sampled_ppm);
+  }
+}
+
+TEST_F(StudySmoke, DetectionRecallOnLoudGroundTruth) {
+  // Every sufficiently loud ground-truth flood should yield at least one
+  // overlapping detected incident of its type.
+  const auto& incidents = study().detection().incidents;
+  std::size_t loud = 0;
+  std::size_t hit = 0;
+  for (const auto& e : study().truth().episodes) {
+    if (!sim::is_volume_based(e.type)) continue;
+    if (e.peak_true_pps < 30'000.0) continue;
+    if (e.duration() < 3) continue;
+    ++loud;
+    for (const auto& inc : incidents) {
+      if (inc.type == e.type && inc.direction == e.direction &&
+          inc.vip == e.vip && inc.start < e.end + 2 && e.start < inc.end + 2) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(loud, 0u);
+  EXPECT_GE(static_cast<double>(hit) / static_cast<double>(loud), 0.8);
+}
+
+TEST_F(StudySmoke, Deterministic) {
+  const core::Study again{sim::ScenarioConfig::smoke()};
+  EXPECT_EQ(again.record_count(), study().record_count());
+  EXPECT_EQ(again.detection().incidents.size(),
+            study().detection().incidents.size());
+  EXPECT_EQ(again.truth().episodes.size(), study().truth().episodes.size());
+}
+
+}  // namespace
+}  // namespace dm

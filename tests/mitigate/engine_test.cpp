@@ -1,0 +1,225 @@
+#include "mitigate/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::mitigate {
+namespace {
+
+using detect::AttackIncident;
+using netflow::Direction;
+using netflow::FlowRecord;
+using netflow::IPv4;
+using netflow::Protocol;
+using netflow::TcpFlags;
+using sim::AttackType;
+
+const IPv4 kVip = IPv4::from_octets(100, 64, 0, 3);
+
+netflow::PrefixSet cloud_space() {
+  netflow::PrefixSet set;
+  set.add(netflow::Prefix(IPv4::from_octets(100, 64, 0, 0), 12));
+  return set;
+}
+
+/// A 10-minute inbound SYN flood, 600 sampled pkts/min from `sources`
+/// sources; optionally with juno fixed source ports.
+netflow::WindowedTrace syn_flood_trace(std::uint32_t sources,
+                                       bool juno = false) {
+  std::vector<FlowRecord> records;
+  for (util::Minute m = 100; m < 110; ++m) {
+    for (std::uint32_t s = 0; s < 600; ++s) {
+      FlowRecord r;
+      r.minute = m;
+      r.src_ip = IPv4(0x04000000u + s % sources);
+      r.dst_ip = kVip;
+      r.src_port = juno ? (s % 2 == 0 ? 1024 : 3072)
+                        : static_cast<std::uint16_t>(10'000 + s);
+      r.dst_port = 80;
+      r.protocol = Protocol::kTcp;
+      r.tcp_flags = TcpFlags::kSyn;
+      r.packets = 1;
+      r.bytes = 40;
+      records.push_back(r);
+    }
+  }
+  return netflow::aggregate_windows(std::move(records), cloud_space());
+}
+
+AttackIncident syn_incident() {
+  AttackIncident inc;
+  inc.vip = kVip;
+  inc.direction = Direction::kInbound;
+  inc.type = AttackType::kSynFlood;
+  inc.start = 100;
+  inc.end = 110;
+  inc.active_minutes = 10;
+  inc.peak_sampled_ppm = 600;
+  inc.total_sampled_packets = 6'000;
+  return inc;
+}
+
+TEST(MitigationEngine, SynCookiesAbsorbAfterLatency) {
+  const auto trace = syn_flood_trace(500);
+  MitigationPolicy policy;
+  policy.enable_source_blacklist = false;
+  policy.enable_rate_limit = false;
+  policy.enable_port_filter = false;
+  policy.inline_latency = 2;
+  const MitigationEngine engine(policy);
+  std::vector<AttackIncident> incidents{syn_incident()};
+  const auto report = engine.evaluate(trace, incidents);
+
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  const auto& outcome = report.outcomes[0];
+  EXPECT_EQ(outcome.attack_packets, 6'000u);
+  // 2 of 10 minutes unprotected: 80% absorbed.
+  EXPECT_NEAR(static_cast<double>(outcome.absorbed_packets), 4'800.0, 10.0);
+  EXPECT_EQ(outcome.time_to_mitigate, 2);
+  ASSERT_EQ(report.actions.size(), 1u);
+  EXPECT_EQ(report.actions[0].kind, ActionKind::kSynCookies);
+}
+
+TEST(MitigationEngine, BlacklistCoverageTracksConcentration) {
+  MitigationPolicy policy;
+  policy.enable_syn_cookies = false;
+  policy.enable_rate_limit = false;
+  policy.enable_port_filter = false;
+  policy.blacklist_entries = 64;
+  policy.inline_latency = 0;
+  const MitigationEngine engine(policy);
+  std::vector<AttackIncident> incidents{syn_incident()};
+
+  // 10 sources: 64-entry blacklist covers everything.
+  const auto concentrated = engine.evaluate(syn_flood_trace(10), incidents);
+  EXPECT_NEAR(concentrated.total_absorption, 1.0, 1e-6);
+
+  // 600 sources: only ~64/600 of the traffic is blockable.
+  const auto diffuse = engine.evaluate(syn_flood_trace(600), incidents);
+  EXPECT_NEAR(diffuse.total_absorption, 64.0 / 600.0, 0.03);
+}
+
+TEST(MitigationEngine, SpoofedIncidentsEvadeBlacklist) {
+  MitigationPolicy policy;
+  policy.enable_syn_cookies = false;
+  policy.enable_rate_limit = false;
+  policy.enable_port_filter = false;
+  const MitigationEngine engine(policy);
+  std::vector<AttackIncident> incidents{syn_incident()};
+
+  analysis::SpoofResult spoof;
+  analysis::SpoofVerdict verdict;
+  verdict.incident_index = 0;
+  verdict.spoofed = true;
+  spoof.verdicts.push_back(verdict);
+
+  const auto report = engine.evaluate(syn_flood_trace(10), incidents, 4096,
+                                      nullptr, &spoof);
+  EXPECT_DOUBLE_EQ(report.total_absorption, 0.0);
+  EXPECT_TRUE(report.actions.empty());
+}
+
+TEST(MitigationEngine, PortFilterCatchesJunoFloods) {
+  MitigationPolicy policy;
+  policy.enable_syn_cookies = false;
+  policy.enable_rate_limit = false;
+  policy.enable_source_blacklist = false;
+  policy.inline_latency = 0;
+  const MitigationEngine engine(policy);
+  std::vector<AttackIncident> incidents{syn_incident()};
+
+  const auto juno = engine.evaluate(syn_flood_trace(500, true), incidents);
+  EXPECT_NEAR(juno.total_absorption, 1.0, 1e-6);
+  const auto normal = engine.evaluate(syn_flood_trace(500, false), incidents);
+  EXPECT_DOUBLE_EQ(normal.total_absorption, 0.0);
+}
+
+/// Outbound UDP flood trace at ~600 sampled ppm.
+netflow::WindowedTrace outbound_udp_trace() {
+  std::vector<FlowRecord> records;
+  for (util::Minute m = 100; m < 110; ++m) {
+    for (std::uint32_t s = 0; s < 20; ++s) {
+      FlowRecord r;
+      r.minute = m;
+      r.src_ip = kVip;
+      r.dst_ip = IPv4(0x04000000u + s);
+      r.src_port = 40'000;
+      r.dst_port = 80;
+      r.protocol = Protocol::kUdp;
+      r.packets = 30;
+      r.bytes = 3'000;
+      records.push_back(r);
+    }
+  }
+  return netflow::aggregate_windows(std::move(records), cloud_space());
+}
+
+TEST(MitigationEngine, OutboundCapClipsFloods) {
+  MitigationPolicy policy;
+  policy.enable_vip_shutdown = false;
+  policy.outbound_cap_pps = 10'000.0;  // ~600 sampled ppm -> ~41 Kpps true
+  policy.inline_latency = 0;
+  const MitigationEngine engine(policy);
+
+  AttackIncident inc = syn_incident();
+  inc.direction = Direction::kOutbound;
+  inc.type = AttackType::kUdpFlood;
+  const auto report =
+      engine.evaluate(outbound_udp_trace(), std::vector<AttackIncident>{inc});
+  // Cap passes 10K of ~41K pps: ~75% absorbed.
+  EXPECT_NEAR(report.total_absorption, 1.0 - 10'000.0 / (600.0 * 4096 / 60),
+              0.05);
+}
+
+TEST(MitigationEngine, ShutdownAfterRepeatOffenses) {
+  MitigationPolicy policy;
+  policy.enable_outbound_cap = false;
+  policy.enable_smtp_limit = false;
+  policy.shutdown_after_incidents = 2;
+  policy.shutdown_latency = 5;
+  const MitigationEngine engine(policy);
+
+  // Three outbound incidents on the same VIP; the trace only covers the
+  // window of the first (packet accounting uses what traffic exists).
+  std::vector<AttackIncident> incidents;
+  for (int k = 0; k < 3; ++k) {
+    AttackIncident inc = syn_incident();
+    inc.direction = Direction::kOutbound;
+    inc.type = AttackType::kUdpFlood;
+    inc.start = 100 + k * 200;
+    inc.end = inc.start + 10;
+    incidents.push_back(inc);
+  }
+  const auto report = engine.evaluate(outbound_udp_trace(), incidents);
+  EXPECT_EQ(report.shutdown_vips, 1u);
+  // Shutdown fires at the 2nd incident (start 300) + 5; the 3rd incident
+  // (start 500) is fully absorbed — but it has no trace packets here, so
+  // assert via the actions instead.
+  bool third_shut = false;
+  for (const auto& a : report.actions) {
+    if (a.kind == ActionKind::kVipShutdown && a.incident_index == 2) {
+      third_shut = true;
+      EXPECT_DOUBLE_EQ(a.absorption, 1.0);
+    }
+  }
+  EXPECT_TRUE(third_shut);
+}
+
+TEST(MitigationEngine, DisabledPolicyDoesNothing) {
+  MitigationPolicy policy;
+  policy.enable_syn_cookies = false;
+  policy.enable_rate_limit = false;
+  policy.enable_source_blacklist = false;
+  policy.enable_port_filter = false;
+  policy.enable_outbound_cap = false;
+  policy.enable_smtp_limit = false;
+  policy.enable_vip_shutdown = false;
+  const MitigationEngine engine(policy);
+  std::vector<AttackIncident> incidents{syn_incident()};
+  const auto report = engine.evaluate(syn_flood_trace(10), incidents);
+  EXPECT_TRUE(report.actions.empty());
+  EXPECT_DOUBLE_EQ(report.total_absorption, 0.0);
+  EXPECT_EQ(report.outcomes[0].time_to_mitigate, -1);
+}
+
+}  // namespace
+}  // namespace dm::mitigate

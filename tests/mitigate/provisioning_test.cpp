@@ -1,0 +1,89 @@
+#include "mitigate/provisioning.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::mitigate {
+namespace {
+
+using detect::MinuteDetection;
+using netflow::Direction;
+using sim::AttackType;
+
+MinuteDetection det(std::uint32_t vip, util::Minute minute,
+                    std::uint64_t packets) {
+  return MinuteDetection{netflow::IPv4(vip), Direction::kInbound,
+                         AttackType::kUdpFlood, minute, packets, 1};
+}
+
+TEST(Provisioning, EmptyInput) {
+  const auto plan = plan_provisioning({}, Direction::kInbound, 4096);
+  EXPECT_DOUBLE_EQ(plan.per_vip_peak_cores, 0.0);
+  EXPECT_DOUBLE_EQ(plan.cloud_peak_cores, 0.0);
+  EXPECT_EQ(plan.attacked_vips, 0u);
+}
+
+TEST(Provisioning, PaperArithmetic) {
+  // The paper's example: a 9.2 Mpps inbound UDP flood needs ~31 SLB cores
+  // at 300 Kpps/core. 9.2 Mpps = 134'700 sampled ppm at 1:4096.
+  std::vector<MinuteDetection> minutes{det(1, 100, 134'700)};
+  const auto plan = plan_provisioning(minutes, Direction::kInbound, 4096);
+  EXPECT_NEAR(plan.cloud_peak_cores, 30.6, 0.5);
+  EXPECT_NEAR(plan.per_vip_peak_cores, plan.cloud_peak_cores, 1e-9);
+}
+
+TEST(Provisioning, PerVipSumsPeaks) {
+  std::vector<MinuteDetection> minutes{
+      det(1, 100, 1'000), det(1, 101, 3'000),  // VIP 1 peak 3000
+      det(2, 500, 2'000),                      // VIP 2 peak 2000
+  };
+  const auto plan = plan_provisioning(minutes, Direction::kInbound, 4096);
+  EXPECT_EQ(plan.attacked_vips, 2u);
+  const double expected =
+      (3'000.0 + 2'000.0) * 4096 / 60.0 / 300'000.0;
+  EXPECT_NEAR(plan.per_vip_peak_cores, expected, 1e-9);
+}
+
+TEST(Provisioning, CloudPeakUsesSimultaneity) {
+  // Two VIPs attacked at the same minute: cloud peak is their sum; attacked
+  // at different minutes: cloud peak is the max.
+  std::vector<MinuteDetection> together{det(1, 100, 3'000), det(2, 100, 2'000)};
+  std::vector<MinuteDetection> apart{det(1, 100, 3'000), det(2, 500, 2'000)};
+  const auto plan_together =
+      plan_provisioning(together, Direction::kInbound, 4096);
+  const auto plan_apart = plan_provisioning(apart, Direction::kInbound, 4096);
+  EXPECT_GT(plan_together.cloud_peak_cores, plan_apart.cloud_peak_cores);
+  // Per-VIP provisioning cannot tell the difference — the paper's point.
+  EXPECT_DOUBLE_EQ(plan_together.per_vip_peak_cores,
+                   plan_apart.per_vip_peak_cores);
+}
+
+TEST(Provisioning, ElasticSizesForP99) {
+  // 99 quiet minutes and one monster: elastic base sits near the quiet load.
+  std::vector<MinuteDetection> minutes;
+  for (util::Minute m = 0; m < 99; ++m) minutes.push_back(det(1, m, 100));
+  minutes.push_back(det(1, 99, 100'000));
+  const auto plan = plan_provisioning(minutes, Direction::kInbound, 4096);
+  EXPECT_LT(plan.elastic_cores, plan.cloud_peak_cores / 10.0);
+  EXPECT_GT(plan.elastic_burst_fraction, 0.0);
+  EXPECT_LT(plan.elastic_burst_fraction, 0.05);
+}
+
+TEST(Provisioning, OverprovisionFactorGrowsWithVips) {
+  // Many VIPs attacked at disjoint times: per-VIP provisioning pays every
+  // peak, elastic pays roughly one.
+  std::vector<MinuteDetection> minutes;
+  for (std::uint32_t vip = 0; vip < 50; ++vip) {
+    minutes.push_back(det(vip, vip * 10, 5'000));
+  }
+  const auto plan = plan_provisioning(minutes, Direction::kInbound, 4096);
+  EXPECT_GT(plan.overprovision_factor(), 10.0);
+}
+
+TEST(Provisioning, DirectionFiltered) {
+  std::vector<MinuteDetection> minutes{det(1, 100, 5'000)};
+  const auto plan = plan_provisioning(minutes, Direction::kOutbound, 4096);
+  EXPECT_EQ(plan.attacked_vips, 0u);
+}
+
+}  // namespace
+}  // namespace dm::mitigate

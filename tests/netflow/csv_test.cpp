@@ -1,0 +1,98 @@
+#include "netflow/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dm::netflow {
+namespace {
+
+std::vector<FlowRecord> sample_records(std::size_t n) {
+  util::Rng rng(4);
+  std::vector<FlowRecord> records(n);
+  for (auto& r : records) {
+    r.minute = static_cast<util::Minute>(rng.below(10'000));
+    r.src_ip = IPv4(static_cast<std::uint32_t>(rng()));
+    r.dst_ip = IPv4(static_cast<std::uint32_t>(rng()));
+    r.src_port = static_cast<std::uint16_t>(rng.below(65536));
+    r.dst_port = static_cast<std::uint16_t>(rng.below(65536));
+    r.protocol = rng.chance(0.5) ? Protocol::kTcp : Protocol::kUdp;
+    r.tcp_flags = static_cast<TcpFlags>(rng.below(64));
+    r.packets = static_cast<std::uint32_t>(1 + rng.below(1000));
+    r.bytes = r.packets * 100;
+  }
+  return records;
+}
+
+TEST(Csv, RoundTrip) {
+  const auto records = sample_records(500);
+  std::stringstream buffer;
+  write_csv(buffer, records);
+  const auto loaded = read_csv(buffer);
+  EXPECT_EQ(loaded, records);
+}
+
+TEST(Csv, ParsesKnownRow) {
+  const FlowRecord r =
+      parse_csv_row("1501,4.1.2.3,51000,100.64.0.9,443,6,18,12,4800", 1);
+  EXPECT_EQ(r.minute, 1501);
+  EXPECT_EQ(r.src_ip, IPv4::from_octets(4, 1, 2, 3));
+  EXPECT_EQ(r.src_port, 51'000);
+  EXPECT_EQ(r.dst_ip, IPv4::from_octets(100, 64, 0, 9));
+  EXPECT_EQ(r.dst_port, 443);
+  EXPECT_EQ(r.protocol, Protocol::kTcp);
+  EXPECT_EQ(r.tcp_flags, TcpFlags::kSyn | TcpFlags::kAck);
+  EXPECT_EQ(r.packets, 12u);
+  EXPECT_EQ(r.bytes, 4'800u);
+}
+
+TEST(Csv, HeaderIsOptional) {
+  std::stringstream with_header;
+  with_header << kCsvHeader << "\n1,4.0.0.1,1,100.64.0.1,80,6,2,1,40\n";
+  EXPECT_EQ(read_csv(with_header).size(), 1u);
+  std::stringstream without;
+  without << "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40\n";
+  EXPECT_EQ(read_csv(without).size(), 1u);
+}
+
+TEST(Csv, SkipsBlankLinesAndCrLf) {
+  std::stringstream in;
+  in << "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40\r\n\n"
+     << "2,4.0.0.2,1,100.64.0.1,80,17,0,3,300\n";
+  const auto records = read_csv(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].protocol, Protocol::kUdp);
+}
+
+TEST(Csv, RejectsMalformedRows) {
+  const char* bad[] = {
+      "x,4.0.0.1,1,100.64.0.1,80,6,2,1,40",    // bad minute
+      "1,4.0.0,1,100.64.0.1,80,6,2,1,40",      // bad ip
+      "1,4.0.0.1,99999,100.64.0.1,80,6,2,1,40",// port overflow
+      "1,4.0.0.1,1,100.64.0.1,80,7,2,1,40",    // unsupported proto
+      "1,4.0.0.1,1,100.64.0.1,80,6,64,1,40",   // flags out of range
+      "1,4.0.0.1,1,100.64.0.1,80,6,2,0,40",    // zero packets
+      "1,4.0.0.1,1,100.64.0.1,80,6,2,1",       // missing field
+      "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40,9",  // trailing field
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW((void)parse_csv_row(line, 7), dm::FormatError) << line;
+  }
+}
+
+TEST(Csv, ErrorNamesLine) {
+  std::stringstream in;
+  in << "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40\nBROKEN\n";
+  try {
+    (void)read_csv(in);
+    FAIL() << "expected FormatError";
+  } catch (const dm::FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dm::netflow

@@ -1,0 +1,77 @@
+#include "netflow/flow_record.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::netflow {
+namespace {
+
+FlowRecord sample() {
+  FlowRecord r;
+  r.minute = 1501;
+  r.src_ip = IPv4::from_octets(4, 1, 2, 3);
+  r.dst_ip = IPv4::from_octets(100, 64, 0, 9);
+  r.src_port = 51'000;
+  r.dst_port = 443;
+  r.protocol = Protocol::kTcp;
+  r.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;
+  r.packets = 12;
+  r.bytes = 4'800;
+  return r;
+}
+
+TEST(OrientedFlow, InboundAccessors) {
+  const FlowRecord r = sample();
+  const OrientedFlow f{&r, Direction::kInbound};
+  EXPECT_EQ(f.vip(), r.dst_ip);
+  EXPECT_EQ(f.remote_ip(), r.src_ip);
+  EXPECT_EQ(f.vip_port(), 443);
+  EXPECT_EQ(f.remote_port(), 51'000);
+  EXPECT_EQ(f.service_port(), 443);
+}
+
+TEST(OrientedFlow, OutboundAccessors) {
+  FlowRecord r = sample();
+  std::swap(r.src_ip, r.dst_ip);
+  std::swap(r.src_port, r.dst_port);
+  const OrientedFlow f{&r, Direction::kOutbound};
+  EXPECT_EQ(f.vip(), r.src_ip);
+  EXPECT_EQ(f.remote_ip(), r.dst_ip);
+  EXPECT_EQ(f.vip_port(), 443);
+  EXPECT_EQ(f.remote_port(), 51'000);
+  // The targeted application is the flow's destination port either way.
+  EXPECT_EQ(f.service_port(), 51'000);
+}
+
+TEST(Direction, Helpers) {
+  EXPECT_EQ(opposite(Direction::kInbound), Direction::kOutbound);
+  EXPECT_EQ(opposite(Direction::kOutbound), Direction::kInbound);
+  EXPECT_EQ(to_string(Direction::kInbound), "inbound");
+  EXPECT_EQ(to_string(Direction::kOutbound), "outbound");
+}
+
+TEST(FlowRecord, ToStringMentionsKeyFields) {
+  const std::string text = to_string(sample());
+  EXPECT_NE(text.find("4.1.2.3"), std::string::npos);
+  EXPECT_NE(text.find("100.64.0.9"), std::string::npos);
+  EXPECT_NE(text.find("443"), std::string::npos);
+  EXPECT_NE(text.find("SYN|ACK"), std::string::npos);
+  EXPECT_NE(text.find("pkts=12"), std::string::npos);
+}
+
+TEST(FlowRecord, EqualityIsFieldWise) {
+  FlowRecord a = sample();
+  FlowRecord b = sample();
+  EXPECT_EQ(a, b);
+  b.packets += 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(Protocol, Names) {
+  EXPECT_EQ(to_string(Protocol::kTcp), "TCP");
+  EXPECT_EQ(to_string(Protocol::kUdp), "UDP");
+  EXPECT_EQ(to_string(Protocol::kIcmp), "ICMP");
+  EXPECT_EQ(to_string(Protocol::kIpEncap), "IPENCAP");
+}
+
+}  // namespace
+}  // namespace dm::netflow

@@ -1,0 +1,152 @@
+#include "netflow/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dm::netflow {
+namespace {
+
+TEST(IPv4, ParseAndFormatRoundTrip) {
+  for (const char* text : {"0.0.0.0", "1.2.3.4", "255.255.255.255",
+                           "100.64.0.1", "192.168.1.200"}) {
+    const auto ip = IPv4::parse(text);
+    ASSERT_TRUE(ip.has_value()) << text;
+    EXPECT_EQ(ip->to_string(), text);
+  }
+}
+
+TEST(IPv4, ParseRejectsMalformed) {
+  for (const char* text : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d",
+                           "1..2.3", "1.2.3.4 ", " 1.2.3.4", "-1.2.3.4"}) {
+    EXPECT_FALSE(IPv4::parse(text).has_value()) << text;
+  }
+}
+
+TEST(IPv4, FromOctets) {
+  EXPECT_EQ(IPv4::from_octets(10, 0, 0, 1).value(), 0x0a000001u);
+  EXPECT_EQ(IPv4::from_octets(255, 255, 255, 255).value(), 0xffffffffu);
+}
+
+TEST(IPv4, Ordering) {
+  EXPECT_LT(IPv4(1), IPv4(2));
+  EXPECT_EQ(IPv4(7), IPv4(7));
+}
+
+TEST(IPv4, UnitIntervalMapping) {
+  EXPECT_DOUBLE_EQ(IPv4(0).as_unit_interval(), 0.0);
+  EXPECT_NEAR(IPv4(0x80000000u).as_unit_interval(), 0.5, 1e-9);
+  EXPECT_LT(IPv4(0xffffffffu).as_unit_interval(), 1.0);
+}
+
+TEST(Prefix, MasksBaseAddress) {
+  const Prefix p(IPv4::from_octets(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.network(), IPv4::from_octets(10, 1, 0, 0));
+  EXPECT_EQ(p.length(), 16);
+  EXPECT_EQ(p.size(), 65536u);
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p(IPv4::from_octets(100, 64, 0, 0), 12);
+  EXPECT_TRUE(p.contains(IPv4::from_octets(100, 64, 0, 1)));
+  EXPECT_TRUE(p.contains(IPv4::from_octets(100, 79, 255, 255)));
+  EXPECT_FALSE(p.contains(IPv4::from_octets(100, 80, 0, 0)));
+  EXPECT_FALSE(p.contains(IPv4::from_octets(99, 64, 0, 0)));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix p(IPv4(12345), 0);
+  EXPECT_TRUE(p.contains(IPv4(0)));
+  EXPECT_TRUE(p.contains(IPv4(0xffffffffu)));
+  EXPECT_EQ(p.size(), 1ull << 32);
+}
+
+TEST(Prefix, AtIndexes) {
+  const Prefix p(IPv4::from_octets(10, 0, 0, 0), 24);
+  EXPECT_EQ(p.at(0), IPv4::from_octets(10, 0, 0, 0));
+  EXPECT_EQ(p.at(255), IPv4::from_octets(10, 0, 0, 255));
+}
+
+TEST(PrefixSet, EmptyMatchesNothing) {
+  const PrefixSet set;
+  EXPECT_FALSE(set.contains(IPv4(1)));
+  EXPECT_FALSE(set.match(IPv4(1)).has_value());
+}
+
+TEST(PrefixSet, LongestPrefixWins) {
+  PrefixSet set;
+  set.add(Prefix(IPv4::from_octets(10, 0, 0, 0), 8));
+  set.add(Prefix(IPv4::from_octets(10, 1, 0, 0), 16));
+  set.add(Prefix(IPv4::from_octets(10, 1, 2, 0), 24));
+
+  EXPECT_EQ(set.match(IPv4::from_octets(10, 1, 2, 3))->length(), 24);
+  EXPECT_EQ(set.match(IPv4::from_octets(10, 1, 9, 9))->length(), 16);
+  EXPECT_EQ(set.match(IPv4::from_octets(10, 200, 0, 1))->length(), 8);
+  EXPECT_FALSE(set.match(IPv4::from_octets(11, 0, 0, 0)).has_value());
+}
+
+TEST(PrefixSet, DuplicateAddIsIdempotent) {
+  PrefixSet set;
+  set.add(Prefix(IPv4::from_octets(10, 0, 0, 0), 8));
+  set.add(Prefix(IPv4::from_octets(10, 0, 0, 0), 8));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(PrefixSet, HostPrefixes) {
+  PrefixSet set;
+  const IPv4 host = IPv4::from_octets(4, 5, 6, 7);
+  set.add(Prefix(host, 32));
+  EXPECT_TRUE(set.contains(host));
+  EXPECT_FALSE(set.contains(IPv4(host.value() + 1)));
+}
+
+// Property: match agrees with a linear scan over the inserted prefixes.
+class PrefixSetOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixSetOracle, MatchesLinearScan) {
+  util::Rng rng(GetParam());
+  std::vector<Prefix> prefixes;
+  PrefixSet set;
+  for (int i = 0; i < 64; ++i) {
+    const Prefix p(IPv4(static_cast<std::uint32_t>(rng())),
+                   static_cast<int>(8 + rng.below(25)));
+    prefixes.push_back(p);
+    set.add(p);
+  }
+  for (int probe = 0; probe < 500; ++probe) {
+    // Half random addresses, half inside a random prefix.
+    IPv4 ip(static_cast<std::uint32_t>(rng()));
+    if (probe % 2 == 0) {
+      const Prefix& p = prefixes[rng.below(prefixes.size())];
+      ip = p.at(rng.below(p.size()));
+    }
+    int best = -1;
+    for (const Prefix& p : prefixes) {
+      if (p.contains(ip)) best = std::max(best, p.length());
+    }
+    const auto got = set.match(ip);
+    if (best < 0) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->length(), best);
+      EXPECT_TRUE(got->contains(ip));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixSetOracle,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+}  // namespace
+}  // namespace dm::netflow

@@ -1,0 +1,90 @@
+#include "netflow/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace dm::netflow {
+namespace {
+
+TEST(PacketSampler, RejectsZeroRate) {
+  EXPECT_THROW(PacketSampler(0), dm::ConfigError);
+}
+
+TEST(PacketSampler, RateOneKeepsEverything) {
+  const PacketSampler sampler(1);
+  util::Rng rng(1);
+  EXPECT_EQ(sampler.sample_packets(12345, rng), 12345u);
+  const auto flow = sampler.sample_flow(100, 5000, rng);
+  ASSERT_TRUE(flow.has_value());
+  EXPECT_EQ(flow->packets, 100u);
+  EXPECT_EQ(flow->bytes, 5000u);
+}
+
+TEST(PacketSampler, ThinningIsUnbiased) {
+  const PacketSampler sampler(4096);
+  util::Rng rng(2);
+  constexpr std::uint64_t kTruePackets = 4096 * 10;
+  double total = 0.0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(sampler.sample_packets(kTruePackets, rng));
+  }
+  EXPECT_NEAR(total / kTrials, 10.0, 0.3);
+}
+
+TEST(PacketSampler, SmallFlowsOftenVanish) {
+  const PacketSampler sampler(4096);
+  util::Rng rng(3);
+  int vanished = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!sampler.sample_flow(100, 40'000, rng)) ++vanished;
+  }
+  // P(no packet sampled) = (1 - 1/4096)^100 ~ 97.6%.
+  EXPECT_GT(vanished, kTrials * 9 / 10);
+}
+
+TEST(PacketSampler, BytesScaleWithKeptPackets) {
+  const PacketSampler sampler(2);
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto flow = sampler.sample_flow(1000, 100'000, rng);
+    if (!flow) continue;
+    const double per_packet =
+        static_cast<double>(flow->bytes) / static_cast<double>(flow->packets);
+    EXPECT_NEAR(per_packet, 100.0, 1.0);
+  }
+}
+
+TEST(PacketSampler, EstimateInvertsSampling) {
+  const PacketSampler sampler(4096);
+  EXPECT_DOUBLE_EQ(sampler.estimate_true(100.0), 409'600.0);
+  EXPECT_DOUBLE_EQ(sampler.probability(), 1.0 / 4096.0);
+}
+
+TEST(PacketSampler, ZeroPacketsStayZero) {
+  const PacketSampler sampler(4096);
+  util::Rng rng(5);
+  EXPECT_EQ(sampler.sample_packets(0, rng), 0u);
+  EXPECT_FALSE(sampler.sample_flow(0, 0, rng).has_value());
+}
+
+// Property: sampled count never exceeds the true count.
+class SamplerBounds : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SamplerBounds, NeverOversamples) {
+  const PacketSampler sampler(GetParam());
+  util::Rng rng(6);
+  for (std::uint64_t n : {1ull, 10ull, 4096ull, 1'000'000ull}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LE(sampler.sample_packets(n, rng), n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplerBounds,
+                         ::testing::Values(1, 2, 1024, 4096, 16384));
+
+}  // namespace
+}  // namespace dm::netflow

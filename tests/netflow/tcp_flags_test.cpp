@@ -1,0 +1,81 @@
+#include "netflow/tcp_flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::netflow {
+namespace {
+
+TEST(TcpFlags, PureSyn) {
+  EXPECT_TRUE(is_pure_syn(TcpFlags::kSyn));
+  EXPECT_FALSE(is_pure_syn(TcpFlags::kSyn | TcpFlags::kAck));
+  EXPECT_FALSE(is_pure_syn(TcpFlags::kAck));
+  EXPECT_FALSE(is_pure_syn(TcpFlags::kNone));
+}
+
+TEST(TcpFlags, NullScan) {
+  EXPECT_TRUE(is_null_scan(TcpFlags::kNone));
+  EXPECT_FALSE(is_null_scan(TcpFlags::kFin));
+}
+
+TEST(TcpFlags, XmasScan) {
+  EXPECT_TRUE(is_xmas_scan(kXmasFlags));
+  // Xmas plus ACK is ordinary (weird) traffic, not the scan signature.
+  EXPECT_FALSE(is_xmas_scan(kXmasFlags | TcpFlags::kAck));
+  EXPECT_FALSE(is_xmas_scan(TcpFlags::kFin | TcpFlags::kPsh));
+  EXPECT_FALSE(is_xmas_scan(TcpFlags::kFin));
+}
+
+TEST(TcpFlags, IllegalCombinations) {
+  EXPECT_TRUE(is_illegal(TcpFlags::kNone));
+  EXPECT_TRUE(is_illegal(kXmasFlags));
+  EXPECT_TRUE(is_illegal(TcpFlags::kSyn | TcpFlags::kFin));
+  // A completed connection's cumulative OR includes SYN|FIN|ACK|PSH — legal.
+  EXPECT_FALSE(is_illegal(TcpFlags::kSyn | TcpFlags::kFin | TcpFlags::kAck |
+                          TcpFlags::kPsh));
+  EXPECT_FALSE(is_illegal(TcpFlags::kSyn));
+  EXPECT_FALSE(is_illegal(TcpFlags::kAck | TcpFlags::kPsh));
+}
+
+TEST(TcpFlags, BareRst) {
+  EXPECT_TRUE(is_bare_rst(TcpFlags::kRst));
+  EXPECT_FALSE(is_bare_rst(TcpFlags::kRst | TcpFlags::kAck));
+  EXPECT_FALSE(is_bare_rst(TcpFlags::kRst | TcpFlags::kSyn));
+  EXPECT_FALSE(is_bare_rst(TcpFlags::kAck));
+}
+
+TEST(TcpFlags, ToString) {
+  EXPECT_EQ(to_string(TcpFlags::kNone), "none");
+  EXPECT_EQ(to_string(TcpFlags::kSyn), "SYN");
+  EXPECT_EQ(to_string(TcpFlags::kSyn | TcpFlags::kAck), "SYN|ACK");
+  EXPECT_EQ(to_string(kXmasFlags), "FIN|PSH|URG");
+}
+
+TEST(TcpFlags, OperatorsCompose) {
+  const TcpFlags f = TcpFlags::kSyn | TcpFlags::kAck;
+  EXPECT_TRUE(has_flag(f, TcpFlags::kSyn));
+  EXPECT_TRUE(has_flag(f, TcpFlags::kAck));
+  EXPECT_FALSE(has_flag(f, TcpFlags::kFin));
+  EXPECT_EQ(f & TcpFlags::kSyn, TcpFlags::kSyn);
+}
+
+// Property sweep: every single-bit flag value classifies consistently.
+class FlagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlagSweep, ClassifiersAreMutuallyConsistent) {
+  const auto flags = static_cast<TcpFlags>(GetParam());
+  // A flag set cannot be both a NULL scan and an Xmas scan.
+  EXPECT_FALSE(is_null_scan(flags) && is_xmas_scan(flags));
+  // Pure SYN is never illegal.
+  if (is_pure_syn(flags) && !has_flag(flags, TcpFlags::kFin)) {
+    EXPECT_FALSE(is_illegal(flags));
+  }
+  // NULL and Xmas scans are always illegal.
+  if (is_null_scan(flags) || is_xmas_scan(flags)) {
+    EXPECT_TRUE(is_illegal(flags));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixBitValues, FlagSweep, ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace dm::netflow

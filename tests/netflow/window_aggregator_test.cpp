@@ -1,0 +1,212 @@
+#include "netflow/window_aggregator.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::netflow {
+namespace {
+
+const IPv4 kVip = IPv4::from_octets(100, 64, 0, 5);
+const IPv4 kVip2 = IPv4::from_octets(100, 64, 0, 9);
+const IPv4 kRemoteA = IPv4::from_octets(4, 1, 1, 1);
+const IPv4 kRemoteB = IPv4::from_octets(4, 2, 2, 2);
+
+PrefixSet cloud_space() {
+  PrefixSet set;
+  set.add(Prefix(IPv4::from_octets(100, 64, 0, 0), 12));
+  return set;
+}
+
+FlowRecord flow(util::Minute minute, IPv4 src, IPv4 dst, std::uint16_t sport,
+                std::uint16_t dport, Protocol proto = Protocol::kTcp,
+                TcpFlags flags = TcpFlags::kAck | TcpFlags::kPsh,
+                std::uint32_t packets = 1) {
+  FlowRecord r;
+  r.minute = minute;
+  r.src_ip = src;
+  r.dst_ip = dst;
+  r.src_port = sport;
+  r.dst_port = dport;
+  r.protocol = proto;
+  r.tcp_flags = flags;
+  r.packets = packets;
+  r.bytes = packets * 100;
+  return r;
+}
+
+TEST(Classify, Directions) {
+  const auto space = cloud_space();
+  EXPECT_EQ(classify(flow(0, kRemoteA, kVip, 1000, 80), space),
+            Direction::kInbound);
+  EXPECT_EQ(classify(flow(0, kVip, kRemoteA, 80, 1000), space),
+            Direction::kOutbound);
+  // Remote-to-remote and cloud-to-cloud are out of scope.
+  EXPECT_FALSE(classify(flow(0, kRemoteA, kRemoteB, 1, 2), space).has_value());
+  EXPECT_FALSE(classify(flow(0, kVip, kVip2, 1, 2), space).has_value());
+}
+
+TEST(Aggregate, GroupsByVipMinuteDirection) {
+  std::vector<FlowRecord> records{
+      flow(5, kRemoteA, kVip, 1111, 80),
+      flow(5, kRemoteB, kVip, 2222, 80),
+      flow(6, kRemoteA, kVip, 3333, 80),
+      flow(5, kVip, kRemoteA, 80, 1111),
+      flow(5, kRemoteA, kVip2, 1111, 443),
+  };
+  const auto trace = aggregate_windows(std::move(records), cloud_space());
+  ASSERT_EQ(trace.windows().size(), 4u);
+  EXPECT_EQ(trace.unclassified_records(), 0u);
+
+  const auto in5 = trace.series(kVip, Direction::kInbound);
+  ASSERT_EQ(in5.size(), 2u);
+  EXPECT_EQ(in5[0].minute, 5);
+  EXPECT_EQ(in5[0].flows, 2u);
+  EXPECT_EQ(in5[0].unique_remote_ips, 2u);
+  EXPECT_EQ(in5[1].minute, 6);
+  EXPECT_EQ(in5[1].flows, 1u);
+
+  const auto out = trace.series(kVip, Direction::kOutbound);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packets, 1u);
+}
+
+TEST(Aggregate, DropsUnclassified) {
+  std::vector<FlowRecord> records{
+      flow(1, kRemoteA, kRemoteB, 1, 2),
+      flow(1, kRemoteA, kVip, 1, 80),
+  };
+  const auto trace = aggregate_windows(std::move(records), cloud_space());
+  EXPECT_EQ(trace.unclassified_records(), 1u);
+  EXPECT_EQ(trace.records().size(), 1u);
+}
+
+TEST(Aggregate, ProtocolAndFlagCounters) {
+  std::vector<FlowRecord> records{
+      flow(1, kRemoteA, kVip, 1, 80, Protocol::kTcp, TcpFlags::kSyn, 7),
+      flow(1, kRemoteA, kVip, 2, 80, Protocol::kTcp, TcpFlags::kNone, 3),
+      flow(1, kRemoteA, kVip, 3, 80, Protocol::kTcp, kXmasFlags, 2),
+      flow(1, kRemoteA, kVip, 4, 80, Protocol::kTcp, TcpFlags::kRst, 5),
+      flow(1, kRemoteA, kVip, 5, 80, Protocol::kUdp, TcpFlags::kNone, 11),
+      flow(1, kRemoteA, kVip, 6, 80, Protocol::kIcmp, TcpFlags::kNone, 13),
+      flow(1, kRemoteA, kVip, 0, 0, Protocol::kIpEncap, TcpFlags::kNone, 1),
+  };
+  const auto trace = aggregate_windows(std::move(records), cloud_space());
+  ASSERT_EQ(trace.windows().size(), 1u);
+  const auto& w = trace.windows()[0];
+  EXPECT_EQ(w.packets, 42u);
+  EXPECT_EQ(w.tcp_packets, 17u);
+  EXPECT_EQ(w.syn_packets, 7u);
+  EXPECT_EQ(w.null_scan_packets, 3u);
+  EXPECT_EQ(w.xmas_scan_packets, 2u);
+  EXPECT_EQ(w.bare_rst_packets, 5u);
+  EXPECT_EQ(w.udp_packets, 11u);
+  EXPECT_EQ(w.icmp_packets, 13u);
+  EXPECT_EQ(w.ipencap_packets, 1u);
+}
+
+TEST(Aggregate, DnsResponseDetection) {
+  std::vector<FlowRecord> records{
+      // Inbound response from a resolver: src port 53.
+      flow(1, kRemoteA, kVip, 53, 9999, Protocol::kUdp, TcpFlags::kNone, 4),
+      // Inbound query to the VIP's DNS service: dst port 53 — not a response.
+      flow(1, kRemoteB, kVip, 1234, 53, Protocol::kUdp, TcpFlags::kNone, 2),
+  };
+  const auto trace = aggregate_windows(std::move(records), cloud_space());
+  const auto& w = trace.windows()[0];
+  EXPECT_EQ(w.dns_response_packets, 4u);
+  EXPECT_EQ(w.udp_packets, 6u);
+}
+
+TEST(Aggregate, ApplicationPortFeatures) {
+  std::vector<FlowRecord> records{
+      // Two distinct remotes brute-forcing SSH.
+      flow(1, kRemoteA, kVip, 1111, 22, Protocol::kTcp,
+           TcpFlags::kSyn | TcpFlags::kAck, 3),
+      flow(1, kRemoteB, kVip, 2222, 22, Protocol::kTcp,
+           TcpFlags::kSyn | TcpFlags::kAck, 3),
+      flow(1, kRemoteB, kVip, 2223, 3389, Protocol::kTcp,
+           TcpFlags::kSyn | TcpFlags::kAck, 1),
+      // SQL connections.
+      flow(1, kRemoteA, kVip, 3333, 1433, Protocol::kTcp,
+           TcpFlags::kAck | TcpFlags::kPsh, 2),
+      // Outbound spam: VIP -> remote SMTP server (dst port 25).
+      flow(1, kVip, kRemoteA, 4444, 25, Protocol::kTcp,
+           TcpFlags::kSyn | TcpFlags::kAck | TcpFlags::kPsh, 5),
+  };
+  const auto trace = aggregate_windows(std::move(records), cloud_space());
+
+  const auto in = trace.series(kVip, Direction::kInbound);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].remote_admin_flows, 3u);
+  EXPECT_EQ(in[0].unique_admin_remotes, 2u);
+  EXPECT_EQ(in[0].admin_packets, 7u);
+  EXPECT_EQ(in[0].sql_flows, 1u);
+  EXPECT_EQ(in[0].sql_packets, 2u);
+  EXPECT_EQ(in[0].smtp_flows, 0u);
+
+  const auto out = trace.series(kVip, Direction::kOutbound);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].smtp_flows, 1u);
+  EXPECT_EQ(out[0].unique_smtp_remotes, 1u);
+  EXPECT_EQ(out[0].smtp_packets, 5u);
+}
+
+TEST(Aggregate, BlacklistFeatures) {
+  PrefixSet blacklist;
+  blacklist.add(Prefix(kRemoteB, 32));
+  std::vector<FlowRecord> records{
+      flow(1, kRemoteA, kVip, 1, 80),
+      flow(1, kRemoteB, kVip, 2, 80, Protocol::kTcp,
+           TcpFlags::kAck | TcpFlags::kPsh, 9),
+      flow(1, kRemoteB, kVip, 3, 80, Protocol::kTcp,
+           TcpFlags::kAck | TcpFlags::kPsh, 1),
+  };
+  const auto trace =
+      aggregate_windows(std::move(records), cloud_space(), &blacklist);
+  const auto& w = trace.windows()[0];
+  EXPECT_EQ(w.blacklist_flows, 2u);
+  EXPECT_EQ(w.unique_blacklist_remotes, 1u);
+  EXPECT_EQ(w.blacklist_packets, 10u);
+}
+
+TEST(Aggregate, RecordsOfWindowSpansMatch) {
+  std::vector<FlowRecord> records;
+  for (int m = 0; m < 3; ++m) {
+    for (int f = 0; f < 4; ++f) {
+      records.push_back(flow(m, IPv4(kRemoteA.value() + static_cast<std::uint32_t>(f)),
+                             kVip, static_cast<std::uint16_t>(1000 + f), 80));
+    }
+  }
+  const auto trace = aggregate_windows(std::move(records), cloud_space());
+  std::size_t total = 0;
+  for (const auto& w : trace.windows()) {
+    const auto span = trace.records_of(w);
+    EXPECT_EQ(span.size(), 4u);
+    for (const auto& r : span) EXPECT_EQ(r.minute, w.minute);
+    total += span.size();
+  }
+  EXPECT_EQ(total, trace.records().size());
+}
+
+TEST(Aggregate, VipsAreSortedDistinct) {
+  std::vector<FlowRecord> records{
+      flow(1, kRemoteA, kVip2, 1, 80),
+      flow(1, kRemoteA, kVip, 1, 80),
+      flow(2, kVip, kRemoteA, 80, 1),
+  };
+  const auto trace = aggregate_windows(std::move(records), cloud_space());
+  const auto vips = trace.vips();
+  ASSERT_EQ(vips.size(), 2u);
+  EXPECT_EQ(vips[0], kVip);
+  EXPECT_EQ(vips[1], kVip2);
+}
+
+TEST(Aggregate, EmptyInput) {
+  const auto trace = aggregate_windows({}, cloud_space());
+  EXPECT_TRUE(trace.windows().empty());
+  EXPECT_TRUE(trace.records().empty());
+  EXPECT_TRUE(trace.vips().empty());
+  EXPECT_TRUE(trace.series(kVip, Direction::kInbound).empty());
+}
+
+}  // namespace
+}  // namespace dm::netflow

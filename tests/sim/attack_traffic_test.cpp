@@ -1,0 +1,232 @@
+#include "sim/attack_traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/trace_generator.h"
+
+namespace dm::sim {
+namespace {
+
+class AttackTrafficTest : public ::testing::Test {
+ protected:
+  static const Scenario& scenario() {
+    static const Scenario s{[] {
+      ScenarioConfig c = ScenarioConfig::smoke();
+      c.vips.vip_count = 40;
+      c.days = 1;
+      return c;
+    }()};
+    return s;
+  }
+
+  static AttackEpisode episode(AttackType type, netflow::Direction dir,
+                               double pps = 100'000.0) {
+    AttackEpisode e;
+    e.type = type;
+    e.direction = dir;
+    e.vip = scenario().vips().all()[0].vip;
+    e.start = 10;
+    e.end = 20;
+    e.peak_true_pps = pps;
+    e.ramp_up_minutes = 0.3;
+    e.target_port = 80;
+    util::Rng rng(1);
+    for (int i = 0; i < 20; ++i) {
+      e.remote_hosts.push_back(
+          scenario().ases().host_in_class(cloud::AsClass::kSmallIsp, rng));
+    }
+    return e;
+  }
+
+  static std::vector<netflow::FlowRecord> emit(const AttackEpisode& e,
+                                               util::Minute minute,
+                                               std::uint32_t sampling = 4096) {
+    const AttackTrafficModel model(scenario().ases(), scenario().tds());
+    const netflow::PacketSampler sampler(sampling);
+    util::Rng rng(7);
+    std::vector<netflow::FlowRecord> out;
+    model.emit_minute(e, minute, sampler, rng, out);
+    return out;
+  }
+};
+
+TEST_F(AttackTrafficTest, InactiveMinutesEmitNothing) {
+  const auto e = episode(AttackType::kUdpFlood, netflow::Direction::kInbound);
+  EXPECT_TRUE(emit(e, 5).empty());
+  EXPECT_TRUE(emit(e, 20).empty());
+}
+
+TEST_F(AttackTrafficTest, SynFloodRecordsArePureSyn) {
+  const auto e = episode(AttackType::kSynFlood, netflow::Direction::kInbound);
+  const auto records = emit(e, 15);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_EQ(r.protocol, netflow::Protocol::kTcp);
+    EXPECT_TRUE(netflow::is_pure_syn(r.tcp_flags));
+    EXPECT_EQ(r.dst_ip, e.vip);
+    EXPECT_EQ(r.dst_port, 80);
+  }
+}
+
+TEST_F(AttackTrafficTest, SpoofedFloodHasUniqueSources) {
+  auto e = episode(AttackType::kSynFlood, netflow::Direction::kInbound,
+                   500'000.0);
+  e.spoofed_sources = true;
+  e.remote_hosts.clear();
+  const auto records = emit(e, 15);
+  ASSERT_GT(records.size(), 100u);
+  std::set<std::uint32_t> sources;
+  for (const auto& r : records) sources.insert(r.src_ip.value());
+  // Spoofed sources are fresh per packet: virtually all distinct.
+  EXPECT_GT(sources.size(), records.size() * 9 / 10);
+}
+
+TEST_F(AttackTrafficTest, JunoBugFixesSourcePorts) {
+  auto e = episode(AttackType::kSynFlood, netflow::Direction::kInbound,
+                   500'000.0);
+  e.spoofed_sources = true;
+  e.fixed_source_ports = true;
+  const auto records = emit(e, 15);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.src_port == 1024 || r.src_port == 3072) << r.src_port;
+  }
+}
+
+TEST_F(AttackTrafficTest, FloodAggregatesPerSource) {
+  const auto e = episode(AttackType::kUdpFlood, netflow::Direction::kInbound,
+                         2'000'000.0);
+  const auto records = emit(e, 15);
+  // Dense flood over 20 hosts: at most one record per host.
+  EXPECT_LE(records.size(), e.remote_hosts.size());
+  std::uint64_t packets = 0;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.protocol, netflow::Protocol::kUdp);
+    packets += r.packets;
+  }
+  // ~2M pps * 60 / 4096 = ~29K sampled packets.
+  EXPECT_NEAR(static_cast<double>(packets), 29'300.0, 6'000.0);
+}
+
+TEST_F(AttackTrafficTest, IcmpFloodHasNoPorts) {
+  const auto e = episode(AttackType::kIcmpFlood, netflow::Direction::kOutbound);
+  for (const auto& r : emit(e, 15)) {
+    EXPECT_EQ(r.protocol, netflow::Protocol::kIcmp);
+    EXPECT_EQ(r.src_port, 0);
+    EXPECT_EQ(r.dst_port, 0);
+    EXPECT_EQ(r.src_ip, e.vip);
+  }
+}
+
+TEST_F(AttackTrafficTest, DnsReflectionComesFromPort53) {
+  const auto e =
+      episode(AttackType::kDnsReflection, netflow::Direction::kInbound);
+  const auto records = emit(e, 15);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_EQ(r.protocol, netflow::Protocol::kUdp);
+    EXPECT_EQ(r.src_port, netflow::ports::kDns);
+    EXPECT_EQ(r.dst_ip, e.vip);
+    // Full-size reflection payloads.
+    EXPECT_EQ(r.bytes, r.packets * 1500u);
+  }
+}
+
+TEST_F(AttackTrafficTest, BruteForceConnectionsAreDistinctFlows) {
+  auto e = episode(AttackType::kBruteForce, netflow::Direction::kInbound,
+                   50'000.0);
+  e.target_port = netflow::ports::kSsh;
+  const auto records = emit(e, 15);
+  ASSERT_GT(records.size(), 50u);
+  std::set<std::pair<std::uint32_t, std::uint16_t>> flows;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.dst_port, netflow::ports::kSsh);
+    flows.insert({r.src_ip.value(), r.src_port});
+  }
+  // Each record is its own connection (unique source/port pair almost always).
+  EXPECT_GT(flows.size(), records.size() * 8 / 10);
+}
+
+TEST_F(AttackTrafficTest, SpamTargetsSmtp) {
+  auto e = episode(AttackType::kSpam, netflow::Direction::kOutbound, 20'000.0);
+  e.target_port = netflow::ports::kSmtp;
+  for (const auto& r : emit(e, 15)) {
+    EXPECT_EQ(r.src_ip, e.vip);
+    EXPECT_EQ(r.dst_port, netflow::ports::kSmtp);
+  }
+}
+
+TEST_F(AttackTrafficTest, TdsUsesBlacklistPortRange) {
+  auto e = episode(AttackType::kTds, netflow::Direction::kOutbound, 50'000.0);
+  e.remote_hosts.clear();
+  util::Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    e.remote_hosts.push_back(scenario().tds().random_host(rng));
+  }
+  const auto records = emit(e, 15);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_GE(r.dst_port, 1024);
+    EXPECT_LE(r.dst_port, 5000);
+    EXPECT_TRUE(scenario().tds().contains(r.dst_ip));
+  }
+}
+
+TEST_F(AttackTrafficTest, PortScanEmitsIllegalFlags) {
+  auto e = episode(AttackType::kPortScan, netflow::Direction::kInbound,
+                   100'000.0);
+  e.scan_kind = PortScanKind::kNull;
+  e.target_port = 0;
+  std::set<std::uint16_t> ports;
+  for (const auto& r : emit(e, 15)) {
+    EXPECT_EQ(r.tcp_flags, netflow::TcpFlags::kNone);
+    ports.insert(r.dst_port);
+  }
+  EXPECT_GT(ports.size(), 100u);  // scanning many ports
+}
+
+TEST_F(AttackTrafficTest, XmasScanFlags) {
+  auto e = episode(AttackType::kPortScan, netflow::Direction::kInbound,
+                   50'000.0);
+  e.scan_kind = PortScanKind::kXmas;
+  for (const auto& r : emit(e, 15)) {
+    EXPECT_TRUE(netflow::is_xmas_scan(r.tcp_flags));
+  }
+}
+
+TEST_F(AttackTrafficTest, WeightedHostsDominate) {
+  auto e = episode(AttackType::kBruteForce, netflow::Direction::kInbound,
+                   200'000.0);
+  e.remote_weights.assign(e.remote_hosts.size(), 1.0);
+  e.remote_weights[0] = 1'000.0;  // one host sends almost everything
+  std::uint64_t host0 = 0;
+  std::uint64_t total = 0;
+  for (const auto& r : emit(e, 15)) {
+    total += r.packets;
+    if (r.src_ip == e.remote_hosts[0]) host0 += r.packets;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(host0) / static_cast<double>(total), 0.9);
+}
+
+TEST_F(AttackTrafficTest, SamplingThinsLowRateAttacks) {
+  // A 300 pps attack yields ~4.4 sampled packets/min: sometimes nothing.
+  const auto e =
+      episode(AttackType::kUdpFlood, netflow::Direction::kInbound, 300.0);
+  const AttackTrafficModel model(scenario().ases(), scenario().tds());
+  const netflow::PacketSampler sampler(4096);
+  int empty_minutes = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    std::vector<netflow::FlowRecord> out;
+    model.emit_minute(e, 15, sampler, rng, out);
+    if (out.empty()) ++empty_minutes;
+  }
+  EXPECT_GT(empty_minutes, 0);
+  EXPECT_LT(empty_minutes, 200);
+}
+
+}  // namespace
+}  // namespace dm::sim

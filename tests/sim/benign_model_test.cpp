@@ -1,0 +1,140 @@
+#include "sim/benign_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_generator.h"
+
+namespace dm::sim {
+namespace {
+
+class BenignModelTest : public ::testing::Test {
+ protected:
+  static ScenarioConfig config() {
+    ScenarioConfig c = ScenarioConfig::smoke();
+    c.vips.vip_count = 60;
+    c.days = 1;
+    return c;
+  }
+  static const Scenario& scenario() {
+    static const Scenario s{config()};
+    return s;
+  }
+  static const BenignTrafficModel& model() {
+    static const BenignTrafficModel m{scenario().config(), scenario().vips(),
+                                      scenario().ases(), 99,
+                                      &scenario().tds()};
+    return m;
+  }
+};
+
+TEST_F(BenignModelTest, PoolsAreNonEmptyAndClean) {
+  for (std::uint32_t v = 0; v < scenario().vips().size(); ++v) {
+    const auto pool = model().pool_of(v);
+    EXPECT_GE(pool.size(), 8u);
+    for (const auto host : pool) {
+      EXPECT_FALSE(scenario().tds().contains(host))
+          << "benign client on the TDS blacklist";
+      EXPECT_FALSE(scenario().vips().cloud_space().contains(host))
+          << "benign client inside the cloud";
+    }
+  }
+}
+
+TEST_F(BenignModelTest, EmitsOnlyWellFormedRecords) {
+  const netflow::PacketSampler sampler(64);  // dense sampling for coverage
+  util::Rng rng(1);
+  std::vector<netflow::FlowRecord> out;
+  for (std::uint32_t v = 0; v < scenario().vips().size(); ++v) {
+    for (util::Minute m = 0; m < 30; ++m) {
+      model().emit_minute(v, m, sampler, rng, out);
+    }
+  }
+  ASSERT_FALSE(out.empty());
+  for (const auto& r : out) {
+    EXPECT_GE(r.packets, 1u);
+    EXPECT_GT(r.bytes, 0u);
+    // Exactly one endpoint is a VIP.
+    const bool src_cloud = scenario().vips().cloud_space().contains(r.src_ip);
+    const bool dst_cloud = scenario().vips().cloud_space().contains(r.dst_ip);
+    EXPECT_NE(src_cloud, dst_cloud);
+    if (r.protocol != netflow::Protocol::kTcp) {
+      EXPECT_EQ(r.tcp_flags, netflow::TcpFlags::kNone);
+    } else {
+      EXPECT_FALSE(netflow::is_illegal(r.tcp_flags))
+          << "benign traffic with illegal flags would trip the signature "
+             "detector";
+    }
+  }
+}
+
+TEST_F(BenignModelTest, InactiveVipsStaySilent) {
+  const netflow::PacketSampler sampler(1);
+  util::Rng rng(2);
+  // Find a VIP with delayed activation (trace_minutes-driven churn).
+  for (std::uint32_t v = 0; v < scenario().vips().size(); ++v) {
+    const auto& vip = scenario().vips().all()[v];
+    if (vip.active_from <= 0) continue;
+    std::vector<netflow::FlowRecord> out;
+    model().emit_minute(v, vip.active_from - 1, sampler, rng, out);
+    EXPECT_TRUE(out.empty());
+    return;
+  }
+  GTEST_SKIP() << "no churned VIP in this configuration";
+}
+
+TEST_F(BenignModelTest, TrafficScalesWithPopularity) {
+  // The most popular VIP should emit far more sampled packets than the
+  // least popular over the same period.
+  const auto vips = scenario().vips().all();
+  std::uint32_t hi = 0;
+  std::uint32_t lo = 0;
+  for (std::uint32_t v = 0; v < vips.size(); ++v) {
+    if (vips[v].active_from > 0) continue;
+    if (vips[v].popularity > vips[hi].popularity) hi = v;
+    if (vips[v].popularity < vips[lo].popularity) lo = v;
+  }
+  const netflow::PacketSampler sampler(16);
+  util::Rng rng(3);
+  std::vector<netflow::FlowRecord> hi_out;
+  std::vector<netflow::FlowRecord> lo_out;
+  for (util::Minute m = 0; m < 120; ++m) {
+    model().emit_minute(hi, m, sampler, rng, hi_out);
+    model().emit_minute(lo, m, sampler, rng, lo_out);
+  }
+  std::uint64_t hi_pkts = 0;
+  std::uint64_t lo_pkts = 0;
+  for (const auto& r : hi_out) hi_pkts += r.packets;
+  for (const auto& r : lo_out) lo_pkts += r.packets;
+  EXPECT_GT(hi_pkts, lo_pkts);
+}
+
+TEST(DiurnalFactor, OscillatesAroundOne) {
+  double lo = 10.0;
+  double hi = 0.0;
+  for (util::Minute m = 0; m < util::kMinutesPerDay; m += 10) {
+    const double f = diurnal_factor(m, cloud::GeoRegion::kNorthAmericaEast);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_NEAR(lo, 0.55, 0.02);
+  EXPECT_NEAR(hi, 1.45, 0.02);
+}
+
+TEST(DiurnalFactor, PeaksInLocalAfternoon) {
+  // 15:00 local == 20:00 UTC for NA-East (UTC-5).
+  const double peak =
+      diurnal_factor(20 * 60, cloud::GeoRegion::kNorthAmericaEast);
+  const double trough =
+      diurnal_factor(8 * 60, cloud::GeoRegion::kNorthAmericaEast);
+  EXPECT_GT(peak, 1.4);
+  EXPECT_LT(trough, 0.6);
+}
+
+TEST(DiurnalFactor, RegionsAreShifted) {
+  const util::Minute m = 12 * 60;
+  EXPECT_NE(diurnal_factor(m, cloud::GeoRegion::kNorthAmericaWest),
+            diurnal_factor(m, cloud::GeoRegion::kEastAsia));
+}
+
+}  // namespace
+}  // namespace dm::sim

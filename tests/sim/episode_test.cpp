@@ -1,0 +1,116 @@
+#include "sim/episode.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::sim {
+namespace {
+
+AttackEpisode base_episode() {
+  AttackEpisode e;
+  e.type = AttackType::kUdpFlood;
+  e.start = 100;
+  e.end = 120;
+  e.peak_true_pps = 10'000.0;
+  e.ramp_up_minutes = 3.0;
+  return e;
+}
+
+TEST(Episode, ActiveWindow) {
+  const AttackEpisode e = base_episode();
+  EXPECT_FALSE(e.active_at(99));
+  EXPECT_TRUE(e.active_at(100));
+  EXPECT_TRUE(e.active_at(119));
+  EXPECT_FALSE(e.active_at(120));
+  EXPECT_EQ(e.duration(), 20);
+}
+
+TEST(Episode, PlannedPpsRampsToPeak) {
+  const AttackEpisode e = base_episode();
+  EXPECT_DOUBLE_EQ(e.planned_pps(99), 0.0);
+  const double first = e.planned_pps(100);
+  const double second = e.planned_pps(101);
+  EXPECT_GT(first, 0.0);
+  EXPECT_LT(first, e.peak_true_pps);
+  EXPECT_GT(second, first);
+  // Past the ramp the plateau holds.
+  EXPECT_DOUBLE_EQ(e.planned_pps(110), e.peak_true_pps);
+  EXPECT_DOUBLE_EQ(e.planned_pps(119), e.peak_true_pps);
+}
+
+TEST(Episode, OneMinuteAttackReachesPeak) {
+  AttackEpisode e = base_episode();
+  e.end = 101;
+  e.ramp_up_minutes = 0.3;
+  // Mid-minute evaluation: a sub-minute ramp means the single window runs
+  // at full rate.
+  EXPECT_DOUBLE_EQ(e.planned_pps(100), e.peak_true_pps);
+}
+
+TEST(Episode, ZeroRampIsImmediate) {
+  AttackEpisode e = base_episode();
+  e.ramp_up_minutes = 0.0;
+  EXPECT_DOUBLE_EQ(e.planned_pps(100), e.peak_true_pps);
+}
+
+TEST(Episode, OnOffPattern) {
+  AttackEpisode e = base_episode();
+  e.start = 0;
+  e.end = 200;
+  e.on_minutes = 10;
+  e.off_minutes = 20;
+  EXPECT_TRUE(e.active_at(0));
+  EXPECT_TRUE(e.active_at(9));
+  EXPECT_FALSE(e.active_at(10));
+  EXPECT_FALSE(e.active_at(29));
+  EXPECT_TRUE(e.active_at(30));
+  EXPECT_DOUBLE_EQ(e.planned_pps(15), 0.0);
+  EXPECT_GT(e.planned_pps(35), 0.0);
+}
+
+TEST(GroundTruth, FiltersByTypeAndDirection) {
+  GroundTruth truth;
+  AttackEpisode a = base_episode();
+  a.direction = netflow::Direction::kInbound;
+  AttackEpisode b = base_episode();
+  b.type = AttackType::kSpam;
+  b.direction = netflow::Direction::kOutbound;
+  truth.episodes = {a, b};
+  EXPECT_EQ(truth.of(AttackType::kUdpFlood, netflow::Direction::kInbound).size(),
+            1u);
+  EXPECT_EQ(truth.of(AttackType::kUdpFlood, netflow::Direction::kOutbound).size(),
+            0u);
+  EXPECT_EQ(truth.of(AttackType::kSpam, netflow::Direction::kOutbound).size(), 1u);
+}
+
+TEST(AttackType, TimeoutsMatchTableOne) {
+  EXPECT_EQ(inactive_timeout(AttackType::kSynFlood), 1);
+  EXPECT_EQ(inactive_timeout(AttackType::kUdpFlood), 1);
+  EXPECT_EQ(inactive_timeout(AttackType::kIcmpFlood), 120);
+  EXPECT_EQ(inactive_timeout(AttackType::kDnsReflection), 60);
+  EXPECT_EQ(inactive_timeout(AttackType::kSpam), 60);
+  EXPECT_EQ(inactive_timeout(AttackType::kBruteForce), 60);
+  EXPECT_EQ(inactive_timeout(AttackType::kSqlInjection), 30);
+  EXPECT_EQ(inactive_timeout(AttackType::kPortScan), 60);
+  EXPECT_EQ(inactive_timeout(AttackType::kTds), 120);
+}
+
+TEST(AttackType, Classification) {
+  EXPECT_TRUE(is_volume_based(AttackType::kSynFlood));
+  EXPECT_TRUE(is_volume_based(AttackType::kDnsReflection));
+  EXPECT_FALSE(is_volume_based(AttackType::kSpam));
+  EXPECT_TRUE(is_flood(AttackType::kUdpFlood));
+  EXPECT_FALSE(is_flood(AttackType::kDnsReflection));
+  EXPECT_TRUE(is_spread_based(AttackType::kBruteForce));
+  EXPECT_TRUE(is_spread_based(AttackType::kSqlInjection));
+  EXPECT_FALSE(is_spread_based(AttackType::kPortScan));
+}
+
+TEST(AttackType, Names) {
+  EXPECT_EQ(to_string(AttackType::kSynFlood), "SYN");
+  EXPECT_EQ(to_string(AttackType::kTds), "TDS");
+  EXPECT_EQ(to_string(BruteForceProtocol::kRdp), "RDP");
+  EXPECT_EQ(to_string(PortScanKind::kXmas), "Xmas");
+}
+
+}  // namespace
+}  // namespace dm::sim

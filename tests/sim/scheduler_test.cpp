@@ -1,0 +1,257 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/trace_generator.h"
+
+namespace dm::sim {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  static ScenarioConfig config() {
+    ScenarioConfig c = ScenarioConfig::smoke();
+    c.vips.vip_count = 200;
+    c.days = 3;
+    c.seed = 314;
+    return c;
+  }
+  static const Scenario& scenario() {
+    static const Scenario s{config()};
+    return s;
+  }
+  static const GroundTruth& truth() {
+    static const GroundTruth t = [] {
+      EpisodeScheduler scheduler(scenario().config(), scenario().vips(),
+                                 scenario().ases(), scenario().tds());
+      return scheduler.schedule();
+    }();
+    return t;
+  }
+};
+
+TEST_F(SchedulerTest, EpisodesAreWellFormed) {
+  const util::Minute end = scenario().config().total_minutes();
+  ASSERT_GT(truth().episodes.size(), 50u);
+  std::set<std::uint32_t> ids;
+  for (const auto& e : truth().episodes) {
+    EXPECT_TRUE(ids.insert(e.id).second) << "duplicate episode id";
+    EXPECT_GE(e.start, 0);
+    EXPECT_LT(e.start, end);
+    EXPECT_GT(e.end, e.start);
+    EXPECT_LE(e.end, end);
+    EXPECT_GT(e.peak_true_pps, 0.0);
+    EXPECT_TRUE(!e.remote_hosts.empty() || e.spoofed_sources);
+    if (!e.remote_weights.empty()) {
+      EXPECT_EQ(e.remote_weights.size(), e.remote_hosts.size());
+    }
+    // Every episode's VIP is a real VIP.
+    EXPECT_NE(scenario().vips().lookup(e.vip), nullptr);
+  }
+}
+
+TEST_F(SchedulerTest, AllAttackTypesAppear) {
+  std::set<int> types;
+  for (const auto& e : truth().episodes) {
+    types.insert(static_cast<int>(e.type));
+  }
+  EXPECT_EQ(types.size(), kAttackTypeCount);
+}
+
+TEST_F(SchedulerTest, RemoteHostsAvoidBlacklistForNonTds) {
+  for (const auto& e : truth().episodes) {
+    if (e.type == AttackType::kTds) continue;
+    for (const auto host : e.remote_hosts) {
+      EXPECT_FALSE(scenario().tds().contains(host))
+          << to_string(e.type) << " attack host collides with the blacklist";
+    }
+  }
+}
+
+TEST_F(SchedulerTest, TdsHostsComeFromBlacklist) {
+  for (const auto& e : truth().episodes) {
+    if (e.type != AttackType::kTds) continue;
+    for (const auto host : e.remote_hosts) {
+      EXPECT_TRUE(scenario().tds().contains(host));
+    }
+  }
+}
+
+TEST_F(SchedulerTest, SpoofedOnlyOnInboundSynFloods) {
+  std::size_t spoofed = 0;
+  std::size_t inbound_syn = 0;
+  for (const auto& e : truth().episodes) {
+    if (e.spoofed_sources) {
+      EXPECT_EQ(e.type, AttackType::kSynFlood);
+      EXPECT_EQ(e.direction, netflow::Direction::kInbound);
+      ++spoofed;
+    }
+    if (e.type == AttackType::kSynFlood &&
+        e.direction == netflow::Direction::kInbound) {
+      ++inbound_syn;
+    }
+  }
+  if (inbound_syn >= 8) {
+    // ~67% spoofed (§6.1); binomial noise at small counts.
+    EXPECT_GT(spoofed, inbound_syn / 4);
+  }
+}
+
+TEST_F(SchedulerTest, RepeatAttacksRespectTimeoutSeparation) {
+  std::map<std::tuple<std::uint32_t, int, int>, std::vector<const AttackEpisode*>>
+      per_key;
+  for (const auto& e : truth().episodes) {
+    per_key[{e.vip.value(), static_cast<int>(e.type),
+             static_cast<int>(e.direction)}]
+        .push_back(&e);
+  }
+  for (auto& [key, list] : per_key) {
+    std::sort(list.begin(), list.end(),
+              [](const AttackEpisode* a, const AttackEpisode* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const util::Minute gap = list[i]->start - list[i - 1]->end;
+      // Distinct planned incidents must not merge under the type timeout.
+      // Campaign/scripted overlaps are allowed to touch, but never overlap
+      // twice the other way.
+      if (gap > 0) {
+        EXPECT_GT(gap, inactive_timeout(list[i]->type))
+            << to_string(list[i]->type);
+      }
+    }
+  }
+}
+
+TEST_F(SchedulerTest, CampaignsShareTypeAndStartWindow) {
+  std::map<std::uint32_t, std::vector<const AttackEpisode*>> campaigns;
+  for (const auto& e : truth().episodes) {
+    if (e.campaign_id != 0) campaigns[e.campaign_id].push_back(&e);
+  }
+  ASSERT_FALSE(campaigns.empty());
+  std::size_t synchronized_total = 0;
+  std::size_t synchronized_hits = 0;
+  for (const auto& [id, members] : campaigns) {
+    util::Minute first_start = members.front()->start;
+    std::set<int> types;
+    for (const auto* e : members) {
+      types.insert(static_cast<int>(e->type));
+      first_start = std::min(first_start, e->start);
+    }
+    // Multi-vector companions may share the campaign id; the campaign's own
+    // episodes share one type.
+    EXPECT_LE(types.size(), 3u) << "campaign " << id;
+    // The scripted spam eruption is deliberately diffuse over hours (§3.1);
+    // every other campaign's initial wave fits the 5-minute window. Slot
+    // reservation may drift a member that collided with an earlier attack
+    // on the same VIP, so assert on the aggregate below.
+    if (members.front()->type == AttackType::kSpam) continue;
+    if (members.size() < 2) continue;
+    std::size_t in_window = 0;
+    for (const auto* e : members) {
+      if (e->start - first_start < 5) ++in_window;
+    }
+    synchronized_total += 1;
+    if (in_window >= 2) synchronized_hits += 1;
+  }
+  ASSERT_GT(synchronized_total, 0u);
+  EXPECT_GE(static_cast<double>(synchronized_hits) /
+                static_cast<double>(synchronized_total),
+            0.7);
+}
+
+TEST_F(SchedulerTest, MultiVectorGroupsHaveMultipleTypes) {
+  std::map<std::uint32_t, std::set<int>> groups;
+  std::map<std::uint32_t, std::set<std::uint32_t>> group_vips;
+  for (const auto& e : truth().episodes) {
+    if (e.multi_vector_group != 0) {
+      groups[e.multi_vector_group].insert(static_cast<int>(e.type));
+      group_vips[e.multi_vector_group].insert(e.vip.value());
+    }
+  }
+  for (const auto& [id, types] : groups) {
+    EXPECT_GE(types.size(), 2u) << "multi-vector group " << id;
+    EXPECT_EQ(group_vips[id].size(), 1u) << "multi-vector spans VIPs";
+  }
+}
+
+TEST_F(SchedulerTest, ScriptedCaseStudyPresent) {
+  // The dormant partner VIP gets a long inbound RDP brute-force and a
+  // later outbound UDP flood.
+  const AttackEpisode* bf = nullptr;
+  const AttackEpisode* udp = nullptr;
+  for (const auto& e : truth().episodes) {
+    if (e.type == AttackType::kBruteForce &&
+        e.direction == netflow::Direction::kInbound &&
+        e.remote_hosts.size() == 85) {
+      bf = &e;
+    }
+  }
+  ASSERT_NE(bf, nullptr) << "case-study brute-force missing";
+  EXPECT_EQ(bf->target_port, netflow::ports::kRdp);
+  ASSERT_EQ(bf->remote_weights.size(), 85u);
+  // 70.3% of the weight on the first three hosts.
+  double top3 = bf->remote_weights[0] + bf->remote_weights[1] + bf->remote_weights[2];
+  double total = 0.0;
+  for (double w : bf->remote_weights) total += w;
+  EXPECT_NEAR(top3 / total, 0.703, 0.01);
+
+  for (const auto& e : truth().episodes) {
+    if (e.type == AttackType::kUdpFlood &&
+        e.direction == netflow::Direction::kOutbound && e.vip == bf->vip) {
+      udp = &e;
+    }
+  }
+  ASSERT_NE(udp, nullptr) << "case-study outbound UDP missing";
+  EXPECT_GT(udp->start, bf->start);
+  EXPECT_EQ(udp->remote_hosts.size(), 491u);
+  EXPECT_NEAR(udp->peak_true_pps, 23'000.0, 1.0);
+}
+
+TEST_F(SchedulerTest, ScriptedSubnetScanPresent) {
+  // One brute-force campaign from exactly two hosts across ~66 VIPs.
+  std::map<std::uint32_t, std::set<std::uint32_t>> bf_campaign_vips;
+  std::map<std::uint32_t, std::size_t> bf_campaign_hosts;
+  for (const auto& e : truth().episodes) {
+    if (e.type != AttackType::kBruteForce || e.campaign_id == 0) continue;
+    if (e.remote_hosts.size() != 2) continue;
+    bf_campaign_vips[e.campaign_id].insert(e.vip.value());
+  }
+  std::size_t biggest = 0;
+  for (const auto& [id, vips] : bf_campaign_vips) {
+    biggest = std::max(biggest, vips.size());
+  }
+  EXPECT_GE(biggest, 60u);
+}
+
+TEST_F(SchedulerTest, SerialAttackerPresent) {
+  // One VIP fires >100 short outbound SYN floods.
+  std::map<std::uint32_t, int> syn_counts;
+  for (const auto& e : truth().episodes) {
+    if (e.type == AttackType::kSynFlood &&
+        e.direction == netflow::Direction::kOutbound) {
+      syn_counts[e.vip.value()] += 1;
+    }
+  }
+  int max_count = 0;
+  for (const auto& [vip, n] : syn_counts) max_count = std::max(max_count, n);
+  EXPECT_GE(max_count, 100);
+}
+
+TEST_F(SchedulerTest, DeterministicForSeed) {
+  EpisodeScheduler again(scenario().config(), scenario().vips(),
+                         scenario().ases(), scenario().tds());
+  const GroundTruth second = again.schedule();
+  ASSERT_EQ(second.episodes.size(), truth().episodes.size());
+  for (std::size_t i = 0; i < second.episodes.size(); ++i) {
+    EXPECT_EQ(second.episodes[i].start, truth().episodes[i].start);
+    EXPECT_EQ(second.episodes[i].vip, truth().episodes[i].vip);
+    EXPECT_EQ(second.episodes[i].type, truth().episodes[i].type);
+  }
+}
+
+}  // namespace
+}  // namespace dm::sim

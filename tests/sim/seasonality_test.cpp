@@ -1,0 +1,62 @@
+// §3.1 seasonality: the holiday-season configuration must raise inbound
+// flood prevalence without touching the outbound side.
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+#include "sim/trace_generator.h"
+
+namespace dm::sim {
+namespace {
+
+std::size_t flood_count(const GroundTruth& truth, netflow::Direction dir) {
+  std::size_t floods = 0;
+  for (const auto& e : truth.episodes) {
+    if (e.direction == dir && is_flood(e.type)) ++floods;
+  }
+  return floods;
+}
+
+GroundTruth schedule_with_seasonality(double boost) {
+  auto config = ScenarioConfig::smoke();
+  config.vips.vip_count = 250;
+  config.days = 3;
+  config.seed = 2024;  // identical seed: only the boost differs
+  config.inbound_flood_seasonality = boost;
+  const Scenario scenario(config);
+  EpisodeScheduler scheduler(config, scenario.vips(), scenario.ases(),
+                             scenario.tds());
+  return scheduler.schedule();
+}
+
+TEST(Seasonality, HolidayBoostRaisesInboundFloods) {
+  const auto may = schedule_with_seasonality(1.0);
+  const auto december = schedule_with_seasonality(3.0);
+  const auto may_floods = flood_count(may, netflow::Direction::kInbound);
+  const auto dec_floods = flood_count(december, netflow::Direction::kInbound);
+  ASSERT_GT(may_floods, 0u);
+  EXPECT_GT(static_cast<double>(dec_floods),
+            1.4 * static_cast<double>(may_floods))
+      << may_floods << " -> " << dec_floods;
+}
+
+TEST(Seasonality, OutboundUnaffectedByDesign) {
+  // The boost only retargets inbound session *shares*; outbound session
+  // counts come from an independent Poisson stream, so outbound floods stay
+  // within ordinary sampling noise.
+  const auto may = schedule_with_seasonality(1.0);
+  const auto december = schedule_with_seasonality(3.0);
+  const auto may_out = flood_count(may, netflow::Direction::kOutbound);
+  const auto dec_out = flood_count(december, netflow::Direction::kOutbound);
+  ASSERT_GT(may_out, 0u);
+  EXPECT_NEAR(static_cast<double>(dec_out), static_cast<double>(may_out),
+              0.6 * static_cast<double>(may_out));
+}
+
+TEST(Seasonality, PresetEncodesTheSurge) {
+  const auto holiday = ScenarioConfig::holiday_season();
+  EXPECT_GT(holiday.inbound_flood_seasonality, 1.5);
+  EXPECT_DOUBLE_EQ(ScenarioConfig::paper_scale().inbound_flood_seasonality, 1.0);
+}
+
+}  // namespace
+}  // namespace dm::sim

@@ -1,0 +1,91 @@
+#include "util/anderson_darling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dm::util {
+namespace {
+
+TEST(AndersonDarling, TooFewSamples) {
+  const double one[] = {0.5};
+  const auto result = anderson_darling_uniform(one);
+  EXPECT_EQ(result.n, 1u);
+  EXPECT_FALSE(result.uniform_at());
+}
+
+TEST(AndersonDarling, UniformSamplesPass) {
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform01());
+  const auto result = anderson_darling_uniform(xs);
+  EXPECT_TRUE(result.uniform_at(0.05)) << "A2=" << result.statistic
+                                       << " p=" << result.p_value;
+}
+
+TEST(AndersonDarling, ClusteredSamplesFail) {
+  Rng rng(43);
+  std::vector<double> xs;
+  // All mass in a narrow band — like real (unspoofed) botnet sources in a
+  // couple of prefixes.
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.uniform(0.40, 0.45));
+  const auto result = anderson_darling_uniform(xs);
+  EXPECT_FALSE(result.uniform_at(0.05));
+  EXPECT_GT(result.statistic, 10.0);
+}
+
+TEST(AndersonDarling, BimodalSamplesFail) {
+  Rng rng(44);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(rng.chance(0.5) ? rng.uniform(0.0, 0.1) : rng.uniform(0.9, 1.0));
+  }
+  EXPECT_FALSE(anderson_darling_uniform(xs).uniform_at(0.05));
+}
+
+TEST(AndersonDarling, HandlesBoundaryValues) {
+  const double xs[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto result = anderson_darling_uniform(xs);
+  EXPECT_TRUE(std::isfinite(result.statistic));
+  EXPECT_TRUE(std::isfinite(result.p_value));
+}
+
+TEST(AndersonDarling, FalsePositiveRateNearAlpha) {
+  // Test the test: at alpha = 0.05, ~5% of genuinely uniform samples should
+  // be rejected. Allow a generous band.
+  Rng rng(45);
+  int rejections = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform01());
+    if (!anderson_darling_uniform(xs).uniform_at(0.05)) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / kTrials;
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.12);
+}
+
+// Property: power grows with sample size for a fixed non-uniform source.
+class AdPower : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdPower, DetectsSkewedDistribution) {
+  Rng rng(46);
+  std::vector<double> xs;
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    xs.push_back(u * u);  // skewed toward 0
+  }
+  EXPECT_FALSE(anderson_darling_uniform(xs).uniform_at(0.05)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, AdPower,
+                         ::testing::Values(50, 100, 500, 2000));
+
+}  // namespace
+}  // namespace dm::util

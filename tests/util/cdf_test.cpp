@@ -1,0 +1,94 @@
+#include "util/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dm::util {
+namespace {
+
+TEST(EmpiricalCdf, AtBoundaries) {
+  EmpiricalCdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  const EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.render().empty());
+  EXPECT_TRUE(cdf.render_log_x().empty());
+}
+
+TEST(EmpiricalCdf, QuantileAgainstStats) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 9; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 9.0);
+}
+
+TEST(EmpiricalCdf, RenderEndsAtOne) {
+  Rng rng(5);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform(0.0, 50.0));
+  const auto points = cdf.render(32);
+  ASSERT_FALSE(points.empty());
+  EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+  // Fractions are non-decreasing.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].fraction, points[i - 1].fraction);
+    EXPECT_GE(points[i].x, points[i - 1].x);
+  }
+}
+
+TEST(EmpiricalCdf, RenderLogXMonotone) {
+  Rng rng(6);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add(rng.lognormal_median(100.0, 1.5));
+  const auto points = cdf.render_log_x(24);
+  ASSERT_EQ(points.size(), 24u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].x, points[i - 1].x);
+    EXPECT_GE(points[i].fraction, points[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, AddAllMatchesIncremental) {
+  const double xs[] = {5.0, 1.0, 3.0};
+  EmpiricalCdf a;
+  a.add_all(xs);
+  EmpiricalCdf b;
+  for (double x : xs) b.add(x);
+  EXPECT_DOUBLE_EQ(a.at(3.0), b.at(3.0));
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(EmpiricalCdf, ToTextFormat) {
+  const std::vector<CdfPoint> points{{1.5, 0.5}, {2.0, 1.0}};
+  EXPECT_EQ(to_text(points), "1.5 0.5\n2 1\n");
+}
+
+// Property: at(quantile(q)) >= q.
+class CdfInverse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfInverse, QuantileIsInverseOfAt) {
+  Rng rng(GetParam());
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 300; ++i) cdf.add(rng.uniform(0.0, 1000.0));
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_GE(cdf.at(cdf.quantile(q)), q - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfInverse, ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace dm::util

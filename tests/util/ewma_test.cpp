@@ -1,0 +1,103 @@
+#include "util/ewma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dm::util {
+namespace {
+
+TEST(Ewma, FirstObservationInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.primed());
+  EXPECT_DOUBLE_EQ(e.update(10.0), 10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_EQ(e.count(), 1u);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e = Ewma::for_window(10);
+  for (int i = 0; i < 200; ++i) e.update(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, TracksStepChange) {
+  Ewma e = Ewma::for_window(10);
+  for (int i = 0; i < 100; ++i) e.update(10.0);
+  for (int i = 0; i < 100; ++i) e.update(50.0);
+  EXPECT_NEAR(e.value(), 50.0, 0.1);
+}
+
+TEST(Ewma, AlphaOneIsLastValue) {
+  Ewma e(1.0);
+  e.update(5.0);
+  e.update(99.0);
+  EXPECT_DOUBLE_EQ(e.value(), 99.0);
+}
+
+TEST(Ewma, DecayMatchesRepeatedZeroUpdates) {
+  Ewma a = Ewma::for_window(10);
+  Ewma b = Ewma::for_window(10);
+  a.update(100.0);
+  b.update(100.0);
+  for (int i = 0; i < 17; ++i) a.update(0.0);
+  b.decay(17);
+  EXPECT_NEAR(a.value(), b.value(), 1e-9);
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(Ewma, DecayZeroStepsIsNoop) {
+  Ewma e(0.3);
+  e.update(7.0);
+  e.decay(0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+  EXPECT_EQ(e.count(), 1u);
+}
+
+TEST(Ewma, DecayLargeStepCount) {
+  Ewma e = Ewma::for_window(10);
+  e.update(1e9);
+  e.decay(10'000);
+  EXPECT_NEAR(e.value(), 0.0, 1e-6);
+}
+
+TEST(Ewma, ResetClearsState) {
+  Ewma e(0.2);
+  e.update(10.0);
+  e.reset();
+  EXPECT_FALSE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(Ewma, ForWindowAlphaFormula) {
+  // span convention: alpha = 2 / (N + 1); after one update from zero the
+  // second update moves by alpha * delta.
+  Ewma e = Ewma::for_window(9);  // alpha = 0.2
+  e.update(0.0);
+  e.update(10.0);
+  EXPECT_NEAR(e.value(), 2.0, 1e-12);
+}
+
+// Property: EWMA value is always within [min, max] of observations.
+class EwmaBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(EwmaBounds, StaysWithinObservationRange) {
+  Ewma e = Ewma::for_window(static_cast<std::size_t>(GetParam()));
+  double lo = 1e300;
+  double hi = -1e300;
+  unsigned state = 12345;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double x = static_cast<double>(state % 1000);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    e.update(x);
+    EXPECT_GE(e.value(), lo - 1e-9);
+    EXPECT_LE(e.value(), hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, EwmaBounds, ::testing::Values(1, 3, 10, 50));
+
+}  // namespace
+}  // namespace dm::util

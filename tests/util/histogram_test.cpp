@@ -1,0 +1,87 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace dm::util {
+namespace {
+
+TEST(Histogram, BucketsCoverRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(2.5);
+  h.add(9.99);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].count, 1u);
+  EXPECT_EQ(buckets[4].count, 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].count, 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5, 42);
+  EXPECT_EQ(h.total(), 42u);
+}
+
+TEST(Histogram, RejectsInvertedRange) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 4), ConfigError);
+  EXPECT_THROW(Histogram(6.0, 5.0, 4), ConfigError);
+}
+
+TEST(LogHistogram, GeometricEdges) {
+  LogHistogram h(1.0, 1000.0, 3);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_NEAR(buckets[0].lo, 1.0, 1e-9);
+  EXPECT_NEAR(buckets[0].hi, 10.0, 1e-6);
+  EXPECT_NEAR(buckets[1].hi, 100.0, 1e-4);
+  EXPECT_NEAR(buckets[2].hi, 1000.0, 1e-3);
+}
+
+TEST(LogHistogram, PlacesSamplesByMagnitude) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(2.0);
+  h.add(50.0);
+  h.add(500.0);
+  h.add(999.0);
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].count, 1u);
+  EXPECT_EQ(buckets[2].count, 2u);
+}
+
+TEST(LogHistogram, RequiresPositiveRange) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 4), ConfigError);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 4), ConfigError);
+}
+
+TEST(RenderAscii, ProducesOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string text = render_ascii(h.buckets(), 10);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(RenderAscii, EmptyHistogramHasNoBars) {
+  Histogram h(0.0, 4.0, 2);
+  const std::string text = render_ascii(h.buckets());
+  EXPECT_EQ(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dm::util

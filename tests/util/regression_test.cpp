@@ -1,0 +1,103 @@
+#include "util/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dm::util {
+namespace {
+
+TEST(Regression, PerfectLine) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  const double ys[] = {3.0, 5.0, 7.0, 9.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(10.0), 21.0, 1e-12);
+}
+
+TEST(Regression, EmptyInput) {
+  const LinearFit fit = fit_linear({}, {});
+  EXPECT_EQ(fit.n, 0u);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(Regression, ConstantYsHavePerfectFlatFit) {
+  const double xs[] = {1.0, 2.0, 3.0};
+  const double ys[] = {5.0, 5.0, 5.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Regression, ZeroXVariance) {
+  const double xs[] = {2.0, 2.0, 2.0};
+  const double ys[] = {1.0, 2.0, 3.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(Regression, NoisyLineHighR2) {
+  Rng rng(3);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(3.0 * x + 7.0 + rng.normal(0.0, 2.0));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Regression, UncorrelatedDataLowR2) {
+  Rng rng(4);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.uniform01());
+    ys.push_back(rng.uniform01());
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_LT(fit.r_squared, 0.05);
+}
+
+TEST(Regression, MismatchedLengthsUseShorter) {
+  const double xs[] = {1.0, 2.0, 3.0, 100.0};
+  const double ys[] = {2.0, 4.0, 6.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_EQ(fit.n, 3u);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+// Property: R^2 is scale- and shift-invariant in x.
+class RegressionInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegressionInvariance, R2InvariantUnderAffineX) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> xs2;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    xs2.push_back(4.0 * x - 17.0);
+    ys.push_back(2.0 * x + rng.normal(0.0, 1.0));
+  }
+  const LinearFit a = fit_linear(xs, ys);
+  const LinearFit b = fit_linear(xs2, ys);
+  EXPECT_NEAR(a.r_squared, b.r_squared, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegressionInvariance,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace dm::util

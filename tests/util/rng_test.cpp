@@ -1,0 +1,184 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dm::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(42);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(5);
+  for (double mean : {0.1, 1.0, 7.5, 40.0, 200.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20'000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    const double sample_mean = sum / kDraws;
+    EXPECT_NEAR(sample_mean, mean, std::max(0.05, mean * 0.05))
+        << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, BinomialMeanMatches) {
+  Rng rng(6);
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  for (const Case c : {Case{100, 0.1}, Case{4096, 1.0 / 4096.0},
+                       Case{1'000'000, 0.001}, Case{50, 0.9}}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20'000;
+    for (int i = 0; i < kDraws; ++i) {
+      const std::uint64_t draw = rng.binomial(c.n, c.p);
+      ASSERT_LE(draw, c.n);
+      sum += static_cast<double>(draw);
+    }
+    const double expect = static_cast<double>(c.n) * c.p;
+    EXPECT_NEAR(sum / kDraws, expect, std::max(0.05, expect * 0.06));
+  }
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(6);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Rng rng(11);
+  constexpr int kDraws = 40'000;
+  std::vector<double> xs;
+  xs.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) xs.push_back(rng.lognormal_median(100.0, 1.0));
+  std::nth_element(xs.begin(), xs.begin() + kDraws / 2, xs.end());
+  EXPECT_NEAR(xs[kDraws / 2], 100.0, 5.0);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.pareto(1.3, 1.0, 100.0);
+    ASSERT_GE(x, 1.0 - 1e-9);
+    ASSERT_LE(x, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {};
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBack) {
+  Rng rng(14);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_LT(rng.weighted_index(weights), 2u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(15);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace dm::util

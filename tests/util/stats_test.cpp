@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dm::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+  const double single[] = {3.0};
+  EXPECT_DOUBLE_EQ(stddev(single), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const double xs[] = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const double xs[] = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, QuantileClampsQ) {
+  const double xs[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(Stats, QuantileEmpty) {
+  EXPECT_DOUBLE_EQ(quantile(std::span<const double>{}, 0.5), 0.0);
+}
+
+TEST(Stats, MedianSingleElement) {
+  const double xs[] = {7.0};
+  EXPECT_DOUBLE_EQ(median(xs), 7.0);
+}
+
+TEST(Stats, SummaryCoversAllFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.5);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+// Property: quantile is monotone in q.
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.lognormal_median(10.0, 2.0));
+  std::sort(xs.begin(), xs.end());
+  double prev = quantile_sorted(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile_sorted(xs, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dm::util

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"name", "count"});
+  t.row("alpha", 10);
+  t.row("b", 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersNothing) {
+  const TextTable t;
+  EXPECT_TRUE(t.render().empty());
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTable, MixedCellTypes) {
+  TextTable t;
+  t.row("x", 1, 2.5, std::string("y"));
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.render().find("2.5"), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(3.14159, 3), "3.142");
+}
+
+TEST(FormatPps, Units) {
+  EXPECT_EQ(format_pps(500.0), "500 pps");
+  EXPECT_EQ(format_pps(9'500.0), "9.5 Kpps");
+  EXPECT_EQ(format_pps(9'400'000.0), "9.4 Mpps");
+}
+
+TEST(FormatMinutes, Units) {
+  EXPECT_EQ(format_minutes(5.0), "5 min");
+  EXPECT_EQ(format_minutes(90.0), "1.5 hour");
+  EXPECT_EQ(format_minutes(2880.0), "2 day");
+  EXPECT_EQ(format_minutes(20160.0), "2 week");
+  EXPECT_EQ(format_minutes(86400.0), "2 month");
+}
+
+TEST(FormatPercent, Basics) {
+  EXPECT_EQ(format_percent(0.351), "35.1%");
+  EXPECT_EQ(format_percent(1.0), "100%");
+  EXPECT_EQ(format_percent(0.0021, 2), "0.21%");
+}
+
+}  // namespace
+}  // namespace dm::util

@@ -1,0 +1,36 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::util {
+namespace {
+
+TEST(Time, DayOf) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(1439), 0);
+  EXPECT_EQ(day_of(1440), 1);
+  EXPECT_EQ(day_of(10 * 1440 + 5), 10);
+}
+
+TEST(Time, MinuteOfDayWraps) {
+  EXPECT_EQ(minute_of_day(0), 0);
+  EXPECT_EQ(minute_of_day(1439), 1439);
+  EXPECT_EQ(minute_of_day(1440), 0);
+  EXPECT_EQ(minute_of_day(1501), 61);
+}
+
+TEST(Time, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(59), 0);
+  EXPECT_EQ(hour_of_day(60), 1);
+  EXPECT_EQ(hour_of_day(1440 + 13 * 60 + 30), 13);
+}
+
+TEST(Time, FormatMinute) {
+  EXPECT_EQ(format_minute(0), "d0 00:00");
+  EXPECT_EQ(format_minute(61), "d0 01:01");
+  EXPECT_EQ(format_minute(1440 + 725), "d1 12:05");
+}
+
+}  // namespace
+}  // namespace dm::util

@@ -1,0 +1,239 @@
+// dmnf — command-line tool for darkmenace NetFlow traces.
+//
+//   dmnf gen    --out trace.dmnf [--vips N] [--days D] [--seed S]
+//   dmnf info   trace.dmnf
+//   dmnf detect trace.dmnf [--cloud CIDR]...
+//   dmnf top    trace.dmnf [--count N] [--cloud CIDR]...
+//   dmnf export trace.dmnf out.csv
+//   dmnf import in.csv out.dmnf [--sampling N]
+//
+// The default cloud address space is 100.64.0.0/12 (the simulator's).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detect/pipeline.h"
+#include "util/error.h"
+#include "netflow/csv.h"
+#include "netflow/trace_io.h"
+#include "netflow/window_aggregator.h"
+#include "sim/trace_generator.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dm;
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  dmnf gen    --out trace.dmnf [--vips N] [--days D] [--seed S]\n"
+      "  dmnf info   trace.dmnf\n"
+      "  dmnf detect trace.dmnf [--cloud CIDR]...\n"
+      "  dmnf top    trace.dmnf [--count N] [--cloud CIDR]...\n"
+      "  dmnf export trace.dmnf out.csv\n"
+      "  dmnf import in.csv out.dmnf [--sampling N]\n",
+      stderr);
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string value = i + 1 < argc ? argv[i + 1] : "";
+      if (arg == "--cloud") {
+        // Repeatable: accumulate with ; separator.
+        auto& slot = args.options["--cloud"];
+        slot += (slot.empty() ? "" : ";") + value;
+      } else {
+        args.options[arg] = value;
+      }
+      ++i;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+netflow::PrefixSet cloud_space_from(const Args& args) {
+  netflow::PrefixSet space;
+  const auto it = args.options.find("--cloud");
+  if (it == args.options.end()) {
+    space.add(netflow::Prefix(netflow::IPv4::from_octets(100, 64, 0, 0), 12));
+    return space;
+  }
+  std::string rest = it->second;
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    const std::string cidr = rest.substr(0, semi);
+    rest = semi == std::string::npos ? "" : rest.substr(semi + 1);
+    const auto prefix = netflow::Prefix::parse(cidr);
+    if (!prefix) throw dm::ConfigError("bad --cloud prefix: " + cidr);
+    space.add(*prefix);
+  }
+  return space;
+}
+
+long long option_number(const Args& args, const std::string& name,
+                        long long fallback) {
+  const auto it = args.options.find(name);
+  return it == args.options.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+int cmd_gen(const Args& args) {
+  const auto out = args.options.find("--out");
+  if (out == args.options.end()) return usage();
+  sim::ScenarioConfig config = sim::ScenarioConfig::smoke();
+  config.vips.vip_count =
+      static_cast<std::uint32_t>(option_number(args, "--vips", 200));
+  config.days = static_cast<int>(option_number(args, "--days", 2));
+  config.seed = static_cast<std::uint64_t>(option_number(args, "--seed", 42));
+  const sim::Scenario scenario(config);
+  const auto result = sim::generate_trace(scenario);
+  netflow::write_trace_file(out->second, result.records, config.sampling);
+  std::printf("wrote %zu records (%zu ground-truth episodes) to %s\n",
+              result.records.size(), result.truth.episodes.size(),
+              out->second.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::uint32_t sampling = 0;
+  const auto records = netflow::read_trace_file(args.positional[0], &sampling);
+  util::Minute lo = 0;
+  util::Minute hi = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  if (!records.empty()) {
+    lo = hi = records[0].minute;
+    for (const auto& r : records) {
+      lo = std::min(lo, r.minute);
+      hi = std::max(hi, r.minute);
+      packets += r.packets;
+      bytes += r.bytes;
+    }
+  }
+  std::printf("records:   %zu\n", records.size());
+  std::printf("sampling:  1:%u\n", sampling);
+  std::printf("window:    %s .. %s\n", util::format_minute(lo).c_str(),
+              util::format_minute(hi).c_str());
+  std::printf("sampled:   %llu packets, %llu bytes\n",
+              static_cast<unsigned long long>(packets),
+              static_cast<unsigned long long>(bytes));
+  std::printf("estimated: %.3g packets, %.3g bytes (x%u)\n",
+              static_cast<double>(packets) * sampling,
+              static_cast<double>(bytes) * sampling, sampling);
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::uint32_t sampling = 0;
+  auto records = netflow::read_trace_file(args.positional[0], &sampling);
+  const auto space = cloud_space_from(args);
+  const auto trace = netflow::aggregate_windows(std::move(records), space);
+  const auto result = detect::DetectionPipeline{}.run(trace);
+
+  util::TextTable table;
+  table.set_header({"type", "dir", "vip", "start", "duration", "peak"});
+  auto incidents = result.incidents;
+  std::sort(incidents.begin(), incidents.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  for (const auto& inc : incidents) {
+    table.row(std::string(sim::to_string(inc.type)),
+              std::string(netflow::to_string(inc.direction)),
+              inc.vip.to_string(), util::format_minute(inc.start),
+              util::format_minutes(static_cast<double>(inc.duration())),
+              util::format_pps(inc.estimated_peak_pps(sampling)));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("%zu incidents from %zu windows (%llu unattributable records)\n",
+              incidents.size(), trace.windows().size(),
+              static_cast<unsigned long long>(trace.unclassified_records()));
+  return 0;
+}
+
+int cmd_top(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::uint32_t sampling = 0;
+  auto records = netflow::read_trace_file(args.positional[0], &sampling);
+  const auto space = cloud_space_from(args);
+  const auto count = static_cast<std::size_t>(option_number(args, "--count", 10));
+
+  std::map<std::uint32_t, std::uint64_t> vip_packets;
+  for (const auto& r : records) {
+    const auto dir = netflow::classify(r, space);
+    if (!dir) continue;
+    const netflow::OrientedFlow flow{&r, *dir};
+    vip_packets[flow.vip().value()] += r.packets;
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked;
+  for (const auto& [vip, pkts] : vip_packets) ranked.push_back({pkts, vip});
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+
+  util::TextTable table;
+  table.set_header({"vip", "sampled packets", "estimated packets"});
+  for (std::size_t i = 0; i < ranked.size() && i < count; ++i) {
+    table.row(netflow::IPv4(ranked[i].second).to_string(), ranked[i].first,
+              static_cast<std::uint64_t>(ranked[i].first) * sampling);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto records = netflow::read_trace_file(args.positional[0]);
+  std::ofstream out(args.positional[1]);
+  if (!out) throw dm::FormatError("cannot open " + args.positional[1]);
+  netflow::write_csv(out, records);
+  std::printf("exported %zu records to %s\n", records.size(),
+              args.positional[1].c_str());
+  return 0;
+}
+
+int cmd_import(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::ifstream in(args.positional[0]);
+  if (!in) throw dm::FormatError("cannot open " + args.positional[0]);
+  const auto records = netflow::read_csv(in);
+  const auto sampling =
+      static_cast<std::uint32_t>(option_number(args, "--sampling", 4096));
+  netflow::write_trace_file(args.positional[1], records, sampling);
+  std::printf("imported %zu records to %s (1:%u)\n", records.size(),
+              args.positional[1].c_str(), sampling);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "top") return cmd_top(args);
+    if (command == "export") return cmd_export(args);
+    if (command == "import") return cmd_import(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dmnf: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
