@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timeouts.dir/bench_ablation_timeouts.cpp.o"
+  "CMakeFiles/bench_ablation_timeouts.dir/bench_ablation_timeouts.cpp.o.d"
+  "bench_ablation_timeouts"
+  "bench_ablation_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_inbound_as.dir/bench_fig11_inbound_as.cpp.o"
+  "CMakeFiles/bench_fig11_inbound_as.dir/bench_fig11_inbound_as.cpp.o.d"
+  "bench_fig11_inbound_as"
+  "bench_fig11_inbound_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_inbound_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bigcloud_mobile.dir/bench_fig12_bigcloud_mobile.cpp.o"
+  "CMakeFiles/bench_fig12_bigcloud_mobile.dir/bench_fig12_bigcloud_mobile.cpp.o.d"
+  "bench_fig12_bigcloud_mobile"
+  "bench_fig12_bigcloud_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bigcloud_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dns_spam_origin.dir/bench_fig13_dns_spam_origin.cpp.o"
+  "CMakeFiles/bench_fig13_dns_spam_origin.dir/bench_fig13_dns_spam_origin.cpp.o.d"
+  "bench_fig13_dns_spam_origin"
+  "bench_fig13_dns_spam_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dns_spam_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

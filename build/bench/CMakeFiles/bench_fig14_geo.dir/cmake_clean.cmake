@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_geo.dir/bench_fig14_geo.cpp.o"
+  "CMakeFiles/bench_fig14_geo.dir/bench_fig14_geo.cpp.o.d"
+  "bench_fig14_geo"
+  "bench_fig14_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

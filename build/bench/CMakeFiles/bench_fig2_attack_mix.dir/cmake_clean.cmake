@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_attack_mix.dir/bench_fig2_attack_mix.cpp.o"
+  "CMakeFiles/bench_fig2_attack_mix.dir/bench_fig2_attack_mix.cpp.o.d"
+  "bench_fig2_attack_mix"
+  "bench_fig2_attack_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_attack_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

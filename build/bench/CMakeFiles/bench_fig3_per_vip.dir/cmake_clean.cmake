@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_per_vip.dir/bench_fig3_per_vip.cpp.o"
+  "CMakeFiles/bench_fig3_per_vip.dir/bench_fig3_per_vip.cpp.o.d"
+  "bench_fig3_per_vip"
+  "bench_fig3_per_vip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_per_vip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

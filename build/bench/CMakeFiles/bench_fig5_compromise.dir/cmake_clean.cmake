@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_compromise.dir/bench_fig5_compromise.cpp.o"
+  "CMakeFiles/bench_fig5_compromise.dir/bench_fig5_compromise.cpp.o.d"
+  "bench_fig5_compromise"
+  "bench_fig5_compromise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_compromise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multi_vip.dir/bench_fig6_multi_vip.cpp.o"
+  "CMakeFiles/bench_fig6_multi_vip.dir/bench_fig6_multi_vip.cpp.o.d"
+  "bench_fig6_multi_vip"
+  "bench_fig6_multi_vip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multi_vip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

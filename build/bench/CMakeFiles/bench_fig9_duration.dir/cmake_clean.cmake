@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_duration.dir/bench_fig9_duration.cpp.o"
+  "CMakeFiles/bench_fig9_duration.dir/bench_fig9_duration.cpp.o.d"
+  "bench_fig9_duration"
+  "bench_fig9_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

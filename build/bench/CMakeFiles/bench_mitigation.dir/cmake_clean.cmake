@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mitigation.dir/bench_mitigation.cpp.o"
+  "CMakeFiles/bench_mitigation.dir/bench_mitigation.cpp.o.d"
+  "bench_mitigation"
+  "bench_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

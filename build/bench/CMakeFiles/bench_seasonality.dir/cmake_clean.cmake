@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seasonality.dir/bench_seasonality.cpp.o"
+  "CMakeFiles/bench_seasonality.dir/bench_seasonality.cpp.o.d"
+  "bench_seasonality"
+  "bench_seasonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seasonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

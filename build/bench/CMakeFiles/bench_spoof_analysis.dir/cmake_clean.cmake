@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spoof_analysis.dir/bench_spoof_analysis.cpp.o"
+  "CMakeFiles/bench_spoof_analysis.dir/bench_spoof_analysis.cpp.o.d"
+  "bench_spoof_analysis"
+  "bench_spoof_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spoof_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_timeouts.dir/bench_table1_timeouts.cpp.o"
+  "CMakeFiles/bench_table1_timeouts.dir/bench_table1_timeouts.cpp.o.d"
+  "bench_table1_timeouts"
+  "bench_table1_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_validation.cpp" "bench/CMakeFiles/bench_table2_validation.dir/bench_table2_validation.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_validation.dir/bench_table2_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigate/CMakeFiles/dm_mitigate.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dm_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/dm_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

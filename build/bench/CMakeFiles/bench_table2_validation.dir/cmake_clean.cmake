@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_validation.dir/bench_table2_validation.cpp.o"
+  "CMakeFiles/bench_table2_validation.dir/bench_table2_validation.cpp.o.d"
+  "bench_table2_validation"
+  "bench_table2_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

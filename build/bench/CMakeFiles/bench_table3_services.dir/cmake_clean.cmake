@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_services.dir/bench_table3_services.cpp.o"
+  "CMakeFiles/bench_table3_services.dir/bench_table3_services.cpp.o.d"
+  "bench_table3_services"
+  "bench_table3_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

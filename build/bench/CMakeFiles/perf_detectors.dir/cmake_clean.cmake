@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_detectors.dir/perf_detectors.cpp.o"
+  "CMakeFiles/perf_detectors.dir/perf_detectors.cpp.o.d"
+  "perf_detectors"
+  "perf_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

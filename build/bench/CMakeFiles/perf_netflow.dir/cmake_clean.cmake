@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_netflow.dir/perf_netflow.cpp.o"
+  "CMakeFiles/perf_netflow.dir/perf_netflow.cpp.o.d"
+  "perf_netflow"
+  "perf_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_forensics.dir/as_forensics.cpp.o"
+  "CMakeFiles/as_forensics.dir/as_forensics.cpp.o.d"
+  "as_forensics"
+  "as_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

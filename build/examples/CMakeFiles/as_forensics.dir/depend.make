@@ -1,0 +1,2 @@
+# Empty dependencies file for as_forensics.
+# This may be replaced when dependencies are built.

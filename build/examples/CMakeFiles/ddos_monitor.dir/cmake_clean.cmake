@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_monitor.dir/ddos_monitor.cpp.o"
+  "CMakeFiles/ddos_monitor.dir/ddos_monitor.cpp.o.d"
+  "ddos_monitor"
+  "ddos_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

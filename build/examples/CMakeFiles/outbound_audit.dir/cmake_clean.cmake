@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outbound_audit.dir/outbound_audit.cpp.o"
+  "CMakeFiles/outbound_audit.dir/outbound_audit.cpp.o.d"
+  "outbound_audit"
+  "outbound_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outbound_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

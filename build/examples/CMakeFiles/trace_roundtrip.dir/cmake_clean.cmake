@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_roundtrip.dir/trace_roundtrip.cpp.o"
+  "CMakeFiles/trace_roundtrip.dir/trace_roundtrip.cpp.o.d"
+  "trace_roundtrip"
+  "trace_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

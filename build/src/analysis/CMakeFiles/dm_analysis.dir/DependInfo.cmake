@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/active_time.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/active_time.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/active_time.cpp.o.d"
+  "/root/repo/src/analysis/as_analysis.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/as_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/as_analysis.cpp.o.d"
+  "/root/repo/src/analysis/attribution.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/attribution.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/attribution.cpp.o.d"
+  "/root/repo/src/analysis/overview.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/overview.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/overview.cpp.o.d"
+  "/root/repo/src/analysis/service_mix.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/service_mix.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/service_mix.cpp.o.d"
+  "/root/repo/src/analysis/signature.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/signature.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/signature.cpp.o.d"
+  "/root/repo/src/analysis/spoof_analysis.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/spoof_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/spoof_analysis.cpp.o.d"
+  "/root/repo/src/analysis/throughput.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/throughput.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/throughput.cpp.o.d"
+  "/root/repo/src/analysis/timing.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/timing.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/timing.cpp.o.d"
+  "/root/repo/src/analysis/validation.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/validation.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/validation.cpp.o.d"
+  "/root/repo/src/analysis/vip_frequency.cpp" "src/analysis/CMakeFiles/dm_analysis.dir/vip_frequency.cpp.o" "gcc" "src/analysis/CMakeFiles/dm_analysis.dir/vip_frequency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/dm_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/dm_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

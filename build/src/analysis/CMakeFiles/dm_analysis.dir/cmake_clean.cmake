@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_analysis.dir/active_time.cpp.o"
+  "CMakeFiles/dm_analysis.dir/active_time.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/as_analysis.cpp.o"
+  "CMakeFiles/dm_analysis.dir/as_analysis.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/attribution.cpp.o"
+  "CMakeFiles/dm_analysis.dir/attribution.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/overview.cpp.o"
+  "CMakeFiles/dm_analysis.dir/overview.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/service_mix.cpp.o"
+  "CMakeFiles/dm_analysis.dir/service_mix.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/signature.cpp.o"
+  "CMakeFiles/dm_analysis.dir/signature.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/spoof_analysis.cpp.o"
+  "CMakeFiles/dm_analysis.dir/spoof_analysis.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/throughput.cpp.o"
+  "CMakeFiles/dm_analysis.dir/throughput.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/timing.cpp.o"
+  "CMakeFiles/dm_analysis.dir/timing.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/validation.cpp.o"
+  "CMakeFiles/dm_analysis.dir/validation.cpp.o.d"
+  "CMakeFiles/dm_analysis.dir/vip_frequency.cpp.o"
+  "CMakeFiles/dm_analysis.dir/vip_frequency.cpp.o.d"
+  "libdm_analysis.a"
+  "libdm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/as_registry.cpp" "src/cloud/CMakeFiles/dm_cloud.dir/as_registry.cpp.o" "gcc" "src/cloud/CMakeFiles/dm_cloud.dir/as_registry.cpp.o.d"
+  "/root/repo/src/cloud/service.cpp" "src/cloud/CMakeFiles/dm_cloud.dir/service.cpp.o" "gcc" "src/cloud/CMakeFiles/dm_cloud.dir/service.cpp.o.d"
+  "/root/repo/src/cloud/tds_blacklist.cpp" "src/cloud/CMakeFiles/dm_cloud.dir/tds_blacklist.cpp.o" "gcc" "src/cloud/CMakeFiles/dm_cloud.dir/tds_blacklist.cpp.o.d"
+  "/root/repo/src/cloud/vip_registry.cpp" "src/cloud/CMakeFiles/dm_cloud.dir/vip_registry.cpp.o" "gcc" "src/cloud/CMakeFiles/dm_cloud.dir/vip_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netflow/CMakeFiles/dm_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_cloud.dir/as_registry.cpp.o"
+  "CMakeFiles/dm_cloud.dir/as_registry.cpp.o.d"
+  "CMakeFiles/dm_cloud.dir/service.cpp.o"
+  "CMakeFiles/dm_cloud.dir/service.cpp.o.d"
+  "CMakeFiles/dm_cloud.dir/tds_blacklist.cpp.o"
+  "CMakeFiles/dm_cloud.dir/tds_blacklist.cpp.o.d"
+  "CMakeFiles/dm_cloud.dir/vip_registry.cpp.o"
+  "CMakeFiles/dm_cloud.dir/vip_registry.cpp.o.d"
+  "libdm_cloud.a"
+  "libdm_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

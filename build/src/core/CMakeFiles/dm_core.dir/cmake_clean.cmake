@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_core.dir/report.cpp.o"
+  "CMakeFiles/dm_core.dir/report.cpp.o.d"
+  "CMakeFiles/dm_core.dir/study.cpp.o"
+  "CMakeFiles/dm_core.dir/study.cpp.o.d"
+  "libdm_core.a"
+  "libdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

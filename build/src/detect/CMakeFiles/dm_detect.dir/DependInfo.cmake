@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/correlator.cpp" "src/detect/CMakeFiles/dm_detect.dir/correlator.cpp.o" "gcc" "src/detect/CMakeFiles/dm_detect.dir/correlator.cpp.o.d"
+  "/root/repo/src/detect/detectors.cpp" "src/detect/CMakeFiles/dm_detect.dir/detectors.cpp.o" "gcc" "src/detect/CMakeFiles/dm_detect.dir/detectors.cpp.o.d"
+  "/root/repo/src/detect/incident.cpp" "src/detect/CMakeFiles/dm_detect.dir/incident.cpp.o" "gcc" "src/detect/CMakeFiles/dm_detect.dir/incident.cpp.o.d"
+  "/root/repo/src/detect/pipeline.cpp" "src/detect/CMakeFiles/dm_detect.dir/pipeline.cpp.o" "gcc" "src/detect/CMakeFiles/dm_detect.dir/pipeline.cpp.o.d"
+  "/root/repo/src/detect/stream.cpp" "src/detect/CMakeFiles/dm_detect.dir/stream.cpp.o" "gcc" "src/detect/CMakeFiles/dm_detect.dir/stream.cpp.o.d"
+  "/root/repo/src/detect/timeout_selector.cpp" "src/detect/CMakeFiles/dm_detect.dir/timeout_selector.cpp.o" "gcc" "src/detect/CMakeFiles/dm_detect.dir/timeout_selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netflow/CMakeFiles/dm_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dm_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_detect.dir/correlator.cpp.o"
+  "CMakeFiles/dm_detect.dir/correlator.cpp.o.d"
+  "CMakeFiles/dm_detect.dir/detectors.cpp.o"
+  "CMakeFiles/dm_detect.dir/detectors.cpp.o.d"
+  "CMakeFiles/dm_detect.dir/incident.cpp.o"
+  "CMakeFiles/dm_detect.dir/incident.cpp.o.d"
+  "CMakeFiles/dm_detect.dir/pipeline.cpp.o"
+  "CMakeFiles/dm_detect.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dm_detect.dir/stream.cpp.o"
+  "CMakeFiles/dm_detect.dir/stream.cpp.o.d"
+  "CMakeFiles/dm_detect.dir/timeout_selector.cpp.o"
+  "CMakeFiles/dm_detect.dir/timeout_selector.cpp.o.d"
+  "libdm_detect.a"
+  "libdm_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdm_detect.a"
+)

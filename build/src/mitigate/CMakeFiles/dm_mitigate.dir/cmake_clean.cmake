@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_mitigate.dir/engine.cpp.o"
+  "CMakeFiles/dm_mitigate.dir/engine.cpp.o.d"
+  "CMakeFiles/dm_mitigate.dir/provisioning.cpp.o"
+  "CMakeFiles/dm_mitigate.dir/provisioning.cpp.o.d"
+  "libdm_mitigate.a"
+  "libdm_mitigate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_mitigate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dm_mitigate.
+# This may be replaced when dependencies are built.

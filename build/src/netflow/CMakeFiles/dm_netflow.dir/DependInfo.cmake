@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netflow/csv.cpp" "src/netflow/CMakeFiles/dm_netflow.dir/csv.cpp.o" "gcc" "src/netflow/CMakeFiles/dm_netflow.dir/csv.cpp.o.d"
+  "/root/repo/src/netflow/flow_record.cpp" "src/netflow/CMakeFiles/dm_netflow.dir/flow_record.cpp.o" "gcc" "src/netflow/CMakeFiles/dm_netflow.dir/flow_record.cpp.o.d"
+  "/root/repo/src/netflow/ipv4.cpp" "src/netflow/CMakeFiles/dm_netflow.dir/ipv4.cpp.o" "gcc" "src/netflow/CMakeFiles/dm_netflow.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netflow/sampler.cpp" "src/netflow/CMakeFiles/dm_netflow.dir/sampler.cpp.o" "gcc" "src/netflow/CMakeFiles/dm_netflow.dir/sampler.cpp.o.d"
+  "/root/repo/src/netflow/tcp_flags.cpp" "src/netflow/CMakeFiles/dm_netflow.dir/tcp_flags.cpp.o" "gcc" "src/netflow/CMakeFiles/dm_netflow.dir/tcp_flags.cpp.o.d"
+  "/root/repo/src/netflow/trace_io.cpp" "src/netflow/CMakeFiles/dm_netflow.dir/trace_io.cpp.o" "gcc" "src/netflow/CMakeFiles/dm_netflow.dir/trace_io.cpp.o.d"
+  "/root/repo/src/netflow/window_aggregator.cpp" "src/netflow/CMakeFiles/dm_netflow.dir/window_aggregator.cpp.o" "gcc" "src/netflow/CMakeFiles/dm_netflow.dir/window_aggregator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

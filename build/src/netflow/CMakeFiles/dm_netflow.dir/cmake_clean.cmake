@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_netflow.dir/csv.cpp.o"
+  "CMakeFiles/dm_netflow.dir/csv.cpp.o.d"
+  "CMakeFiles/dm_netflow.dir/flow_record.cpp.o"
+  "CMakeFiles/dm_netflow.dir/flow_record.cpp.o.d"
+  "CMakeFiles/dm_netflow.dir/ipv4.cpp.o"
+  "CMakeFiles/dm_netflow.dir/ipv4.cpp.o.d"
+  "CMakeFiles/dm_netflow.dir/sampler.cpp.o"
+  "CMakeFiles/dm_netflow.dir/sampler.cpp.o.d"
+  "CMakeFiles/dm_netflow.dir/tcp_flags.cpp.o"
+  "CMakeFiles/dm_netflow.dir/tcp_flags.cpp.o.d"
+  "CMakeFiles/dm_netflow.dir/trace_io.cpp.o"
+  "CMakeFiles/dm_netflow.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dm_netflow.dir/window_aggregator.cpp.o"
+  "CMakeFiles/dm_netflow.dir/window_aggregator.cpp.o.d"
+  "libdm_netflow.a"
+  "libdm_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

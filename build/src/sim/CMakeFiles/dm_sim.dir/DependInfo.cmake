@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attack_traffic.cpp" "src/sim/CMakeFiles/dm_sim.dir/attack_traffic.cpp.o" "gcc" "src/sim/CMakeFiles/dm_sim.dir/attack_traffic.cpp.o.d"
+  "/root/repo/src/sim/benign_model.cpp" "src/sim/CMakeFiles/dm_sim.dir/benign_model.cpp.o" "gcc" "src/sim/CMakeFiles/dm_sim.dir/benign_model.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/dm_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/dm_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/dm_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/dm_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace_generator.cpp" "src/sim/CMakeFiles/dm_sim.dir/trace_generator.cpp.o" "gcc" "src/sim/CMakeFiles/dm_sim.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/dm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/dm_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

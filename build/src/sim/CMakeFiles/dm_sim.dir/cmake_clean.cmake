@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_sim.dir/attack_traffic.cpp.o"
+  "CMakeFiles/dm_sim.dir/attack_traffic.cpp.o.d"
+  "CMakeFiles/dm_sim.dir/benign_model.cpp.o"
+  "CMakeFiles/dm_sim.dir/benign_model.cpp.o.d"
+  "CMakeFiles/dm_sim.dir/scenario.cpp.o"
+  "CMakeFiles/dm_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/dm_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/dm_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dm_sim.dir/trace_generator.cpp.o"
+  "CMakeFiles/dm_sim.dir/trace_generator.cpp.o.d"
+  "libdm_sim.a"
+  "libdm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

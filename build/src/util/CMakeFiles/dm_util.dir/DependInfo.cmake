@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/anderson_darling.cpp" "src/util/CMakeFiles/dm_util.dir/anderson_darling.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/anderson_darling.cpp.o.d"
+  "/root/repo/src/util/cdf.cpp" "src/util/CMakeFiles/dm_util.dir/cdf.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/cdf.cpp.o.d"
+  "/root/repo/src/util/ewma.cpp" "src/util/CMakeFiles/dm_util.dir/ewma.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/ewma.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/dm_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/regression.cpp" "src/util/CMakeFiles/dm_util.dir/regression.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/regression.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/dm_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/dm_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/dm_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/util/CMakeFiles/dm_util.dir/time.cpp.o" "gcc" "src/util/CMakeFiles/dm_util.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_util.dir/anderson_darling.cpp.o"
+  "CMakeFiles/dm_util.dir/anderson_darling.cpp.o.d"
+  "CMakeFiles/dm_util.dir/cdf.cpp.o"
+  "CMakeFiles/dm_util.dir/cdf.cpp.o.d"
+  "CMakeFiles/dm_util.dir/ewma.cpp.o"
+  "CMakeFiles/dm_util.dir/ewma.cpp.o.d"
+  "CMakeFiles/dm_util.dir/histogram.cpp.o"
+  "CMakeFiles/dm_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/dm_util.dir/regression.cpp.o"
+  "CMakeFiles/dm_util.dir/regression.cpp.o.d"
+  "CMakeFiles/dm_util.dir/rng.cpp.o"
+  "CMakeFiles/dm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dm_util.dir/stats.cpp.o"
+  "CMakeFiles/dm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dm_util.dir/table.cpp.o"
+  "CMakeFiles/dm_util.dir/table.cpp.o.d"
+  "CMakeFiles/dm_util.dir/time.cpp.o"
+  "CMakeFiles/dm_util.dir/time.cpp.o.d"
+  "libdm_util.a"
+  "libdm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

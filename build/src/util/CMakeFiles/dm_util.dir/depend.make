@@ -1,0 +1,2 @@
+# Empty dependencies file for dm_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/active_time_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/active_time_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/active_time_test.cpp.o.d"
+  "/root/repo/tests/analysis/analysis_integration_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/analysis_integration_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/analysis_integration_test.cpp.o.d"
+  "/root/repo/tests/analysis/attribution_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/attribution_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/attribution_test.cpp.o.d"
+  "/root/repo/tests/analysis/overview_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/overview_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/overview_test.cpp.o.d"
+  "/root/repo/tests/analysis/signature_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/signature_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/signature_test.cpp.o.d"
+  "/root/repo/tests/analysis/throughput_timing_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/throughput_timing_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/throughput_timing_test.cpp.o.d"
+  "/root/repo/tests/analysis/validation_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/validation_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/validation_test.cpp.o.d"
+  "/root/repo/tests/analysis/vip_frequency_test.cpp" "tests/CMakeFiles/dm_tests.dir/analysis/vip_frequency_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/analysis/vip_frequency_test.cpp.o.d"
+  "/root/repo/tests/cloud/as_registry_test.cpp" "tests/CMakeFiles/dm_tests.dir/cloud/as_registry_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/cloud/as_registry_test.cpp.o.d"
+  "/root/repo/tests/cloud/service_test.cpp" "tests/CMakeFiles/dm_tests.dir/cloud/service_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/cloud/service_test.cpp.o.d"
+  "/root/repo/tests/cloud/tds_blacklist_test.cpp" "tests/CMakeFiles/dm_tests.dir/cloud/tds_blacklist_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/cloud/tds_blacklist_test.cpp.o.d"
+  "/root/repo/tests/cloud/vip_registry_test.cpp" "tests/CMakeFiles/dm_tests.dir/cloud/vip_registry_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/cloud/vip_registry_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/dm_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/detect/correlator_test.cpp" "tests/CMakeFiles/dm_tests.dir/detect/correlator_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/detect/correlator_test.cpp.o.d"
+  "/root/repo/tests/detect/detectors_test.cpp" "tests/CMakeFiles/dm_tests.dir/detect/detectors_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/detect/detectors_test.cpp.o.d"
+  "/root/repo/tests/detect/incident_test.cpp" "tests/CMakeFiles/dm_tests.dir/detect/incident_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/detect/incident_test.cpp.o.d"
+  "/root/repo/tests/detect/pipeline_test.cpp" "tests/CMakeFiles/dm_tests.dir/detect/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/detect/pipeline_test.cpp.o.d"
+  "/root/repo/tests/detect/stream_test.cpp" "tests/CMakeFiles/dm_tests.dir/detect/stream_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/detect/stream_test.cpp.o.d"
+  "/root/repo/tests/detect/timeout_selector_test.cpp" "tests/CMakeFiles/dm_tests.dir/detect/timeout_selector_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/detect/timeout_selector_test.cpp.o.d"
+  "/root/repo/tests/integration/per_type_coverage_test.cpp" "tests/CMakeFiles/dm_tests.dir/integration/per_type_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/integration/per_type_coverage_test.cpp.o.d"
+  "/root/repo/tests/integration/sampling_invariance_test.cpp" "tests/CMakeFiles/dm_tests.dir/integration/sampling_invariance_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/integration/sampling_invariance_test.cpp.o.d"
+  "/root/repo/tests/integration/study_config_test.cpp" "tests/CMakeFiles/dm_tests.dir/integration/study_config_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/integration/study_config_test.cpp.o.d"
+  "/root/repo/tests/integration/study_smoke_test.cpp" "tests/CMakeFiles/dm_tests.dir/integration/study_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/integration/study_smoke_test.cpp.o.d"
+  "/root/repo/tests/mitigate/engine_test.cpp" "tests/CMakeFiles/dm_tests.dir/mitigate/engine_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/mitigate/engine_test.cpp.o.d"
+  "/root/repo/tests/mitigate/mitigation_integration_test.cpp" "tests/CMakeFiles/dm_tests.dir/mitigate/mitigation_integration_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/mitigate/mitigation_integration_test.cpp.o.d"
+  "/root/repo/tests/mitigate/provisioning_test.cpp" "tests/CMakeFiles/dm_tests.dir/mitigate/provisioning_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/mitigate/provisioning_test.cpp.o.d"
+  "/root/repo/tests/netflow/csv_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/csv_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/csv_test.cpp.o.d"
+  "/root/repo/tests/netflow/flow_record_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/flow_record_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/flow_record_test.cpp.o.d"
+  "/root/repo/tests/netflow/ipv4_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/ipv4_test.cpp.o.d"
+  "/root/repo/tests/netflow/robustness_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/robustness_test.cpp.o.d"
+  "/root/repo/tests/netflow/sampler_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/sampler_test.cpp.o.d"
+  "/root/repo/tests/netflow/tcp_flags_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/tcp_flags_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/tcp_flags_test.cpp.o.d"
+  "/root/repo/tests/netflow/trace_io_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/trace_io_test.cpp.o.d"
+  "/root/repo/tests/netflow/window_aggregator_test.cpp" "tests/CMakeFiles/dm_tests.dir/netflow/window_aggregator_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/netflow/window_aggregator_test.cpp.o.d"
+  "/root/repo/tests/sim/attack_traffic_test.cpp" "tests/CMakeFiles/dm_tests.dir/sim/attack_traffic_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/sim/attack_traffic_test.cpp.o.d"
+  "/root/repo/tests/sim/benign_model_test.cpp" "tests/CMakeFiles/dm_tests.dir/sim/benign_model_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/sim/benign_model_test.cpp.o.d"
+  "/root/repo/tests/sim/episode_test.cpp" "tests/CMakeFiles/dm_tests.dir/sim/episode_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/sim/episode_test.cpp.o.d"
+  "/root/repo/tests/sim/scheduler_test.cpp" "tests/CMakeFiles/dm_tests.dir/sim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/sim/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim/seasonality_test.cpp" "tests/CMakeFiles/dm_tests.dir/sim/seasonality_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/sim/seasonality_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_generator_test.cpp" "tests/CMakeFiles/dm_tests.dir/sim/trace_generator_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/sim/trace_generator_test.cpp.o.d"
+  "/root/repo/tests/util/anderson_darling_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/anderson_darling_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/anderson_darling_test.cpp.o.d"
+  "/root/repo/tests/util/cdf_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/cdf_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/cdf_test.cpp.o.d"
+  "/root/repo/tests/util/ewma_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/ewma_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/ewma_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/regression_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/regression_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/regression_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/time_test.cpp" "tests/CMakeFiles/dm_tests.dir/util/time_test.cpp.o" "gcc" "tests/CMakeFiles/dm_tests.dir/util/time_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigate/CMakeFiles/dm_mitigate.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dm_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dm_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/dm_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmnf.dir/dmnf.cpp.o"
+  "CMakeFiles/dmnf.dir/dmnf.cpp.o.d"
+  "dmnf"
+  "dmnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
