@@ -4,6 +4,8 @@
 // paper-scale study. Scale is configurable through environment variables so
 // CI can run a reduced configuration:
 //   DM_DAYS, DM_VIPS, DM_SEED — override ScenarioConfig::paper_scale().
+//   DM_THREADS — pipeline thread count (0/unset = all hardware threads,
+//   1 = serial); the study output is byte-identical for every value.
 #pragma once
 
 #include <cstdio>
@@ -23,6 +25,10 @@ inline sim::ScenarioConfig scaled_config() {
   }
   if (const char* seed = std::getenv("DM_SEED")) {
     config.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  if (const char* threads = std::getenv("DM_THREADS")) {
+    const int t = std::atoi(threads);
+    config.thread_count = t > 0 ? static_cast<unsigned>(t) : 0;
   }
   return config;
 }

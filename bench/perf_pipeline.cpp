@@ -1,9 +1,14 @@
 // google-benchmark microbenchmarks of the end-to-end pipeline stages:
-// trace generation, window aggregation, and detection.
+// trace generation, window aggregation, and detection — each parameterized
+// by thread count, so a run prints a threads-vs-throughput scaling table
+// per stage plus end-to-end (the BM_*/N rows; items/s is the throughput
+// column). Output is byte-identical across thread counts by construction,
+// so the rows measure the same work.
 #include <benchmark/benchmark.h>
 
 #include "core/study.h"
 #include "detect/pipeline.h"
+#include "exec/thread_pool.h"
 #include "netflow/window_aggregator.h"
 #include "sim/trace_generator.h"
 
@@ -40,40 +45,67 @@ const netflow::WindowedTrace& perf_windows() {
 }
 
 void BM_GenerateTrace(benchmark::State& state) {
+  exec::ThreadPool pool(
+      exec::workers_for(static_cast<unsigned>(state.range(0))));
   for (auto _ : state) {
-    const auto result = sim::generate_trace(perf_scenario());
+    const auto result = sim::generate_trace(perf_scenario(), &pool);
     benchmark::DoNotOptimize(result.records.data());
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(result.records.size()));
   }
 }
-BENCHMARK(BM_GenerateTrace)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GenerateTrace)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_AggregateWindows(benchmark::State& state) {
+  exec::ThreadPool pool(
+      exec::workers_for(static_cast<unsigned>(state.range(0))));
   for (auto _ : state) {
     auto records = perf_trace().records;  // the copy is part of the workload
     const auto windows = netflow::aggregate_windows(
         std::move(records), perf_scenario().vips().cloud_space(),
-        &perf_scenario().tds().as_prefix_set());
+        &perf_scenario().tds().as_prefix_set(), &pool);
     benchmark::DoNotOptimize(windows.windows().data());
     state.SetItemsProcessed(
         state.items_processed() +
         static_cast<std::int64_t>(perf_trace().records.size()));
   }
 }
-BENCHMARK(BM_AggregateWindows)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AggregateWindows)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_DetectMinutes(benchmark::State& state) {
+  exec::ThreadPool pool(
+      exec::workers_for(static_cast<unsigned>(state.range(0))));
   const detect::DetectionPipeline pipeline;
   for (auto _ : state) {
-    const auto minutes = pipeline.detect_minutes(perf_windows());
+    const auto minutes = pipeline.detect_minutes(perf_windows(), &pool);
     benchmark::DoNotOptimize(minutes.data());
     state.SetItemsProcessed(
         state.items_processed() +
         static_cast<std::int64_t>(perf_windows().windows().size()));
   }
 }
-BENCHMARK(BM_DetectMinutes)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetectMinutes)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_FullDetection(benchmark::State& state) {
   const detect::DetectionPipeline pipeline;
@@ -83,6 +115,49 @@ void BM_FullDetection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullDetection)->Unit(benchmark::kMillisecond);
+
+/// End-to-end Study (generate + aggregate + detect) at bench scale; the
+/// threads-vs-wall-time rows are the headline scaling table.
+void BM_StudyEndToEnd(benchmark::State& state) {
+  auto config = perf_config();
+  config.thread_count = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const core::Study study(config);
+    benchmark::DoNotOptimize(study.detection().incidents.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(study.record_count()));
+  }
+}
+BENCHMARK(BM_StudyEndToEnd)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Same scaling table at the paper-scale scenario (1.5k VIPs, 7 days) —
+/// slow; run explicitly with --benchmark_filter=PaperScale.
+void BM_StudyPaperScale(benchmark::State& state) {
+  auto config = sim::ScenarioConfig::paper_scale();
+  config.thread_count = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const core::Study study(config);
+    benchmark::DoNotOptimize(study.detection().incidents.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(study.record_count()));
+  }
+}
+BENCHMARK(BM_StudyPaperScale)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
 
 }  // namespace
 

@@ -1,18 +1,23 @@
 #include "core/study.h"
 
+#include "exec/thread_pool.h"
+
 namespace dm::core {
 
 Study::Study(sim::ScenarioConfig config, detect::DetectionConfig detection,
              detect::TimeoutTable timeouts)
     : scenario_(std::move(config)) {
-  sim::TraceResult result = sim::generate_trace(scenario_);
+  // One pool for all three sharded stages; every stage merges its shards in
+  // shard-index order, so the study is byte-identical for any thread_count.
+  exec::ThreadPool pool(exec::workers_for(scenario_.config().thread_count));
+  sim::TraceResult result = sim::generate_trace(scenario_, &pool);
   truth_ = std::move(result.truth);
   record_count_ = result.records.size();
   windowed_ = netflow::aggregate_windows(std::move(result.records),
                                          scenario_.vips().cloud_space(),
-                                         &scenario_.tds().as_prefix_set());
+                                         &scenario_.tds().as_prefix_set(), &pool);
   const detect::DetectionPipeline pipeline(detection, timeouts);
-  detection_ = pipeline.run(windowed_);
+  detection_ = pipeline.run(windowed_, &pool);
 }
 
 }  // namespace dm::core

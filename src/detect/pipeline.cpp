@@ -1,40 +1,55 @@
 #include "detect/pipeline.h"
 
+#include "exec/parallel.h"
+
 namespace dm::detect {
 
 using netflow::VipMinuteStats;
 using netflow::WindowedTrace;
 
 std::vector<MinuteDetection> DetectionPipeline::detect_minutes(
-    const WindowedTrace& trace) const {
-  std::vector<MinuteDetection> out;
+    const WindowedTrace& trace, exec::ThreadPool* pool) const {
   const auto windows = trace.windows();
 
-  std::size_t i = 0;
-  while (i < windows.size()) {
-    // One contiguous (vip, direction) series.
-    const netflow::IPv4 vip = windows[i].vip;
-    const netflow::Direction dir = windows[i].direction;
-    SeriesDetector detector(config_);
-    for (; i < windows.size() && windows[i].vip == vip &&
-           windows[i].direction == dir;
-         ++i) {
-      const VipMinuteStats& w = windows[i];
-      const auto verdicts = detector.observe(w);
-      for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
-        if (!verdicts[t].attack) continue;
-        out.push_back(MinuteDetection{
-            vip, dir, sim::kAllAttackTypes[t], w.minute,
-            verdicts[t].sampled_packets, verdicts[t].unique_remotes});
-      }
+  // Series boundaries: one contiguous (vip, direction) slice per series.
+  // Detector state never crosses a boundary, so series shard freely; shard
+  // results concatenate in series order, matching the serial scan.
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i == 0 || windows[i].vip != windows[i - 1].vip ||
+        windows[i].direction != windows[i - 1].direction) {
+      starts.push_back(i);
     }
   }
-  return out;
+  starts.push_back(windows.size());
+  const std::size_t series_count = starts.empty() ? 0 : starts.size() - 1;
+
+  using DetectionVec = std::vector<MinuteDetection>;
+  std::vector<DetectionVec> shards = exec::parallel_map_chunks<DetectionVec>(
+      pool, series_count, [&](std::size_t lo, std::size_t hi) {
+        DetectionVec out;
+        for (std::size_t s = lo; s < hi; ++s) {
+          SeriesDetector detector(config_);
+          for (std::size_t i = starts[s]; i < starts[s + 1]; ++i) {
+            const VipMinuteStats& w = windows[i];
+            const auto verdicts = detector.observe(w);
+            for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+              if (!verdicts[t].attack) continue;
+              out.push_back(MinuteDetection{
+                  w.vip, w.direction, sim::kAllAttackTypes[t], w.minute,
+                  verdicts[t].sampled_packets, verdicts[t].unique_remotes});
+            }
+          }
+        }
+        return out;
+      });
+  return exec::concat(std::move(shards));
 }
 
-DetectionResult DetectionPipeline::run(const WindowedTrace& trace) const {
+DetectionResult DetectionPipeline::run(const WindowedTrace& trace,
+                                       exec::ThreadPool* pool) const {
   DetectionResult result;
-  result.minutes = detect_minutes(trace);
+  result.minutes = detect_minutes(trace, pool);
   result.incidents = build_incidents(result.minutes, timeouts_);
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "detect/detectors.h"
 #include "detect/incident.h"
+#include "exec/thread_pool.h"
 #include "netflow/window_aggregator.h"
 
 namespace dm::detect {
@@ -28,11 +29,16 @@ class DetectionPipeline {
   [[nodiscard]] const TimeoutTable& timeouts() const noexcept { return timeouts_; }
 
   /// Flags attack minutes without grouping (exposed for timeout selection).
+  /// `pool` (may be null = serial) shards the independent (VIP, direction)
+  /// series; shard results merge in series order, so the detection sequence
+  /// is identical for any thread count.
   [[nodiscard]] std::vector<MinuteDetection> detect_minutes(
-      const netflow::WindowedTrace& trace) const;
+      const netflow::WindowedTrace& trace,
+      exec::ThreadPool* pool = nullptr) const;
 
-  /// Full run: detect + group.
-  [[nodiscard]] DetectionResult run(const netflow::WindowedTrace& trace) const;
+  /// Full run: detect (sharded over `pool`) + group (serial).
+  [[nodiscard]] DetectionResult run(const netflow::WindowedTrace& trace,
+                                    exec::ThreadPool* pool = nullptr) const;
 
  private:
   DetectionConfig config_;

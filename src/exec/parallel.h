@@ -1,0 +1,180 @@
+// Deterministic data-parallel skeletons over ThreadPool.
+//
+// Every helper here follows the same contract: work is split into chunks
+// whose boundaries are a pure function of the item count, chunks may execute
+// in any order on any thread, and results are merged IN CHUNK INDEX ORDER.
+// Combined with order-invariant per-chunk computation (e.g. counter-based
+// RNG splits keyed on item index), that makes every pipeline stage's output
+// byte-identical for any thread count — the property the serial-equivalence
+// test harness locks down.
+//
+// All helpers accept `pool == nullptr` (or an inline pool) and then run
+// serially on the calling thread through the exact same code path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace dm::exec {
+
+/// How many chunks [0, n) is split into on `pool`. Oversubscribes ~4x the
+/// worker count so work-stealing can balance uneven shards.
+[[nodiscard]] inline std::size_t chunk_count_for(const ThreadPool* pool,
+                                                 std::size_t n) noexcept {
+  if (n == 0) return 0;
+  if (pool == nullptr || pool->thread_count() == 0) return 1;
+  const std::size_t want = static_cast<std::size_t>(pool->thread_count()) * 4;
+  return n < want ? n : want;
+}
+
+/// Runs body(begin, end, chunk_index) over a deterministic chunking of
+/// [0, n). Blocks until all chunks finished; rethrows the exception of the
+/// lowest-indexed failing chunk.
+template <typename Body>
+void parallel_for_chunks(ThreadPool* pool, std::size_t n, Body&& body) {
+  const std::size_t chunks = chunk_count_for(pool, n);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    body(std::size_t{0}, n, std::size_t{0});
+    return;
+  }
+  TaskGroup group(*pool);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    group.run([&body, begin, end, c] { body(begin, end, c); });
+  }
+  group.wait();
+}
+
+/// Runs body(i) for every i in [0, n), chunked as above.
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t n, Body&& body) {
+  parallel_for_chunks(pool, n,
+                      [&body](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
+/// Maps each chunk [begin, end) to one T; returns the chunk results in chunk
+/// index order. T must be default-constructible (the usual case: a vector
+/// the chunk fills).
+template <typename T, typename Map>
+[[nodiscard]] std::vector<T> parallel_map_chunks(ThreadPool* pool, std::size_t n,
+                                                 Map&& map) {
+  const std::size_t chunks = chunk_count_for(pool, n);
+  std::vector<T> results(chunks);
+  parallel_for_chunks(pool, n,
+                      [&](std::size_t begin, std::size_t end, std::size_t c) {
+                        results[c] = map(begin, end);
+                      });
+  return results;
+}
+
+/// Maps every index to one T; returns results in index order.
+template <typename T, typename Map>
+[[nodiscard]] std::vector<T> parallel_map(ThreadPool* pool, std::size_t n,
+                                          Map&& map) {
+  std::vector<T> results(n);
+  parallel_for(pool, n, [&](std::size_t i) { results[i] = map(i); });
+  return results;
+}
+
+/// Map-reduce with an ordered merge: map(i) -> T runs in parallel, then
+/// reduce(acc, T&&) folds the results serially in index order — so the
+/// reduction sees the same sequence no matter how many threads mapped.
+template <typename Acc, typename T, typename Map, typename Reduce>
+[[nodiscard]] Acc parallel_map_reduce(ThreadPool* pool, std::size_t n, Acc init,
+                                      Map&& map, Reduce&& reduce) {
+  std::vector<T> results = parallel_map<T>(pool, n, std::forward<Map>(map));
+  Acc acc = std::move(init);
+  for (T& r : results) acc = reduce(std::move(acc), std::move(r));
+  return acc;
+}
+
+/// Concatenates per-chunk vectors (in chunk order) into one vector — the
+/// ordered merge used by every record-emitting stage.
+template <typename T>
+[[nodiscard]] std::vector<T> concat(std::vector<std::vector<T>> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+  }
+  return out;
+}
+
+/// Sorts `v` by `less`. Chunks are sorted in parallel, then pairwise-merged;
+/// when `less` is a strict total order (no ties) the result is the unique
+/// sorted permutation, hence independent of the chunk count. Callers that
+/// need byte-stable output must therefore break ties (e.g. by original
+/// index) inside `less`.
+template <typename T, typename Less>
+void parallel_sort(ThreadPool* pool, std::vector<T>& v, Less less) {
+  const std::size_t n = v.size();
+  std::size_t chunks = chunk_count_for(pool, n);
+  if (chunks <= 1) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = c * n / chunks;
+  parallel_for_chunks(pool, chunks,
+                      [&](std::size_t cb, std::size_t ce, std::size_t) {
+                        for (std::size_t c = cb; c < ce; ++c) {
+                          std::sort(v.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
+                                    v.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]),
+                                    less);
+                        }
+                      });
+
+  // Merge tree: each round merges adjacent run pairs src -> dst in parallel.
+  std::vector<T> scratch(v.size());
+  std::vector<T>* src = &v;
+  std::vector<T>* dst = &scratch;
+  while (bounds.size() > 2) {
+    const std::size_t runs = bounds.size() - 1;
+    const std::size_t pairs = runs / 2;
+    // chunks > 1 implies a real pool (chunk_count_for returns 1 otherwise).
+    TaskGroup group(*pool);
+    const auto merge_pair = [&](std::size_t p) {
+      const std::size_t lo = bounds[2 * p];
+      const std::size_t mid = bounds[2 * p + 1];
+      const std::size_t hi = bounds[2 * p + 2];
+      std::merge(src->begin() + static_cast<std::ptrdiff_t>(lo),
+                 src->begin() + static_cast<std::ptrdiff_t>(mid),
+                 src->begin() + static_cast<std::ptrdiff_t>(mid),
+                 src->begin() + static_cast<std::ptrdiff_t>(hi),
+                 dst->begin() + static_cast<std::ptrdiff_t>(lo), less);
+    };
+    for (std::size_t p = 0; p < pairs; ++p) {
+      group.run([&merge_pair, p] { merge_pair(p); });
+    }
+    group.wait();
+    if (runs % 2 != 0) {
+      // Odd tail run: carried over unmerged.
+      std::copy(src->begin() + static_cast<std::ptrdiff_t>(bounds[runs - 1]),
+                src->begin() + static_cast<std::ptrdiff_t>(bounds[runs]),
+                dst->begin() + static_cast<std::ptrdiff_t>(bounds[runs - 1]));
+    }
+    std::vector<std::size_t> next;
+    next.reserve(pairs + 2);
+    for (std::size_t p = 0; p <= pairs; ++p) next.push_back(bounds[2 * p]);
+    if (runs % 2 != 0) next.push_back(bounds[runs]);
+    else next.back() = bounds[runs];
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != &v) v = std::move(*src);
+}
+
+}  // namespace dm::exec

@@ -1,7 +1,10 @@
 #include "netflow/window_aggregator.h"
 
 #include <algorithm>
+#include <span>
 #include <tuple>
+
+#include "exec/parallel.h"
 
 namespace dm::netflow {
 
@@ -56,58 +59,51 @@ std::vector<IPv4> WindowedTrace::vips() const {
   return out;
 }
 
-WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
-                                const PrefixSet& cloud_space,
-                                const PrefixSet* blacklist) {
-  // Orient every record; drop what the study cannot attribute to a VIP.
-  std::vector<Direction> dirs;
-  dirs.reserve(records.size());
-  std::uint64_t unclassified = 0;
-  {
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      const auto dir = classify(records[i], cloud_space);
-      if (!dir) {
-        ++unclassified;
-        continue;
-      }
-      records[keep] = records[i];
-      dirs.push_back(*dir);
-      ++keep;
-    }
-    records.resize(keep);
+namespace {
+
+/// The canonical record ordering, packed for cheap comparisons:
+///   k0 = (vip, direction), k1 = minute (sign-bias mapped), and
+///   k2 = (remote ip, arrival index). The arrival-index tie-break makes the
+/// order a strict total order, so any parallel merge of sorted runs yields
+/// the one unique permutation — the root of thread-count invariance.
+struct SortKey {
+  std::uint64_t k0;
+  std::uint64_t k1;
+  std::uint64_t k2;
+
+  [[nodiscard]] bool window_equal(const SortKey& o) const noexcept {
+    return k0 == o.k0 && k1 == o.k1;
   }
-
-  // Sort records and directions together by (vip, direction, minute, remote).
-  std::vector<std::uint32_t> order(records.size());
-  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  const auto key_of = [&](std::uint32_t i) {
-    const OrientedFlow f{&records[i], dirs[i]};
-    return std::make_tuple(f.vip().value(), static_cast<int>(dirs[i]),
-                           records[i].minute, f.remote_ip().value());
-  };
-  std::sort(order.begin(), order.end(),
-            [&](std::uint32_t a, std::uint32_t b) { return key_of(a) < key_of(b); });
-
-  std::vector<FlowRecord> sorted_records;
-  std::vector<Direction> sorted_dirs;
-  sorted_records.reserve(records.size());
-  sorted_dirs.reserve(records.size());
-  for (std::uint32_t i : order) {
-    sorted_records.push_back(records[i]);
-    sorted_dirs.push_back(dirs[i]);
+  friend bool operator<(const SortKey& a, const SortKey& b) noexcept {
+    return std::tie(a.k0, a.k1, a.k2) < std::tie(b.k0, b.k1, b.k2);
   }
+};
 
-  // Single pass building windows; remote IPs arrive sorted within a window,
-  // so distinct counts fall out of adjacent comparisons.
+SortKey key_of(const FlowRecord& r, Direction dir, std::size_t index) noexcept {
+  const OrientedFlow f{&r, dir};
+  return SortKey{
+      (static_cast<std::uint64_t>(f.vip().value()) << 1) |
+          static_cast<std::uint64_t>(dir),
+      static_cast<std::uint64_t>(r.minute) ^ (std::uint64_t{1} << 63),
+      (static_cast<std::uint64_t>(f.remote_ip().value()) << 32) |
+          static_cast<std::uint64_t>(index)};
+}
+
+/// Single-pass window builder over one boundary-aligned range
+/// [begin, end) of the canonically sorted records. Remote IPs arrive sorted
+/// within a window, so distinct counts fall out of adjacent comparisons.
+std::vector<VipMinuteStats> build_windows(std::span<const FlowRecord> records,
+                                          std::span<const Direction> dirs,
+                                          const PrefixSet* blacklist,
+                                          std::size_t begin, std::size_t end) {
   std::vector<VipMinuteStats> windows;
   VipMinuteStats* current = nullptr;
   IPv4 last_remote, last_admin_remote, last_smtp_remote, last_blacklist_remote;
   bool any_remote = false, any_admin = false, any_smtp = false, any_blacklist = false;
 
-  for (std::uint32_t i = 0; i < sorted_records.size(); ++i) {
-    const FlowRecord& r = sorted_records[i];
-    const OrientedFlow flow{&r, sorted_dirs[i]};
+  for (std::size_t i = begin; i < end; ++i) {
+    const FlowRecord& r = records[i];
+    const OrientedFlow flow{&r, dirs[i]};
     const IPv4 vip = flow.vip();
 
     if (current == nullptr || current->vip != vip ||
@@ -116,14 +112,14 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
       w.vip = vip;
       w.minute = r.minute;
       w.direction = flow.direction;
-      w.first_record = i;
-      w.last_record = i;
+      w.first_record = static_cast<std::uint32_t>(i);
+      w.last_record = static_cast<std::uint32_t>(i);
       windows.push_back(w);
       current = &windows.back();
       any_remote = any_admin = any_smtp = any_blacklist = false;
     }
 
-    current->last_record = i + 1;
+    current->last_record = static_cast<std::uint32_t>(i + 1);
     current->packets += r.packets;
     current->bytes += r.bytes;
     current->flows += 1;
@@ -191,6 +187,86 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
       }
     }
   }
+
+  return windows;
+}
+
+}  // namespace
+
+WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
+                                const PrefixSet& cloud_space,
+                                const PrefixSet* blacklist,
+                                exec::ThreadPool* pool) {
+  const std::size_t n = records.size();
+
+  // Phase 1: orient every record (parallel — two longest-prefix lookups per
+  // record), then compact serially so kept records retain arrival order.
+  std::vector<std::uint8_t> cls(n);
+  constexpr std::uint8_t kDrop = 2;
+  exec::parallel_for_chunks(
+      pool, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto dir = classify(records[i], cloud_space);
+          cls[i] = dir ? static_cast<std::uint8_t>(*dir) : kDrop;
+        }
+      });
+  std::vector<Direction> dirs;
+  dirs.reserve(n);
+  std::uint64_t unclassified = 0;
+  {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cls[i] == kDrop) {
+        ++unclassified;
+        continue;
+      }
+      records[keep] = records[i];
+      dirs.push_back(static_cast<Direction>(cls[i]));
+      ++keep;
+    }
+    records.resize(keep);
+  }
+  const std::size_t kept = records.size();
+
+  // Phase 2: canonical sort — parallel chunk sort + pairwise merges over
+  // precomputed keys; the arrival-index tie-break makes the result unique.
+  std::vector<SortKey> keys(kept);
+  exec::parallel_for_chunks(
+      pool, kept, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          keys[i] = key_of(records[i], dirs[i], i);
+        }
+      });
+  exec::parallel_sort(pool, keys,
+                      [](const SortKey& a, const SortKey& b) { return a < b; });
+
+  // Phase 3: gather records/directions into canonical order.
+  std::vector<FlowRecord> sorted_records(kept);
+  std::vector<Direction> sorted_dirs(kept);
+  exec::parallel_for_chunks(
+      pool, kept, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto src = static_cast<std::size_t>(keys[i].k2 & 0xffffffffULL);
+          sorted_records[i] = records[src];
+          sorted_dirs[i] = dirs[src];
+        }
+      });
+
+  // Phase 4: build windows per shard, with shard edges snapped forward to
+  // the next (vip, direction, minute) boundary so no window straddles two
+  // shards; concatenating shard outputs in index order reproduces the
+  // single-pass result exactly.
+  const auto aligned = [&](std::size_t i) {
+    while (i > 0 && i < kept && keys[i - 1].window_equal(keys[i])) ++i;
+    return i;
+  };
+  using WindowVec = std::vector<VipMinuteStats>;
+  std::vector<WindowVec> shards = exec::parallel_map_chunks<WindowVec>(
+      pool, kept, [&](std::size_t lo, std::size_t hi) {
+        return build_windows(sorted_records, sorted_dirs, blacklist,
+                             aligned(lo), aligned(hi));
+      });
+  std::vector<VipMinuteStats> windows = exec::concat(std::move(shards));
 
   return WindowedTrace(std::move(sorted_records), std::move(sorted_dirs),
                        std::move(windows), unclassified);

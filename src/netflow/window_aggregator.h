@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "netflow/flow_record.h"
 #include "netflow/ipv4.h"
 
@@ -111,9 +112,13 @@ class WindowedTrace {
                                                 const PrefixSet& cloud_space) noexcept;
 
 /// Builds the windowed dataset. `blacklist` (may be null) marks TDS hosts
-/// for the communication-pattern feature.
+/// for the communication-pattern feature. `pool` (may be null = serial)
+/// shards the classify, sort, and window-build phases; the record order is
+/// canonical — (vip, direction, minute, remote, arrival index) — so the
+/// result is byte-identical for any thread count and any input sharding.
 [[nodiscard]] WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
                                               const PrefixSet& cloud_space,
-                                              const PrefixSet* blacklist = nullptr);
+                                              const PrefixSet* blacklist = nullptr,
+                                              exec::ThreadPool* pool = nullptr);
 
 }  // namespace dm::netflow

@@ -107,6 +107,11 @@ struct ScenarioConfig {
   int days = 7;
   /// NetFlow packet sampling denominator (paper: 4096).
   std::uint32_t sampling = 4096;
+  /// Threads the pipeline stages (trace generation, window aggregation,
+  /// per-series detection) shard across. 0 = hardware_concurrency;
+  /// 1 = serial. Output is byte-identical for every value — shards are
+  /// seeded by entity index (Rng::split) and merged in shard order.
+  unsigned thread_count = 0;
 
   cloud::VipRegistryConfig vips;
   cloud::AsRegistryConfig ases;

@@ -1,5 +1,8 @@
 #include "sim/trace_generator.h"
 
+#include <utility>
+
+#include "exec/parallel.h"
 #include "sim/attack_traffic.h"
 #include "sim/benign_model.h"
 #include "sim/scheduler.h"
@@ -21,7 +24,7 @@ Scenario::Scenario(ScenarioConfig config)
       vips_(config_.vips, config_.seed),
       tds_(config_.tds, ases_, config_.seed) {}
 
-TraceResult generate_trace(const Scenario& scenario) {
+TraceResult generate_trace(const Scenario& scenario, exec::ThreadPool* pool) {
   const ScenarioConfig& config = scenario.config();
   const netflow::PacketSampler sampler = scenario.sampler();
 
@@ -30,8 +33,9 @@ TraceResult generate_trace(const Scenario& scenario) {
                              scenario.tds());
   result.truth = scheduler.schedule();
 
-  // Benign traffic: one RNG stream per VIP so populations are stable under
-  // config changes elsewhere.
+  // Root streams mirror the serial generator's layout; each VIP/episode then
+  // derives its own stream from its index (split), so a shard's records are
+  // a pure function of (seed, entity index) — never of thread count.
   util::Rng root(config.seed);
   util::Rng benign_root = root.fork();
   util::Rng attack_root = root.fork();
@@ -39,23 +43,54 @@ TraceResult generate_trace(const Scenario& scenario) {
   const BenignTrafficModel benign(config, scenario.vips(), scenario.ases(),
                                   config.seed, &scenario.tds());
   const util::Minute end = config.total_minutes();
-  for (std::uint32_t v = 0; v < scenario.vips().size(); ++v) {
-    util::Rng vip_rng = benign_root.fork();
-    for (util::Minute m = 0; m < end; ++m) {
-      benign.emit_minute(v, m, sampler, vip_rng, result.records);
-    }
-  }
+  const std::size_t vip_count = scenario.vips().size();
+  using RecordVec = std::vector<netflow::FlowRecord>;
+  std::vector<RecordVec> benign_shards = exec::parallel_map_chunks<RecordVec>(
+      pool, vip_count, [&](std::size_t lo, std::size_t hi) {
+        RecordVec out;
+        for (std::size_t v = lo; v < hi; ++v) {
+          util::Rng vip_rng = benign_root.split(v);
+          for (util::Minute m = 0; m < end; ++m) {
+            benign.emit_minute(static_cast<std::uint32_t>(v), m, sampler,
+                               vip_rng, out);
+          }
+        }
+        return out;
+      });
 
-  // Attack traffic: one RNG stream per episode.
   const AttackTrafficModel attacks(scenario.ases(), scenario.tds());
-  for (const AttackEpisode& e : result.truth.episodes) {
-    util::Rng episode_rng = attack_root.fork();
-    for (util::Minute m = e.start; m < e.end; ++m) {
-      attacks.emit_minute(e, m, sampler, episode_rng, result.records);
-    }
-  }
+  const std::span<const AttackEpisode> episodes = result.truth.episodes;
+  std::vector<RecordVec> attack_shards = exec::parallel_map_chunks<RecordVec>(
+      pool, episodes.size(), [&](std::size_t lo, std::size_t hi) {
+        RecordVec out;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const AttackEpisode& e = episodes[i];
+          util::Rng episode_rng = attack_root.split(i);
+          for (util::Minute m = e.start; m < e.end; ++m) {
+            attacks.emit_minute(e, m, sampler, episode_rng, out);
+          }
+        }
+        return out;
+      });
 
+  // Ordered merge: benign shards by VIP index, then attack shards by episode
+  // index — the same record order a single-threaded pass would produce.
+  std::size_t total = 0;
+  for (const RecordVec& s : benign_shards) total += s.size();
+  for (const RecordVec& s : attack_shards) total += s.size();
+  result.records.reserve(total);
+  for (RecordVec& s : benign_shards) {
+    result.records.insert(result.records.end(), s.begin(), s.end());
+  }
+  for (RecordVec& s : attack_shards) {
+    result.records.insert(result.records.end(), s.begin(), s.end());
+  }
   return result;
+}
+
+TraceResult generate_trace(const Scenario& scenario) {
+  exec::ThreadPool pool(exec::workers_for(scenario.config().thread_count));
+  return generate_trace(scenario, &pool);
 }
 
 }  // namespace dm::sim

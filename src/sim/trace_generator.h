@@ -9,6 +9,7 @@
 #include "cloud/as_registry.h"
 #include "cloud/tds_blacklist.h"
 #include "cloud/vip_registry.h"
+#include "exec/thread_pool.h"
 #include "netflow/flow_record.h"
 #include "netflow/sampler.h"
 #include "sim/episode.h"
@@ -45,7 +46,14 @@ struct TraceResult {
   GroundTruth truth;
 };
 
-/// Runs the generator. Deterministic for a given scenario config.
+/// Runs the generator, sharding per-VIP benign traffic and per-episode
+/// attack traffic across `pool` (nullptr = serial). Every shard derives its
+/// RNG stream from the VIP/episode index via Rng::split and shards merge in
+/// index order, so the result is byte-identical for any thread count.
+[[nodiscard]] TraceResult generate_trace(const Scenario& scenario,
+                                         exec::ThreadPool* pool);
+
+/// Convenience overload: builds a pool from scenario.config().thread_count.
 [[nodiscard]] TraceResult generate_trace(const Scenario& scenario);
 
 }  // namespace dm::sim

@@ -39,6 +39,17 @@ Rng::result_type Rng::operator()() noexcept {
 
 Rng Rng::fork() noexcept { return Rng((*this)()); }
 
+Rng Rng::split(std::uint64_t stream) const noexcept {
+  // Fold the parent state into one word, offset it by the stream index
+  // scaled with the golden gamma (splitmix64's increment, so consecutive
+  // indices land on well-separated seeds), and scramble twice.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^ rotl(s_[3], 47);
+  sm += (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t a = splitmix64(sm);
+  const std::uint64_t b = splitmix64(sm);
+  return Rng(a ^ rotl(b, 27));
+}
+
 std::uint64_t Rng::below(std::uint64_t n) noexcept {
   // Lemire's nearly-divisionless bounded draw.
   std::uint64_t x = (*this)();

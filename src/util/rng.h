@@ -35,6 +35,14 @@ class Rng {
   /// the scenario configuration changes.
   [[nodiscard]] Rng fork() noexcept;
 
+  /// Counter-based stream split: derives the child stream for shard
+  /// `stream` as a pure function of the current state and the index,
+  /// WITHOUT advancing this generator. split(i) therefore yields the same
+  /// stream no matter how many shards exist, which shard asks first, or on
+  /// which thread — the property the parallel pipeline leans on to stay
+  /// byte-identical across thread counts.
+  [[nodiscard]] Rng split(std::uint64_t stream) const noexcept;
+
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
 

@@ -1,0 +1,122 @@
+// The serial-equivalence harness: a Study must produce BYTE-IDENTICAL
+// results for any thread_count. Shards are seeded by entity index
+// (Rng::split) and merged in shard order, so 1, 2, and 8 threads must agree
+// on every record, window counter, minute detection, and incident.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/study.h"
+
+namespace dm {
+namespace {
+
+sim::ScenarioConfig base_config() {
+  auto config = sim::ScenarioConfig::smoke();
+  config.seed = 2015;
+  return config;
+}
+
+auto window_tuple(const netflow::VipMinuteStats& w) {
+  return std::make_tuple(
+      w.vip.value(), w.minute, w.direction, w.packets, w.bytes, w.tcp_packets,
+      w.udp_packets, w.icmp_packets, w.ipencap_packets, w.syn_packets,
+      w.null_scan_packets, w.xmas_scan_packets, w.bare_rst_packets,
+      w.dns_response_packets, w.flows, w.unique_remote_ips, w.smtp_flows,
+      w.unique_smtp_remotes, w.remote_admin_flows, w.unique_admin_remotes,
+      w.sql_flows, w.smtp_packets, w.admin_packets, w.sql_packets,
+      w.blacklist_flows, w.unique_blacklist_remotes, w.blacklist_packets,
+      w.first_record, w.last_record);
+}
+
+auto minute_tuple(const detect::MinuteDetection& m) {
+  return std::make_tuple(m.vip.value(), m.direction, m.type, m.minute,
+                         m.sampled_packets, m.unique_remotes);
+}
+
+auto incident_tuple(const detect::AttackIncident& a) {
+  return std::make_tuple(a.vip.value(), a.direction, a.type, a.start, a.end,
+                         a.active_minutes, a.total_sampled_packets,
+                         a.peak_sampled_ppm, a.peak_unique_remotes,
+                         a.ramp_up_minutes);
+}
+
+void expect_identical(const core::Study& base, const core::Study& other,
+                      unsigned threads) {
+  SCOPED_TRACE("thread_count=" + std::to_string(threads));
+
+  // Trace records: exact bytes, exact order.
+  ASSERT_EQ(base.record_count(), other.record_count());
+  const auto base_records = base.trace().records();
+  const auto other_records = other.trace().records();
+  ASSERT_EQ(base_records.size(), other_records.size());
+  for (std::size_t i = 0; i < base_records.size(); ++i) {
+    ASSERT_EQ(base_records[i], other_records[i]) << "record " << i;
+    ASSERT_EQ(base.trace().direction_of(i), other.trace().direction_of(i))
+        << "direction " << i;
+  }
+  EXPECT_EQ(base.trace().unclassified_records(),
+            other.trace().unclassified_records());
+
+  // Per-window counters.
+  const auto base_windows = base.trace().windows();
+  const auto other_windows = other.trace().windows();
+  ASSERT_EQ(base_windows.size(), other_windows.size());
+  for (std::size_t i = 0; i < base_windows.size(); ++i) {
+    ASSERT_EQ(window_tuple(base_windows[i]), window_tuple(other_windows[i]))
+        << "window " << i;
+  }
+
+  // Detection output: identical MinuteDetection and AttackIncident
+  // sequences.
+  const auto& base_minutes = base.detection().minutes;
+  const auto& other_minutes = other.detection().minutes;
+  ASSERT_EQ(base_minutes.size(), other_minutes.size());
+  for (std::size_t i = 0; i < base_minutes.size(); ++i) {
+    ASSERT_EQ(minute_tuple(base_minutes[i]), minute_tuple(other_minutes[i]))
+        << "minute detection " << i;
+  }
+  const auto& base_incidents = base.detection().incidents;
+  const auto& other_incidents = other.detection().incidents;
+  ASSERT_EQ(base_incidents.size(), other_incidents.size());
+  for (std::size_t i = 0; i < base_incidents.size(); ++i) {
+    ASSERT_EQ(incident_tuple(base_incidents[i]),
+              incident_tuple(other_incidents[i]))
+        << "incident " << i;
+  }
+}
+
+TEST(ParallelEquivalence, StudyIsByteIdenticalAcrossThreadCounts) {
+  auto serial_config = base_config();
+  serial_config.thread_count = 1;
+  const core::Study serial(serial_config);
+
+  // The smoke scenario must actually exercise the comparison.
+  ASSERT_GT(serial.record_count(), 0u);
+  ASSERT_FALSE(serial.detection().minutes.empty());
+  ASSERT_FALSE(serial.detection().incidents.empty());
+
+  for (unsigned threads : {2u, 8u}) {
+    auto config = base_config();
+    config.thread_count = threads;
+    const core::Study parallel(config);
+    expect_identical(serial, parallel, threads);
+  }
+}
+
+TEST(ParallelEquivalence, DefaultThreadCountMatchesSerial) {
+  // thread_count = 0 (hardware concurrency) must agree with serial too.
+  auto serial_config = base_config();
+  serial_config.thread_count = 1;
+  const core::Study serial(serial_config);
+
+  auto config = base_config();
+  config.thread_count = 0;
+  const core::Study parallel(config);
+  expect_identical(serial, parallel, 0);
+}
+
+}  // namespace
+}  // namespace dm

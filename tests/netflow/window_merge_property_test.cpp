@@ -1,0 +1,165 @@
+// Property test for the sharded window aggregation: splitting the same
+// record stream into arbitrary shards and feeding the shards in any order
+// must produce the same WindowedTrace — i.e. the shard merge is associative
+// and order-independent. This is exactly what the parallel pipeline relies
+// on when it aggregates per-shard record batches whose concatenation order
+// is an implementation detail of upstream sharding.
+#include "netflow/window_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "util/rng.h"
+
+namespace dm::netflow {
+namespace {
+
+PrefixSet cloud_space() {
+  PrefixSet set;
+  set.add(Prefix(IPv4::from_octets(100, 64, 0, 0), 12));
+  return set;
+}
+
+PrefixSet blacklist() {
+  PrefixSet set;
+  set.add(Prefix(IPv4::from_octets(4, 9, 0, 0), 16));
+  return set;
+}
+
+/// A random mix of inbound/outbound/unclassifiable records over a handful of
+/// VIPs and minutes — small enough that windows collide often, which is
+/// where merge bugs would live.
+std::vector<FlowRecord> random_records(util::Rng& rng, std::size_t count) {
+  std::vector<FlowRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FlowRecord r;
+    r.minute = static_cast<util::Minute>(rng.below(10));
+    const IPv4 vip = IPv4::from_octets(
+        100, 64, 0, static_cast<std::uint8_t>(1 + rng.below(5)));
+    // Small remote pool (incl. blacklisted hosts) so duplicates are common.
+    const IPv4 remote = IPv4::from_octets(
+        4, static_cast<std::uint8_t>(rng.chance(0.2) ? 9 : 1), 0,
+        static_cast<std::uint8_t>(1 + rng.below(20)));
+    const bool inbound = rng.chance(0.5);
+    r.src_ip = inbound ? remote : vip;
+    r.dst_ip = inbound ? vip : remote;
+    if (rng.chance(0.05)) r.dst_ip = r.src_ip;  // unclassifiable
+    r.src_port = static_cast<std::uint16_t>(1 + rng.below(4000));
+    r.dst_port = rng.chance(0.3)
+                     ? static_cast<std::uint16_t>(rng.chance(0.5) ? 25 : 1433)
+                     : static_cast<std::uint16_t>(1 + rng.below(4000));
+    constexpr Protocol kProtocols[] = {Protocol::kTcp, Protocol::kUdp,
+                                       Protocol::kIcmp, Protocol::kIpEncap};
+    r.protocol = kProtocols[rng.below(4)];
+    if (r.protocol == Protocol::kTcp) {
+      r.tcp_flags = rng.chance(0.3) ? TcpFlags::kSyn
+                                    : (TcpFlags::kAck | TcpFlags::kPsh);
+    }
+    r.packets = static_cast<std::uint32_t>(1 + rng.below(5));
+    r.bytes = r.packets * 120;
+    out.push_back(r);
+  }
+  return out;
+}
+
+auto window_tuple(const VipMinuteStats& w) {
+  return std::make_tuple(
+      w.vip.value(), w.minute, w.direction, w.packets, w.bytes, w.tcp_packets,
+      w.udp_packets, w.icmp_packets, w.ipencap_packets, w.syn_packets,
+      w.null_scan_packets, w.xmas_scan_packets, w.bare_rst_packets,
+      w.dns_response_packets, w.flows, w.unique_remote_ips, w.smtp_flows,
+      w.unique_smtp_remotes, w.remote_admin_flows, w.unique_admin_remotes,
+      w.sql_flows, w.smtp_packets, w.admin_packets, w.sql_packets,
+      w.blacklist_flows, w.unique_blacklist_remotes, w.blacklist_packets,
+      w.first_record, w.last_record);
+}
+
+void expect_same_trace(const WindowedTrace& a, const WindowedTrace& b,
+                       const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.unclassified_records(), b.unclassified_records());
+  ASSERT_EQ(a.windows().size(), b.windows().size());
+  for (std::size_t i = 0; i < a.windows().size(); ++i) {
+    ASSERT_EQ(window_tuple(a.windows()[i]), window_tuple(b.windows()[i]))
+        << "window " << i;
+  }
+  // Record CONTENT per window must match as a multiset: shard order may
+  // permute ties (identical sort keys) inside a window, never across one.
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (std::size_t i = 0; i < a.windows().size(); ++i) {
+    const auto ra = a.records_of(a.windows()[i]);
+    const auto rb = b.records_of(b.windows()[i]);
+    ASSERT_EQ(ra.size(), rb.size());
+    auto va = std::vector<FlowRecord>(ra.begin(), ra.end());
+    auto vb = std::vector<FlowRecord>(rb.begin(), rb.end());
+    const auto full = [](const FlowRecord& x, const FlowRecord& y) {
+      return std::tie(x.minute, x.src_ip, x.dst_ip, x.src_port, x.dst_port,
+                      x.protocol, x.tcp_flags, x.packets, x.bytes) <
+             std::tie(y.minute, y.src_ip, y.dst_ip, y.src_port, y.dst_port,
+                      y.protocol, y.tcp_flags, y.packets, y.bytes);
+    };
+    std::sort(va.begin(), va.end(), full);
+    std::sort(vb.begin(), vb.end(), full);
+    EXPECT_EQ(va, vb) << "records of window " << i;
+  }
+}
+
+TEST(WindowShardMerge, PartitionAndOrderIndependent) {
+  util::Rng rng(4096);
+  const auto space = cloud_space();
+  const auto tds = blacklist();
+
+  for (int round = 0; round < 12; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t count = 200 + rng.below(1800);
+    const std::vector<FlowRecord> base = random_records(rng, count);
+    const WindowedTrace expected = aggregate_windows(base, space, &tds);
+
+    // Random partition into 1..8 shards, reassembled in a random shard
+    // order.
+    const std::size_t shard_count = 1 + rng.below(8);
+    std::vector<std::vector<FlowRecord>> shards(shard_count);
+    for (const FlowRecord& r : base) {
+      shards[rng.below(shard_count)].push_back(r);
+    }
+    std::vector<std::size_t> order(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) order[s] = s;
+    rng.shuffle(order);
+    std::vector<FlowRecord> reassembled;
+    reassembled.reserve(base.size());
+    for (std::size_t s : order) {
+      reassembled.insert(reassembled.end(), shards[s].begin(), shards[s].end());
+    }
+
+    const WindowedTrace actual = aggregate_windows(reassembled, space, &tds);
+    expect_same_trace(expected, actual, "random partition");
+  }
+}
+
+TEST(WindowShardMerge, ThreadedAggregationMatchesSerial) {
+  util::Rng rng(777);
+  const auto space = cloud_space();
+  const auto tds = blacklist();
+  const std::vector<FlowRecord> base = random_records(rng, 5000);
+
+  const WindowedTrace serial = aggregate_windows(base, space, &tds, nullptr);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const WindowedTrace threaded = aggregate_windows(base, space, &tds, &pool);
+    // With identical input order the canonical sort is a strict total
+    // order, so even record-for-record output must match exactly.
+    ASSERT_EQ(serial.records().size(), threaded.records().size());
+    for (std::size_t i = 0; i < serial.records().size(); ++i) {
+      ASSERT_EQ(serial.records()[i], threaded.records()[i]) << "record " << i;
+    }
+    expect_same_trace(serial, threaded, "threaded");
+  }
+}
+
+}  // namespace
+}  // namespace dm::netflow

@@ -35,6 +35,38 @@ TEST(Rng, ForkDecorrelates) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, SplitIsPureAndDoesNotAdvanceParent) {
+  Rng parent(7);
+  Rng untouched(7);
+  Rng a = parent.split(5);
+  Rng b = parent.split(5);
+  // Same stream index -> same child stream; parent state unchanged.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(parent(), untouched());
+}
+
+TEST(Rng, SplitStreamsDecorrelate) {
+  Rng parent(7);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  Rng c = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = a();
+    if (x == b() || x == c()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIndependentOfQueryOrder) {
+  Rng parent(99);
+  std::vector<std::uint64_t> forward;
+  for (std::uint64_t s = 0; s < 8; ++s) forward.push_back(parent.split(s)());
+  std::vector<std::uint64_t> backward(8);
+  for (std::uint64_t s = 8; s-- > 0;) backward[s] = parent.split(s)();
+  EXPECT_EQ(forward, backward);
+}
+
 TEST(Rng, BelowStaysInRange) {
   Rng rng(42);
   for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate for the parallel pipeline: build the test suite under
+# ThreadSanitizer and run the concurrency-sensitive tests — the exec pool
+# unit tests, the sharded-aggregation property tests, and the
+# serial-equivalence integration tests.
+#
+# Usage: tools/check.sh [extra ctest -R regex]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-tsan}"
+FILTER="${1:-ThreadPool|ParallelExec|ParallelEquivalence|WindowShardMerge}"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DDM_SANITIZE=thread \
+  -DDM_BUILD_BENCH=OFF \
+  -DDM_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j"$(nproc)" --target dm_tests
+
+# Fail on any TSan report even if the test itself would pass.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
