@@ -8,6 +8,8 @@
 //   1 = serial); the study output is byte-identical for every value.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,6 +18,18 @@
 #include "util/table.h"
 
 namespace dm::bench {
+
+/// Peak resident set size (high-water mark) of the process in MiB.
+/// getrusage-based, so it is monotone over the process lifetime: a row's
+/// value is the largest footprint of anything run so far, which is why the
+/// perf suites run memory-sensitive benchmarks in separate processes (see
+/// tools/bench_json.sh).
+inline double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 inline sim::ScenarioConfig scaled_config() {
   sim::ScenarioConfig config = sim::ScenarioConfig::paper_scale();

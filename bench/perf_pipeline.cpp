@@ -9,6 +9,7 @@
 #include "core/study.h"
 #include "detect/pipeline.h"
 #include "exec/thread_pool.h"
+#include "exhibit.h"
 #include "netflow/window_aggregator.h"
 #include "sim/trace_generator.h"
 
@@ -67,7 +68,11 @@ void BM_AggregateWindows(benchmark::State& state) {
   exec::ThreadPool pool(
       exec::workers_for(static_cast<unsigned>(state.range(0))));
   for (auto _ : state) {
-    auto records = perf_trace().records;  // the copy is part of the workload
+    // The input deep copy is setup, not aggregation — keep it out of the
+    // timed region so the row measures the aggregation stage only.
+    state.PauseTiming();
+    auto records = perf_trace().records;
+    state.ResumeTiming();
     const auto windows = netflow::aggregate_windows(
         std::move(records), perf_scenario().vips().cloud_space(),
         &perf_scenario().tds().as_prefix_set(), &pool);
@@ -78,6 +83,31 @@ void BM_AggregateWindows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AggregateWindows)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The fused generate→aggregate path: per-shard generation, packed-key
+/// radix sort, and window build with no global unsorted record vector.
+/// Compare against BM_GenerateTrace + BM_AggregateWindows at the same
+/// thread count for the fusion win.
+void BM_FusedGenerateWindows(benchmark::State& state) {
+  exec::ThreadPool pool(
+      exec::workers_for(static_cast<unsigned>(state.range(0))));
+  for (auto _ : state) {
+    const auto fused = sim::generate_windows(perf_scenario(), &pool);
+    benchmark::DoNotOptimize(fused.windowed.windows().data());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<std::int64_t>(fused.generated_records));
+  }
+  state.counters["peak_rss_mib"] = bench::peak_rss_mib();
+}
+BENCHMARK(BM_FusedGenerateWindows)
     ->ArgName("threads")
     ->Arg(1)
     ->Arg(2)
@@ -127,6 +157,7 @@ void BM_StudyEndToEnd(benchmark::State& state) {
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(study.record_count()));
   }
+  state.counters["peak_rss_mib"] = bench::peak_rss_mib();
 }
 BENCHMARK(BM_StudyEndToEnd)
     ->ArgName("threads")
@@ -137,24 +168,54 @@ BENCHMARK(BM_StudyEndToEnd)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-/// Same scaling table at the paper-scale scenario (1.5k VIPs, 7 days) —
-/// slow; run explicitly with --benchmark_filter=PaperScale.
-void BM_StudyPaperScale(benchmark::State& state) {
-  auto config = sim::ScenarioConfig::paper_scale();
+/// The unfused pipeline (fuse_pipeline = false), for direct comparison
+/// with BM_StudyEndToEnd. Peak RSS is a process high-water mark, so run
+/// this in its own process (tools/bench_json.sh does) when comparing
+/// memory.
+void BM_StudyEndToEndUnfused(benchmark::State& state) {
+  auto config = perf_config();
   config.thread_count = static_cast<unsigned>(state.range(0));
+  config.fuse_pipeline = false;
   for (auto _ : state) {
     const core::Study study(config);
     benchmark::DoNotOptimize(study.detection().incidents.data());
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(study.record_count()));
   }
+  state.counters["peak_rss_mib"] = bench::peak_rss_mib();
 }
-BENCHMARK(BM_StudyPaperScale)
+BENCHMARK(BM_StudyEndToEndUnfused)
     ->ArgName("threads")
     ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Same scaling table at the paper-scale scenario (1.5k VIPs, 7 days) —
+/// slow; run explicitly with --benchmark_filter=PaperScale. The fused:0
+/// row is the unfused pipeline at 8 threads: its peak-RSS gap against
+/// fused:1 is the memory the global unsorted record vector and global sort
+/// scratch used to cost (run the two rows in separate processes — peak RSS
+/// is a process high-water mark).
+void BM_StudyPaperScale(benchmark::State& state) {
+  auto config = sim::ScenarioConfig::paper_scale();
+  config.thread_count = static_cast<unsigned>(state.range(0));
+  config.fuse_pipeline = state.range(1) != 0;
+  for (auto _ : state) {
+    const core::Study study(config);
+    benchmark::DoNotOptimize(study.detection().incidents.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(study.record_count()));
+  }
+  state.counters["peak_rss_mib"] = bench::peak_rss_mib();
+}
+BENCHMARK(BM_StudyPaperScale)
+    ->ArgNames({"threads", "fused"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({8, 0})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(1);

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "exec/parallel.h"
+#include "exec/radix_sort.h"
 
 namespace dm::netflow {
 
@@ -23,7 +24,13 @@ WindowedTrace::WindowedTrace(std::vector<FlowRecord> records,
     : records_(std::move(records)),
       directions_(std::move(directions)),
       windows_(std::move(windows)),
-      unclassified_(unclassified_records) {}
+      unclassified_(unclassified_records) {
+  // windows_ is sorted by VIP, so adjacent dedup yields the distinct-VIP
+  // list; computed once here because analysis passes ask repeatedly.
+  for (const auto& w : windows_) {
+    if (vips_.empty() || vips_.back() != w.vip) vips_.push_back(w.vip);
+  }
+}
 
 std::span<const FlowRecord> WindowedTrace::records_of(
     const VipMinuteStats& window) const noexcept {
@@ -48,15 +55,6 @@ std::span<const VipMinuteStats> WindowedTrace::series(IPv4 vip,
   const auto hi = std::upper_bound(lo, windows_.end(), std::make_pair(vip, dir),
                                    key_greater);
   return {lo, hi};
-}
-
-std::vector<IPv4> WindowedTrace::vips() const {
-  std::vector<IPv4> out;
-  for (const auto& w : windows_) {
-    if (out.empty() || out.back() != w.vip) out.push_back(w.vip);
-  }
-  // windows_ is sorted by VIP, so adjacent dedup suffices.
-  return out;
 }
 
 namespace {
@@ -270,6 +268,80 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
 
   return WindowedTrace(std::move(sorted_records), std::move(sorted_dirs),
                        std::move(windows), unclassified);
+}
+
+ShardWindows aggregate_shard(std::vector<FlowRecord> records,
+                             const PrefixSet& cloud_space,
+                             const PrefixSet* blacklist) {
+  ShardWindows out;
+
+  // Classify and compact in one serial pass; compaction is stable, so kept
+  // records retain arrival order — the tie-break the canonical sort uses.
+  bool packable = true;
+  std::size_t keep = 0;
+  out.directions.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto dir = classify(records[i], cloud_space);
+    if (!dir) {
+      ++out.unclassified;
+      continue;
+    }
+    packable &= records[i].minute >= 0 &&
+                records[i].minute < (util::Minute{1} << 31);
+    records[keep] = records[i];
+    out.directions.push_back(*dir);
+    ++keep;
+  }
+  records.resize(keep);
+
+  // Canonical sort. Generator minutes always fit 31 bits, so
+  // (vip, dir, minute, remote) packs into 128 bits and an LSD radix sort
+  // replaces the comparison sort — the arrival-index tie-break costs
+  // nothing because the radix sort is stable and the permutation starts in
+  // arrival order. Arbitrary ingested minutes fall back to the comparison
+  // order (identical ordering — the packed key is a monotone reencoding of
+  // SortKey for in-range minutes).
+  std::vector<FlowRecord> sorted_records(keep);
+  std::vector<Direction> sorted_dirs(keep);
+  if (packable) {
+    std::vector<exec::Key128> keys(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const OrientedFlow f{&records[i], out.directions[i]};
+      keys[i] = exec::Key128{
+          (static_cast<std::uint64_t>(f.vip().value()) << 32) |
+              (static_cast<std::uint64_t>(out.directions[i]) << 31) |
+              static_cast<std::uint64_t>(records[i].minute),
+          static_cast<std::uint64_t>(f.remote_ip().value()) << 32};
+    }
+    std::vector<std::uint32_t> order(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    exec::radix_sort(order,
+                     [&](std::uint32_t i) -> const exec::Key128& { return keys[i]; });
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::size_t src = order[i];
+      sorted_records[i] = records[src];
+      sorted_dirs[i] = out.directions[src];
+    }
+  } else {
+    std::vector<SortKey> keys(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      keys[i] = key_of(records[i], out.directions[i], i);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < keep; ++i) {
+      const auto src = static_cast<std::size_t>(keys[i].k2 & 0xffffffffULL);
+      sorted_records[i] = records[src];
+      sorted_dirs[i] = out.directions[src];
+    }
+  }
+  out.records = std::move(sorted_records);
+  out.directions = std::move(sorted_dirs);
+
+  out.windows =
+      build_windows(out.records, out.directions, blacklist, 0, keep);
+  return out;
 }
 
 }  // namespace dm::netflow

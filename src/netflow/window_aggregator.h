@@ -90,7 +90,9 @@ class WindowedTrace {
                                                        Direction dir) const noexcept;
 
   /// Distinct VIPs present in the trace (either direction), ascending.
-  [[nodiscard]] std::vector<IPv4> vips() const;
+  /// Computed once at construction — callers may hold the span for the
+  /// trace's lifetime.
+  [[nodiscard]] std::span<const IPv4> vips() const noexcept { return vips_; }
 
   /// Records that matched neither/both cloud prefixes and were dropped.
   [[nodiscard]] std::uint64_t unclassified_records() const noexcept {
@@ -101,6 +103,7 @@ class WindowedTrace {
   std::vector<FlowRecord> records_;
   std::vector<Direction> directions_;
   std::vector<VipMinuteStats> windows_;
+  std::vector<IPv4> vips_;
   std::uint64_t unclassified_ = 0;
 };
 
@@ -120,5 +123,27 @@ class WindowedTrace {
                                               const PrefixSet& cloud_space,
                                               const PrefixSet* blacklist = nullptr,
                                               exec::ThreadPool* pool = nullptr);
+
+/// One shard's fully aggregated slice: kept records in canonical order,
+/// their directions, windows whose first/last_record indices are
+/// SHARD-LOCAL, and the shard's dropped-record count.
+struct ShardWindows {
+  std::vector<FlowRecord> records;
+  std::vector<Direction> directions;
+  std::vector<VipMinuteStats> windows;
+  std::uint64_t unclassified = 0;
+};
+
+/// The shard-level aggregation core shared by aggregate_windows and the
+/// fused generate→aggregate path (sim::generate_windows): classify+compact,
+/// canonical sort (LSD radix over a packed 128-bit key when every minute
+/// fits 31 bits — always true for generator output — comparison sort
+/// otherwise), and single-pass window build, all serial: the shard itself
+/// is the unit of parallelism. When the input holds a contiguous range of
+/// the VIP address space, concatenating shard slices in address order
+/// reproduces aggregate_windows' global output exactly.
+[[nodiscard]] ShardWindows aggregate_shard(std::vector<FlowRecord> records,
+                                           const PrefixSet& cloud_space,
+                                           const PrefixSet* blacklist = nullptr);
 
 }  // namespace dm::netflow

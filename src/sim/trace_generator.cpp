@@ -1,11 +1,14 @@
 #include "sim/trace_generator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "exec/parallel.h"
+#include "netflow/window_aggregator.h"
 #include "sim/attack_traffic.h"
 #include "sim/benign_model.h"
 #include "sim/scheduler.h"
+#include "util/error.h"
 
 namespace dm::sim {
 
@@ -91,6 +94,143 @@ TraceResult generate_trace(const Scenario& scenario, exec::ThreadPool* pool) {
 TraceResult generate_trace(const Scenario& scenario) {
   exec::ThreadPool pool(exec::workers_for(scenario.config().thread_count));
   return generate_trace(scenario, &pool);
+}
+
+FusedTrace generate_windows(const Scenario& scenario, exec::ThreadPool* pool) {
+  const ScenarioConfig& config = scenario.config();
+  const netflow::PacketSampler sampler = scenario.sampler();
+  const netflow::PrefixSet& cloud_space = scenario.vips().cloud_space();
+  const netflow::PrefixSet* blacklist = &scenario.tds().as_prefix_set();
+
+  FusedTrace result;
+  EpisodeScheduler scheduler(config, scenario.vips(), scenario.ases(),
+                             scenario.tds());
+  result.truth = scheduler.schedule();
+
+  // Same RNG layout as generate_trace: every VIP/episode stream is split
+  // from its *registry/episode index*, so a shard's records do not depend
+  // on how VIPs are partitioned across shards.
+  util::Rng root(config.seed);
+  util::Rng benign_root = root.fork();
+  util::Rng attack_root = root.fork();
+
+  const BenignTrafficModel benign(config, scenario.vips(), scenario.ases(),
+                                  config.seed, &scenario.tds());
+  const AttackTrafficModel attacks(scenario.ases(), scenario.tds());
+  const util::Minute end = config.total_minutes();
+
+  // VIP registry order is not address order (VIPs land in random data
+  // centers), but the canonical record order leads with the VIP address —
+  // so shards partition the *address-sorted* VIP permutation. Each shard
+  // then owns a contiguous address range and its sorted slice concatenates
+  // directly into the global canonical order.
+  const std::span<const cloud::VipInfo> vip_infos = scenario.vips().all();
+  const std::size_t vip_count = vip_infos.size();
+  std::vector<std::uint32_t> by_address(vip_count);
+  for (std::size_t i = 0; i < vip_count; ++i) {
+    by_address[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(by_address.begin(), by_address.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return vip_infos[a].vip < vip_infos[b].vip;
+            });
+
+  // Episodes bucketed by their VIP's address-order position. Bucket lists
+  // keep ascending episode index: same-key ties between two episodes on one
+  // VIP must resolve by episode index, exactly as the unfused arrival order
+  // does.
+  const std::span<const AttackEpisode> episodes = result.truth.episodes;
+  std::vector<std::vector<std::uint32_t>> episodes_at(vip_count);
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const auto pos = std::lower_bound(
+        by_address.begin(), by_address.end(), episodes[i].vip,
+        [&](std::uint32_t v, netflow::IPv4 ip) { return vip_infos[v].vip < ip; });
+    const auto p = static_cast<std::size_t>(pos - by_address.begin());
+    // The scheduler only targets registry VIPs; a miss here would silently
+    // drop the episode's traffic from the fused trace.
+    if (p == vip_count || vip_infos[by_address[p]].vip != episodes[i].vip) {
+      throw Error(
+          "generate_windows: episode targets a VIP outside the registry");
+    }
+    episodes_at[p].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Per-shard fused pass: generate → aggregate, never keeping the unsorted
+  // records beyond the shard.
+  struct Shard {
+    netflow::ShardWindows agg;
+    std::uint64_t generated = 0;
+  };
+  std::vector<Shard> shards = exec::parallel_map_chunks<Shard>(
+      pool, vip_count, [&](std::size_t lo, std::size_t hi) {
+        Shard shard;
+        std::vector<netflow::FlowRecord> records;
+        // Benign first, then attacks in episode-index order — the same
+        // relative arrival order per VIP as the unfused global vector
+        // (all benign records precede all attack records, and sort-key
+        // ties never cross VIPs).
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::uint32_t v = by_address[p];
+          util::Rng vip_rng = benign_root.split(v);
+          for (util::Minute m = 0; m < end; ++m) {
+            benign.emit_minute(v, m, sampler, vip_rng, records);
+          }
+        }
+        for (std::size_t p = lo; p < hi; ++p) {
+          for (const std::uint32_t i : episodes_at[p]) {
+            const AttackEpisode& e = episodes[i];
+            util::Rng episode_rng = attack_root.split(i);
+            for (util::Minute m = e.start; m < e.end; ++m) {
+              attacks.emit_minute(e, m, sampler, episode_rng, records);
+            }
+          }
+        }
+        shard.generated = records.size();
+        shard.agg =
+            netflow::aggregate_shard(std::move(records), cloud_space, blacklist);
+        return shard;
+      });
+
+  // Index-ordered concatenation; only the window record-index ranges need
+  // rebasing from shard-local to global offsets.
+  std::size_t total_records = 0;
+  std::size_t total_windows = 0;
+  for (const Shard& s : shards) {
+    total_records += s.agg.records.size();
+    total_windows += s.agg.windows.size();
+  }
+  std::vector<netflow::FlowRecord> records;
+  std::vector<netflow::Direction> directions;
+  std::vector<netflow::VipMinuteStats> windows;
+  records.reserve(total_records);
+  directions.reserve(total_records);
+  windows.reserve(total_windows);
+  std::uint64_t unclassified = 0;
+  for (Shard& s : shards) {
+    const auto base = static_cast<std::uint32_t>(records.size());
+    records.insert(records.end(), s.agg.records.begin(), s.agg.records.end());
+    directions.insert(directions.end(), s.agg.directions.begin(),
+                      s.agg.directions.end());
+    for (netflow::VipMinuteStats w : s.agg.windows) {
+      w.first_record += base;
+      w.last_record += base;
+      windows.push_back(w);
+    }
+    unclassified += s.agg.unclassified;
+    result.generated_records += s.generated;
+    // Release each consumed slice immediately so the merge's transient
+    // footprint shrinks as it walks the shards.
+    s.agg = netflow::ShardWindows();
+  }
+  result.windowed =
+      netflow::WindowedTrace(std::move(records), std::move(directions),
+                             std::move(windows), unclassified);
+  return result;
+}
+
+FusedTrace generate_windows(const Scenario& scenario) {
+  exec::ThreadPool pool(exec::workers_for(scenario.config().thread_count));
+  return generate_windows(scenario, &pool);
 }
 
 }  // namespace dm::sim

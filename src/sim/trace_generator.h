@@ -12,6 +12,7 @@
 #include "exec/thread_pool.h"
 #include "netflow/flow_record.h"
 #include "netflow/sampler.h"
+#include "netflow/window_aggregator.h"
 #include "sim/episode.h"
 #include "sim/scenario.h"
 
@@ -55,5 +56,32 @@ struct TraceResult {
 
 /// Convenience overload: builds a pool from scenario.config().thread_count.
 [[nodiscard]] TraceResult generate_trace(const Scenario& scenario);
+
+/// A fused generate→aggregate result: the windowed dataset plus the ground
+/// truth that produced it. The global unsorted record vector of
+/// generate_trace is never materialized.
+struct FusedTrace {
+  netflow::WindowedTrace windowed;
+  GroundTruth truth;
+  /// Sampled records the generator emitted, before orientation dropped
+  /// transit/intra-cloud records — equals TraceResult::records.size() of
+  /// the unfused path.
+  std::uint64_t generated_records = 0;
+};
+
+/// The fused streaming path: each shard owns a contiguous range of the
+/// cloud's VIP *address space*, generates its VIPs' benign traffic and the
+/// attack episodes targeting them, and runs the full shard-level
+/// aggregation core (classify → packed-key radix sort → window build) in
+/// place; the merge is an index-ordered concatenation because the canonical
+/// record order leads with the VIP address and shards own disjoint address
+/// ranges. RNG streams are still split per VIP/episode index, so the
+/// result is byte-identical to generate_trace + aggregate_windows (with the
+/// scenario's TDS blacklist) for any thread count.
+[[nodiscard]] FusedTrace generate_windows(const Scenario& scenario,
+                                          exec::ThreadPool* pool);
+
+/// Convenience overload: builds a pool from scenario.config().thread_count.
+[[nodiscard]] FusedTrace generate_windows(const Scenario& scenario);
 
 }  // namespace dm::sim

@@ -1,0 +1,107 @@
+// The fused streaming path (sim::generate_windows) must produce a
+// WindowedTrace BYTE-IDENTICAL to the unfused generate_trace →
+// aggregate_windows pipeline — records, directions, windows, and the
+// unclassified count — at every thread count, and Study must honor the
+// fuse_pipeline knob transparently.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/study.h"
+#include "netflow/window_aggregator.h"
+#include "sim/trace_generator.h"
+
+namespace dm {
+namespace {
+
+sim::ScenarioConfig base_config() {
+  auto config = sim::ScenarioConfig::smoke();
+  config.seed = 20150;
+  return config;
+}
+
+auto window_tuple(const netflow::VipMinuteStats& w) {
+  return std::make_tuple(
+      w.vip.value(), w.minute, w.direction, w.packets, w.bytes, w.tcp_packets,
+      w.udp_packets, w.icmp_packets, w.ipencap_packets, w.syn_packets,
+      w.null_scan_packets, w.xmas_scan_packets, w.bare_rst_packets,
+      w.dns_response_packets, w.flows, w.unique_remote_ips, w.smtp_flows,
+      w.unique_smtp_remotes, w.remote_admin_flows, w.unique_admin_remotes,
+      w.sql_flows, w.smtp_packets, w.admin_packets, w.sql_packets,
+      w.blacklist_flows, w.unique_blacklist_remotes, w.blacklist_packets,
+      w.first_record, w.last_record);
+}
+
+void expect_identical(const netflow::WindowedTrace& unfused,
+                      const netflow::WindowedTrace& fused) {
+  const auto base_records = unfused.records();
+  const auto fused_records = fused.records();
+  ASSERT_EQ(base_records.size(), fused_records.size());
+  for (std::size_t i = 0; i < base_records.size(); ++i) {
+    ASSERT_EQ(base_records[i], fused_records[i]) << "record " << i;
+    ASSERT_EQ(unfused.direction_of(i), fused.direction_of(i))
+        << "direction " << i;
+  }
+  EXPECT_EQ(unfused.unclassified_records(), fused.unclassified_records());
+
+  const auto base_windows = unfused.windows();
+  const auto fused_windows = fused.windows();
+  ASSERT_EQ(base_windows.size(), fused_windows.size());
+  for (std::size_t i = 0; i < base_windows.size(); ++i) {
+    ASSERT_EQ(window_tuple(base_windows[i]), window_tuple(fused_windows[i]))
+        << "window " << i;
+  }
+
+  const auto base_vips = unfused.vips();
+  const auto fused_vips = fused.vips();
+  ASSERT_EQ(base_vips.size(), fused_vips.size());
+  for (std::size_t i = 0; i < base_vips.size(); ++i) {
+    EXPECT_EQ(base_vips[i], fused_vips[i]) << "vip " << i;
+  }
+}
+
+TEST(FusedPipeline, MatchesUnfusedAtEveryThreadCount) {
+  const sim::Scenario scenario(base_config());
+
+  // Unfused reference, serial.
+  exec::ThreadPool serial_pool(exec::workers_for(1));
+  sim::TraceResult unfused = sim::generate_trace(scenario, &serial_pool);
+  const std::uint64_t generated = unfused.records.size();
+  ASSERT_GT(generated, 0u);
+  const netflow::WindowedTrace reference = netflow::aggregate_windows(
+      std::move(unfused.records), scenario.vips().cloud_space(),
+      &scenario.tds().as_prefix_set(), &serial_pool);
+  ASSERT_FALSE(reference.windows().empty());
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("thread_count=" + std::to_string(threads));
+    exec::ThreadPool pool(exec::workers_for(threads));
+    const sim::FusedTrace fused = sim::generate_windows(scenario, &pool);
+    EXPECT_EQ(fused.generated_records, generated);
+    EXPECT_FALSE(fused.truth.episodes.empty());
+    expect_identical(reference, fused.windowed);
+  }
+}
+
+TEST(FusedPipeline, StudyKnobIsTransparent) {
+  auto fused_config = base_config();
+  fused_config.fuse_pipeline = true;
+  fused_config.thread_count = 2;
+  const core::Study fused(fused_config);
+
+  auto unfused_config = base_config();
+  unfused_config.fuse_pipeline = false;
+  unfused_config.thread_count = 2;
+  const core::Study unfused(unfused_config);
+
+  EXPECT_EQ(fused.record_count(), unfused.record_count());
+  expect_identical(unfused.trace(), fused.trace());
+
+  ASSERT_EQ(fused.detection().incidents.size(),
+            unfused.detection().incidents.size());
+  ASSERT_EQ(fused.detection().minutes.size(),
+            unfused.detection().minutes.size());
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: builds the perf suites in Release mode, runs
+# them with --benchmark_format=json, and writes a normalized
+# BENCH_pipeline.json (stage -> threads -> items/s, real time, peak RSS)
+# at the repo root so the throughput/memory trajectory is tracked per PR.
+#
+# Memory-sensitive rows (the fused/unfused Study comparison) run in
+# separate processes: peak RSS is a process-wide high-water mark, so
+# sharing a process would let the first benchmark's footprint mask the
+# second's.
+#
+# Usage: tools/bench_json.sh [build-dir]
+#   DM_BENCH_PAPER=1   also run the (slow) paper-scale scaling table.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${BENCH_BUILD_DIR:-$ROOT/build-bench}}"
+OUT="$ROOT/BENCH_pipeline.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DDM_BUILD_TESTS=OFF \
+  -DDM_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j"$(nproc)" --target perf_pipeline perf_detectors perf_netflow
+
+run() { # run <output.json> <binary> [filter]
+  local out="$1" bin="$2" filter="${3:-}"
+  local args=(--benchmark_out="$TMP/$out" --benchmark_out_format=json)
+  [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
+  echo "== $bin ${filter:+(filter: $filter)}"
+  "$BUILD/bench/$bin" "${args[@]}" > /dev/null
+}
+
+run pipeline_stages.json perf_pipeline \
+  'BM_GenerateTrace|BM_AggregateWindows|BM_FusedGenerateWindows|BM_DetectMinutes|BM_FullDetection'
+run study_fused.json perf_pipeline 'BM_StudyEndToEnd/'
+run study_unfused.json perf_pipeline 'BM_StudyEndToEndUnfused'
+if [[ "${DM_BENCH_PAPER:-0}" != "0" ]]; then
+  run study_paper.json perf_pipeline 'BM_StudyPaperScale'
+fi
+run detectors.json perf_detectors
+run netflow.json perf_netflow
+
+python3 - "$TMP" "$OUT" <<'PY'
+import datetime
+import glob
+import json
+import os
+import re
+import sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+stages = {}
+context = {}
+for path in sorted(glob.glob(os.path.join(tmp, "*.json"))):
+    with open(path) as f:
+        data = json.load(f)
+    context = data.get("context", context)
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        stage = re.match(r"(?:BM_)?([^/]+)", name).group(1)
+        # Inner key: the parameter segment ("threads:8" or
+        # "threads:8/fused:0"); plain benchmarks key as "threads:1".
+        params = [p for p in name.split("/")[1:]
+                  if p not in ("real_time", "process_time")
+                  and not p.startswith("iterations:")]
+        threads = "/".join(params) if params else "threads:1"
+        scale = to_ms.get(b.get("time_unit", "ns"), 1.0)
+        row = {"real_time_ms": round(b["real_time"] * scale, 3)}
+        if "items_per_second" in b:
+            row["items_per_second"] = round(b["items_per_second"], 1)
+        if "peak_rss_mib" in b:
+            row["peak_rss_mib"] = round(b["peak_rss_mib"], 1)
+        stages.setdefault(stage, {})[threads] = row
+
+snapshot = {
+    "schema": "dm-bench-v1",
+    "generated": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host": {"num_cpus": context.get("num_cpus")},
+    "stages": stages,
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+PY
+
+echo "wrote $OUT"

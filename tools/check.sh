@@ -9,7 +9,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-tsan}"
-FILTER="${1:-ThreadPool|ParallelExec|ParallelEquivalence|WindowShardMerge}"
+FILTER="${1:-ThreadPool|ParallelExec|ParallelEquivalence|WindowShardMerge|FusedPipeline|RadixSort}"
 
 cmake -B "$BUILD" -S "$ROOT" \
   -DDM_SANITIZE=thread \
@@ -21,3 +21,10 @@ cmake --build "$BUILD" -j"$(nproc)" --target dm_tests
 # Fail on any TSan report even if the test itself would pass.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
+
+# Optional Release-mode perf snapshot: refreshes BENCH_pipeline.json at the
+# repo root (stage -> threads -> items/s + peak RSS). Off by default to keep
+# the gate fast; enable with DM_BENCH_JSON=1.
+if [[ "${DM_BENCH_JSON:-0}" != "0" ]]; then
+  "$ROOT/tools/bench_json.sh"
+fi
