@@ -31,6 +31,16 @@ inline double peak_rss_mib() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
+/// Resident footprint of the columnar record store, normalized per kept
+/// record — the compression headline next to the 41 bytes/record the old
+/// array-of-structs storage (FlowRecord + Direction) cost.
+inline double encoded_bytes_per_record(const netflow::WindowedTrace& trace) {
+  const std::size_t n = trace.record_count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(trace.columns().encoded_bytes()) /
+         static_cast<double>(n);
+}
+
 inline sim::ScenarioConfig scaled_config() {
   sim::ScenarioConfig config = sim::ScenarioConfig::paper_scale();
   if (const char* days = std::getenv("DM_DAYS")) config.days = std::atoi(days);

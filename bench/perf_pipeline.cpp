@@ -98,14 +98,17 @@ BENCHMARK(BM_AggregateWindows)
 void BM_FusedGenerateWindows(benchmark::State& state) {
   exec::ThreadPool pool(
       exec::workers_for(static_cast<unsigned>(state.range(0))));
+  double bytes_per_record = 0.0;
   for (auto _ : state) {
     const auto fused = sim::generate_windows(perf_scenario(), &pool);
     benchmark::DoNotOptimize(fused.windowed.windows().data());
     state.SetItemsProcessed(
         state.items_processed() +
         static_cast<std::int64_t>(fused.generated_records));
+    bytes_per_record = bench::encoded_bytes_per_record(fused.windowed);
   }
   state.counters["peak_rss_mib"] = bench::peak_rss_mib();
+  state.counters["encoded_bytes_per_record"] = bytes_per_record;
 }
 BENCHMARK(BM_FusedGenerateWindows)
     ->ArgName("threads")
@@ -151,13 +154,16 @@ BENCHMARK(BM_FullDetection)->Unit(benchmark::kMillisecond);
 void BM_StudyEndToEnd(benchmark::State& state) {
   auto config = perf_config();
   config.thread_count = static_cast<unsigned>(state.range(0));
+  double bytes_per_record = 0.0;
   for (auto _ : state) {
     const core::Study study(config);
     benchmark::DoNotOptimize(study.detection().incidents.data());
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(study.record_count()));
+    bytes_per_record = bench::encoded_bytes_per_record(study.trace());
   }
   state.counters["peak_rss_mib"] = bench::peak_rss_mib();
+  state.counters["encoded_bytes_per_record"] = bytes_per_record;
 }
 BENCHMARK(BM_StudyEndToEnd)
     ->ArgName("threads")
@@ -201,13 +207,16 @@ void BM_StudyPaperScale(benchmark::State& state) {
   auto config = sim::ScenarioConfig::paper_scale();
   config.thread_count = static_cast<unsigned>(state.range(0));
   config.fuse_pipeline = state.range(1) != 0;
+  double bytes_per_record = 0.0;
   for (auto _ : state) {
     const core::Study study(config);
     benchmark::DoNotOptimize(study.detection().incidents.data());
     state.SetItemsProcessed(state.items_processed() +
                             static_cast<std::int64_t>(study.record_count()));
+    bytes_per_record = bench::encoded_bytes_per_record(study.trace());
   }
   state.counters["peak_rss_mib"] = bench::peak_rss_mib();
+  state.counters["encoded_bytes_per_record"] = bytes_per_record;
 }
 BENCHMARK(BM_StudyPaperScale)
     ->ArgNames({"threads", "fused"})

@@ -1,7 +1,7 @@
 #include "analysis/timing.h"
 
 #include <algorithm>
-#include <map>
+#include <tuple>
 #include <vector>
 
 #include "util/stats.h"
@@ -24,18 +24,33 @@ TimingStat stat_of(std::vector<double>& xs) {
 /// on the same VIP.
 std::array<std::vector<double>, sim::kAttackTypeCount> interarrival_samples(
     std::span<const AttackIncident> incidents, Direction direction) {
-  std::map<std::pair<int, std::uint32_t>, std::vector<util::Minute>> starts;
+  // One flat (type, vip, start) vector sorted once replaces the former
+  // map-of-vectors accumulator; adjacent entries of the same (type, vip)
+  // group yield the same gaps in the same (type asc, vip asc, start asc)
+  // emission order.
+  struct Start {
+    int type;
+    std::uint32_t vip;
+    util::Minute start;
+  };
+  std::vector<Start> starts;
+  starts.reserve(incidents.size());
   for (const AttackIncident& inc : incidents) {
     if (inc.direction != direction) continue;
-    starts[{static_cast<int>(inc.type), inc.vip.value()}].push_back(inc.start);
+    starts.push_back(
+        Start{static_cast<int>(inc.type), inc.vip.value(), inc.start});
   }
+  std::sort(starts.begin(), starts.end(), [](const Start& a, const Start& b) {
+    return std::tie(a.type, a.vip, a.start) < std::tie(b.type, b.vip, b.start);
+  });
   std::array<std::vector<double>, sim::kAttackTypeCount> out;
-  for (auto& [key, times] : starts) {
-    std::sort(times.begin(), times.end());
-    for (std::size_t i = 1; i < times.size(); ++i) {
-      out[static_cast<std::size_t>(key.first)].push_back(
-          static_cast<double>(times[i] - times[i - 1]));
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    if (starts[i].type != starts[i - 1].type ||
+        starts[i].vip != starts[i - 1].vip) {
+      continue;
     }
+    out[static_cast<std::size_t>(starts[i].type)].push_back(
+        static_cast<double>(starts[i].start - starts[i - 1].start));
   }
   return out;
 }
@@ -70,27 +85,33 @@ TimingResult compute_timing(std::span<const AttackIncident> incidents,
 BimodalDecomposition decompose_bimodal(std::span<const AttackIncident> incidents,
                                        sim::AttackType type, Direction direction,
                                        std::uint32_t sampling, double split_pps) {
-  // Assemble (peak, inter-arrival-to-next) per incident, keyed by VIP order.
-  std::map<std::uint32_t, std::vector<const AttackIncident*>> by_vip;
-  for (const AttackIncident& inc : incidents) {
+  // Assemble (peak, inter-arrival-to-next) per incident, in VIP order: a
+  // sorted index vector grouped by (vip, start, original index) replaces
+  // the former std::map of per-VIP pointer lists — same grouping, same
+  // ascending-VIP walk, same start order within a VIP.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t i = 0; i < incidents.size(); ++i) {
+    const AttackIncident& inc = incidents[i];
     if (inc.direction != direction || inc.type != type) continue;
-    by_vip[inc.vip.value()].push_back(&inc);
+    order.push_back(i);
   }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const AttackIncident& x = incidents[a];
+    const AttackIncident& y = incidents[b];
+    return std::make_tuple(x.vip.value(), x.start, a) <
+           std::make_tuple(y.vip.value(), y.start, b);
+  });
 
   std::vector<double> small_peaks, small_gaps, large_peaks, large_gaps;
-  for (auto& [vip, list] : by_vip) {
-    std::sort(list.begin(), list.end(),
-              [](const AttackIncident* a, const AttackIncident* b) {
-                return a->start < b->start;
-              });
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      const double peak = list[i]->estimated_peak_pps(sampling);
-      const bool small = peak < split_pps;
-      (small ? small_peaks : large_peaks).push_back(peak);
-      if (i + 1 < list.size()) {
-        const double gap = static_cast<double>(list[i + 1]->start - list[i]->start);
-        (small ? small_gaps : large_gaps).push_back(gap);
-      }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const AttackIncident& inc = incidents[order[i]];
+    const double peak = inc.estimated_peak_pps(sampling);
+    const bool small = peak < split_pps;
+    (small ? small_peaks : large_peaks).push_back(peak);
+    if (i + 1 < order.size() && incidents[order[i + 1]].vip == inc.vip) {
+      const double gap =
+          static_cast<double>(incidents[order[i + 1]].start - inc.start);
+      (small ? small_gaps : large_gaps).push_back(gap);
     }
   }
 

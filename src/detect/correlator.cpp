@@ -1,7 +1,6 @@
 #include "detect/correlator.h"
 
 #include <algorithm>
-#include <map>
 #include <tuple>
 
 namespace dm::detect {
@@ -103,28 +102,38 @@ std::vector<CompromiseChain> find_compromise_chains(
     std::uint32_t outbound = 0;
     util::Minute outbound_start = -1;
   };
-  std::map<std::uint32_t, PerVip> by_vip;
+  // A sorted distinct-VIP directory with a parallel slot array replaces the
+  // former std::map accumulator: one binary search per lookup, contiguous
+  // memory, and the final scan emits in the same ascending-VIP order.
+  std::vector<std::uint32_t> vips;
+  vips.reserve(incidents.size());
+  for (const AttackIncident& inc : incidents) vips.push_back(inc.vip.value());
+  std::sort(vips.begin(), vips.end());
+  vips.erase(std::unique(vips.begin(), vips.end()), vips.end());
+  std::vector<PerVip> slots(vips.size());
+  const auto slot_of = [&](std::uint32_t vip) -> PerVip& {
+    const auto it = std::lower_bound(vips.begin(), vips.end(), vip);
+    return slots[static_cast<std::size_t>(it - vips.begin())];
+  };
 
   for (std::uint32_t i = 0; i < incidents.size(); ++i) {
     const AttackIncident& inc = incidents[i];
-    auto& slot = by_vip[inc.vip.value()];
-    if (inc.direction == Direction::kInbound) {
-      const bool entry_vector = inc.type == AttackType::kBruteForce ||
-                                sim::is_flood(inc.type) ||
-                                inc.type == AttackType::kSqlInjection;
-      if (entry_vector &&
-          (slot.inbound_start < 0 || inc.start < slot.inbound_start)) {
-        slot.inbound = i;
-        slot.inbound_start = inc.start;
-      }
+    if (inc.direction != Direction::kInbound) continue;
+    const bool entry_vector = inc.type == AttackType::kBruteForce ||
+                              sim::is_flood(inc.type) ||
+                              inc.type == AttackType::kSqlInjection;
+    if (!entry_vector) continue;
+    PerVip& slot = slot_of(inc.vip.value());
+    if (slot.inbound_start < 0 || inc.start < slot.inbound_start) {
+      slot.inbound = i;
+      slot.inbound_start = inc.start;
     }
   }
   for (std::uint32_t i = 0; i < incidents.size(); ++i) {
     const AttackIncident& inc = incidents[i];
     if (inc.direction != Direction::kOutbound) continue;
-    auto it = by_vip.find(inc.vip.value());
-    if (it == by_vip.end() || it->second.inbound_start < 0) continue;
-    PerVip& slot = it->second;
+    PerVip& slot = slot_of(inc.vip.value());
+    if (slot.inbound_start < 0) continue;
     if (inc.start <= slot.inbound_start) continue;
     if (slot.outbound_start < 0 || inc.start < slot.outbound_start) {
       slot.outbound = i;
@@ -133,12 +142,13 @@ std::vector<CompromiseChain> find_compromise_chains(
   }
 
   std::vector<CompromiseChain> chains;
-  for (const auto& [vip_value, slot] : by_vip) {
+  for (std::size_t v = 0; v < vips.size(); ++v) {
+    const PerVip& slot = slots[v];
     if (slot.inbound_start < 0 || slot.outbound_start < 0) continue;
     const util::Minute gap = slot.outbound_start - slot.inbound_start;
     if (gap > max_gap) continue;
-    chains.push_back(CompromiseChain{IPv4(vip_value), slot.inbound,
-                                     slot.outbound, gap});
+    chains.push_back(
+        CompromiseChain{IPv4(vips[v]), slot.inbound, slot.outbound, gap});
   }
   return chains;
 }

@@ -52,6 +52,33 @@ void parallel_for_chunks(ThreadPool* pool, std::size_t n, Body&& body) {
   group.wait();
 }
 
+/// parallel_for_chunks with an explicit chunk count (clamped to [1, n]).
+/// Unlike the adaptive overload — which collapses to ONE chunk on a serial
+/// pool — this always splits [0, n) into the requested number of chunks and,
+/// without workers, runs them in order on the calling thread. Callers use it
+/// when the chunk count bounds something besides parallelism (e.g. the
+/// fused pipeline's per-shard transient memory), which must not balloon just
+/// because thread_count is 1.
+template <typename Body>
+void parallel_for_chunks_n(ThreadPool* pool, std::size_t n, std::size_t chunks,
+                           Body&& body) {
+  if (n == 0) return;
+  chunks = std::max<std::size_t>(1, std::min(chunks, n));
+  if (pool == nullptr || pool->thread_count() == 0 || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body(c * n / chunks, (c + 1) * n / chunks, c);
+    }
+    return;
+  }
+  TaskGroup group(*pool);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    group.run([&body, begin, end, c] { body(begin, end, c); });
+  }
+  group.wait();
+}
+
 /// Runs body(i) for every i in [0, n), chunked as above.
 template <typename Body>
 void parallel_for(ThreadPool* pool, std::size_t n, Body&& body) {
@@ -73,6 +100,23 @@ template <typename T, typename Map>
                       [&](std::size_t begin, std::size_t end, std::size_t c) {
                         results[c] = map(begin, end);
                       });
+  return results;
+}
+
+/// parallel_map_chunks with an explicit chunk count — see
+/// parallel_for_chunks_n for when the chunk count matters beyond
+/// parallelism.
+template <typename T, typename Map>
+[[nodiscard]] std::vector<T> parallel_map_chunks_n(ThreadPool* pool,
+                                                   std::size_t n,
+                                                   std::size_t chunks,
+                                                   Map&& map) {
+  chunks = n == 0 ? 0 : std::max<std::size_t>(1, std::min(chunks, n));
+  std::vector<T> results(chunks);
+  parallel_for_chunks_n(pool, n, chunks,
+                        [&](std::size_t begin, std::size_t end, std::size_t c) {
+                          results[c] = map(begin, end);
+                        });
   return results;
 }
 

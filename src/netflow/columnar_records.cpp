@@ -1,0 +1,213 @@
+#include "netflow/columnar_records.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace dm::netflow {
+
+void ColumnarRecords::begin_run(std::uint64_t key, std::uint64_t minute) {
+  put_varint(headers_, delta64(key, last_key_));
+  put_varint(headers_, delta64(minute, last_minute_));
+
+  const std::size_t run = run_starts_.size();
+  if (checkpoints_.empty() ||
+      run - static_cast<std::size_t>(checkpoints_.back().run) >=
+          kCheckpointRuns) {
+    checkpoints_.push_back(Checkpoint{run, headers_.size(), key, minute});
+  }
+  run_starts_.push_back(static_cast<std::uint32_t>(size_));
+  payload_offs_.push_back(payload_.size());
+  last_key_ = key;
+  last_minute_ = minute;
+}
+
+void ColumnarRecords::push_back(const FlowRecord& record, Direction direction) {
+  // run_starts_ (and the window index space) is 32-bit; the whole pipeline
+  // shares that bound.
+  if (size_ > UINT32_MAX) throw Error("ColumnarRecords: record count exceeds 2^32");
+
+  const bool inbound = direction == Direction::kInbound;
+  const std::uint32_t vip = (inbound ? record.dst_ip : record.src_ip).value();
+  const std::uint32_t remote =
+      (inbound ? record.src_ip : record.dst_ip).value();
+  const std::uint64_t key = (static_cast<std::uint64_t>(vip) << 1) |
+                            static_cast<std::uint64_t>(direction);
+  const auto minute = static_cast<std::uint64_t>(record.minute);
+
+  if (size_ == 0 || key != last_key_ || minute != last_minute_) {
+    begin_run(key, minute);
+    put_varint(payload_, remote);
+  } else {
+    put_varint(payload_, delta32(remote, last_remote_));
+  }
+  last_remote_ = remote;
+
+  put_varint(payload_, record.src_port);
+  put_varint(payload_, record.dst_port);
+  put_varint(payload_, static_cast<std::uint8_t>(record.protocol));
+  put_varint(payload_, static_cast<std::uint8_t>(record.tcp_flags));
+  put_varint(payload_, record.packets);
+  put_varint(payload_, record.bytes);
+  ++size_;
+}
+
+void ColumnarRecords::append(ColumnarRecords&& other) {
+  if (other.size_ == 0) return;
+  // Steal the whole store when this one is empty AND unreserved; a reserved
+  // destination keeps its capacity and goes through the generic path (which
+  // is also correct for an empty destination — the encoder state starts at
+  // zero, so the re-encoded first header is byte-identical).
+  if (size_ == 0 && payload_.capacity() == 0) {
+    *this = std::move(other);
+    other = ColumnarRecords();
+    return;
+  }
+  if (size_ + other.size_ > static_cast<std::size_t>(UINT32_MAX) + 1) {
+    throw Error("ColumnarRecords: record count exceeds 2^32");
+  }
+
+  // Every store's first run header is encoded relative to (0, 0); re-encode
+  // it relative to this store's last run, then bulk-copy the rest verbatim
+  // (later headers are deltas between other's own runs — unaffected).
+  const std::uint8_t* h = other.headers_.data();
+  const std::uint64_t first_key = undelta64(0, get_varint(h));
+  const std::uint64_t first_minute = undelta64(0, get_varint(h));
+  const auto old_first_len =
+      static_cast<std::size_t>(h - other.headers_.data());
+  const std::size_t headers_before = headers_.size();
+  put_varint(headers_, delta64(first_key, last_key_));
+  put_varint(headers_, delta64(first_minute, last_minute_));
+  const std::size_t new_first_len = headers_.size() - headers_before;
+  headers_.insert(headers_.end(),
+                  other.headers_.begin() +
+                      static_cast<std::ptrdiff_t>(old_first_len),
+                  other.headers_.end());
+
+  const std::uint64_t payload_base = payload_.size();
+  payload_.insert(payload_.end(), other.payload_.begin(),
+                  other.payload_.end());
+
+  const auto record_base = static_cast<std::uint32_t>(size_);
+  run_starts_.reserve(run_starts_.size() + other.run_starts_.size());
+  for (const std::uint32_t rs : other.run_starts_) {
+    run_starts_.push_back(rs + record_base);
+  }
+  payload_offs_.reserve(payload_offs_.size() + other.payload_offs_.size());
+  for (const std::uint64_t off : other.payload_offs_) {
+    payload_offs_.push_back(off + payload_base);
+  }
+
+  const std::uint64_t run_base =
+      run_starts_.size() - other.run_starts_.size();
+  // Header offsets shift by the bytes in front of other's stream, adjusted
+  // for the first header's re-encoded length.
+  const std::uint64_t header_shift =
+      headers_before + new_first_len - old_first_len;
+  checkpoints_.reserve(checkpoints_.size() + other.checkpoints_.size());
+  for (const Checkpoint& cp : other.checkpoints_) {
+    checkpoints_.push_back(Checkpoint{cp.run + run_base,
+                                      cp.next_header + header_shift, cp.key,
+                                      cp.minute});
+  }
+
+  size_ += other.size_;
+  last_key_ = other.last_key_;
+  last_minute_ = other.last_minute_;
+  last_remote_ = other.last_remote_;
+  other = ColumnarRecords();
+}
+
+ColumnarRecords::BufferSizes ColumnarRecords::buffer_sizes() const noexcept {
+  return BufferSizes{headers_.size(), payload_.size(), run_starts_.size(),
+                     checkpoints_.size()};
+}
+
+void ColumnarRecords::reserve(const BufferSizes& extra) {
+  headers_.reserve(headers_.size() +
+                   static_cast<std::size_t>(extra.header_bytes));
+  payload_.reserve(payload_.size() +
+                   static_cast<std::size_t>(extra.payload_bytes));
+  run_starts_.reserve(run_starts_.size() + extra.runs);
+  payload_offs_.reserve(payload_offs_.size() + extra.runs);
+  checkpoints_.reserve(checkpoints_.size() + extra.checkpoints);
+}
+
+void ColumnarRecords::shrink_to_fit() {
+  headers_.shrink_to_fit();
+  payload_.shrink_to_fit();
+  run_starts_.shrink_to_fit();
+  payload_offs_.shrink_to_fit();
+  checkpoints_.shrink_to_fit();
+}
+
+std::uint64_t ColumnarRecords::encoded_bytes() const noexcept {
+  return static_cast<std::uint64_t>(headers_.size()) + payload_.size() +
+         run_starts_.size() * sizeof(std::uint32_t) +
+         payload_offs_.size() * sizeof(std::uint64_t) +
+         checkpoints_.size() * sizeof(Checkpoint);
+}
+
+ColumnarRecords::Cursor ColumnarRecords::cursor_at(
+    std::size_t record_index) const noexcept {
+  Cursor c;
+  c.store_ = this;
+  c.limit_ = size_;
+  if (record_index >= size_) {
+    c.next_index_ = size_;
+    return c;
+  }
+
+  // The run containing record_index...
+  const auto run_it =
+      std::upper_bound(run_starts_.begin(), run_starts_.end(),
+                       static_cast<std::uint32_t>(record_index));
+  const auto run =
+      static_cast<std::size_t>(run_it - run_starts_.begin()) - 1;
+
+  // ...its absolute header state, reached from the nearest checkpoint at or
+  // before it (checkpoint 0 covers run 0, so the search never underflows).
+  const auto cp_it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), run,
+      [](std::size_t r, const Checkpoint& cp) { return r < cp.run; });
+  const Checkpoint& cp = *(cp_it - 1);
+  c.key_ = cp.key;
+  c.minute_ = cp.minute;
+  c.header_pos_ = static_cast<std::size_t>(cp.next_header);
+  const std::uint8_t* h = headers_.data() + c.header_pos_;
+  for (auto r = static_cast<std::size_t>(cp.run); r < run; ++r) {
+    c.key_ = undelta64(c.key_, get_varint(h));
+    c.minute_ = undelta64(c.minute_, get_varint(h));
+  }
+  c.header_pos_ = static_cast<std::size_t>(h - headers_.data());
+
+  c.run_ = run;
+  c.run_end_ =
+      run + 1 < run_starts_.size() ? run_starts_[run + 1] : size_;
+  c.payload_pos_ = static_cast<std::size_t>(payload_offs_[run]);
+  c.next_index_ = run_starts_[run];
+  // Skip-decode to the requested record when it sits mid-run.
+  while (c.next_index_ < record_index) c.next();
+  return c;
+}
+
+ColumnarRecords::Range ColumnarRecords::range(std::size_t first,
+                                              std::size_t last) const noexcept {
+  Cursor c = cursor_at(first);
+  c.limit_ = last;
+  return Range(c, last - first);
+}
+
+ColumnarRecords::Range ColumnarRecords::all() const noexcept {
+  return range(0, size_);
+}
+
+Direction ColumnarRecords::direction_of(
+    std::size_t record_index) const noexcept {
+  Cursor c = cursor_at(record_index);
+  c.next();
+  return c.direction();
+}
+
+}  // namespace dm::netflow

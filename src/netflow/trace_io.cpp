@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "netflow/varint.h"
 #include "util/error.h"
 
 namespace dm::netflow {
@@ -25,24 +26,8 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-/// ZigZag for signed minute deltas.
-std::uint64_t zigzag(std::int64_t v) noexcept {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t unzigzag(std::uint64_t v) noexcept {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
-
+// Varint/zigzag encoding comes from netflow/varint.h; the bounds-checked
+// ByteCursor below stays local — file input is untrusted.
 class ByteCursor {
  public:
   explicit ByteCursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
@@ -160,14 +145,18 @@ void TraceWriter::write_all(std::span<const FlowRecord> records) {
   for (const auto& r : records) write(r);
 }
 
+void TraceWriter::write_all(ColumnarRecords::Range records) {
+  for (const FlowRecord& r : records) write(r);
+}
+
 void TraceWriter::flush_block() {
   if (pending_.empty()) return;
   std::vector<std::uint8_t> payload;
   payload.reserve(pending_.size() * 16);
   const util::Minute base = pending_.front().minute;
-  put_varint(payload, zigzag(base));
+  put_varint(payload, zigzag64(base));
   for (const FlowRecord& r : pending_) {
-    put_varint(payload, zigzag(r.minute - base));
+    put_varint(payload, zigzag64(r.minute - base));
     put_varint(payload, r.src_ip.value());
     put_varint(payload, r.dst_ip.value());
     put_varint(payload, r.src_port);
@@ -227,12 +216,12 @@ bool TraceReader::load_block() {
   if (crc32(payload) != expected_crc) throw FormatError("trace: CRC mismatch");
 
   ByteCursor cursor{payload};
-  const util::Minute base = unzigzag(cursor.varint());
+  const util::Minute base = unzigzag64(cursor.varint());
   block_.clear();
   block_.reserve(record_count);
   for (std::uint64_t i = 0; i < record_count; ++i) {
     FlowRecord r;
-    r.minute = base + unzigzag(cursor.varint());
+    r.minute = base + unzigzag64(cursor.varint());
     r.src_ip = IPv4(static_cast<std::uint32_t>(cursor.varint()));
     r.dst_ip = IPv4(static_cast<std::uint32_t>(cursor.varint()));
     r.src_port = static_cast<std::uint16_t>(cursor.varint());
@@ -263,6 +252,15 @@ std::vector<FlowRecord> TraceReader::read_all() {
 }
 
 void write_trace_file(const std::string& path, std::span<const FlowRecord> records,
+                      std::uint32_t sampling_denominator) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw FormatError("trace: cannot open for writing: " + path);
+  TraceWriter writer(out, sampling_denominator);
+  writer.write_all(records);
+  writer.finish();
+}
+
+void write_trace_file(const std::string& path, ColumnarRecords::Range records,
                       std::uint32_t sampling_denominator) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw FormatError("trace: cannot open for writing: " + path);

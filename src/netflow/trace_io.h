@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "netflow/columnar_records.h"
 #include "netflow/flow_record.h"
 
 namespace dm::netflow {
@@ -39,6 +40,9 @@ class TraceWriter {
 
   void write(const FlowRecord& record);
   void write_all(std::span<const FlowRecord> records);
+  /// Streams a decoded view of the columnar store — the WindowedTrace
+  /// export path; never materializes the records as an array.
+  void write_all(ColumnarRecords::Range records);
 
   /// Flushes pending records and writes the end marker. Idempotent.
   void finish();
@@ -82,6 +86,8 @@ class TraceReader {
 
 /// Convenience round-trips through files on disk.
 void write_trace_file(const std::string& path, std::span<const FlowRecord> records,
+                      std::uint32_t sampling_denominator);
+void write_trace_file(const std::string& path, ColumnarRecords::Range records,
                       std::uint32_t sampling_denominator);
 [[nodiscard]] std::vector<FlowRecord> read_trace_file(const std::string& path,
                                                       std::uint32_t* sampling = nullptr);

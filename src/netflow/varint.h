@@ -1,0 +1,78 @@
+// LEB128 varints and zigzag mappings shared by the on-disk trace format
+// (trace_io) and the in-memory columnar record store (columnar_records).
+//
+// Encoding is append-only into a byte vector. Two decoders exist by design:
+// the unchecked pointer-advancing get_varint below for self-produced,
+// trusted buffers (the columnar store decodes only bytes it encoded), and
+// trace_io's bounds-checked ByteCursor for untrusted files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dm::netflow {
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes one varint from a trusted buffer, advancing `p`. No bounds
+/// checking: callers guarantee `p` points at a well-formed varint (the
+/// columnar store only decodes buffers it produced; the ASan/UBSan CI gate
+/// covers the invariant).
+[[nodiscard]] inline std::uint64_t get_varint(const std::uint8_t*& p) noexcept {
+  std::uint64_t v = 0;
+  int shift = 0;
+  std::uint8_t b;
+  do {
+    b = *p++;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    shift += 7;
+  } while ((b & 0x80) != 0);
+  return v;
+}
+
+/// ZigZag: maps small signed deltas to small unsigned varints.
+[[nodiscard]] inline std::uint64_t zigzag64(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] inline std::int64_t unzigzag64(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+[[nodiscard]] inline std::uint32_t zigzag32(std::int32_t v) noexcept {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+
+[[nodiscard]] inline std::int32_t unzigzag32(std::uint32_t v) noexcept {
+  return static_cast<std::int32_t>(v >> 1) ^ -static_cast<std::int32_t>(v & 1);
+}
+
+/// Wraparound delta helpers: `a - b` in modular arithmetic zigzagged so
+/// both tiny forward and tiny backward steps encode in one or two bytes,
+/// while any (a, b) pair — including INT64_MIN/INT64_MAX minutes fed in by
+/// ingestion — round-trips exactly (decode adds the delta back mod 2^64).
+[[nodiscard]] inline std::uint64_t delta64(std::uint64_t a, std::uint64_t b) noexcept {
+  return zigzag64(static_cast<std::int64_t>(a - b));
+}
+
+[[nodiscard]] inline std::uint64_t undelta64(std::uint64_t base, std::uint64_t zz) noexcept {
+  return base + static_cast<std::uint64_t>(unzigzag64(zz));
+}
+
+[[nodiscard]] inline std::uint32_t delta32(std::uint32_t a, std::uint32_t b) noexcept {
+  return zigzag32(static_cast<std::int32_t>(a - b));
+}
+
+[[nodiscard]] inline std::uint32_t undelta32(std::uint32_t base, std::uint32_t zz) noexcept {
+  return base + static_cast<std::uint32_t>(unzigzag32(zz));
+}
+
+}  // namespace dm::netflow

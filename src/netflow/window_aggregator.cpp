@@ -6,6 +6,7 @@
 
 #include "exec/parallel.h"
 #include "exec/radix_sort.h"
+#include "util/malloc_tune.h"
 
 namespace dm::netflow {
 
@@ -17,12 +18,10 @@ std::optional<Direction> classify(const FlowRecord& record,
   return dst_cloud ? Direction::kInbound : Direction::kOutbound;
 }
 
-WindowedTrace::WindowedTrace(std::vector<FlowRecord> records,
-                             std::vector<Direction> directions,
+WindowedTrace::WindowedTrace(ColumnarRecords columns,
                              std::vector<VipMinuteStats> windows,
                              std::uint64_t unclassified_records)
-    : records_(std::move(records)),
-      directions_(std::move(directions)),
+    : columns_(std::move(columns)),
       windows_(std::move(windows)),
       unclassified_(unclassified_records) {
   // windows_ is sorted by VIP, so adjacent dedup yields the distinct-VIP
@@ -32,10 +31,24 @@ WindowedTrace::WindowedTrace(std::vector<FlowRecord> records,
   }
 }
 
-std::span<const FlowRecord> WindowedTrace::records_of(
+WindowedTrace::WindowedTrace(std::vector<FlowRecord> records,
+                             std::vector<Direction> directions,
+                             std::vector<VipMinuteStats> windows,
+                             std::uint64_t unclassified_records)
+    : WindowedTrace(
+          [&] {
+            ColumnarRecords columns;
+            for (std::size_t i = 0; i < records.size(); ++i) {
+              columns.push_back(records[i], directions[i]);
+            }
+            columns.shrink_to_fit();
+            return columns;
+          }(),
+          std::move(windows), unclassified_records) {}
+
+WindowedTrace::RecordRange WindowedTrace::records_of(
     const VipMinuteStats& window) const noexcept {
-  return std::span<const FlowRecord>(records_).subspan(
-      window.first_record, window.last_record - window.first_record);
+  return columns_.range(window.first_record, window.last_record);
 }
 
 std::span<const VipMinuteStats> WindowedTrace::series(IPv4 vip,
@@ -195,6 +208,7 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
                                 const PrefixSet& cloud_space,
                                 const PrefixSet* blacklist,
                                 exec::ThreadPool* pool) {
+  util::tune_malloc_for_streaming();
   const std::size_t n = records.size();
 
   // Phase 1: orient every record (parallel — two longest-prefix lookups per
@@ -250,24 +264,56 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
         }
       });
 
-  // Phase 4: build windows per shard, with shard edges snapped forward to
-  // the next (vip, direction, minute) boundary so no window straddles two
-  // shards; concatenating shard outputs in index order reproduces the
-  // single-pass result exactly.
+  // Phase 4: build windows AND encode the columnar slice per shard, with
+  // shard edges snapped forward to the next (vip, direction, minute)
+  // boundary so no window (hence no run) straddles two shards;
+  // concatenating shard outputs in index order reproduces the single-pass
+  // result exactly.
   const auto aligned = [&](std::size_t i) {
     while (i > 0 && i < kept && keys[i - 1].window_equal(keys[i])) ++i;
     return i;
   };
-  using WindowVec = std::vector<VipMinuteStats>;
-  std::vector<WindowVec> shards = exec::parallel_map_chunks<WindowVec>(
+  struct BuiltChunk {
+    std::vector<VipMinuteStats> windows;
+    ColumnarRecords columns;
+  };
+  std::vector<BuiltChunk> chunks = exec::parallel_map_chunks<BuiltChunk>(
       pool, kept, [&](std::size_t lo, std::size_t hi) {
-        return build_windows(sorted_records, sorted_dirs, blacklist,
-                             aligned(lo), aligned(hi));
+        BuiltChunk chunk;
+        const std::size_t b = aligned(lo);
+        const std::size_t e = aligned(hi);
+        chunk.windows =
+            build_windows(sorted_records, sorted_dirs, blacklist, b, e);
+        // Both outputs are held until the index-ordered merge; drop the
+        // push_back growth overshoot so the barrier holds exact sizes.
+        chunk.windows.shrink_to_fit();
+        for (std::size_t i = b; i < e; ++i) {
+          chunk.columns.push_back(sorted_records[i], sorted_dirs[i]);
+        }
+        chunk.columns.shrink_to_fit();
+        return chunk;
       });
-  std::vector<VipMinuteStats> windows = exec::concat(std::move(shards));
 
-  return WindowedTrace(std::move(sorted_records), std::move(sorted_dirs),
-                       std::move(windows), unclassified);
+  std::size_t total_windows = 0;
+  ColumnarRecords::BufferSizes total_bytes;
+  for (const BuiltChunk& c : chunks) {
+    total_windows += c.windows.size();
+    const auto s = c.columns.buffer_sizes();
+    total_bytes.header_bytes += s.header_bytes + 20;  // re-encoded first header
+    total_bytes.payload_bytes += s.payload_bytes;
+    total_bytes.runs += s.runs;
+    total_bytes.checkpoints += s.checkpoints;
+  }
+  std::vector<VipMinuteStats> windows;
+  windows.reserve(total_windows);
+  ColumnarRecords columns;
+  columns.reserve(total_bytes);
+  for (BuiltChunk& c : chunks) {
+    windows.insert(windows.end(), c.windows.begin(), c.windows.end());
+    columns.append(std::move(c.columns));
+    c = BuiltChunk();
+  }
+  return WindowedTrace(std::move(columns), std::move(windows), unclassified);
 }
 
 ShardWindows aggregate_shard(std::vector<FlowRecord> records,
@@ -279,7 +325,8 @@ ShardWindows aggregate_shard(std::vector<FlowRecord> records,
   // records retain arrival order — the tie-break the canonical sort uses.
   bool packable = true;
   std::size_t keep = 0;
-  out.directions.reserve(records.size());
+  std::vector<Direction> directions;
+  directions.reserve(records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto dir = classify(records[i], cloud_space);
     if (!dir) {
@@ -289,7 +336,7 @@ ShardWindows aggregate_shard(std::vector<FlowRecord> records,
     packable &= records[i].minute >= 0 &&
                 records[i].minute < (util::Minute{1} << 31);
     records[keep] = records[i];
-    out.directions.push_back(*dir);
+    directions.push_back(*dir);
     ++keep;
   }
   records.resize(keep);
@@ -306,10 +353,10 @@ ShardWindows aggregate_shard(std::vector<FlowRecord> records,
   if (packable) {
     std::vector<exec::Key128> keys(keep);
     for (std::size_t i = 0; i < keep; ++i) {
-      const OrientedFlow f{&records[i], out.directions[i]};
+      const OrientedFlow f{&records[i], directions[i]};
       keys[i] = exec::Key128{
           (static_cast<std::uint64_t>(f.vip().value()) << 32) |
-              (static_cast<std::uint64_t>(out.directions[i]) << 31) |
+              (static_cast<std::uint64_t>(directions[i]) << 31) |
               static_cast<std::uint64_t>(records[i].minute),
           static_cast<std::uint64_t>(f.remote_ip().value()) << 32};
     }
@@ -322,25 +369,36 @@ ShardWindows aggregate_shard(std::vector<FlowRecord> records,
     for (std::size_t i = 0; i < keep; ++i) {
       const std::size_t src = order[i];
       sorted_records[i] = records[src];
-      sorted_dirs[i] = out.directions[src];
+      sorted_dirs[i] = directions[src];
     }
   } else {
     std::vector<SortKey> keys(keep);
     for (std::size_t i = 0; i < keep; ++i) {
-      keys[i] = key_of(records[i], out.directions[i], i);
+      keys[i] = key_of(records[i], directions[i], i);
     }
     std::sort(keys.begin(), keys.end());
     for (std::size_t i = 0; i < keep; ++i) {
       const auto src = static_cast<std::size_t>(keys[i].k2 & 0xffffffffULL);
       sorted_records[i] = records[src];
-      sorted_dirs[i] = out.directions[src];
+      sorted_dirs[i] = directions[src];
     }
   }
-  out.records = std::move(sorted_records);
-  out.directions = std::move(sorted_dirs);
+  // Free the arrival-order copies before encoding; only the canonical slice
+  // is still needed.
+  records = std::vector<FlowRecord>();
+  directions = std::vector<Direction>();
 
-  out.windows =
-      build_windows(out.records, out.directions, blacklist, 0, keep);
+  out.windows = build_windows(sorted_records, sorted_dirs, blacklist, 0, keep);
+  // Shard outputs accumulate until the caller's merge; hold exact sizes,
+  // not push_back growth overshoot.
+  out.windows.shrink_to_fit();
+  // Encode the canonical slice into the shard-local columnar store — the
+  // raw arrays die with this scope, so only the compressed form leaves the
+  // shard.
+  for (std::size_t i = 0; i < keep; ++i) {
+    out.columns.push_back(sorted_records[i], sorted_dirs[i]);
+  }
+  out.columns.shrink_to_fit();
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "netflow/columnar_records.h"
 #include "netflow/flow_record.h"
 #include "netflow/ipv4.h"
 
@@ -61,9 +62,21 @@ struct VipMinuteStats {
 /// The aggregated dataset: oriented records sorted by
 /// (VIP, direction, minute, remote IP) plus one VipMinuteStats per non-empty
 /// window, in the same order. Per-VIP time series are contiguous slices.
+///
+/// Records live in a ColumnarRecords store — run-length/delta-varint
+/// compressed, including each record's Direction — so the resident trace
+/// costs a fraction of the array-of-structs form; record access decodes on
+/// the fly through ColumnarRecords::Range (drop-in for range-for loops that
+/// used to see a std::span<const FlowRecord>).
 class WindowedTrace {
  public:
+  using RecordRange = ColumnarRecords::Range;
+
   WindowedTrace() = default;
+  WindowedTrace(ColumnarRecords columns, std::vector<VipMinuteStats> windows,
+                std::uint64_t unclassified_records);
+  /// Convenience for ingestion paths and tests that hold AoS arrays: encodes
+  /// them into the columnar store.
   WindowedTrace(std::vector<FlowRecord> records, std::vector<Direction> directions,
                 std::vector<VipMinuteStats> windows,
                 std::uint64_t unclassified_records);
@@ -71,17 +84,23 @@ class WindowedTrace {
   [[nodiscard]] std::span<const VipMinuteStats> windows() const noexcept {
     return windows_;
   }
-  [[nodiscard]] std::span<const FlowRecord> records() const noexcept {
-    return records_;
+  [[nodiscard]] RecordRange records() const noexcept { return columns_.all(); }
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return columns_.size();
+  }
+  [[nodiscard]] const ColumnarRecords& columns() const noexcept {
+    return columns_;
   }
 
   /// Records belonging to a window (same index space as windows()).
-  [[nodiscard]] std::span<const FlowRecord> records_of(
+  [[nodiscard]] RecordRange records_of(
       const VipMinuteStats& window) const noexcept;
 
-  /// Direction of records()[i] relative to the cloud.
+  /// Direction of record `record_index` relative to the cloud. Costs a
+  /// store seek; bulk consumers should iterate records() and read the
+  /// iterator's direction() instead.
   [[nodiscard]] Direction direction_of(std::size_t record_index) const noexcept {
-    return directions_[record_index];
+    return columns_.direction_of(record_index);
   }
 
   /// Contiguous window slice for one (vip, direction) series, sorted by
@@ -100,8 +119,7 @@ class WindowedTrace {
   }
 
  private:
-  std::vector<FlowRecord> records_;
-  std::vector<Direction> directions_;
+  ColumnarRecords columns_;
   std::vector<VipMinuteStats> windows_;
   std::vector<IPv4> vips_;
   std::uint64_t unclassified_ = 0;
@@ -124,12 +142,13 @@ class WindowedTrace {
                                               const PrefixSet* blacklist = nullptr,
                                               exec::ThreadPool* pool = nullptr);
 
-/// One shard's fully aggregated slice: kept records in canonical order,
-/// their directions, windows whose first/last_record indices are
-/// SHARD-LOCAL, and the shard's dropped-record count.
+/// One shard's fully aggregated slice: kept records (with directions) in
+/// canonical order inside a shard-local columnar store, windows whose
+/// first/last_record indices are SHARD-LOCAL, and the shard's
+/// dropped-record count. Merging = ColumnarRecords::append in shard order
+/// plus rebasing the window index ranges.
 struct ShardWindows {
-  std::vector<FlowRecord> records;
-  std::vector<Direction> directions;
+  ColumnarRecords columns;
   std::vector<VipMinuteStats> windows;
   std::uint64_t unclassified = 0;
 };

@@ -9,6 +9,7 @@
 #include "sim/benign_model.h"
 #include "sim/scheduler.h"
 #include "util/error.h"
+#include "util/malloc_tune.h"
 
 namespace dm::sim {
 
@@ -102,6 +103,8 @@ FusedTrace generate_windows(const Scenario& scenario, exec::ThreadPool* pool) {
   const netflow::PrefixSet& cloud_space = scenario.vips().cloud_space();
   const netflow::PrefixSet* blacklist = &scenario.tds().as_prefix_set();
 
+  util::tune_malloc_for_streaming();
+
   FusedTrace result;
   EpisodeScheduler scheduler(config, scenario.vips(), scenario.ases(),
                              scenario.tds());
@@ -155,14 +158,26 @@ FusedTrace generate_windows(const Scenario& scenario, exec::ThreadPool* pool) {
     episodes_at[p].push_back(static_cast<std::uint32_t>(i));
   }
 
-  // Per-shard fused pass: generate → aggregate, never keeping the unsorted
-  // records beyond the shard.
+  // Per-shard fused pass: generate → aggregate → encode, never keeping the
+  // unsorted records beyond the shard. The shard count is fixed at 64 per
+  // worker (vs the skeletons' default 4, and still ≥ 64 when serial):
+  // shards are also the unit of transient memory — a shard's raw, sorted,
+  // and key arrays all live until its columnar slice is encoded, and with
+  // W workers W shards are in flight at once, so the in-flight transient
+  // is ~(record bytes / multiplier) for any worker count — ~100 MiB at
+  // paper scale. Small shards only work because the mmap threshold is
+  // pinned (above): with glibc's adaptive threshold the per-shard scratch
+  // would be retained in every worker's arena instead of returned.
   struct Shard {
     netflow::ShardWindows agg;
     std::uint64_t generated = 0;
   };
-  std::vector<Shard> shards = exec::parallel_map_chunks<Shard>(
-      pool, vip_count, [&](std::size_t lo, std::size_t hi) {
+  const std::size_t workers =
+      pool == nullptr ? 0 : static_cast<std::size_t>(pool->thread_count());
+  const std::size_t shard_count =
+      std::min(vip_count, std::max<std::size_t>(64, 64 * workers));
+  std::vector<Shard> shards = exec::parallel_map_chunks_n<Shard>(
+      pool, vip_count, shard_count, [&](std::size_t lo, std::size_t hi) {
         Shard shard;
         std::vector<netflow::FlowRecord> records;
         // Benign first, then attacks in episode-index order — the same
@@ -191,40 +206,46 @@ FusedTrace generate_windows(const Scenario& scenario, exec::ThreadPool* pool) {
         return shard;
       });
 
-  // Index-ordered concatenation; only the window record-index ranges need
-  // rebasing from shard-local to global offsets.
-  std::size_t total_records = 0;
+  // Index-ordered concatenation of the compressed shard slices; only the
+  // window record-index ranges need rebasing from shard-local to global
+  // offsets. The destination buffers are reserved to the exact summed size
+  // so the appends never over-allocate.
   std::size_t total_windows = 0;
+  netflow::ColumnarRecords::BufferSizes total_bytes;
   for (const Shard& s : shards) {
-    total_records += s.agg.records.size();
     total_windows += s.agg.windows.size();
+    const auto b = s.agg.columns.buffer_sizes();
+    total_bytes.header_bytes += b.header_bytes + 20;  // re-encoded first header
+    total_bytes.payload_bytes += b.payload_bytes;
+    total_bytes.runs += b.runs;
+    total_bytes.checkpoints += b.checkpoints;
   }
-  std::vector<netflow::FlowRecord> records;
-  std::vector<netflow::Direction> directions;
+  netflow::ColumnarRecords columns;
+  columns.reserve(total_bytes);
   std::vector<netflow::VipMinuteStats> windows;
-  records.reserve(total_records);
-  directions.reserve(total_records);
   windows.reserve(total_windows);
   std::uint64_t unclassified = 0;
-  for (Shard& s : shards) {
-    const auto base = static_cast<std::uint32_t>(records.size());
-    records.insert(records.end(), s.agg.records.begin(), s.agg.records.end());
-    directions.insert(directions.end(), s.agg.directions.begin(),
-                      s.agg.directions.end());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    Shard& s = shards[i];
+    const auto base = static_cast<std::uint32_t>(columns.size());
     for (netflow::VipMinuteStats w : s.agg.windows) {
       w.first_record += base;
       w.last_record += base;
       windows.push_back(w);
     }
+    columns.append(std::move(s.agg.columns));
     unclassified += s.agg.unclassified;
     result.generated_records += s.generated;
     // Release each consumed slice immediately so the merge's transient
-    // footprint shrinks as it walks the shards.
+    // footprint shrinks as it walks the shards; trim periodically so pages
+    // the worker arenas retain for the freed slices actually leave the
+    // process instead of stacking under the growing merged copy.
     s.agg = netflow::ShardWindows();
+    if ((i + 1) % 64 == 0) util::release_free_heap();
   }
-  result.windowed =
-      netflow::WindowedTrace(std::move(records), std::move(directions),
-                             std::move(windows), unclassified);
+  util::release_free_heap();
+  result.windowed = netflow::WindowedTrace(std::move(columns),
+                                           std::move(windows), unclassified);
   return result;
 }
 

@@ -1,0 +1,49 @@
+// glibc malloc keeps a per-thread arena and adapts its mmap threshold
+// upward (to 32 MiB) whenever an mmap'd block is freed. For a sharded
+// streaming pass that is the worst case: every worker churns through
+// multi-MiB per-shard scratch arrays, the adapted threshold routes them to
+// the arena heap, and each arena permanently retains its high-water mark —
+// peak RSS then grows with the worker count even though the live set does
+// not. Pinning the threshold low makes every big scratch allocation an
+// mmap, returned to the OS the moment the shard frees it; the cost is a
+// soft page fault per fresh page, noise next to generating and sorting the
+// records that fill it.
+#pragma once
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace dm::util {
+
+/// Pin the malloc mmap threshold to 1 MiB (glibc only; no-op elsewhere).
+/// Called by the sharded pipeline stages before fan-out; idempotent and
+/// safe to call from any thread.
+inline void tune_malloc_for_streaming() noexcept {
+#if defined(__GLIBC__)
+  static const bool tuned = [] {
+    mallopt(M_MMAP_THRESHOLD, 1 << 20);
+    // Two arenas instead of one per thread: shard outputs (live until the
+    // merge) interleave with freed scratch inside an arena, so every arena
+    // fragments up to its own high-water mark. Allocation here is chunky
+    // (vector growth doublings), so the lock contention this adds is
+    // negligible next to 8x fewer fragmented heaps.
+    mallopt(M_ARENA_MAX, 2);
+    return true;
+  }();
+  (void)tuned;
+#endif
+}
+
+/// Return freed heap pages to the OS (glibc only; no-op elsewhere).
+/// Worker arenas retain their high-water mark after shard outputs are
+/// freed; a long serial merge that frees hundreds of shard slices while
+/// growing the final buffers should trim periodically so the freed pages
+/// do not stack on top of the merged copy in the peak-RSS accounting.
+inline void release_free_heap() noexcept {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
+}  // namespace dm::util

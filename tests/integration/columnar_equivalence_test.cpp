@@ -1,0 +1,258 @@
+// The columnar record store must be invisible to every consumer: a Study
+// built on ColumnarRecords has to reproduce, byte for byte, what an
+// independent array-of-structs reference produces — decoded records and
+// directions against an in-test AoS pipeline (classify + stable canonical
+// sort over the serial generator output), and windows, detections, and the
+// four record-consuming exhibits across 1/2/8 threads and both pipeline
+// shapes (fused and unfused).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "analysis/attribution.h"
+#include "analysis/service_mix.h"
+#include "analysis/signature.h"
+#include "analysis/spoof_analysis.h"
+#include "core/study.h"
+#include "netflow/window_aggregator.h"
+#include "sim/trace_generator.h"
+
+namespace dm {
+namespace {
+
+sim::ScenarioConfig base_config() {
+  auto config = sim::ScenarioConfig::smoke();
+  config.seed = 31337;
+  return config;
+}
+
+/// Independent AoS reference: serial generation, classification, and a
+/// stable std::sort on the documented canonical key — no ColumnarRecords,
+/// no shard merge, no parallel sort. The stable sort's preserved arrival
+/// order is exactly the pipeline's arrival-index tie-break.
+struct AosReference {
+  std::vector<netflow::FlowRecord> records;
+  std::vector<netflow::Direction> directions;
+};
+
+AosReference build_reference(const sim::Scenario& scenario) {
+  exec::ThreadPool serial_pool(exec::workers_for(1));
+  sim::TraceResult generated = sim::generate_trace(scenario, &serial_pool);
+
+  AosReference ref;
+  const auto& cloud = scenario.vips().cloud_space();
+  for (const netflow::FlowRecord& r : generated.records) {
+    if (const auto dir = netflow::classify(r, cloud)) {
+      ref.records.push_back(r);
+      ref.directions.push_back(*dir);
+    }
+  }
+
+  std::vector<std::uint32_t> order(ref.records.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(
+      order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const netflow::OrientedFlow fa{&ref.records[a], ref.directions[a]};
+        const netflow::OrientedFlow fb{&ref.records[b], ref.directions[b]};
+        return std::make_tuple(fa.vip().value(),
+                               static_cast<int>(ref.directions[a]),
+                               ref.records[a].minute, fa.remote_ip().value()) <
+               std::make_tuple(fb.vip().value(),
+                               static_cast<int>(ref.directions[b]),
+                               ref.records[b].minute, fb.remote_ip().value());
+      });
+
+  AosReference sorted;
+  sorted.records.reserve(order.size());
+  sorted.directions.reserve(order.size());
+  for (const std::uint32_t i : order) {
+    sorted.records.push_back(ref.records[i]);
+    sorted.directions.push_back(ref.directions[i]);
+  }
+  return sorted;
+}
+
+void expect_matches_reference(const AosReference& ref,
+                              const netflow::WindowedTrace& trace) {
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), ref.records.size());
+  for (auto it = records.begin(); it != records.end(); ++it) {
+    const std::size_t i = it.index();
+    ASSERT_EQ(*it, ref.records[i]) << "record " << i;
+    ASSERT_EQ(it.direction(), ref.directions[i]) << "direction " << i;
+  }
+}
+
+// ---- Exhibit serialization: every field, full precision. Two studies
+// agree on an exhibit iff they produce the same string.
+
+std::ostringstream exhibit_stream() {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  return os;
+}
+
+std::string dump_incident_remotes(const core::Study& study) {
+  auto os = exhibit_stream();
+  const auto& incidents = study.detection().incidents;
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    os << "incident " << i << ":";
+    for (const auto& rc : analysis::incident_remotes(
+             study.trace(), incidents[i], &study.blacklist())) {
+      os << " " << rc.remote.value() << "=" << rc.packets;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string dump_service_tables(const core::Study& study) {
+  auto os = exhibit_stream();
+  const auto table = analysis::compute_service_attack_table(
+      study.trace(), study.detection().minutes, study.detection().incidents);
+  os << "victims=" << table.victim_vips << "\n";
+  for (std::size_t s = 0; s < analysis::kReportedServiceCount; ++s) {
+    os << "svc" << s << " share=" << table.hosting_share[s] << " cells=";
+    for (const double c : table.cell[s]) os << c << ",";
+    os << "\n";
+  }
+  const auto targets = analysis::compute_outbound_app_targets(
+      study.trace(), study.detection().incidents);
+  os << "attacking=" << targets.attacking_vips
+     << " web=" << targets.web_share << " per_svc=";
+  for (const auto v : targets.vips_per_service) os << v << ",";
+  os << "\n";
+  return os.str();
+}
+
+std::string dump_signatures(const core::Study& study) {
+  auto os = exhibit_stream();
+  for (const netflow::IPv4 vip : study.trace().vips()) {
+    os << "vip " << vip.value() << ":\n";
+    for (const auto& rule : analysis::extract_signatures(
+             study.trace(), study.detection().incidents, vip, {},
+             &study.blacklist())) {
+      os << "  " << analysis::to_string(rule) << " incidents="
+         << rule.incidents << " share=" << rule.packet_share << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string dump_spoofing(const core::Study& study) {
+  auto os = exhibit_stream();
+  const auto result = analysis::analyze_spoofing(
+      study.trace(), study.detection().incidents, &study.blacklist());
+  for (const auto& v : result.verdicts) {
+    os << v.incident_index << " spoofed=" << v.spoofed
+       << " n=" << v.test.n << " A2=" << v.test.statistic
+       << " p=" << v.test.p_value << "\n";
+  }
+  for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+    os << "type" << t << " frac=" << result.spoofed_fraction[t]
+       << " tested=" << result.tested[t] << "\n";
+  }
+  return os.str();
+}
+
+struct Exhibits {
+  std::string remotes;
+  std::string services;
+  std::string signatures;
+  std::string spoofing;
+};
+
+Exhibits exhibits_of(const core::Study& study) {
+  return {dump_incident_remotes(study), dump_service_tables(study),
+          dump_signatures(study), dump_spoofing(study)};
+}
+
+auto window_tuple(const netflow::VipMinuteStats& w) {
+  return std::make_tuple(
+      w.vip.value(), w.minute, w.direction, w.packets, w.bytes, w.tcp_packets,
+      w.udp_packets, w.icmp_packets, w.ipencap_packets, w.syn_packets,
+      w.null_scan_packets, w.xmas_scan_packets, w.bare_rst_packets,
+      w.dns_response_packets, w.flows, w.unique_remote_ips, w.smtp_flows,
+      w.unique_smtp_remotes, w.remote_admin_flows, w.unique_admin_remotes,
+      w.sql_flows, w.smtp_packets, w.admin_packets, w.sql_packets,
+      w.blacklist_flows, w.unique_blacklist_remotes, w.blacklist_packets,
+      w.first_record, w.last_record);
+}
+
+auto incident_tuple(const detect::AttackIncident& a) {
+  return std::make_tuple(a.vip.value(), a.direction, a.type, a.start, a.end,
+                         a.active_minutes, a.total_sampled_packets,
+                         a.peak_sampled_ppm, a.peak_unique_remotes,
+                         a.ramp_up_minutes);
+}
+
+void expect_same_study(const core::Study& base, const Exhibits& base_exhibits,
+                       const core::Study& other) {
+  ASSERT_EQ(base.record_count(), other.record_count());
+
+  const auto& bw = base.trace().windows();
+  const auto& ow = other.trace().windows();
+  ASSERT_EQ(bw.size(), ow.size());
+  for (std::size_t i = 0; i < bw.size(); ++i) {
+    ASSERT_EQ(window_tuple(bw[i]), window_tuple(ow[i])) << "window " << i;
+  }
+
+  const auto& bi = base.detection().incidents;
+  const auto& oi = other.detection().incidents;
+  ASSERT_EQ(bi.size(), oi.size());
+  for (std::size_t i = 0; i < bi.size(); ++i) {
+    ASSERT_EQ(incident_tuple(bi[i]), incident_tuple(oi[i])) << "incident " << i;
+  }
+
+  const Exhibits other_exhibits = exhibits_of(other);
+  EXPECT_EQ(base_exhibits.remotes, other_exhibits.remotes);
+  EXPECT_EQ(base_exhibits.services, other_exhibits.services);
+  EXPECT_EQ(base_exhibits.signatures, other_exhibits.signatures);
+  EXPECT_EQ(base_exhibits.spoofing, other_exhibits.spoofing);
+}
+
+TEST(ColumnarEquivalence, StudyMatchesAosReferenceAndIsThreadInvariant) {
+  auto serial_config = base_config();
+  serial_config.thread_count = 1;
+  serial_config.fuse_pipeline = true;
+  const core::Study serial(serial_config);
+
+  // The scenario must actually exercise the machinery under test.
+  ASSERT_GT(serial.record_count(), 0u);
+  ASSERT_FALSE(serial.detection().incidents.empty());
+
+  // Decoded records + directions vs the independent AoS pipeline.
+  const AosReference reference = build_reference(serial.scenario());
+  expect_matches_reference(reference, serial.trace());
+
+  const Exhibits serial_exhibits = exhibits_of(serial);
+  ASSERT_FALSE(serial_exhibits.remotes.empty());
+  ASSERT_FALSE(serial_exhibits.spoofing.empty());
+
+  for (unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE("thread_count=" + std::to_string(threads));
+    auto config = base_config();
+    config.thread_count = threads;
+    config.fuse_pipeline = true;
+    const core::Study parallel(config);
+    expect_matches_reference(reference, parallel.trace());
+    expect_same_study(serial, serial_exhibits, parallel);
+  }
+
+  // The unfused pipeline shape lands on the same store contents too.
+  SCOPED_TRACE("unfused");
+  auto unfused_config = base_config();
+  unfused_config.thread_count = 2;
+  unfused_config.fuse_pipeline = false;
+  const core::Study unfused(unfused_config);
+  expect_matches_reference(reference, unfused.trace());
+  expect_same_study(serial, serial_exhibits, unfused);
+}
+
+}  // namespace
+}  // namespace dm

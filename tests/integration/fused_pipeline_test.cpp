@@ -37,10 +37,12 @@ void expect_identical(const netflow::WindowedTrace& unfused,
   const auto base_records = unfused.records();
   const auto fused_records = fused.records();
   ASSERT_EQ(base_records.size(), fused_records.size());
-  for (std::size_t i = 0; i < base_records.size(); ++i) {
-    ASSERT_EQ(base_records[i], fused_records[i]) << "record " << i;
-    ASSERT_EQ(unfused.direction_of(i), fused.direction_of(i))
-        << "direction " << i;
+  auto fused_it = fused_records.begin();
+  for (auto it = base_records.begin(); it != base_records.end();
+       ++it, ++fused_it) {
+    ASSERT_EQ(*it, *fused_it) << "record " << it.index();
+    ASSERT_EQ(it.direction(), fused_it.direction())
+        << "direction " << it.index();
   }
   EXPECT_EQ(unfused.unclassified_records(), fused.unclassified_records());
 

@@ -52,10 +52,12 @@ void expect_identical(const core::Study& base, const core::Study& other,
   const auto base_records = base.trace().records();
   const auto other_records = other.trace().records();
   ASSERT_EQ(base_records.size(), other_records.size());
-  for (std::size_t i = 0; i < base_records.size(); ++i) {
-    ASSERT_EQ(base_records[i], other_records[i]) << "record " << i;
-    ASSERT_EQ(base.trace().direction_of(i), other.trace().direction_of(i))
-        << "direction " << i;
+  auto other_it = other_records.begin();
+  for (auto it = base_records.begin(); it != base_records.end();
+       ++it, ++other_it) {
+    ASSERT_EQ(*it, *other_it) << "record " << it.index();
+    ASSERT_EQ(it.direction(), other_it.direction())
+        << "direction " << it.index();
   }
   EXPECT_EQ(base.trace().unclassified_records(),
             other.trace().unclassified_records());

@@ -153,9 +153,15 @@ TEST(WindowShardMerge, ThreadedAggregationMatchesSerial) {
     const WindowedTrace threaded = aggregate_windows(base, space, &tds, &pool);
     // With identical input order the canonical sort is a strict total
     // order, so even record-for-record output must match exactly.
-    ASSERT_EQ(serial.records().size(), threaded.records().size());
-    for (std::size_t i = 0; i < serial.records().size(); ++i) {
-      ASSERT_EQ(serial.records()[i], threaded.records()[i]) << "record " << i;
+    const auto serial_records = serial.records();
+    const auto threaded_records = threaded.records();
+    ASSERT_EQ(serial_records.size(), threaded_records.size());
+    auto tit = threaded_records.begin();
+    for (auto sit = serial_records.begin(); sit != serial_records.end();
+         ++sit, ++tit) {
+      ASSERT_EQ(*sit, *tit) << "record " << sit.index();
+      ASSERT_EQ(sit.direction(), tit.direction())
+          << "direction " << sit.index();
     }
     expect_same_trace(serial, threaded, "threaded");
   }

@@ -38,7 +38,14 @@ run pipeline_stages.json perf_pipeline \
 run study_fused.json perf_pipeline 'BM_StudyEndToEnd/'
 run study_unfused.json perf_pipeline 'BM_StudyEndToEndUnfused'
 if [[ "${DM_BENCH_PAPER:-0}" != "0" ]]; then
-  run study_paper.json perf_pipeline 'BM_StudyPaperScale'
+  # One process per row: each row's peak_rss_mib must be its own high-water
+  # mark, not the max over every row run before it.
+  paper_row=0
+  for row in 'threads:1/fused:1' 'threads:2/fused:1' 'threads:4/fused:1' \
+             'threads:8/fused:1' 'threads:8/fused:0'; do
+    run "study_paper_$((paper_row++)).json" perf_pipeline \
+      "BM_StudyPaperScale/${row}"
+  done
 fi
 run detectors.json perf_detectors
 run netflow.json perf_netflow
@@ -76,6 +83,9 @@ for path in sorted(glob.glob(os.path.join(tmp, "*.json"))):
             row["items_per_second"] = round(b["items_per_second"], 1)
         if "peak_rss_mib" in b:
             row["peak_rss_mib"] = round(b["peak_rss_mib"], 1)
+        if "encoded_bytes_per_record" in b:
+            row["encoded_bytes_per_record"] = round(
+                b["encoded_bytes_per_record"], 2)
         stages.setdefault(stage, {})[threads] = row
 
 snapshot = {

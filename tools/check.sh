@@ -2,14 +2,18 @@
 # CI gate for the parallel pipeline: build the test suite under
 # ThreadSanitizer and run the concurrency-sensitive tests — the exec pool
 # unit tests, the sharded-aggregation property tests, and the
-# serial-equivalence integration tests.
+# serial-equivalence integration tests — then build under ASan+UBSan and
+# run the memory-sensitive codec tests (the columnar record store does raw
+# varint pointer walks; ASan catches overreads TSan never would).
 #
 # Usage: tools/check.sh [extra ctest -R regex]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-tsan}"
+ASAN_BUILD="${ASAN_BUILD_DIR:-$ROOT/build-asan}"
 FILTER="${1:-ThreadPool|ParallelExec|ParallelEquivalence|WindowShardMerge|FusedPipeline|RadixSort}"
+ASAN_FILTER="${2:-ColumnarRecords|ColumnarEquivalence|TraceIo|Aggregate|WindowShardMerge}"
 
 cmake -B "$BUILD" -S "$ROOT" \
   -DDM_SANITIZE=thread \
@@ -21,6 +25,18 @@ cmake --build "$BUILD" -j"$(nproc)" --target dm_tests
 # Fail on any TSan report even if the test itself would pass.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
+
+# ASan+UBSan pass over the codec-heavy suites.
+cmake -B "$ASAN_BUILD" -S "$ROOT" \
+  -DDM_SANITIZE=address,undefined \
+  -DDM_BUILD_BENCH=OFF \
+  -DDM_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_BUILD" -j"$(nproc)" --target dm_tests
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+ctest --test-dir "$ASAN_BUILD" --output-on-failure -R "$ASAN_FILTER"
 
 # Optional Release-mode perf snapshot: refreshes BENCH_pipeline.json at the
 # repo root (stage -> threads -> items/s + peak RSS). Off by default to keep
