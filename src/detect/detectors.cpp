@@ -12,12 +12,16 @@ ChangePointDetector::ChangePointDetector(std::size_t ewma_window,
       threshold_(change_threshold),
       min_history_(min_history) {}
 
-bool ChangePointDetector::observe(util::Minute minute, double value) noexcept {
+bool ChangePointDetector::observe(util::Minute minute, double value,
+                                  std::size_t excluded_silence) noexcept {
   // Treat silence since the previous window (or since the trace start) as
-  // zero-valued observations.
+  // zero-valued observations — minus any minutes a declared collector
+  // outage excludes, which carry no information either way.
   const util::Minute reference = last_minute_ < 0 ? 0 : last_minute_ + 1;
   if (minute > reference) {
-    ewma_.decay(static_cast<std::size_t>(minute - reference));
+    std::size_t steps = static_cast<std::size_t>(minute - reference);
+    steps = steps > excluded_silence ? steps - excluded_silence : 0;
+    ewma_.decay(steps);
   }
   last_minute_ = minute;
 
@@ -46,9 +50,27 @@ SeriesDetector::SeriesDetector(const DetectionConfig& config) noexcept
                   config.min_history),
       sql_conn_(config.ewma_window, config.sql_connections, config.min_history) {}
 
+SeriesDetector::StateArray SeriesDetector::state() const noexcept {
+  return {syn_.state(),         udp_.state(),        icmp_.state(),
+          dns_.state(),         spam_spread_.state(), admin_spread_.state(),
+          admin_conn_.state(),  sql_conn_.state()};
+}
+
+void SeriesDetector::restore(const StateArray& states) noexcept {
+  syn_.restore(states[0]);
+  udp_.restore(states[1]);
+  icmp_.restore(states[2]);
+  dns_.restore(states[3]);
+  spam_spread_.restore(states[4]);
+  admin_spread_.restore(states[5]);
+  admin_conn_.restore(states[6]);
+  sql_conn_.restore(states[7]);
+}
+
 SeriesDetector::Verdicts SeriesDetector::observe(
-    const VipMinuteStats& w) noexcept {
+    const VipMinuteStats& w, std::size_t excluded_silence) noexcept {
   Verdicts v{};
+  const std::size_t excl = excluded_silence;
 
   // --- Volume-based (§2.2): per-protocol packet spikes. DNS responses are
   // carved out of the UDP class so reflection is not double-counted.
@@ -57,26 +79,26 @@ SeriesDetector::Verdicts SeriesDetector::observe(
           ? w.udp_packets - w.dns_response_packets
           : 0;
 
-  if (syn_.observe(w.minute, static_cast<double>(w.syn_packets))) {
+  if (syn_.observe(w.minute, static_cast<double>(w.syn_packets), excl)) {
     v[sim::index_of(AttackType::kSynFlood)] = {true, w.syn_packets,
                                                w.unique_remote_ips};
   }
-  if (udp_.observe(w.minute, static_cast<double>(udp_flood_packets))) {
+  if (udp_.observe(w.minute, static_cast<double>(udp_flood_packets), excl)) {
     v[sim::index_of(AttackType::kUdpFlood)] = {true, udp_flood_packets,
                                                w.unique_remote_ips};
   }
-  if (icmp_.observe(w.minute, static_cast<double>(w.icmp_packets))) {
+  if (icmp_.observe(w.minute, static_cast<double>(w.icmp_packets), excl)) {
     v[sim::index_of(AttackType::kIcmpFlood)] = {true, w.icmp_packets,
                                                 w.unique_remote_ips};
   }
-  if (dns_.observe(w.minute, static_cast<double>(w.dns_response_packets))) {
+  if (dns_.observe(w.minute, static_cast<double>(w.dns_response_packets), excl)) {
     v[sim::index_of(AttackType::kDnsReflection)] = {
         true, w.dns_response_packets, w.unique_remote_ips};
   }
 
   // --- Spread-based (§2.2): fan-in/out and connection-count spikes.
   const bool spam_alarm = spam_spread_.observe(
-      w.minute, static_cast<double>(w.unique_smtp_remotes));
+      w.minute, static_cast<double>(w.unique_smtp_remotes), excl);
   if (spam_alarm) {
     v[sim::index_of(AttackType::kSpam)] = {true, w.smtp_packets,
                                            w.unique_smtp_remotes};
@@ -84,15 +106,15 @@ SeriesDetector::Verdicts SeriesDetector::observe(
   // Both brute-force features are evaluated every window to keep their
   // baselines advancing; either spiking alarms.
   const bool bf_fan = admin_spread_.observe(
-      w.minute, static_cast<double>(w.unique_admin_remotes));
+      w.minute, static_cast<double>(w.unique_admin_remotes), excl);
   const bool bf_conn = admin_conn_.observe(
-      w.minute, static_cast<double>(w.remote_admin_flows));
+      w.minute, static_cast<double>(w.remote_admin_flows), excl);
   if (bf_fan || bf_conn) {
     v[sim::index_of(AttackType::kBruteForce)] = {true, w.admin_packets,
                                                  w.unique_admin_remotes};
   }
   const bool sql_alarm =
-      sql_conn_.observe(w.minute, static_cast<double>(w.sql_flows));
+      sql_conn_.observe(w.minute, static_cast<double>(w.sql_flows), excl);
   if (sql_alarm) {
     v[sim::index_of(AttackType::kSqlInjection)] = {true, w.sql_packets,
                                                    w.unique_remote_ips};

@@ -69,9 +69,28 @@ class ChangePointDetector {
 
   /// Advances to `minute` (absorbing the silent gap as zeros) and tests the
   /// window's value. Call with non-decreasing minutes.
-  [[nodiscard]] bool observe(util::Minute minute, double value) noexcept;
+  /// `excluded_silence` subtracts that many of the gap's silent minutes
+  /// from the zero-absorption — the missing-minute contract: a declared
+  /// collector outage is "no data", not "no traffic", so it must neither
+  /// decay the baseline nor accrue warm-up history.
+  [[nodiscard]] bool observe(util::Minute minute, double value,
+                             std::size_t excluded_silence = 0) noexcept;
 
   [[nodiscard]] double baseline() const noexcept { return ewma_.value(); }
+
+  /// Complete serializable state (paired with the constructor's config).
+  struct State {
+    double ewma_value = 0.0;
+    std::uint64_t observations = 0;
+    util::Minute last_minute = -1;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return {ewma_.value(), ewma_.count(), last_minute_};
+  }
+  void restore(const State& s) noexcept {
+    ewma_.set_state(s.ewma_value, static_cast<std::size_t>(s.observations));
+    last_minute_ = s.last_minute;
+  }
 
  private:
   util::Ewma ewma_;
@@ -86,8 +105,18 @@ class SeriesDetector {
   explicit SeriesDetector(const DetectionConfig& config) noexcept;
 
   /// Verdicts for one window, indexed by sim::AttackType.
+  /// `excluded_silence` is forwarded to every change-point baseline (see
+  /// ChangePointDetector::observe) for declared collector outages.
   using Verdicts = std::array<WindowVerdict, sim::kAttackTypeCount>;
-  [[nodiscard]] Verdicts observe(const netflow::VipMinuteStats& window) noexcept;
+  [[nodiscard]] Verdicts observe(const netflow::VipMinuteStats& window,
+                                 std::size_t excluded_silence = 0) noexcept;
+
+  /// Serializable state: one entry per change-point baseline, in a fixed
+  /// order. Restore into a SeriesDetector built with the same config.
+  static constexpr std::size_t kChangePointCount = 8;
+  using StateArray = std::array<ChangePointDetector::State, kChangePointCount>;
+  [[nodiscard]] StateArray state() const noexcept;
+  void restore(const StateArray& states) noexcept;
 
  private:
   DetectionConfig config_;

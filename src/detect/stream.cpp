@@ -1,6 +1,12 @@
 #include "detect/stream.h"
 
 #include <algorithm>
+#include <bit>
+#include <istream>
+#include <ostream>
+
+#include "netflow/trace_io.h"
+#include "netflow/varint.h"
 
 namespace dm::detect {
 
@@ -10,32 +16,112 @@ using netflow::OrientedFlow;
 using netflow::Protocol;
 using netflow::VipMinuteStats;
 
+namespace {
+
+// Checkpoint framing: magic + version, then one varint-sized CRC-protected
+// payload — the same shape as a trace block, so a damaged checkpoint fails
+// loudly instead of resuming from garbage.
+constexpr std::uint32_t kCheckpointMagic = 0x4b434d44;  // "DMCK" little-endian
+constexpr std::uint16_t kCheckpointVersion = 1;
+
+/// Content hash for duplicate suppression: FNV-1a over every record field.
+/// 64 bits keeps accidental collisions (a distinct record silently dropped)
+/// below ~2^-32 per open minute at realistic window populations.
+[[nodiscard]] std::uint64_t record_hash(const FlowRecord& r) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(r.minute));
+  mix(r.src_ip.value());
+  mix(r.dst_ip.value());
+  mix((static_cast<std::uint64_t>(r.src_port) << 16) | r.dst_port);
+  mix((static_cast<std::uint64_t>(r.protocol) << 8) |
+      static_cast<std::uint64_t>(r.tcp_flags));
+  mix(r.packets);
+  mix(r.bytes);
+  return h;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  netflow::put_varint(out, v);
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  netflow::put_varint(out, netflow::zigzag64(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  netflow::put_varint(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Serializes an unordered remote-IP set as (count, sorted elements):
+/// sorting makes checkpoint bytes a pure function of monitor state.
+void put_ip_set(std::vector<std::uint8_t>& out,
+                const std::unordered_set<std::uint32_t>& set) {
+  std::vector<std::uint32_t> sorted(set.begin(), set.end());
+  std::sort(sorted.begin(), sorted.end());
+  put_u64(out, sorted.size());
+  for (const std::uint32_t ip : sorted) put_u64(out, ip);
+}
+
+void get_ip_set(netflow::CheckedCursor& in,
+                std::unordered_set<std::uint32_t>& set) {
+  const std::uint64_t count = in.varint();
+  set.clear();
+  set.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    set.insert(static_cast<std::uint32_t>(in.varint()));
+  }
+}
+
+}  // namespace
+
 StreamMonitor::StreamMonitor(netflow::PrefixSet cloud_space,
                              const netflow::PrefixSet* blacklist,
                              DetectionConfig config, TimeoutTable timeouts,
                              AlertCallback on_alert,
-                             IncidentCallback on_incident)
+                             IncidentCallback on_incident, StreamConfig stream)
     : cloud_space_(std::move(cloud_space)),
       blacklist_(blacklist),
       config_(config),
       timeouts_(timeouts),
       on_alert_(std::move(on_alert)),
-      on_incident_(std::move(on_incident)) {}
+      on_incident_(std::move(on_incident)),
+      stream_(stream) {}
 
 void StreamMonitor::ingest(const FlowRecord& record) {
   ++records_ingested_;
+  // A NetFlow record with zero sampled packets is structurally impossible
+  // (a flow exists because at least one packet was sampled) — quarantine
+  // rather than poison per-packet counters with flow-count-only windows.
+  if (record.packets == 0) {
+    ++records_quarantined_;
+    return;
+  }
   if (record.minute <= watermark_) {
-    ++records_dropped_;  // late arrival; its window is already committed
+    ++records_late_;  // its window is already committed
+    return;
+  }
+  if (stream_.suppress_duplicates &&
+      !seen_[record.minute].insert(record_hash(record)).second) {
+    ++records_duplicate_;
     return;
   }
   const auto direction = netflow::classify(record, cloud_space_);
   if (!direction) {
-    ++records_dropped_;
+    ++records_unclassifiable_;
     return;
   }
 
-  // A record for minute M commits all earlier minutes.
-  advance_to(record.minute);
+  // A record for minute M moves the watermark to M - reorder_lag and
+  // commits everything at or before it. The record's own minute always
+  // stays open (it is > watermark_ and M - reorder_lag - 1 <= max_seen_).
+  max_seen_ = std::max(max_seen_, record.minute);
+  commit_to(max_seen_ - stream_.reorder_lag);
 
   const OrientedFlow flow{&record, *direction};
   const SeriesKey key{flow.vip().value(), *direction};
@@ -108,10 +194,21 @@ void StreamMonitor::ingest(const FlowRecord& record) {
 }
 
 void StreamMonitor::advance_to(util::Minute minute) {
+  max_seen_ = std::max(max_seen_, minute);
+  commit_to(minute);
+}
+
+void StreamMonitor::commit_to(util::Minute minute) {
   while (!open_minutes_.empty() && open_minutes_.begin()->first < minute) {
     close_minute(open_minutes_.begin()->first);
   }
   watermark_ = std::max(watermark_, minute - 1);
+  // Dedup sets of committed minutes can no longer be consulted (those
+  // minutes reject everything as late) — drop them so memory stays
+  // proportional to the open horizon.
+  while (!seen_.empty() && seen_.begin()->first <= watermark_) {
+    seen_.erase(seen_.begin());
+  }
   expire_incidents(minute);
 }
 
@@ -125,9 +222,48 @@ void StreamMonitor::close_minute(util::Minute minute) {
   open_minutes_.erase(it);
 }
 
+void StreamMonitor::note_outage(util::Minute from, util::Minute to) {
+  if (to <= from) return;
+  outages_.emplace_back(from, to);
+  std::sort(outages_.begin(), outages_.end());
+  std::vector<std::pair<util::Minute, util::Minute>> merged;
+  merged.reserve(outages_.size());
+  for (const auto& o : outages_) {
+    if (!merged.empty() && o.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, o.second);
+    } else {
+      merged.push_back(o);
+    }
+  }
+  outages_ = std::move(merged);
+}
+
+std::size_t StreamMonitor::outage_overlap(util::Minute from,
+                                          util::Minute to) const noexcept {
+  std::size_t total = 0;
+  for (const auto& [start, end] : outages_) {
+    const util::Minute lo = std::max(from, start);
+    const util::Minute hi = std::min(to, end);
+    if (hi > lo) total += static_cast<std::size_t>(hi - lo);
+  }
+  return total;
+}
+
 void StreamMonitor::feed_window(const SeriesKey& key, const OpenWindow& open) {
   auto [det_it, inserted] = detectors_.try_emplace(key, config_);
-  const auto verdicts = det_it->second.observe(open.stats);
+  SeriesState& series = det_it->second;
+  // Minutes of the series' silent gap that fall inside a declared outage
+  // carry no information: the change-point baselines must not absorb them
+  // as zeros (which would both collapse the EWMA and accrue warm-up
+  // history during a gap that saw no collector at all).
+  const util::Minute reference =
+      series.last_minute < 0 ? 0 : series.last_minute + 1;
+  const std::size_t excluded =
+      open.stats.minute > reference
+          ? outage_overlap(reference, open.stats.minute)
+          : 0;
+  series.last_minute = open.stats.minute;
+  const auto verdicts = series.detector.observe(open.stats, excluded);
   for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
     if (!verdicts[t].attack) continue;
     MinuteDetection detection{open.stats.vip, key.direction,
@@ -186,13 +322,342 @@ void StreamMonitor::expire_incidents(util::Minute now) {
 }
 
 void StreamMonitor::finish() {
-  while (!open_minutes_.empty()) close_minute(open_minutes_.begin()->first);
+  while (!open_minutes_.empty()) {
+    const util::Minute minute = open_minutes_.begin()->first;
+    close_minute(minute);
+    watermark_ = std::max(watermark_, minute);
+  }
+  seen_.clear();
   for (auto& [key, open] : open_incidents_) {
     if (!open.active) continue;
     ++incidents_;
     if (on_incident_) on_incident_(open.incident);
     open.active = false;
   }
+}
+
+void StreamMonitor::checkpoint(std::ostream& out) const {
+  std::vector<std::uint8_t> payload;
+
+  // Watermarks and counters.
+  put_i64(payload, watermark_);
+  put_i64(payload, max_seen_);
+  put_u64(payload, records_ingested_);
+  put_u64(payload, records_late_);
+  put_u64(payload, records_unclassifiable_);
+  put_u64(payload, records_duplicate_);
+  put_u64(payload, records_quarantined_);
+  put_u64(payload, windows_closed_);
+  put_u64(payload, alerts_);
+  put_u64(payload, incidents_);
+
+  // Declared outages.
+  put_u64(payload, outages_.size());
+  for (const auto& [from, to] : outages_) {
+    put_i64(payload, from);
+    put_i64(payload, to);
+  }
+
+  // Open windows. std::map iteration gives deterministic order.
+  put_u64(payload, open_minutes_.size());
+  for (const auto& [minute, series_map] : open_minutes_) {
+    put_i64(payload, minute);
+    put_u64(payload, series_map.size());
+    for (const auto& [key, open] : series_map) {
+      put_u64(payload, key.vip);
+      put_u64(payload, static_cast<std::uint64_t>(key.direction));
+      const VipMinuteStats& w = open.stats;
+      put_u64(payload, w.vip.value());
+      put_i64(payload, w.minute);
+      put_u64(payload, static_cast<std::uint64_t>(w.direction));
+      put_u64(payload, w.packets);
+      put_u64(payload, w.bytes);
+      put_u64(payload, w.tcp_packets);
+      put_u64(payload, w.udp_packets);
+      put_u64(payload, w.icmp_packets);
+      put_u64(payload, w.ipencap_packets);
+      put_u64(payload, w.syn_packets);
+      put_u64(payload, w.null_scan_packets);
+      put_u64(payload, w.xmas_scan_packets);
+      put_u64(payload, w.bare_rst_packets);
+      put_u64(payload, w.dns_response_packets);
+      put_u64(payload, w.flows);
+      put_u64(payload, w.unique_remote_ips);
+      put_u64(payload, w.smtp_flows);
+      put_u64(payload, w.unique_smtp_remotes);
+      put_u64(payload, w.remote_admin_flows);
+      put_u64(payload, w.unique_admin_remotes);
+      put_u64(payload, w.sql_flows);
+      put_u64(payload, w.smtp_packets);
+      put_u64(payload, w.admin_packets);
+      put_u64(payload, w.sql_packets);
+      put_u64(payload, w.blacklist_flows);
+      put_u64(payload, w.unique_blacklist_remotes);
+      put_u64(payload, w.blacklist_packets);
+      put_u64(payload, w.first_record);
+      put_u64(payload, w.last_record);
+      put_ip_set(payload, open.remotes);
+      put_ip_set(payload, open.admin_remotes);
+      put_ip_set(payload, open.smtp_remotes);
+      put_ip_set(payload, open.blacklist_remotes);
+    }
+  }
+
+  // Detector baselines.
+  put_u64(payload, detectors_.size());
+  for (const auto& [key, series] : detectors_) {
+    put_u64(payload, key.vip);
+    put_u64(payload, static_cast<std::uint64_t>(key.direction));
+    put_i64(payload, series.last_minute);
+    const SeriesDetector::StateArray states = series.detector.state();
+    for (const ChangePointDetector::State& s : states) {
+      put_f64(payload, s.ewma_value);
+      put_u64(payload, s.observations);
+      put_i64(payload, s.last_minute);
+    }
+  }
+
+  // Incidents (including inactive slots — their counters already fired).
+  put_u64(payload, open_incidents_.size());
+  for (const auto& [key, open] : open_incidents_) {
+    put_u64(payload, std::get<0>(key));
+    put_i64(payload, std::get<1>(key));
+    put_i64(payload, std::get<2>(key));
+    put_u64(payload, open.active ? 1 : 0);
+    const AttackIncident& inc = open.incident;
+    put_u64(payload, inc.vip.value());
+    put_u64(payload, static_cast<std::uint64_t>(inc.direction));
+    put_i64(payload, static_cast<std::int64_t>(inc.type));
+    put_i64(payload, inc.start);
+    put_i64(payload, inc.end);
+    put_u64(payload, inc.active_minutes);
+    put_u64(payload, inc.total_sampled_packets);
+    put_u64(payload, inc.peak_sampled_ppm);
+    put_u64(payload, inc.peak_unique_remotes);
+    put_i64(payload, inc.ramp_up_minutes);
+  }
+
+  // Dedup hashes of still-open minutes, sorted for determinism.
+  put_u64(payload, seen_.size());
+  for (const auto& [minute, hashes] : seen_) {
+    put_i64(payload, minute);
+    std::vector<std::uint64_t> sorted(hashes.begin(), hashes.end());
+    std::sort(sorted.begin(), sorted.end());
+    put_u64(payload, sorted.size());
+    for (const std::uint64_t h : sorted) put_u64(payload, h);
+  }
+
+  // Frame: magic | version | payload-size varint | payload | crc32.
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 24);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(kCheckpointMagic >> (8 * i)));
+  }
+  frame.push_back(static_cast<std::uint8_t>(kCheckpointVersion & 0xff));
+  frame.push_back(static_cast<std::uint8_t>(kCheckpointVersion >> 8));
+  put_u64(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = netflow::crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+}
+
+void StreamMonitor::restore(std::istream& in) {
+  const auto read_bytes = [&in](std::uint8_t* dst, std::size_t n,
+                                const char* what) {
+    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n) {
+      throw FormatError(std::string("checkpoint: truncated ") + what);
+    }
+  };
+
+  std::uint8_t head[6];
+  read_bytes(head, sizeof head, "header");
+  const std::uint32_t magic = static_cast<std::uint32_t>(head[0]) |
+                              (static_cast<std::uint32_t>(head[1]) << 8) |
+                              (static_cast<std::uint32_t>(head[2]) << 16) |
+                              (static_cast<std::uint32_t>(head[3]) << 24);
+  if (magic != kCheckpointMagic) {
+    throw FormatError("checkpoint: bad magic (not a DMCK checkpoint)");
+  }
+  const std::uint16_t version = static_cast<std::uint16_t>(
+      head[4] | (static_cast<std::uint16_t>(head[5]) << 8));
+  if (version != kCheckpointVersion) {
+    throw FormatError("checkpoint: unsupported version " +
+                      std::to_string(version));
+  }
+
+  std::uint64_t payload_size = 0;
+  int shift = 0;
+  for (;;) {
+    std::uint8_t b;
+    read_bytes(&b, 1, "payload size");
+    if (shift > 63) throw FormatError("checkpoint: oversized payload varint");
+    payload_size |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+
+  std::vector<std::uint8_t> payload(payload_size);
+  if (payload_size > 0) read_bytes(payload.data(), payload.size(), "payload");
+  std::uint8_t crc_bytes[4];
+  read_bytes(crc_bytes, sizeof crc_bytes, "CRC");
+  const std::uint32_t expected = static_cast<std::uint32_t>(crc_bytes[0]) |
+                                 (static_cast<std::uint32_t>(crc_bytes[1]) << 8) |
+                                 (static_cast<std::uint32_t>(crc_bytes[2]) << 16) |
+                                 (static_cast<std::uint32_t>(crc_bytes[3]) << 24);
+  const std::uint32_t actual = netflow::crc32(payload);
+  if (expected != actual) {
+    throw FormatError("checkpoint: CRC mismatch");
+  }
+
+  netflow::CheckedCursor cur(payload, "checkpoint");
+  const auto get_u64 = [&cur] { return cur.varint(); };
+  const auto get_i64 = [&cur] { return netflow::unzigzag64(cur.varint()); };
+  const auto get_f64 = [&cur] { return std::bit_cast<double>(cur.varint()); };
+
+  // Decode into fresh state so a failure mid-payload (impossible after the
+  // CRC check short of a version-1 encoder bug, but cheap to guard) leaves
+  // the monitor untouched.
+  decltype(open_minutes_) open_minutes;
+  decltype(detectors_) detectors;
+  decltype(open_incidents_) open_incidents;
+  decltype(outages_) outages;
+  decltype(seen_) seen;
+
+  const util::Minute watermark = get_i64();
+  const util::Minute max_seen = get_i64();
+  const std::uint64_t ingested = get_u64();
+  const std::uint64_t late = get_u64();
+  const std::uint64_t unclassifiable = get_u64();
+  const std::uint64_t duplicate = get_u64();
+  const std::uint64_t quarantined = get_u64();
+  const std::uint64_t closed = get_u64();
+  const std::uint64_t alerts = get_u64();
+  const std::uint64_t incidents = get_u64();
+
+  const std::uint64_t outage_count = get_u64();
+  outages.reserve(outage_count);
+  for (std::uint64_t i = 0; i < outage_count; ++i) {
+    const util::Minute from = get_i64();
+    const util::Minute to = get_i64();
+    outages.emplace_back(from, to);
+  }
+
+  const std::uint64_t minute_count = get_u64();
+  for (std::uint64_t m = 0; m < minute_count; ++m) {
+    const util::Minute minute = get_i64();
+    auto& series_map = open_minutes[minute];
+    const std::uint64_t series_count = get_u64();
+    for (std::uint64_t s = 0; s < series_count; ++s) {
+      SeriesKey key;
+      key.vip = static_cast<std::uint32_t>(get_u64());
+      key.direction = static_cast<Direction>(get_u64());
+      OpenWindow& open = series_map[key];
+      VipMinuteStats& w = open.stats;
+      w.vip = netflow::IPv4(static_cast<std::uint32_t>(get_u64()));
+      w.minute = get_i64();
+      w.direction = static_cast<Direction>(get_u64());
+      w.packets = get_u64();
+      w.bytes = get_u64();
+      w.tcp_packets = get_u64();
+      w.udp_packets = get_u64();
+      w.icmp_packets = get_u64();
+      w.ipencap_packets = get_u64();
+      w.syn_packets = get_u64();
+      w.null_scan_packets = get_u64();
+      w.xmas_scan_packets = get_u64();
+      w.bare_rst_packets = get_u64();
+      w.dns_response_packets = get_u64();
+      w.flows = static_cast<std::uint32_t>(get_u64());
+      w.unique_remote_ips = static_cast<std::uint32_t>(get_u64());
+      w.smtp_flows = static_cast<std::uint32_t>(get_u64());
+      w.unique_smtp_remotes = static_cast<std::uint32_t>(get_u64());
+      w.remote_admin_flows = static_cast<std::uint32_t>(get_u64());
+      w.unique_admin_remotes = static_cast<std::uint32_t>(get_u64());
+      w.sql_flows = static_cast<std::uint32_t>(get_u64());
+      w.smtp_packets = get_u64();
+      w.admin_packets = get_u64();
+      w.sql_packets = get_u64();
+      w.blacklist_flows = static_cast<std::uint32_t>(get_u64());
+      w.unique_blacklist_remotes = static_cast<std::uint32_t>(get_u64());
+      w.blacklist_packets = get_u64();
+      w.first_record = static_cast<std::uint32_t>(get_u64());
+      w.last_record = static_cast<std::uint32_t>(get_u64());
+      get_ip_set(cur, open.remotes);
+      get_ip_set(cur, open.admin_remotes);
+      get_ip_set(cur, open.smtp_remotes);
+      get_ip_set(cur, open.blacklist_remotes);
+    }
+  }
+
+  const std::uint64_t detector_count = get_u64();
+  for (std::uint64_t i = 0; i < detector_count; ++i) {
+    SeriesKey key;
+    key.vip = static_cast<std::uint32_t>(get_u64());
+    key.direction = static_cast<Direction>(get_u64());
+    auto [it, inserted] = detectors.try_emplace(key, config_);
+    it->second.last_minute = get_i64();
+    SeriesDetector::StateArray states;
+    for (ChangePointDetector::State& s : states) {
+      s.ewma_value = get_f64();
+      s.observations = get_u64();
+      s.last_minute = get_i64();
+    }
+    it->second.detector.restore(states);
+  }
+
+  const std::uint64_t incident_count = get_u64();
+  for (std::uint64_t i = 0; i < incident_count; ++i) {
+    const std::uint32_t vip = static_cast<std::uint32_t>(get_u64());
+    const int type = static_cast<int>(get_i64());
+    const int dir = static_cast<int>(get_i64());
+    OpenIncident& open = open_incidents[{vip, type, dir}];
+    open.active = get_u64() != 0;
+    AttackIncident& inc = open.incident;
+    inc.vip = netflow::IPv4(static_cast<std::uint32_t>(get_u64()));
+    inc.direction = static_cast<Direction>(get_u64());
+    inc.type = static_cast<sim::AttackType>(get_i64());
+    inc.start = get_i64();
+    inc.end = get_i64();
+    inc.active_minutes = static_cast<std::uint32_t>(get_u64());
+    inc.total_sampled_packets = get_u64();
+    inc.peak_sampled_ppm = get_u64();
+    inc.peak_unique_remotes = static_cast<std::uint32_t>(get_u64());
+    inc.ramp_up_minutes = get_i64();
+  }
+
+  const std::uint64_t seen_count = get_u64();
+  for (std::uint64_t i = 0; i < seen_count; ++i) {
+    const util::Minute minute = get_i64();
+    auto& hashes = seen[minute];
+    const std::uint64_t hash_count = get_u64();
+    hashes.reserve(hash_count);
+    for (std::uint64_t h = 0; h < hash_count; ++h) hashes.insert(get_u64());
+  }
+
+  if (!cur.exhausted()) {
+    throw FormatError("checkpoint: trailing bytes after payload");
+  }
+
+  open_minutes_ = std::move(open_minutes);
+  detectors_ = std::move(detectors);
+  open_incidents_ = std::move(open_incidents);
+  outages_ = std::move(outages);
+  seen_ = std::move(seen);
+  watermark_ = watermark;
+  max_seen_ = max_seen;
+  records_ingested_ = ingested;
+  records_late_ = late;
+  records_unclassifiable_ = unclassifiable;
+  records_duplicate_ = duplicate;
+  records_quarantined_ = quarantined;
+  windows_closed_ = closed;
+  alerts_ = alerts;
+  incidents_ = incidents;
 }
 
 }  // namespace dm::detect

@@ -7,21 +7,42 @@
 // one-minute windows are closed as time advances, per-series detectors run
 // incrementally, and completed incidents are delivered through callbacks.
 //
-// Contract: records may arrive in any order within a minute, but a record
-// for minute M commits every window of minutes < M (collectors emit in
-// near-order; call ingest with a small reorder buffer upstream if yours
-// does not).
+// Degraded-feed contract: records may arrive in any order within
+// StreamConfig::reorder_lag minutes of the newest minute seen — a window
+// commits only once the watermark (newest minute minus the lag) passes it,
+// replacing the old "minute M commits everything < M" hard rule. Records
+// older than the watermark count as `late`; exact duplicates within open
+// windows can be suppressed; malformed records are quarantined; declared
+// collector outages (note_outage) are excluded from detector baselines so
+// a feed gap is not mistaken for a traffic collapse. checkpoint()/restore()
+// serialize the complete monitor state through the trace format's
+// varint/CRC framing, so a crashed monitor resumes byte-identically on an
+// in-order feed.
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <unordered_set>
+#include <vector>
 
 #include "detect/detectors.h"
 #include "detect/incident.h"
 #include "netflow/window_aggregator.h"
 
 namespace dm::detect {
+
+/// Degraded-feed knobs. Defaults reproduce the paper-strict behavior
+/// (no reorder tolerance, no duplicate suppression).
+struct StreamConfig {
+  /// Minutes of reorder tolerance: a record for minute M commits windows
+  /// with minute < M - reorder_lag, so records up to `reorder_lag` minutes
+  /// behind the newest are still accepted. 0 = commit immediately.
+  util::Minute reorder_lag = 0;
+  /// Drop byte-identical duplicates of records already ingested into a
+  /// still-open minute (collectors re-emit on retry storms).
+  bool suppress_duplicates = false;
+};
 
 class StreamMonitor {
  public:
@@ -37,26 +58,61 @@ class StreamMonitor {
                 DetectionConfig config = {},
                 TimeoutTable timeouts = TimeoutTable::paper(),
                 AlertCallback on_alert = nullptr,
-                IncidentCallback on_incident = nullptr);
+                IncidentCallback on_incident = nullptr,
+                StreamConfig stream = {});
 
-  /// Feeds one record. Records older than an already-closed minute are
-  /// counted as late drops (real collectors do the same).
+  /// Feeds one record. Malformed records (zero sampled packets) are
+  /// quarantined; records at or before the commit watermark count as late;
+  /// optional duplicate suppression and orientation filtering follow (see
+  /// the split counters below).
   void ingest(const netflow::FlowRecord& record);
 
   /// Closes every window with minute < `minute` — call periodically with
   /// wall-clock time when the feed is idle, so quiet periods still time
-  /// incidents out.
+  /// incidents out. Ignores the reorder lag: the caller is asserting that
+  /// time has genuinely advanced.
   void advance_to(util::Minute minute);
+
+  /// Declares [from, to) as a collector outage: those minutes are excluded
+  /// from detector baselines (no zero-decay, no warm-up credit), so the
+  /// EWMA volume detectors do not treat the gap as a rate collapse and
+  /// then alarm on the post-outage recovery.
+  void note_outage(util::Minute from, util::Minute to);
 
   /// Flushes all open windows and incidents.
   void finish();
+
+  /// Serializes the complete monitor state (open windows, detector
+  /// baselines, pending incidents, counters, outages, dedup sets) through
+  /// the varint/CRC framing. Deterministic: equal states produce equal
+  /// bytes.
+  void checkpoint(std::ostream& out) const;
+
+  /// Restores state captured by checkpoint() into this monitor, replacing
+  /// its current state. The monitor must have been constructed with the
+  /// same DetectionConfig/TimeoutTable/StreamConfig (those are not
+  /// serialized). Throws dm::FormatError on damaged input.
+  void restore(std::istream& in);
 
   // Counters.
   [[nodiscard]] std::uint64_t records_ingested() const noexcept {
     return records_ingested_;
   }
+  /// Back-compat aggregate: late + unclassifiable.
   [[nodiscard]] std::uint64_t records_dropped() const noexcept {
-    return records_dropped_;  ///< unclassifiable or late
+    return records_late_ + records_unclassifiable_;
+  }
+  [[nodiscard]] std::uint64_t records_late() const noexcept {
+    return records_late_;  ///< arrived at or before the commit watermark
+  }
+  [[nodiscard]] std::uint64_t records_unclassifiable() const noexcept {
+    return records_unclassifiable_;  ///< matched neither/both cloud prefixes
+  }
+  [[nodiscard]] std::uint64_t records_duplicate() const noexcept {
+    return records_duplicate_;  ///< suppressed as exact duplicates
+  }
+  [[nodiscard]] std::uint64_t records_quarantined() const noexcept {
+    return records_quarantined_;  ///< malformed contents (zero packets)
   }
   [[nodiscard]] std::uint64_t windows_closed() const noexcept {
     return windows_closed_;
@@ -89,10 +145,22 @@ class StreamMonitor {
     bool active = false;
   };
 
+  /// A per-series detector bank plus the last minute it observed — needed
+  /// to intersect declared outages with the series' silent gap.
+  struct SeriesState {
+    SeriesDetector detector;
+    util::Minute last_minute = -1;
+    explicit SeriesState(const DetectionConfig& config) noexcept
+        : detector(config) {}
+  };
+
+  void commit_to(util::Minute minute);
   void close_minute(util::Minute minute);
   void feed_window(const SeriesKey& key, const OpenWindow& window);
   void feed_detection(const MinuteDetection& detection);
   void expire_incidents(util::Minute now);
+  [[nodiscard]] std::size_t outage_overlap(util::Minute from,
+                                           util::Minute to) const noexcept;
 
   netflow::PrefixSet cloud_space_;
   const netflow::PrefixSet* blacklist_;
@@ -100,15 +168,24 @@ class StreamMonitor {
   TimeoutTable timeouts_;
   AlertCallback on_alert_;
   IncidentCallback on_incident_;
+  StreamConfig stream_;
 
   // minute -> series -> open window; minutes close in order.
   std::map<util::Minute, std::map<SeriesKey, OpenWindow>> open_minutes_;
-  std::map<SeriesKey, SeriesDetector> detectors_;
+  std::map<SeriesKey, SeriesState> detectors_;
   std::map<std::tuple<std::uint32_t, int, int>, OpenIncident> open_incidents_;
   util::Minute watermark_ = -1;  ///< all minutes <= watermark are closed
+  util::Minute max_seen_ = -1;   ///< newest minute ingested or advanced to
+  /// Declared collector outages [from, to), sorted and non-overlapping.
+  std::vector<std::pair<util::Minute, util::Minute>> outages_;
+  /// Per-open-minute hashes of ingested records (duplicate suppression).
+  std::map<util::Minute, std::unordered_set<std::uint64_t>> seen_;
 
   std::uint64_t records_ingested_ = 0;
-  std::uint64_t records_dropped_ = 0;
+  std::uint64_t records_late_ = 0;
+  std::uint64_t records_unclassifiable_ = 0;
+  std::uint64_t records_duplicate_ = 0;
+  std::uint64_t records_quarantined_ = 0;
   std::uint64_t windows_closed_ = 0;
   std::uint64_t alerts_ = 0;
   std::uint64_t incidents_ = 0;

@@ -1,0 +1,105 @@
+// Deterministic fault injection for degraded-feed testing.
+//
+// The paper's methodology runs over collector feeds that in production are
+// lossy, reordered, duplicated, and occasionally corrupt (§3 leans on
+// NetFlow's 1:4096 sampling being tolerable under imperfect capture). This
+// library makes every such failure mode a first-class, reproducible input:
+// a FaultInjector seeded with one 64-bit value applies a declarative plan
+// to serialized trace bytes (bit flips, targeted block corruption,
+// mid-block truncation) or to a live record feed (duplication, bounded
+// reordering, whole-minute loss bursts, stuck-clock timestamps), and
+// reports exactly what damage it did. All randomness derives from the seed
+// via counter-based util::Rng::split, so a plan replays identically across
+// runs, platforms, and thread counts — usable in tests, benches, and the
+// CLI alike.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "netflow/flow_record.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace dm::fault {
+
+/// Byte-level corruption plan for a serialized .dmnf trace.
+struct BytePlan {
+  /// Random single-bit flips anywhere in the file (header included).
+  std::size_t bit_flips = 0;
+  /// Flip one payload bit in each of this many distinct blocks — the
+  /// CRC-detectable "one flipped bit abandons the trace" case.
+  std::size_t corrupt_blocks = 0;
+  /// Delete a byte span from inside each of this many distinct blocks
+  /// (distinct from corrupt_blocks targets), shifting the rest of the file
+  /// up — the mid-file truncation a dying collector produces.
+  std::size_t truncate_blocks = 0;
+  /// Chop the file at a random point inside the final block, losing the
+  /// tail and the end marker.
+  bool truncate_tail = false;
+};
+
+/// Ground truth of the byte damage a plan produced.
+struct ByteDamage {
+  std::vector<std::uint64_t> flipped_offsets;   ///< post-edit file offsets
+  std::vector<std::uint32_t> corrupted_blocks;  ///< indices into the clean layout
+  std::vector<std::uint32_t> truncated_blocks;  ///< indices into the clean layout
+  std::uint64_t bytes_removed = 0;
+  bool tail_truncated = false;
+};
+
+/// Record-level degradation plan for a live feed.
+struct RecordPlan {
+  /// Probability a record is emitted twice (the copy lands immediately
+  /// after the original's final position).
+  double duplicate_prob = 0.0;
+  /// Bounded reordering: each record may be displaced by at most this many
+  /// positions from its input order (0 = in order).
+  std::size_t reorder_window = 0;
+  /// Number of whole-minute loss bursts (collector outages) to cut.
+  std::size_t loss_bursts = 0;
+  /// Length of each loss burst in minutes.
+  util::Minute loss_burst_minutes = 1;
+  /// Probability a record repeats the previous record's timestamp instead
+  /// of its own (a collector whose clock stopped advancing).
+  double stuck_clock_prob = 0.0;
+};
+
+/// Ground truth of the feed degradation a plan produced.
+struct RecordDamage {
+  std::uint64_t duplicated = 0;
+  std::uint64_t displaced = 0;  ///< records whose output position changed
+  std::uint64_t dropped = 0;
+  std::uint64_t stuck = 0;
+  /// Minute intervals [from, to) removed by loss bursts, in burst order
+  /// (intervals may overlap when bursts collide).
+  std::vector<std::pair<util::Minute, util::Minute>> lost_ranges;
+};
+
+/// Seed-deterministic injector. Each fault family draws from its own
+/// Rng::split stream of the seed, so enabling one family never perturbs
+/// another's draws and any single failure mode is reproducible in
+/// isolation.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) noexcept : base_(seed) {}
+
+  /// Applies `plan` to serialized trace bytes in place. The buffer must be
+  /// a well-formed trace (block targeting parses the clean layout first).
+  ByteDamage corrupt(std::vector<std::uint8_t>& bytes,
+                     const BytePlan& plan) const;
+
+  /// Returns a degraded copy of `feed`; `damage` (optional) receives the
+  /// ground truth. Stages apply in order: loss bursts, stuck clocks,
+  /// bounded reorder, duplication.
+  [[nodiscard]] std::vector<netflow::FlowRecord> degrade(
+      std::span<const netflow::FlowRecord> feed, const RecordPlan& plan,
+      RecordDamage* damage = nullptr) const;
+
+ private:
+  util::Rng base_;
+};
+
+}  // namespace dm::fault

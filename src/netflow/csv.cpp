@@ -103,4 +103,31 @@ std::vector<FlowRecord> read_csv(std::istream& in) {
   return records;
 }
 
+std::vector<FlowRecord> read_csv(std::istream& in, CsvQuarantine& quarantine,
+                                 std::size_t bad_line_budget) {
+  std::vector<FlowRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line_no == 1 && line == kCsvHeader) continue;
+    ++quarantine.lines_seen;
+    try {
+      records.push_back(parse_csv_row(line, line_no));
+    } catch (const FormatError& e) {
+      if (quarantine.bad_lines.size() >= bad_line_budget) {
+        throw FormatError(std::string(e.what()) + " (quarantine budget of " +
+                          std::to_string(bad_line_budget) +
+                          " bad lines exhausted)");
+      }
+      quarantine.bad_lines.push_back(
+          {line_no, e.what(),
+           line.substr(0, CsvQuarantine::kMaxQuarantinedLineBytes)});
+    }
+  }
+  return records;
+}
+
 }  // namespace dm::netflow

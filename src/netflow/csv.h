@@ -29,6 +29,32 @@ void write_csv(std::ostream& out, std::span<const FlowRecord> records);
 /// malformed input. A leading header line is skipped if present.
 [[nodiscard]] std::vector<FlowRecord> read_csv(std::istream& in);
 
+/// Malformed lines collected by the salvaging read_csv overload. Each entry
+/// keeps the 1-based line number, the parser's complaint, and the offending
+/// line itself (truncated for quarantine storage).
+struct CsvQuarantine {
+  struct BadLine {
+    std::size_t line_no = 0;
+    std::string error;
+    std::string line;  ///< up to kMaxQuarantinedLineBytes of the raw line
+  };
+  static constexpr std::size_t kMaxQuarantinedLineBytes = 160;
+
+  std::vector<BadLine> bad_lines;
+  std::size_t lines_seen = 0;  ///< non-blank data lines encountered
+
+  [[nodiscard]] bool clean() const noexcept { return bad_lines.empty(); }
+};
+
+/// Salvaging parse: malformed lines go into `quarantine` (with line number
+/// and error) instead of aborting the read, until more than
+/// `bad_line_budget` lines have gone bad — the budget-exceeding line throws
+/// dm::FormatError, on the theory that a file that is mostly garbage is the
+/// wrong file rather than a damaged one.
+[[nodiscard]] std::vector<FlowRecord> read_csv(std::istream& in,
+                                               CsvQuarantine& quarantine,
+                                               std::size_t bad_line_budget);
+
 /// Parses a single data row; exposed for tests.
 [[nodiscard]] FlowRecord parse_csv_row(std::string_view line, std::size_t line_no);
 

@@ -4,11 +4,16 @@
 // Encoding is append-only into a byte vector. Two decoders exist by design:
 // the unchecked pointer-advancing get_varint below for self-produced,
 // trusted buffers (the columnar store decodes only bytes it encoded), and
-// trace_io's bounds-checked ByteCursor for untrusted files.
+// the bounds-checked CheckedCursor for untrusted bytes (trace files,
+// StreamMonitor checkpoints).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "util/error.h"
 
 namespace dm::netflow {
 
@@ -35,6 +40,39 @@ inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
   } while ((b & 0x80) != 0);
   return v;
 }
+
+/// Bounds-checked decoder over untrusted bytes. Every primitive throws
+/// dm::FormatError (prefixed with `context`) instead of reading past the
+/// span — the decode side of the varint/CRC framing shared by trace files
+/// and StreamMonitor checkpoints.
+class CheckedCursor {
+ public:
+  explicit CheckedCursor(std::span<const std::uint8_t> bytes,
+                         const char* context = "varint") noexcept
+      : bytes_(bytes), context_(context) {}
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos_ >= bytes_.size() || shift > 63) {
+        throw FormatError(std::string(context_) + ": truncated varint");
+      }
+      const std::uint8_t b = bytes_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= bytes_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  const char* context_;
+  std::size_t pos_ = 0;
+};
 
 /// ZigZag: maps small signed deltas to small unsigned varints.
 [[nodiscard]] inline std::uint64_t zigzag64(std::int64_t v) noexcept {

@@ -37,6 +37,14 @@ class Ewma {
 
   void reset() noexcept;
 
+  /// Restores a previously observed (value, count) pair — the
+  /// checkpoint/restore path of streaming consumers. alpha comes from
+  /// construction, so restore into an Ewma built with the same config.
+  void set_state(double value, std::size_t count) noexcept {
+    value_ = value;
+    count_ = count;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

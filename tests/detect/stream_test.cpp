@@ -160,5 +160,149 @@ TEST(StreamMonitor, MatchesBatchPipelineOnSimulatedTrace) {
   EXPECT_EQ(monitor.windows_closed(), windowed.windows().size());
 }
 
+TEST(StreamMonitor, SplitCountersPartitionDrops) {
+  StreamMonitor monitor(cloud_space());
+  monitor.ingest(syn(100, 1));
+  monitor.ingest(syn(105, 2));  // commits minutes < 105
+  monitor.ingest(syn(100, 3));  // late
+  FlowRecord remote = syn(106, 4);
+  remote.dst_ip = IPv4::from_octets(4, 4, 4, 4);  // remote-to-remote
+  monitor.ingest(remote);
+  FlowRecord empty = syn(106, 5);
+  empty.packets = 0;  // structurally malformed
+  monitor.ingest(empty);
+
+  EXPECT_EQ(monitor.records_ingested(), 5u);
+  EXPECT_EQ(monitor.records_late(), 1u);
+  EXPECT_EQ(monitor.records_unclassifiable(), 1u);
+  EXPECT_EQ(monitor.records_quarantined(), 1u);
+  EXPECT_EQ(monitor.records_duplicate(), 0u);
+  // Back-compat aggregate: late + unclassifiable, quarantine excluded.
+  EXPECT_EQ(monitor.records_dropped(), 2u);
+}
+
+TEST(StreamMonitor, ReorderLagAcceptsBoundedDisorder) {
+  StreamConfig stream;
+  stream.reorder_lag = 2;
+  StreamMonitor monitor(cloud_space(), nullptr, DetectionConfig{},
+                        TimeoutTable::paper(), nullptr, nullptr, stream);
+  monitor.ingest(syn(105, 1));  // watermark moves to 102
+  monitor.ingest(syn(104, 2));  // within the lag: accepted
+  monitor.ingest(syn(103, 3));  // still within: accepted
+  monitor.ingest(syn(102, 4));  // at the watermark: late
+  EXPECT_EQ(monitor.records_late(), 1u);
+  monitor.finish();
+  EXPECT_EQ(monitor.windows_closed(), 3u);
+}
+
+TEST(StreamMonitor, ReorderedFloodMatchesInOrderResult) {
+  // A flood fed in bounded disorder under a sufficient lag must produce
+  // the same incident as the in-order feed.
+  std::vector<FlowRecord> feed;
+  for (util::Minute m = 100; m < 105; ++m) {
+    for (std::uint32_t s = 0; s < 300; ++s) feed.push_back(syn(m, s));
+  }
+  std::vector<FlowRecord> disordered = feed;
+  // Swap records across adjacent minutes throughout the feed.
+  for (std::size_t i = 150; i + 300 < disordered.size(); i += 300) {
+    std::swap(disordered[i], disordered[i + 299]);
+  }
+
+  const auto run = [](const std::vector<FlowRecord>& records,
+                      util::Minute lag) {
+    StreamConfig stream;
+    stream.reorder_lag = lag;
+    std::vector<AttackIncident> incidents;
+    StreamMonitor monitor(
+        cloud_space(), nullptr, DetectionConfig{}, TimeoutTable::paper(),
+        nullptr,
+        [&incidents](const AttackIncident& inc) { incidents.push_back(inc); },
+        stream);
+    for (const auto& r : records) monitor.ingest(r);
+    monitor.finish();
+    EXPECT_EQ(monitor.records_late(), 0u);
+    return incidents;
+  };
+
+  const auto in_order = run(feed, 1);
+  const auto reordered = run(disordered, 1);
+  ASSERT_EQ(in_order.size(), 1u);
+  ASSERT_EQ(reordered.size(), 1u);
+  EXPECT_EQ(reordered[0].start, in_order[0].start);
+  EXPECT_EQ(reordered[0].end, in_order[0].end);
+  EXPECT_EQ(reordered[0].total_sampled_packets,
+            in_order[0].total_sampled_packets);
+}
+
+TEST(StreamMonitor, DuplicateSuppressionIsOptIn) {
+  // Off (default): the repeat contributes to the window again.
+  StreamMonitor plain(cloud_space());
+  plain.ingest(syn(100, 1));
+  plain.ingest(syn(100, 1));
+  EXPECT_EQ(plain.records_duplicate(), 0u);
+
+  StreamConfig stream;
+  stream.suppress_duplicates = true;
+  StreamMonitor dedup(cloud_space(), nullptr, DetectionConfig{},
+                      TimeoutTable::paper(), nullptr, nullptr, stream);
+  dedup.ingest(syn(100, 1));
+  dedup.ingest(syn(100, 1));  // byte-identical re-emit
+  dedup.ingest(syn(100, 2));  // distinct record passes
+  EXPECT_EQ(dedup.records_duplicate(), 1u);
+  EXPECT_EQ(dedup.records_ingested(), 3u);
+}
+
+TEST(StreamMonitor, DeclaredOutageDoesNotCollapseBaseline) {
+  // Steady 200 SYN-packets/min, a 60-minute collector outage, then the same
+  // steady rate. Undeclared, the gap decays the EWMA to ~0 and the resumed
+  // steady rate alarms as a flood; declared via note_outage it must not.
+  const auto steady = [](StreamMonitor& monitor, util::Minute from,
+                         util::Minute to) {
+    for (util::Minute m = from; m < to; ++m) {
+      FlowRecord r = syn(m, 1);
+      r.packets = 200;
+      monitor.ingest(r);
+    }
+  };
+
+  std::uint64_t alerts_without = 0;
+  {
+    StreamMonitor monitor(cloud_space());
+    steady(monitor, 0, 21);
+    steady(monitor, 81, 101);
+    monitor.finish();
+    alerts_without = monitor.alerts();
+  }
+  EXPECT_GT(alerts_without, 0u) << "undeclared outage must look like a flood "
+                                   "(otherwise this test checks nothing)";
+
+  std::uint64_t alerts_with = 0;
+  {
+    StreamMonitor monitor(cloud_space());
+    steady(monitor, 0, 21);
+    monitor.note_outage(21, 81);
+    steady(monitor, 81, 101);
+    monitor.finish();
+    alerts_with = monitor.alerts();
+  }
+  EXPECT_EQ(alerts_with, 0u)
+      << "declared outage minutes must not decay the detector baseline";
+}
+
+TEST(StreamMonitor, OutageOnlyCoversDeclaredMinutes) {
+  // A declared outage must not mask a genuine post-outage flood: the spike
+  // is far above the preserved baseline and still alarms.
+  StreamMonitor monitor(cloud_space());
+  for (util::Minute m = 0; m < 21; ++m) {
+    FlowRecord r = syn(m, 1);
+    r.packets = 50;
+    monitor.ingest(r);
+  }
+  monitor.note_outage(21, 51);
+  for (std::uint32_t s = 0; s < 300; ++s) monitor.ingest(syn(51, s));
+  monitor.finish();
+  EXPECT_GT(monitor.alerts(), 0u);
+}
+
 }  // namespace
 }  // namespace dm::detect

@@ -94,5 +94,118 @@ TEST(Csv, ErrorNamesLine) {
   }
 }
 
+TEST(Csv, EmptyFileYieldsNoRecords) {
+  std::stringstream empty;
+  EXPECT_TRUE(read_csv(empty).empty());
+
+  CsvQuarantine quarantine;
+  std::stringstream empty2;
+  EXPECT_TRUE(read_csv(empty2, quarantine, 10).empty());
+  EXPECT_TRUE(quarantine.clean());
+  EXPECT_EQ(quarantine.lines_seen, 0u);
+}
+
+TEST(Csv, TruncatedFinalLineNamesItsLineNumber) {
+  // A file chopped mid-record: the final line loses its tail fields.
+  std::stringstream in;
+  in << kCsvHeader << "\n"
+     << "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40\n"
+     << "2,4.0.0.2,1,100.64.0.1,80,6,2";  // truncated mid-row, no newline
+  try {
+    (void)read_csv(in);
+    FAIL() << "expected FormatError";
+  } catch (const dm::FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("missing field"), std::string::npos) << what;
+  }
+}
+
+TEST(Csv, NonNumericFieldNamesFieldAndLine) {
+  std::stringstream in;
+  in << "1,4.0.0.1,1,100.64.0.1,80,6,2,twelve,480\n";
+  try {
+    (void)read_csv(in);
+    FAIL() << "expected FormatError";
+  } catch (const dm::FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad packets"), std::string::npos) << what;
+    EXPECT_NE(what.find("'twelve'"), std::string::npos) << what;
+  }
+}
+
+TEST(Csv, EmbeddedNulBytesAreRejectedNotTruncated) {
+  // A NUL inside a field must fail that field's parse, not silently end
+  // the line (the C-string trap).
+  std::string data = "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40";
+  data += '\0';
+  data += "junk\n";
+  std::stringstream in(data);
+  EXPECT_THROW((void)read_csv(in), dm::FormatError);
+
+  CsvQuarantine quarantine;
+  std::stringstream in2(data);
+  const auto records = read_csv(in2, quarantine, 10);
+  EXPECT_TRUE(records.empty());
+  ASSERT_EQ(quarantine.bad_lines.size(), 1u);
+  EXPECT_EQ(quarantine.bad_lines[0].line_no, 1u);
+}
+
+TEST(Csv, QuarantineCollectsBadLinesWithNumbers) {
+  std::stringstream in;
+  in << kCsvHeader << "\n"                            // line 1
+     << "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40\n"        // line 2: good
+     << "BROKEN\n"                                    // line 3: bad
+     << "2,4.0.0.2,1,100.64.0.1,80,17,0,3,300\n"      // line 4: good
+     << "\n"                                          // line 5: blank, skipped
+     << "3,4.0.0.3,1,100.64.0.1,80,6,2,0,40\n"        // line 6: zero packets
+     << "4,4.0.0.4,1,100.64.0.1,80,6,2,2,80\n";       // line 7: good
+  CsvQuarantine quarantine;
+  const auto records = read_csv(in, quarantine, 5);
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(quarantine.lines_seen, 5u);
+  ASSERT_EQ(quarantine.bad_lines.size(), 2u);
+  EXPECT_EQ(quarantine.bad_lines[0].line_no, 3u);
+  EXPECT_EQ(quarantine.bad_lines[0].line, "BROKEN");
+  EXPECT_NE(quarantine.bad_lines[0].error.find("line 3"), std::string::npos);
+  EXPECT_EQ(quarantine.bad_lines[1].line_no, 6u);
+  EXPECT_NE(quarantine.bad_lines[1].error.find("packets"), std::string::npos);
+}
+
+TEST(Csv, QuarantineBudgetExhaustionThrows) {
+  std::stringstream in;
+  in << "BROKEN1\nBROKEN2\nBROKEN3\n";
+  CsvQuarantine quarantine;
+  try {
+    (void)read_csv(in, quarantine, 2);
+    FAIL() << "expected FormatError past the budget";
+  } catch (const dm::FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("quarantine budget of 2"), std::string::npos) << what;
+  }
+  // The first two bad lines were still collected before the abort.
+  EXPECT_EQ(quarantine.bad_lines.size(), 2u);
+}
+
+TEST(Csv, QuarantineTruncatesOversizedLines) {
+  std::stringstream in;
+  in << std::string(1000, 'x') << "\n";
+  CsvQuarantine quarantine;
+  (void)read_csv(in, quarantine, 1);
+  ASSERT_EQ(quarantine.bad_lines.size(), 1u);
+  EXPECT_EQ(quarantine.bad_lines[0].line.size(),
+            CsvQuarantine::kMaxQuarantinedLineBytes);
+}
+
+TEST(Csv, ZeroBudgetRestoresStrictBehavior) {
+  std::stringstream in;
+  in << "1,4.0.0.1,1,100.64.0.1,80,6,2,1,40\nBROKEN\n";
+  CsvQuarantine quarantine;
+  EXPECT_THROW((void)read_csv(in, quarantine, 0), dm::FormatError);
+  EXPECT_TRUE(quarantine.bad_lines.empty());
+}
+
 }  // namespace
 }  // namespace dm::netflow

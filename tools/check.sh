@@ -38,6 +38,19 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -R "$ASAN_FILTER"
 
+# Optional degraded-feed fault matrix: the fault-injection, salvage,
+# checkpoint/restore, and end-to-end fault-matrix suites re-run under the
+# same ASan+UBSan build (crash-freedom under corruption is the point), then
+# a 30-second randomized-seed corruption soak hammers the salvage scanner
+# with arbitrary damage. The soak test prints its seed via SCOPED_TRACE on
+# failure, so a red run is reproducible. Enable with DM_FAULT_MATRIX=1.
+if [[ "${DM_FAULT_MATRIX:-0}" != "0" ]]; then
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure \
+    -R "FaultInjector|TraceSalvage|StreamCheckpoint|FaultMatrix|StreamMonitor|Csv"
+  DM_SOAK_SECONDS="${DM_SOAK_SECONDS:-30}" \
+    ctest --test-dir "$ASAN_BUILD" --output-on-failure -R "SalvageSoak"
+fi
+
 # Optional Release-mode perf snapshot: refreshes BENCH_pipeline.json at the
 # repo root (stage -> threads -> items/s + peak RSS). Off by default to keep
 # the gate fast; enable with DM_BENCH_JSON=1.

@@ -2,8 +2,9 @@
 //
 //   dmnf gen    --out trace.dmnf [--vips N] [--days D] [--seed S]
 //   dmnf info   trace.dmnf
-//   dmnf detect trace.dmnf [--cloud CIDR]...
+//   dmnf detect trace.dmnf [--cloud CIDR]... [--stream] [--reorder-lag N]
 //   dmnf top    trace.dmnf [--count N] [--cloud CIDR]...
+//   dmnf verify trace.dmnf
 //   dmnf export trace.dmnf out.csv
 //   dmnf import in.csv out.dmnf [--sampling N]
 //
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "detect/pipeline.h"
+#include "detect/stream.h"
 #include "util/error.h"
 #include "netflow/csv.h"
 #include "netflow/trace_io.h"
@@ -33,8 +35,9 @@ int usage() {
       "usage:\n"
       "  dmnf gen    --out trace.dmnf [--vips N] [--days D] [--seed S]\n"
       "  dmnf info   trace.dmnf\n"
-      "  dmnf detect trace.dmnf [--cloud CIDR]...\n"
+      "  dmnf detect trace.dmnf [--cloud CIDR]... [--stream] [--reorder-lag N]\n"
       "  dmnf top    trace.dmnf [--count N] [--cloud CIDR]...\n"
+      "  dmnf verify trace.dmnf\n"
       "  dmnf export trace.dmnf out.csv\n"
       "  dmnf import in.csv out.dmnf [--sampling N]\n",
       stderr);
@@ -51,6 +54,10 @@ Args parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
+      if (arg == "--stream") {  // boolean flag: takes no value
+        args.options[arg] = "1";
+        continue;
+      }
       const std::string value = i + 1 < argc ? argv[i + 1] : "";
       if (arg == "--cloud") {
         // Repeatable: accumulate with ; separator.
@@ -139,17 +146,10 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
-int cmd_detect(const Args& args) {
-  if (args.positional.empty()) return usage();
-  std::uint32_t sampling = 0;
-  auto records = netflow::read_trace_file(args.positional[0], &sampling);
-  const auto space = cloud_space_from(args);
-  const auto trace = netflow::aggregate_windows(std::move(records), space);
-  const auto result = detect::DetectionPipeline{}.run(trace);
-
+void print_incidents(std::vector<detect::AttackIncident> incidents,
+                     std::uint32_t sampling) {
   util::TextTable table;
   table.set_header({"type", "dir", "vip", "start", "duration", "peak"});
-  auto incidents = result.incidents;
   std::sort(incidents.begin(), incidents.end(),
             [](const auto& a, const auto& b) { return a.start < b.start; });
   for (const auto& inc : incidents) {
@@ -160,10 +160,94 @@ int cmd_detect(const Args& args) {
               util::format_pps(inc.estimated_peak_pps(sampling)));
   }
   std::fputs(table.render().c_str(), stdout);
+}
+
+int cmd_detect(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::uint32_t sampling = 0;
+  auto records = netflow::read_trace_file(args.positional[0], &sampling);
+  const auto space = cloud_space_from(args);
+
+  if (args.options.count("--stream") != 0) {
+    // Online path: replay the trace as a collector feed (time order — the
+    // stored order is the canonical per-VIP one) through the hardened
+    // monitor.
+    std::stable_sort(records.begin(), records.end(),
+                     [](const netflow::FlowRecord& a,
+                        const netflow::FlowRecord& b) {
+                       return a.minute < b.minute;
+                     });
+    detect::StreamConfig stream;
+    stream.reorder_lag =
+        static_cast<util::Minute>(option_number(args, "--reorder-lag", 0));
+    // Identical records in a stored trace are distinct sampled flows, not
+    // collector re-emits — suppression stays off so the streaming and
+    // offline paths see the same traffic.
+    stream.suppress_duplicates = false;
+    std::vector<detect::AttackIncident> incidents;
+    detect::StreamMonitor monitor(
+        space, nullptr, {}, detect::TimeoutTable::paper(), nullptr,
+        [&incidents](const detect::AttackIncident& inc) {
+          incidents.push_back(inc);
+        },
+        stream);
+    for (const auto& r : records) monitor.ingest(r);
+    monitor.finish();
+    print_incidents(std::move(incidents), sampling);
+    std::printf(
+        "%llu incidents from %llu windows (%llu ingested: %llu late, "
+        "%llu unclassifiable, %llu duplicate, %llu quarantined)\n",
+        static_cast<unsigned long long>(monitor.incidents()),
+        static_cast<unsigned long long>(monitor.windows_closed()),
+        static_cast<unsigned long long>(monitor.records_ingested()),
+        static_cast<unsigned long long>(monitor.records_late()),
+        static_cast<unsigned long long>(monitor.records_unclassifiable()),
+        static_cast<unsigned long long>(monitor.records_duplicate()),
+        static_cast<unsigned long long>(monitor.records_quarantined()));
+    return 0;
+  }
+
+  const auto trace = netflow::aggregate_windows(std::move(records), space);
+  const auto result = detect::DetectionPipeline{}.run(trace);
+  print_incidents(result.incidents, sampling);
   std::printf("%zu incidents from %zu windows (%llu unattributable records)\n",
-              incidents.size(), trace.windows().size(),
+              result.incidents.size(), trace.windows().size(),
               static_cast<unsigned long long>(trace.unclassified_records()));
   return 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto result = netflow::salvage_trace_file(args.positional[0]);
+  const netflow::IngestReport& report = result.report;
+
+  std::printf("header:    %s\n", report.header_valid ? "valid" : "INVALID");
+  std::printf("end mark:  %s\n", report.end_marker_seen ? "present" : "MISSING");
+  std::printf("scanned:   %llu bytes\n",
+              static_cast<unsigned long long>(report.bytes_scanned));
+  std::printf("blocks:    %llu decoded, %llu damaged regions\n",
+              static_cast<unsigned long long>(report.blocks_decoded),
+              static_cast<unsigned long long>(report.blocks_skipped));
+  std::printf("records:   %llu recovered (sampling 1:%u)\n",
+              static_cast<unsigned long long>(report.records_recovered),
+              result.sampling);
+  std::printf("errors:    %llu CRC, %llu truncation, %llu varint, %llu decode\n",
+              static_cast<unsigned long long>(report.crc_mismatches),
+              static_cast<unsigned long long>(report.truncations),
+              static_cast<unsigned long long>(report.varint_errors),
+              static_cast<unsigned long long>(report.decode_errors));
+  for (const auto& range : report.lost_ranges) {
+    std::printf("lost:      %llu bytes at offset %llu\n",
+                static_cast<unsigned long long>(range.bytes),
+                static_cast<unsigned long long>(range.offset));
+  }
+  if (report.clean()) {
+    std::printf("verdict:   clean\n");
+    return 0;
+  }
+  std::printf("verdict:   DAMAGED (%llu bytes lost)\n",
+              static_cast<unsigned long long>(report.bytes_lost()));
+  return 1;
 }
 
 int cmd_top(const Args& args) {
@@ -229,6 +313,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     if (command == "detect") return cmd_detect(args);
     if (command == "top") return cmd_top(args);
+    if (command == "verify") return cmd_verify(args);
     if (command == "export") return cmd_export(args);
     if (command == "import") return cmd_import(args);
   } catch (const std::exception& e) {
