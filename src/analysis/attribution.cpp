@@ -1,7 +1,7 @@
 #include "analysis/attribution.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <tuple>
 
 namespace dm::analysis {
 
@@ -44,7 +44,9 @@ bool record_matches(AttackType type, const FlowRecord& r, Direction direction,
 std::vector<RemoteContribution> incident_remotes(
     const netflow::WindowedTrace& trace, const detect::AttackIncident& incident,
     const netflow::PrefixSet* blacklist) {
-  std::unordered_map<netflow::IPv4, std::uint64_t> acc;
+  // Sorted-vector accumulator (same pattern as detect/correlator.cpp): one
+  // entry per matching record, sorted by remote, then merged in place.
+  std::vector<RemoteContribution> entries;
   const auto series = trace.series(incident.vip, incident.direction);
   for (const auto& window : series) {
     if (window.minute < incident.start) continue;
@@ -54,12 +56,22 @@ std::vector<RemoteContribution> incident_remotes(
         continue;
       }
       const OrientedFlow flow{&r, incident.direction};
-      acc[flow.remote_ip()] += r.packets;
+      entries.push_back({flow.remote_ip(), r.packets});
     }
   }
+  std::sort(entries.begin(), entries.end(),
+            [](const RemoteContribution& a, const RemoteContribution& b) {
+              return std::tie(a.remote, a.packets) <
+                     std::tie(b.remote, b.packets);
+            });
   std::vector<RemoteContribution> out;
-  out.reserve(acc.size());
-  for (const auto& [remote, packets] : acc) out.push_back({remote, packets});
+  for (const RemoteContribution& e : entries) {
+    if (!out.empty() && out.back().remote == e.remote) {
+      out.back().packets += e.packets;
+    } else {
+      out.push_back(e);
+    }
+  }
   std::sort(out.begin(), out.end(),
             [](const RemoteContribution& a, const RemoteContribution& b) {
               if (a.packets != b.packets) return a.packets > b.packets;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 namespace dm::analysis {
 
@@ -40,7 +41,7 @@ std::vector<ApplianceAlert> simulate_appliance_alerts(
   for (auto& [key, episodes] : grouped) {
     std::sort(episodes.begin(), episodes.end(),
               [](const AttackEpisode* a, const AttackEpisode* b) {
-                return a->start < b->start;
+                return std::tie(a->start, a->end) < std::tie(b->start, b->end);
               });
     ApplianceAlert open;
     bool has_open = false;

@@ -167,15 +167,23 @@ VipRegistry::VipRegistry(const VipRegistryConfig& config, std::uint64_t seed) {
 
   by_ip_.reserve(vips_.size());
   for (std::uint32_t i = 0; i < vips_.size(); ++i) {
-    if (!by_ip_.emplace(vips_[i].vip, i).second) {
-      throw ConfigError("VipRegistry: duplicate VIP allocation");
-    }
+    by_ip_.emplace_back(vips_[i].vip, i);
+  }
+  std::sort(by_ip_.begin(), by_ip_.end());
+  const auto dup = std::adjacent_find(
+      by_ip_.begin(), by_ip_.end(),
+      [](const auto& a, const auto& b) { return a.first == b.first; });
+  if (dup != by_ip_.end()) {
+    throw ConfigError("VipRegistry: duplicate VIP allocation");
   }
 }
 
 const VipInfo* VipRegistry::lookup(IPv4 ip) const noexcept {
-  const auto it = by_ip_.find(ip);
-  return it == by_ip_.end() ? nullptr : &vips_[it->second];
+  const auto it = std::lower_bound(
+      by_ip_.begin(), by_ip_.end(), ip,
+      [](const auto& entry, IPv4 key) { return entry.first < key; });
+  if (it == by_ip_.end() || it->first != ip) return nullptr;
+  return &vips_[it->second];
 }
 
 std::vector<std::uint32_t> VipRegistry::with_service(ServiceType s) const {

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cloud/as_registry.h"
@@ -110,7 +110,8 @@ class VipRegistry {
   std::vector<VipInfo> vips_;
   std::vector<DataCenter> data_centers_;
   netflow::PrefixSet cloud_space_;
-  std::unordered_map<netflow::IPv4, std::uint32_t> by_ip_;
+  /// Sorted by IP for binary-search lookup; built once at construction.
+  std::vector<std::pair<netflow::IPv4, std::uint32_t>> by_ip_;
 };
 
 }  // namespace dm::cloud

@@ -80,6 +80,7 @@ class ChangePointDetector {
 
   /// Complete serializable state (paired with the constructor's config).
   struct State {
+    // dmlint: checkpointed
     double ewma_value = 0.0;
     std::uint64_t observations = 0;
     util::Minute last_minute = -1;

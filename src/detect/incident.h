@@ -18,6 +18,7 @@ namespace dm::detect {
 
 /// One detected attack on/from one VIP.
 struct AttackIncident {
+  // dmlint: checkpointed
   netflow::IPv4 vip;
   netflow::Direction direction = netflow::Direction::kInbound;
   sim::AttackType type = sim::AttackType::kSynFlood;

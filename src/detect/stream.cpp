@@ -62,10 +62,22 @@ void put_f64(std::vector<std::uint8_t>& out, double v) {
 /// sorting makes checkpoint bytes a pure function of monitor state.
 void put_ip_set(std::vector<std::uint8_t>& out,
                 const std::unordered_set<std::uint32_t>& set) {
+  // dmlint: allow(unordered-iteration) drained into a sorted vector before any byte is written
   std::vector<std::uint32_t> sorted(set.begin(), set.end());
   std::sort(sorted.begin(), sorted.end());
   put_u64(out, sorted.size());
   for (const std::uint32_t ip : sorted) put_u64(out, ip);
+}
+
+/// Serializes a dedup hash set as (count, sorted elements), mirroring
+/// put_ip_set: checkpoint bytes stay a pure function of monitor state.
+void put_hash_set(std::vector<std::uint8_t>& out,
+                  const std::unordered_set<std::uint64_t>& hashes) {
+  // dmlint: allow(unordered-iteration) drained into a sorted vector before any byte is written
+  std::vector<std::uint64_t> sorted(hashes.begin(), hashes.end());
+  std::sort(sorted.begin(), sorted.end());
+  put_u64(out, sorted.size());
+  for (const std::uint64_t h : sorted) put_u64(out, h);
 }
 
 void get_ip_set(netflow::CheckedCursor& in,
@@ -366,6 +378,8 @@ void StreamMonitor::checkpoint(std::ostream& out) const {
     for (const auto& [key, open] : series_map) {
       put_u64(payload, key.vip);
       put_u64(payload, static_cast<std::uint64_t>(key.direction));
+      // dmlint: covers(open, OpenWindow)
+      // dmlint: covers(w, VipMinuteStats)
       const VipMinuteStats& w = open.stats;
       put_u64(payload, w.vip.value());
       put_i64(payload, w.minute);
@@ -396,10 +410,12 @@ void StreamMonitor::checkpoint(std::ostream& out) const {
       put_u64(payload, w.blacklist_packets);
       put_u64(payload, w.first_record);
       put_u64(payload, w.last_record);
+      // dmlint: covers-end(w)
       put_ip_set(payload, open.remotes);
       put_ip_set(payload, open.admin_remotes);
       put_ip_set(payload, open.smtp_remotes);
       put_ip_set(payload, open.blacklist_remotes);
+      // dmlint: covers-end(open)
     }
   }
 
@@ -408,13 +424,17 @@ void StreamMonitor::checkpoint(std::ostream& out) const {
   for (const auto& [key, series] : detectors_) {
     put_u64(payload, key.vip);
     put_u64(payload, static_cast<std::uint64_t>(key.direction));
+    // dmlint: covers(series, SeriesState)
     put_i64(payload, series.last_minute);
     const SeriesDetector::StateArray states = series.detector.state();
+    // dmlint: covers-end(series)
+    // dmlint: covers(s, State)
     for (const ChangePointDetector::State& s : states) {
       put_f64(payload, s.ewma_value);
       put_u64(payload, s.observations);
       put_i64(payload, s.last_minute);
     }
+    // dmlint: covers-end(s)
   }
 
   // Incidents (including inactive slots — their counters already fired).
@@ -423,6 +443,8 @@ void StreamMonitor::checkpoint(std::ostream& out) const {
     put_u64(payload, std::get<0>(key));
     put_i64(payload, std::get<1>(key));
     put_i64(payload, std::get<2>(key));
+    // dmlint: covers(open, OpenIncident)
+    // dmlint: covers(inc, AttackIncident)
     put_u64(payload, open.active ? 1 : 0);
     const AttackIncident& inc = open.incident;
     put_u64(payload, inc.vip.value());
@@ -435,16 +457,15 @@ void StreamMonitor::checkpoint(std::ostream& out) const {
     put_u64(payload, inc.peak_sampled_ppm);
     put_u64(payload, inc.peak_unique_remotes);
     put_i64(payload, inc.ramp_up_minutes);
+    // dmlint: covers-end(inc)
+    // dmlint: covers-end(open)
   }
 
   // Dedup hashes of still-open minutes, sorted for determinism.
   put_u64(payload, seen_.size());
   for (const auto& [minute, hashes] : seen_) {
     put_i64(payload, minute);
-    std::vector<std::uint64_t> sorted(hashes.begin(), hashes.end());
-    std::sort(sorted.begin(), sorted.end());
-    put_u64(payload, sorted.size());
-    for (const std::uint64_t h : sorted) put_u64(payload, h);
+    put_hash_set(payload, hashes);
   }
 
   // Frame: magic | version | payload-size varint | payload | crc32.
@@ -556,6 +577,8 @@ void StreamMonitor::restore(std::istream& in) {
       SeriesKey key;
       key.vip = static_cast<std::uint32_t>(get_u64());
       key.direction = static_cast<Direction>(get_u64());
+      // dmlint: covers(open, OpenWindow)
+      // dmlint: covers(w, VipMinuteStats)
       OpenWindow& open = series_map[key];
       VipMinuteStats& w = open.stats;
       w.vip = netflow::IPv4(static_cast<std::uint32_t>(get_u64()));
@@ -587,10 +610,12 @@ void StreamMonitor::restore(std::istream& in) {
       w.blacklist_packets = get_u64();
       w.first_record = static_cast<std::uint32_t>(get_u64());
       w.last_record = static_cast<std::uint32_t>(get_u64());
+      // dmlint: covers-end(w)
       get_ip_set(cur, open.remotes);
       get_ip_set(cur, open.admin_remotes);
       get_ip_set(cur, open.smtp_remotes);
       get_ip_set(cur, open.blacklist_remotes);
+      // dmlint: covers-end(open)
     }
   }
 
@@ -600,14 +625,19 @@ void StreamMonitor::restore(std::istream& in) {
     key.vip = static_cast<std::uint32_t>(get_u64());
     key.direction = static_cast<Direction>(get_u64());
     auto [it, inserted] = detectors.try_emplace(key, config_);
-    it->second.last_minute = get_i64();
+    // dmlint: covers(series, SeriesState)
+    SeriesState& series = it->second;
+    series.last_minute = get_i64();
     SeriesDetector::StateArray states;
+    // dmlint: covers(s, State)
     for (ChangePointDetector::State& s : states) {
       s.ewma_value = get_f64();
       s.observations = get_u64();
       s.last_minute = get_i64();
     }
-    it->second.detector.restore(states);
+    // dmlint: covers-end(s)
+    series.detector.restore(states);
+    // dmlint: covers-end(series)
   }
 
   const std::uint64_t incident_count = get_u64();
@@ -615,6 +645,8 @@ void StreamMonitor::restore(std::istream& in) {
     const std::uint32_t vip = static_cast<std::uint32_t>(get_u64());
     const int type = static_cast<int>(get_i64());
     const int dir = static_cast<int>(get_i64());
+    // dmlint: covers(open, OpenIncident)
+    // dmlint: covers(inc, AttackIncident)
     OpenIncident& open = open_incidents[{vip, type, dir}];
     open.active = get_u64() != 0;
     AttackIncident& inc = open.incident;
@@ -628,6 +660,8 @@ void StreamMonitor::restore(std::istream& in) {
     inc.peak_sampled_ppm = get_u64();
     inc.peak_unique_remotes = static_cast<std::uint32_t>(get_u64());
     inc.ramp_up_minutes = get_i64();
+    // dmlint: covers-end(inc)
+    // dmlint: covers-end(open)
   }
 
   const std::uint64_t seen_count = get_u64();

@@ -132,6 +132,7 @@ class StreamMonitor {
 
   /// An open one-minute window under accumulation.
   struct OpenWindow {
+    // dmlint: checkpointed
     netflow::VipMinuteStats stats;
     std::unordered_set<std::uint32_t> remotes;
     std::unordered_set<std::uint32_t> admin_remotes;
@@ -141,6 +142,7 @@ class StreamMonitor {
 
   /// An incident accumulating detected minutes.
   struct OpenIncident {
+    // dmlint: checkpointed
     AttackIncident incident;
     bool active = false;
   };
@@ -148,6 +150,7 @@ class StreamMonitor {
   /// A per-series detector bank plus the last minute it observed — needed
   /// to intersect declared outages with the series' silent gap.
   struct SeriesState {
+    // dmlint: checkpointed
     SeriesDetector detector;
     util::Minute last_minute = -1;
     explicit SeriesState(const DetectionConfig& config) noexcept

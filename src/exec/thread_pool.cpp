@@ -145,6 +145,7 @@ bool ThreadPool::run_one() {
     // Steal oldest-first from siblings (or any queue, for external helpers).
     const std::size_t start =
         self >= 0 ? static_cast<std::size_t>(self) + 1
+                  // dmlint: allow(nondeterministic-call) steal-start choice is scheduling-only; results merge in deterministic shard order
                   : std::hash<std::thread::id>{}(std::this_thread::get_id());
     for (std::size_t k = 0; k < n && !got; ++k) {
       Worker& w = *workers_[(start + k) % n];

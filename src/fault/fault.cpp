@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <tuple>
 
 #include "netflow/trace_io.h"
 
@@ -88,8 +89,9 @@ ByteDamage FaultInjector::corrupt(std::vector<std::uint8_t>& bytes,
         1 + truncate_rng.below(block.payload_size - rel);
     cuts.push_back({block.payload_offset + rel, length});
   }
-  std::sort(cuts.begin(), cuts.end(),
-            [](const Cut& a, const Cut& b) { return a.start > b.start; });
+  std::sort(cuts.begin(), cuts.end(), [](const Cut& a, const Cut& b) {
+    return std::tie(a.start, a.length) > std::tie(b.start, b.length);
+  });
   for (const Cut& cut : cuts) {
     bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(cut.start),
                 bytes.begin() + static_cast<std::ptrdiff_t>(cut.start + cut.length));

@@ -1,0 +1,46 @@
+// Minimal C++ lexer for dm::lint.
+//
+// The linter works on token streams, not ASTs: it has no libclang
+// dependency, so it cannot resolve types or overloads, but every invariant
+// it enforces (banned identifiers, container declarations, sort call
+// shapes, annotated serialization regions) is visible at the lexical
+// level. The lexer's job is to make that level trustworthy: string and
+// character literals must never leak identifier tokens ("rand" inside a
+// message is not a call), comments must be preserved separately (they
+// carry the `dmlint:` directives), and every token must know its line.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace dm::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string_view text;  ///< view into the source buffer (caller keeps alive)
+  int line = 1;           ///< 1-based start line
+};
+
+struct Comment {
+  std::string_view text;  ///< content without the // or /* */ delimiters
+  int line = 1;           ///< 1-based start line
+  /// True when no code token precedes the comment on its start line; an
+  /// own-line directive applies to the next code line, a trailing one to
+  /// its own line.
+  bool own_line = true;
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes `text` (one translation unit). Handles //, /* */, string and
+/// character literals with escapes, basic raw strings R"delim(...)delim",
+/// identifiers, pp-numbers, and maximal-munch punctuation — except that
+/// '<' and '>' are always emitted as single characters so the template
+/// scanners can bracket-match them.
+[[nodiscard]] TokenStream tokenize(std::string_view text);
+
+}  // namespace dm::lint

@@ -133,6 +133,7 @@ FusedTrace generate_windows(const Scenario& scenario, exec::ThreadPool* pool) {
   for (std::size_t i = 0; i < vip_count; ++i) {
     by_address[i] = static_cast<std::uint32_t>(i);
   }
+  // dmlint: total-order(VIP addresses are unique — VipRegistry rejects duplicate allocations)
   std::sort(by_address.begin(), by_address.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               return vip_infos[a].vip < vip_infos[b].vip;

@@ -1,0 +1,22 @@
+// Fixture: complete covers regions on both the save and load paths pass,
+// and member functions in the struct are not mistaken for fields.
+struct Rec {
+  // dmlint: checkpointed
+  int a = 0;
+  int b = 0;
+  int sum() const { return a + b; }
+};
+
+void save(const Rec& r, int* out) {
+  // dmlint: covers(r, Rec)
+  out[0] = r.a;
+  out[1] = r.b;
+  // dmlint: covers-end(r)
+}
+
+void load(Rec& r, const int* in) {
+  // dmlint: covers(r, Rec)
+  r.a = in[0];
+  r.b = in[1];
+  // dmlint: covers-end(r)
+}

@@ -1,0 +1,20 @@
+// Fixture: checkpoint-coverage fires when a serialize region skips a
+// declared field (save() forgets `b`).
+struct Rec {
+  // dmlint: checkpointed
+  int a = 0;
+  int b = 0;
+};
+
+void save(const Rec& r, int* out) {
+  // dmlint: covers(r, Rec)
+  out[0] = r.a;
+  // dmlint: covers-end(r)
+}
+
+void load(Rec& r, const int* in) {
+  // dmlint: covers(r, Rec)
+  r.a = in[0];
+  r.b = in[1];
+  // dmlint: covers-end(r)
+}

@@ -1,0 +1,15 @@
+// Fixture: seeded, caller-provided randomness is fine; so are identifiers
+// that merely resemble banned names.
+struct Rng {
+  unsigned state;
+  unsigned next() { return state = state * 1664525u + 1013904223u; }
+};
+
+int roll_die(Rng& rng) { return static_cast<int>(rng.next() % 6u); }
+
+// Member access named like a banned function never fires.
+struct Timer {
+  int time_ = 0;
+  int time() const { return time_; }
+};
+int read_timer(const Timer& t) { return t.time(); }

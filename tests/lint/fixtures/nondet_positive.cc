@@ -1,0 +1,4 @@
+// Fixture: nondeterministic-call fires on a CRT rand() call.
+#include <cstdlib>
+
+int roll_die() { return std::rand() % 6; }

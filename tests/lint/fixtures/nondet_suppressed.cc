@@ -1,0 +1,7 @@
+// Fixture: a justified allow() silences nondeterministic-call.
+#include <cstdlib>
+
+int roll_die() {
+  // dmlint: allow(nondeterministic-call) fixture exercising suppression
+  return std::rand() % 6;
+}

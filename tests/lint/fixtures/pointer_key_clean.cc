@@ -1,0 +1,8 @@
+// Fixture: value keys are fine; pointer VALUES (not keys) are fine too.
+#include <map>
+
+struct Session {
+  int id = 0;
+};
+
+std::map<int, Session*> g_session_by_id;

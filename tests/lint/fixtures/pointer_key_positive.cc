@@ -1,0 +1,8 @@
+// Fixture: pointer-keyed-container fires on a pointer-keyed map.
+#include <map>
+
+struct Session {
+  int id = 0;
+};
+
+std::map<Session*, int> g_hits_by_session;

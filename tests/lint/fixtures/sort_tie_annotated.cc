@@ -1,0 +1,14 @@
+// Fixture: a total-order annotation accepts a single-key lambda compare.
+#include <algorithm>
+#include <vector>
+
+struct Episode {
+  int start = 0;  // unique by construction in this fixture
+  int length = 0;
+};
+
+void order(std::vector<Episode>& episodes) {
+  // dmlint: total-order(start minutes are unique per series)
+  std::sort(episodes.begin(), episodes.end(),
+            [](const Episode& a, const Episode& b) { return a.start < b.start; });
+}

@@ -1,0 +1,33 @@
+// Fixture: canonical comparator shapes — std::tie keys, key projections,
+// named comparators, and comparator-less sorts — all pass.
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+struct Episode {
+  int start = 0;
+  int length = 0;
+};
+
+bool by_start_then_length(const Episode& a, const Episode& b) {
+  return std::tie(a.start, a.length) < std::tie(b.start, b.length);
+}
+
+void order(std::vector<Episode>& episodes) {
+  std::sort(episodes.begin(), episodes.end(),
+            [](const Episode& a, const Episode& b) {
+              return std::tie(a.start, a.length) < std::tie(b.start, b.length);
+            });
+  std::sort(episodes.begin(), episodes.end(), by_start_then_length);
+}
+
+int key(const Episode& e) { return e.start * 1000 + e.length; }
+
+void order_by_projection(std::vector<Episode>& episodes) {
+  std::sort(episodes.begin(), episodes.end(),
+            [](const Episode& a, const Episode& b) { return key(a) < key(b); });
+}
+
+void order_values(std::vector<int>& values) {
+  std::sort(values.begin(), values.end());
+}

@@ -1,0 +1,14 @@
+// Fixture: sort-tie-break fires on a lambda comparing one member of a
+// multi-field struct with no visible tie-breaker.
+#include <algorithm>
+#include <vector>
+
+struct Episode {
+  int start = 0;
+  int length = 0;
+};
+
+void order(std::vector<Episode>& episodes) {
+  std::sort(episodes.begin(), episodes.end(),
+            [](const Episode& a, const Episode& b) { return a.start < b.start; });
+}

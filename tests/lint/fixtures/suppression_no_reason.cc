@@ -1,0 +1,8 @@
+// Fixture: an allow() with no justification is itself a finding and does
+// NOT suppress the underlying violation.
+#include <cstdlib>
+
+int roll_die() {
+  // dmlint: allow(nondeterministic-call)
+  return std::rand() % 6;
+}

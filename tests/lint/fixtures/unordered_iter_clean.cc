@@ -1,0 +1,16 @@
+// Fixture: point lookups into an unordered container are fine; iterating
+// an ORDERED container is fine.
+#include <set>
+#include <unordered_set>
+
+bool contains(const std::unordered_set<int>& values, int x) {
+  return values.count(x) > 0;
+}
+
+// Distinct name from the unordered parameter above: the rule tracks names
+// per file, so reusing `values` for an ordered container would still flag.
+int sum(const std::set<int>& ordered) {
+  int total = 0;
+  for (const int v : ordered) total += v;
+  return total;
+}

@@ -1,0 +1,13 @@
+// Fixture: unordered-iteration fires on range-for and .begin() iteration.
+#include <numeric>
+#include <unordered_set>
+
+int sum(const std::unordered_set<int>& values) {
+  int total = 0;
+  for (const int v : values) total += v;
+  return total;
+}
+
+int sum_accumulate(const std::unordered_set<int>& values) {
+  return std::accumulate(values.begin(), values.end(), 0);
+}

@@ -1,0 +1,9 @@
+// Fixture: an own-line allow() on the line above silences the iteration.
+#include <unordered_set>
+
+int sum(const std::unordered_set<int>& values) {
+  int total = 0;
+  // dmlint: allow(unordered-iteration) integer addition is commutative; order cannot matter
+  for (const int v : values) total += v;
+  return total;
+}

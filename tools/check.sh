@@ -6,6 +6,13 @@
 # run the memory-sensitive codec tests (the columnar record store does raw
 # varint pointer walks; ASan catches overreads TSan never would).
 #
+# Stages (all builds use -Werror via DM_WERROR=ON):
+#   1. dmlint self-scan against the committed baseline (skip: DM_LINT=0)
+#   2. clang-tidy over src/exec, src/netflow, src/detect (runs only when a
+#      clang-tidy binary is available)
+#   3. TSan build + concurrency suites
+#   4. ASan+UBSan build + codec suites
+#
 # Usage: tools/check.sh [extra ctest -R regex]
 set -euo pipefail
 
@@ -15,8 +22,38 @@ ASAN_BUILD="${ASAN_BUILD_DIR:-$ROOT/build-asan}"
 FILTER="${1:-ThreadPool|ParallelExec|ParallelEquivalence|WindowShardMerge|FusedPipeline|RadixSort}"
 ASAN_FILTER="${2:-ColumnarRecords|ColumnarEquivalence|TraceIo|Aggregate|WindowShardMerge}"
 
+# Determinism & invariant lint gate. Exits nonzero on any finding not in
+# the committed baseline (which is kept empty).
+if [[ "${DM_LINT:-1}" != "0" ]]; then
+  LINT_BUILD="${LINT_BUILD_DIR:-$ROOT/build-lint}"
+  cmake -B "$LINT_BUILD" -S "$ROOT" \
+    -DDM_WERROR=ON \
+    -DDM_BUILD_TESTS=OFF \
+    -DDM_BUILD_BENCH=OFF \
+    -DDM_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$LINT_BUILD" -j"$(nproc)" --target dmlint
+  "$LINT_BUILD/tools/dmlint" --root "$ROOT" --baseline "$ROOT/.dmlint-baseline"
+fi
+
+# clang-tidy over the determinism-critical subsystems, when available.
+# Uses the lint build's compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+# is always on).
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY_BUILD="${LINT_BUILD_DIR:-$ROOT/build-lint}"
+  if [[ ! -f "$TIDY_BUILD/compile_commands.json" ]]; then
+    cmake -B "$TIDY_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  fi
+  find "$ROOT/src/exec" "$ROOT/src/netflow" "$ROOT/src/detect" \
+    -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p "$TIDY_BUILD" --quiet
+else
+  echo "check.sh: clang-tidy not found; skipping tidy stage" >&2
+fi
+
 cmake -B "$BUILD" -S "$ROOT" \
   -DDM_SANITIZE=thread \
+  -DDM_WERROR=ON \
   -DDM_BUILD_BENCH=OFF \
   -DDM_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -29,6 +66,7 @@ ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
 # ASan+UBSan pass over the codec-heavy suites.
 cmake -B "$ASAN_BUILD" -S "$ROOT" \
   -DDM_SANITIZE=address,undefined \
+  -DDM_WERROR=ON \
   -DDM_BUILD_BENCH=OFF \
   -DDM_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "detect/pipeline.h"
@@ -150,8 +151,10 @@ void print_incidents(std::vector<detect::AttackIncident> incidents,
                      std::uint32_t sampling) {
   util::TextTable table;
   table.set_header({"type", "dir", "vip", "start", "duration", "peak"});
-  std::sort(incidents.begin(), incidents.end(),
-            [](const auto& a, const auto& b) { return a.start < b.start; });
+  std::sort(incidents.begin(), incidents.end(), [](const auto& a, const auto& b) {
+    return std::make_tuple(a.start, a.vip, a.direction, a.type) <
+           std::make_tuple(b.start, b.vip, b.direction, b.type);
+  });
   for (const auto& inc : incidents) {
     table.row(std::string(sim::to_string(inc.type)),
               std::string(netflow::to_string(inc.direction)),
@@ -172,6 +175,7 @@ int cmd_detect(const Args& args) {
     // Online path: replay the trace as a collector feed (time order — the
     // stored order is the canonical per-VIP one) through the hardened
     // monitor.
+    // dmlint: total-order(stable_sort keeps the canonical stored order for records within one minute)
     std::stable_sort(records.begin(), records.end(),
                      [](const netflow::FlowRecord& a,
                         const netflow::FlowRecord& b) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Diff-only formatting check: reports files under src/, tools/, tests/,
+# bench/, and examples/ whose formatting differs from .clang-format, without
+# rewriting anything (no mass reformat — fix only what you touch).
+#
+# Exits 0 when everything is clean or clang-format is unavailable, 1 when
+# any file needs formatting.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check.sh: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+dirty=0
+while IFS= read -r -d '' file; do
+  if ! diff -q <(clang-format --style=file "$file") "$file" >/dev/null; then
+    echo "needs formatting: ${file#"$ROOT"/}"
+    dirty=1
+  fi
+done < <(find "$ROOT/src" "$ROOT/tools" "$ROOT/tests" "$ROOT/bench" \
+           "$ROOT/examples" \( -name '*.h' -o -name '*.cpp' \) -print0 \
+           2>/dev/null)
+
+if [[ "$dirty" != "0" ]]; then
+  echo "format_check.sh: run clang-format on the files above" >&2
+  exit 1
+fi
+echo "format_check.sh: all files clean"
