@@ -37,7 +37,7 @@ inline double peak_rss_mib() {
 inline double encoded_bytes_per_record(const netflow::WindowedTrace& trace) {
   const std::size_t n = trace.record_count();
   if (n == 0) return 0.0;
-  return static_cast<double>(trace.columns().encoded_bytes()) /
+  return static_cast<double>(trace.store().encoded_bytes()) /
          static_cast<double>(n);
 }
 

@@ -6,6 +6,10 @@
 // so the rows measure the same work.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
 #include "core/study.h"
 #include "detect/pipeline.h"
 #include "exec/thread_pool.h"
@@ -225,6 +229,84 @@ BENCHMARK(BM_StudyPaperScale)
     ->Args({4, 1})
     ->Args({8, 1})
     ->Args({8, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+/// Simulated longitudinal study (1.6k VIPs × 28 days ≈ 64.5M VIP-minutes,
+/// ~4.3× the paper-scale table, at production-density benign traffic) — the
+/// workload the out-of-core spill tier exists for. spill:0 keeps the whole
+/// columnar trace resident; spill:1 bounds resident trace memory with a
+/// segment spill directory, and its peak_rss_mib against spill:0's is the
+/// headline of DESIGN.md §5f. Output is byte-identical across the two rows
+/// by construction (the SpillEquivalence suite holds the pipeline to that).
+///
+/// Slow (minutes per row) — run explicitly with
+/// --benchmark_filter=Longitudinal, one row per process (peak RSS is a
+/// process high-water mark; DM_BENCH_LONG=1 in tools/bench_json.sh does
+/// this). DM_LONG_VIPS / DM_LONG_DAYS override the scale for quick probes.
+void BM_StudyLongitudinal(benchmark::State& state) {
+  auto config = sim::ScenarioConfig::paper_scale();
+  config.vips.vip_count = 1600;
+  config.days = 28;
+  config.seed = 4242;
+  config.thread_count = 1;
+  // Longitudinal runs model production-density benign traffic — the 0.12
+  // bench default exists because the trace had to fit in RAM, which is the
+  // constraint the spill tier removes.
+  config.benign_scale = 8.0;
+  if (const char* v = std::getenv("DM_LONG_VIPS")) {
+    config.vips.vip_count = static_cast<std::uint32_t>(std::atoi(v));
+  }
+  if (const char* d = std::getenv("DM_LONG_DAYS")) config.days = std::atoi(d);
+  if (const char* b = std::getenv("DM_LONG_BENIGN")) {
+    config.benign_scale = std::atof(b);
+  }
+
+  const bool spill = state.range(0) != 0;
+  std::string spill_dir;
+  if (spill) {
+    spill_dir =
+        (std::filesystem::temp_directory_path() / "dm_bench_longitudinal")
+            .string();
+    std::filesystem::remove_all(spill_dir);
+    config.spill.directory = spill_dir;
+    config.spill.segment_bytes = 64ull << 20;
+    config.spill.ram_budget_bytes = 256ull << 20;
+  }
+
+  double bytes_per_record = 0.0;
+  double segments = 0.0;
+  double store_mib = 0.0;
+  double windows_mib = 0.0;
+  for (auto _ : state) {
+    const core::Study study(config);
+    benchmark::DoNotOptimize(study.detection().incidents.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(study.record_count()));
+    bytes_per_record = bench::encoded_bytes_per_record(study.trace());
+    segments = static_cast<double>(
+        study.trace().store().segments().segment_count());
+    constexpr double kMiB = 1024.0 * 1024.0;
+    store_mib = static_cast<double>(study.trace().store().encoded_bytes()) /
+                kMiB;  // on disk when spilled, in RAM when resident
+    windows_mib = static_cast<double>(study.trace().windows().size() *
+                                      sizeof(netflow::VipMinuteStats)) /
+                  kMiB;
+  }
+  state.counters["peak_rss_mib"] = bench::peak_rss_mib();
+  state.counters["store_mib"] = store_mib;
+  state.counters["windows_mib"] = windows_mib;
+  state.counters["encoded_bytes_per_record"] = bytes_per_record;
+  state.counters["vip_minutes"] = static_cast<double>(config.vips.vip_count) *
+                                  static_cast<double>(config.total_minutes());
+  state.counters["segments"] = segments;
+  if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
+}
+BENCHMARK(BM_StudyLongitudinal)
+    ->ArgName("spill")
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(1);

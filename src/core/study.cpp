@@ -23,7 +23,8 @@ Study::Study(sim::ScenarioConfig config, detect::DetectionConfig detection,
     record_count_ = result.records.size();
     windowed_ = netflow::aggregate_windows(std::move(result.records),
                                            scenario_.vips().cloud_space(),
-                                           &scenario_.tds().as_prefix_set(), &pool);
+                                           &scenario_.tds().as_prefix_set(), &pool,
+                                           &scenario_.config().spill);
   }
   const detect::DetectionPipeline pipeline(detection, timeouts);
   detection_ = pipeline.run(windowed_, &pool);

@@ -120,6 +120,45 @@ template <typename T, typename Map>
   return results;
 }
 
+/// Bounded-residency variant of parallel_map_chunks_n: chunks execute in
+/// waves of `window`, and after each wave's barrier its results are handed
+/// to consume(chunk_index, T&&) in chunk-index order before the next wave
+/// starts. At most `window` chunk results are ever alive at once — the
+/// memory bound the spill tier's shard merge needs — while chunk boundaries
+/// and consume order are IDENTICAL to parallel_map_chunks_n followed by an
+/// ordered fold, so the consumed sequence is byte-equal for any window and
+/// any thread count. (A wave barrier, not a producer-blocking queue: the
+/// pool pops its own queue LIFO, so low-index chunks finish last and a
+/// bounded queue would either stall every worker or buffer every result.)
+template <typename T, typename Map, typename Consume>
+void parallel_map_waves_n(ThreadPool* pool, std::size_t n, std::size_t chunks,
+                          std::size_t window, Map&& map, Consume&& consume) {
+  if (n == 0) return;
+  chunks = std::max<std::size_t>(1, std::min(chunks, n));
+  window = std::max<std::size_t>(1, window);
+  const bool serial = pool == nullptr || pool->thread_count() == 0;
+  for (std::size_t wave = 0; wave < chunks; wave += window) {
+    const std::size_t wave_end = std::min(chunks, wave + window);
+    std::vector<T> results(wave_end - wave);
+    if (serial) {
+      for (std::size_t c = wave; c < wave_end; ++c) {
+        results[c - wave] = map(c * n / chunks, (c + 1) * n / chunks);
+      }
+    } else {
+      TaskGroup group(*pool);
+      for (std::size_t c = wave; c < wave_end; ++c) {
+        group.run([&map, &results, wave, c, n, chunks] {
+          results[c - wave] = map(c * n / chunks, (c + 1) * n / chunks);
+        });
+      }
+      group.wait();
+    }
+    for (std::size_t c = wave; c < wave_end; ++c) {
+      consume(c, std::move(results[c - wave]));
+    }
+  }
+}
+
 /// Maps every index to one T; returns results in index order.
 template <typename T, typename Map>
 [[nodiscard]] std::vector<T> parallel_map(ThreadPool* pool, std::size_t n,

@@ -22,6 +22,13 @@ constexpr std::uint64_t kLossStream = 16;     // minute loss bursts
 constexpr std::uint64_t kStuckStream = 17;    // stuck-clock timestamps
 constexpr std::uint64_t kReorderStream = 18;  // bounded reordering
 constexpr std::uint64_t kDupStream = 19;      // record duplication
+constexpr std::uint64_t kSegFlipStream = 32;      // segment body bit flips
+constexpr std::uint64_t kSegHeaderStream = 33;    // segment header flip
+constexpr std::uint64_t kSegTruncateStream = 34;  // segment tail chop
+
+/// Segment header size (netflow/segment_store.h format) — the boundary
+/// between header-CRC and body-CRC territory.
+constexpr std::size_t kSegmentHeaderBytes = 56;
 
 }  // namespace
 
@@ -104,6 +111,45 @@ ByteDamage FaultInjector::corrupt(std::vector<std::uint8_t>& bytes,
     const std::uint64_t offset = flip_rng.below(bytes.size());
     bytes[offset] ^= static_cast<std::uint8_t>(1u << flip_rng.below(8));
     damage.flipped_offsets.push_back(offset);
+  }
+  return damage;
+}
+
+SegmentDamage FaultInjector::corrupt_segment(std::vector<std::uint8_t>& bytes,
+                                             const SegmentPlan& plan,
+                                             std::uint64_t file_index) const {
+  SegmentDamage damage;
+  if (bytes.size() <= kSegmentHeaderBytes) return damage;
+
+  // Tail truncation first: flips then act on the surviving prefix, so the
+  // ledger's flipped offsets always point at bytes that exist on disk.
+  if (plan.truncate_tail) {
+    util::Rng rng = base_.split(kSegTruncateStream).split(file_index);
+    const std::uint64_t body = bytes.size() - kSegmentHeaderBytes;
+    const std::size_t cut =
+        kSegmentHeaderBytes + static_cast<std::size_t>(rng.below(body));
+    damage.bytes_removed = bytes.size() - cut;
+    bytes.resize(cut);
+  }
+
+  // Body bit flips: offsets land past the header, so the header CRC stays
+  // intact and the damage is attributable to the body CRC alone.
+  if (bytes.size() > kSegmentHeaderBytes) {
+    util::Rng rng = base_.split(kSegFlipStream).split(file_index);
+    const std::uint64_t body = bytes.size() - kSegmentHeaderBytes;
+    for (std::size_t i = 0; i < plan.bit_flips; ++i) {
+      const std::uint64_t offset = kSegmentHeaderBytes + rng.below(body);
+      bytes[offset] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      damage.flipped_offsets.push_back(offset);
+    }
+  }
+
+  // Header flip last: independent of body damage by construction.
+  if (plan.corrupt_header) {
+    util::Rng rng = base_.split(kSegHeaderStream).split(file_index);
+    const std::uint64_t offset = rng.below(kSegmentHeaderBytes);
+    bytes[offset] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    damage.header_corrupted = true;
   }
   return damage;
 }

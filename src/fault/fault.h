@@ -50,6 +50,26 @@ struct ByteDamage {
   bool tail_truncated = false;
 };
 
+/// Corruption plan for one spill-tier segment file (.dmseg). Segments are
+/// CRC-framed whole-file units (no block structure to parse), so the plan
+/// is byte-oriented: body bit flips exercise the body-CRC path, a header
+/// flip the header-CRC path, and tail truncation the size check.
+struct SegmentPlan {
+  std::size_t bit_flips = 0;    ///< random single-bit flips in the body
+  bool corrupt_header = false;  ///< flip one bit inside the 56-byte header
+  bool truncate_tail = false;   ///< chop the file at a random body offset
+};
+
+/// Ground truth of the segment damage a plan produced.
+struct SegmentDamage {
+  std::vector<std::uint64_t> flipped_offsets;  ///< absolute file offsets
+  std::uint64_t bytes_removed = 0;
+  bool header_corrupted = false;
+  [[nodiscard]] bool any() const noexcept {
+    return header_corrupted || bytes_removed > 0 || !flipped_offsets.empty();
+  }
+};
+
 /// Record-level degradation plan for a live feed.
 struct RecordPlan {
   /// Probability a record is emitted twice (the copy lands immediately
@@ -90,6 +110,15 @@ class FaultInjector {
   /// a well-formed trace (block targeting parses the clean layout first).
   ByteDamage corrupt(std::vector<std::uint8_t>& bytes,
                      const BytePlan& plan) const;
+
+  /// Applies `plan` to one segment file's bytes in place. `file_index`
+  /// salts every random stream, so each file of a segment set takes
+  /// distinct damage that is still individually reproducible from
+  /// (seed, plan, index) — corrupting file 3 never changes what file 7
+  /// would have suffered.
+  SegmentDamage corrupt_segment(std::vector<std::uint8_t>& bytes,
+                                const SegmentPlan& plan,
+                                std::uint64_t file_index) const;
 
   /// Returns a degraded copy of `feed`; `damage` (optional) receives the
   /// ground truth. Stages apply in order: loss bursts, stuck clocks,

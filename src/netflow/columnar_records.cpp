@@ -149,47 +149,51 @@ std::uint64_t ColumnarRecords::encoded_bytes() const noexcept {
          checkpoints_.size() * sizeof(Checkpoint);
 }
 
-ColumnarRecords::Cursor ColumnarRecords::cursor_at(
-    std::size_t record_index) const noexcept {
+ColumnarRecords::Cursor ColumnarRecords::seek(
+    const ColumnarView& view, std::size_t record_index) noexcept {
   Cursor c;
-  c.store_ = this;
-  c.limit_ = size_;
-  if (record_index >= size_) {
-    c.next_index_ = size_;
+  c.view_ = view;
+  c.limit_ = view.records;
+  if (record_index >= view.records) {
+    c.next_index_ = view.records;
     return c;
   }
 
   // The run containing record_index...
-  const auto run_it =
-      std::upper_bound(run_starts_.begin(), run_starts_.end(),
-                       static_cast<std::uint32_t>(record_index));
-  const auto run =
-      static_cast<std::size_t>(run_it - run_starts_.begin()) - 1;
+  const std::uint32_t* const rs_begin = view.run_starts;
+  const std::uint32_t* const rs_end = view.run_starts + view.runs;
+  const std::uint32_t* run_it = std::upper_bound(
+      rs_begin, rs_end, static_cast<std::uint32_t>(record_index));
+  const auto run = static_cast<std::size_t>(run_it - rs_begin) - 1;
 
   // ...its absolute header state, reached from the nearest checkpoint at or
   // before it (checkpoint 0 covers run 0, so the search never underflows).
-  const auto cp_it = std::upper_bound(
-      checkpoints_.begin(), checkpoints_.end(), run,
-      [](std::size_t r, const Checkpoint& cp) { return r < cp.run; });
-  const Checkpoint& cp = *(cp_it - 1);
+  const ColumnarCheckpoint* cp_it = std::upper_bound(
+      view.checkpoints, view.checkpoints + view.checkpoint_count, run,
+      [](std::size_t r, const ColumnarCheckpoint& cp) { return r < cp.run; });
+  const ColumnarCheckpoint& cp = *(cp_it - 1);
   c.key_ = cp.key;
   c.minute_ = cp.minute;
   c.header_pos_ = static_cast<std::size_t>(cp.next_header);
-  const std::uint8_t* h = headers_.data() + c.header_pos_;
+  const std::uint8_t* h = view.headers + c.header_pos_;
   for (auto r = static_cast<std::size_t>(cp.run); r < run; ++r) {
     c.key_ = undelta64(c.key_, get_varint(h));
     c.minute_ = undelta64(c.minute_, get_varint(h));
   }
-  c.header_pos_ = static_cast<std::size_t>(h - headers_.data());
+  c.header_pos_ = static_cast<std::size_t>(h - view.headers);
 
   c.run_ = run;
-  c.run_end_ =
-      run + 1 < run_starts_.size() ? run_starts_[run + 1] : size_;
-  c.payload_pos_ = static_cast<std::size_t>(payload_offs_[run]);
-  c.next_index_ = run_starts_[run];
+  c.run_end_ = run + 1 < view.runs ? view.run_starts[run + 1] : view.records;
+  c.payload_pos_ = static_cast<std::size_t>(view.payload_offs[run]);
+  c.next_index_ = view.run_starts[run];
   // Skip-decode to the requested record when it sits mid-run.
   while (c.next_index_ < record_index) c.next();
   return c;
+}
+
+ColumnarRecords::Cursor ColumnarRecords::cursor_at(
+    std::size_t record_index) const noexcept {
+  return seek(view(), record_index);
 }
 
 ColumnarRecords::Range ColumnarRecords::range(std::size_t first,

@@ -42,6 +42,35 @@
 
 namespace dm::netflow {
 
+/// Absolute decode state captured every kCheckpointRuns runs so a seek
+/// decodes a bounded number of run headers. Fixed-width POD — segment files
+/// store checkpoint arrays verbatim (see segment_store.h).
+struct ColumnarCheckpoint {
+  std::uint64_t run = 0;          ///< run this checkpoint describes
+  std::uint64_t next_header = 0;  ///< headers offset just past its header
+  std::uint64_t key = 0;          ///< absolute (vip << 1) | direction
+  std::uint64_t minute = 0;       ///< absolute minute (wraparound u64)
+};
+
+static_assert(sizeof(ColumnarCheckpoint) == 32,
+              "segment files store checkpoints verbatim");
+
+/// Non-owning view over one encoded store: the five arrays plus the record
+/// count. A Cursor decodes through a view, so the same streaming decoder
+/// serves both the resident vectors (ColumnarRecords::view()) and the
+/// memory-mapped segment files of the spill tier. Pointers are borrowed —
+/// valid only while the backing store is alive and unmodified.
+struct ColumnarView {
+  const std::uint8_t* headers = nullptr;
+  const std::uint8_t* payload = nullptr;
+  const std::uint32_t* run_starts = nullptr;
+  const std::uint64_t* payload_offs = nullptr;
+  const ColumnarCheckpoint* checkpoints = nullptr;
+  std::size_t runs = 0;
+  std::size_t checkpoint_count = 0;
+  std::size_t records = 0;
+};
+
 class ColumnarRecords {
  public:
   class Cursor;
@@ -102,6 +131,21 @@ class ColumnarRecords {
   /// Range (whose iterator also exposes direction()) for bulk access.
   [[nodiscard]] Direction direction_of(std::size_t record_index) const noexcept;
 
+  /// Borrowed view of the encoded arrays — invalidated by any mutation
+  /// (push_back/append/shrink_to_fit) exactly like vector iterators.
+  [[nodiscard]] ColumnarView view() const noexcept {
+    return ColumnarView{headers_.data(),      payload_.data(),
+                        run_starts_.data(),   payload_offs_.data(),
+                        checkpoints_.data(),  run_starts_.size(),
+                        checkpoints_.size(),  size_};
+  }
+
+  /// View-based seek: cursor positioned before `record_index` of `view`
+  /// (pass view.records for an exhausted cursor). Same cost contract as
+  /// cursor_at(); this is the entry point segment cursors use.
+  [[nodiscard]] static Cursor seek(const ColumnarView& view,
+                                   std::size_t record_index) noexcept;
+
   /// Streaming decoder. next() materializes one record at a time into
   /// internal storage — no allocation, the references stay valid until the
   /// following next().
@@ -118,10 +162,35 @@ class ColumnarRecords {
     /// Index (into the whole store) of the record `record()` holds.
     [[nodiscard]] std::size_t index() const noexcept { return next_index_ - 1; }
 
+    /// Rewinds onto `view` at its first record, decoding at most `limit`
+    /// records. Every store's first run header is encoded relative to
+    /// (0, 0), so this needs no checkpoint walk — it is how spill-tier
+    /// cursors hop across segment views.
+    void reset(const ColumnarView& view, std::size_t limit) noexcept {
+      view_ = view;
+      next_index_ = 0;
+      limit_ = limit < view.records ? limit : view.records;
+      run_ = static_cast<std::size_t>(-1);  // ++run_ in next() lands on 0
+      run_end_ = 0;
+      header_pos_ = 0;
+      payload_pos_ = 0;
+      key_ = 0;
+      minute_ = 0;
+      remote_ = 0;
+    }
+
+    /// True once next() has exhausted the bound range.
+    [[nodiscard]] bool done() const noexcept { return next_index_ >= limit_; }
+
+    /// Tightens the decode limit to at most `limit` (view-local index).
+    void clip(std::size_t limit) noexcept {
+      if (limit < limit_) limit_ = limit;
+    }
+
    private:
     friend class ColumnarRecords;
 
-    const ColumnarRecords* store_ = nullptr;
+    ColumnarView view_;
     std::size_t next_index_ = 0;  ///< record decoded by the next next()
     std::size_t limit_ = 0;       ///< one past the last record to decode
     std::size_t run_ = 0;         ///< run containing next_index_
@@ -210,12 +279,7 @@ class ColumnarRecords {
   /// index overhead (32 bytes per 64 runs ≈ half a byte per run).
   static constexpr std::size_t kCheckpointRuns = 64;
 
-  struct Checkpoint {
-    std::uint64_t run = 0;          ///< run this checkpoint describes
-    std::uint64_t next_header = 0;  ///< headers_ offset just past its header
-    std::uint64_t key = 0;          ///< absolute (vip << 1) | direction
-    std::uint64_t minute = 0;       ///< absolute minute (wraparound u64)
-  };
+  using Checkpoint = ColumnarCheckpoint;
 
   void begin_run(std::uint64_t key, std::uint64_t minute);
 
@@ -234,18 +298,17 @@ class ColumnarRecords {
 
 inline bool ColumnarRecords::Cursor::next() noexcept {
   if (next_index_ >= limit_) return false;
-  const ColumnarRecords& s = *store_;
   if (next_index_ >= run_end_) {
     ++run_;
-    const std::uint8_t* h = s.headers_.data() + header_pos_;
+    const std::uint8_t* h = view_.headers + header_pos_;
     key_ = undelta64(key_, get_varint(h));
     minute_ = undelta64(minute_, get_varint(h));
-    header_pos_ = static_cast<std::size_t>(h - s.headers_.data());
-    run_end_ = run_ + 1 < s.run_starts_.size() ? s.run_starts_[run_ + 1]
-                                               : s.size_;
+    header_pos_ = static_cast<std::size_t>(h - view_.headers);
+    run_end_ = run_ + 1 < view_.runs ? view_.run_starts[run_ + 1]
+                                     : view_.records;
   }
-  const std::uint8_t* p = s.payload_.data() + payload_pos_;
-  if (next_index_ == s.run_starts_[run_]) {
+  const std::uint8_t* p = view_.payload + payload_pos_;
+  if (next_index_ == view_.run_starts[run_]) {
     remote_ = static_cast<std::uint32_t>(get_varint(p));
   } else {
     remote_ = undelta32(remote_, static_cast<std::uint32_t>(get_varint(p)));
@@ -266,7 +329,7 @@ inline bool ColumnarRecords::Cursor::next() noexcept {
   record_.tcp_flags = static_cast<TcpFlags>(get_varint(p));
   record_.packets = static_cast<std::uint32_t>(get_varint(p));
   record_.bytes = get_varint(p);
-  payload_pos_ = static_cast<std::size_t>(p - s.payload_.data());
+  payload_pos_ = static_cast<std::size_t>(p - view_.payload);
   ++next_index_;
   return true;
 }

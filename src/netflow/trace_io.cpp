@@ -249,6 +249,10 @@ void TraceWriter::write_all(ColumnarRecords::Range records) {
   for (const FlowRecord& r : records) write(r);
 }
 
+void TraceWriter::write_all(RecordStore::Range records) {
+  for (const FlowRecord& r : records) write(r);
+}
+
 void TraceWriter::flush_block() {
   if (pending_.empty()) return;
   std::vector<std::uint8_t> payload;
@@ -475,6 +479,15 @@ void write_trace_file(const std::string& path, std::span<const FlowRecord> recor
 }
 
 void write_trace_file(const std::string& path, ColumnarRecords::Range records,
+                      std::uint32_t sampling_denominator) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw FormatError("trace: cannot open for writing: " + path);
+  TraceWriter writer(out, sampling_denominator);
+  writer.write_all(records);
+  writer.finish();
+}
+
+void write_trace_file(const std::string& path, RecordStore::Range records,
                       std::uint32_t sampling_denominator) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw FormatError("trace: cannot open for writing: " + path);

@@ -21,6 +21,7 @@
 
 #include "netflow/columnar_records.h"
 #include "netflow/flow_record.h"
+#include "netflow/segment_store.h"
 
 namespace dm::netflow {
 
@@ -46,6 +47,9 @@ class TraceWriter {
   /// Streams a decoded view of the columnar store — the WindowedTrace
   /// export path; never materializes the records as an array.
   void write_all(ColumnarRecords::Range records);
+  /// Same, over a possibly spilled RecordStore (one segment mapped at a
+  /// time, so exporting a multi-month trace stays at flat RSS).
+  void write_all(RecordStore::Range records);
 
   /// Flushes pending records and writes the end marker. Idempotent.
   void finish();
@@ -138,6 +142,8 @@ class TraceReader {
 void write_trace_file(const std::string& path, std::span<const FlowRecord> records,
                       std::uint32_t sampling_denominator);
 void write_trace_file(const std::string& path, ColumnarRecords::Range records,
+                      std::uint32_t sampling_denominator);
+void write_trace_file(const std::string& path, RecordStore::Range records,
                       std::uint32_t sampling_denominator);
 [[nodiscard]] std::vector<FlowRecord> read_trace_file(const std::string& path,
                                                       std::uint32_t* sampling = nullptr);

@@ -18,10 +18,10 @@ std::optional<Direction> classify(const FlowRecord& record,
   return dst_cloud ? Direction::kInbound : Direction::kOutbound;
 }
 
-WindowedTrace::WindowedTrace(ColumnarRecords columns,
+WindowedTrace::WindowedTrace(RecordStore store,
                              std::vector<VipMinuteStats> windows,
                              std::uint64_t unclassified_records)
-    : columns_(std::move(columns)),
+    : store_(std::move(store)),
       windows_(std::move(windows)),
       unclassified_(unclassified_records) {
   // windows_ is sorted by VIP, so adjacent dedup yields the distinct-VIP
@@ -30,6 +30,12 @@ WindowedTrace::WindowedTrace(ColumnarRecords columns,
     if (vips_.empty() || vips_.back() != w.vip) vips_.push_back(w.vip);
   }
 }
+
+WindowedTrace::WindowedTrace(ColumnarRecords columns,
+                             std::vector<VipMinuteStats> windows,
+                             std::uint64_t unclassified_records)
+    : WindowedTrace(RecordStore(std::move(columns)), std::move(windows),
+                    unclassified_records) {}
 
 WindowedTrace::WindowedTrace(std::vector<FlowRecord> records,
                              std::vector<Direction> directions,
@@ -47,8 +53,8 @@ WindowedTrace::WindowedTrace(std::vector<FlowRecord> records,
           std::move(windows), unclassified_records) {}
 
 WindowedTrace::RecordRange WindowedTrace::records_of(
-    const VipMinuteStats& window) const noexcept {
-  return columns_.range(window.first_record, window.last_record);
+    const VipMinuteStats& window) const {
+  return store_.range(window.first_record, window.last_record);
 }
 
 std::span<const VipMinuteStats> WindowedTrace::series(IPv4 vip,
@@ -207,7 +213,8 @@ std::vector<VipMinuteStats> build_windows(std::span<const FlowRecord> records,
 WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
                                 const PrefixSet& cloud_space,
                                 const PrefixSet* blacklist,
-                                exec::ThreadPool* pool) {
+                                exec::ThreadPool* pool,
+                                const SpillConfig* spill) {
   util::tune_malloc_for_streaming();
   const std::size_t n = records.size();
 
@@ -277,22 +284,44 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
     std::vector<VipMinuteStats> windows;
     ColumnarRecords columns;
   };
+  const auto build_chunk = [&](std::size_t lo, std::size_t hi) {
+    BuiltChunk chunk;
+    const std::size_t b = aligned(lo);
+    const std::size_t e = aligned(hi);
+    chunk.windows = build_windows(sorted_records, sorted_dirs, blacklist, b, e);
+    // Both outputs are held until the index-ordered merge; drop the
+    // push_back growth overshoot so the barrier holds exact sizes.
+    chunk.windows.shrink_to_fit();
+    for (std::size_t i = b; i < e; ++i) {
+      chunk.columns.push_back(sorted_records[i], sorted_dirs[i]);
+    }
+    chunk.columns.shrink_to_fit();
+    return chunk;
+  };
+
+  if (spill != nullptr && spill->enabled()) {
+    // Out-of-core merge: chunks stream through the SpillWriter in index
+    // order (wave-bounded residency) instead of accumulating for the
+    // barrier below. Window first/last_record indices are global already —
+    // build_windows indexes the fully sorted arrays — so no rebase.
+    SpillWriter writer(*spill);
+    std::vector<VipMinuteStats> windows;
+    const std::size_t workers =
+        pool == nullptr ? 0 : static_cast<std::size_t>(pool->thread_count());
+    const std::size_t wave = 2 * std::max<std::size_t>(workers, 1);
+    exec::parallel_map_waves_n<BuiltChunk>(
+        pool, kept, exec::chunk_count_for(pool, kept), wave, build_chunk,
+        [&](std::size_t, BuiltChunk&& c) {
+          windows.insert(windows.end(), c.windows.begin(), c.windows.end());
+          writer.append(std::move(c.columns));
+        });
+    return WindowedTrace(std::move(writer).finish(), std::move(windows),
+                         unclassified);
+  }
+
   std::vector<BuiltChunk> chunks = exec::parallel_map_chunks<BuiltChunk>(
-      pool, kept, [&](std::size_t lo, std::size_t hi) {
-        BuiltChunk chunk;
-        const std::size_t b = aligned(lo);
-        const std::size_t e = aligned(hi);
-        chunk.windows =
-            build_windows(sorted_records, sorted_dirs, blacklist, b, e);
-        // Both outputs are held until the index-ordered merge; drop the
-        // push_back growth overshoot so the barrier holds exact sizes.
-        chunk.windows.shrink_to_fit();
-        for (std::size_t i = b; i < e; ++i) {
-          chunk.columns.push_back(sorted_records[i], sorted_dirs[i]);
-        }
-        chunk.columns.shrink_to_fit();
-        return chunk;
-      });
+      pool, kept,
+      [&](std::size_t lo, std::size_t hi) { return build_chunk(lo, hi); });
 
   std::size_t total_windows = 0;
   ColumnarRecords::BufferSizes total_bytes;

@@ -12,6 +12,7 @@
 #include "netflow/columnar_records.h"
 #include "netflow/flow_record.h"
 #include "netflow/ipv4.h"
+#include "netflow/segment_store.h"
 
 namespace dm::netflow {
 
@@ -64,16 +65,19 @@ struct VipMinuteStats {
 /// (VIP, direction, minute, remote IP) plus one VipMinuteStats per non-empty
 /// window, in the same order. Per-VIP time series are contiguous slices.
 ///
-/// Records live in a ColumnarRecords store — run-length/delta-varint
-/// compressed, including each record's Direction — so the resident trace
-/// costs a fraction of the array-of-structs form; record access decodes on
-/// the fly through ColumnarRecords::Range (drop-in for range-for loops that
-/// used to see a std::span<const FlowRecord>).
+/// Records live in a RecordStore — either a resident ColumnarRecords
+/// (run-length/delta-varint compressed, including each record's Direction)
+/// or, for out-of-core runs, a spilled SegmentStore of memory-mapped
+/// segment files. Record access decodes on the fly through
+/// RecordStore::Range (drop-in for range-for loops that used to see a
+/// std::span<const FlowRecord>), identical in both modes.
 class WindowedTrace {
  public:
-  using RecordRange = ColumnarRecords::Range;
+  using RecordRange = RecordStore::Range;
 
   WindowedTrace() = default;
+  WindowedTrace(RecordStore store, std::vector<VipMinuteStats> windows,
+                std::uint64_t unclassified_records);
   WindowedTrace(ColumnarRecords columns, std::vector<VipMinuteStats> windows,
                 std::uint64_t unclassified_records);
   /// Convenience for ingestion paths and tests that hold AoS arrays: encodes
@@ -85,23 +89,20 @@ class WindowedTrace {
   [[nodiscard]] std::span<const VipMinuteStats> windows() const noexcept {
     return windows_;
   }
-  [[nodiscard]] RecordRange records() const noexcept { return columns_.all(); }
+  [[nodiscard]] RecordRange records() const { return store_.all(); }
   [[nodiscard]] std::size_t record_count() const noexcept {
-    return columns_.size();
+    return store_.size();
   }
-  [[nodiscard]] const ColumnarRecords& columns() const noexcept {
-    return columns_;
-  }
+  [[nodiscard]] const RecordStore& store() const noexcept { return store_; }
 
   /// Records belonging to a window (same index space as windows()).
-  [[nodiscard]] RecordRange records_of(
-      const VipMinuteStats& window) const noexcept;
+  [[nodiscard]] RecordRange records_of(const VipMinuteStats& window) const;
 
   /// Direction of record `record_index` relative to the cloud. Costs a
-  /// store seek; bulk consumers should iterate records() and read the
-  /// iterator's direction() instead.
-  [[nodiscard]] Direction direction_of(std::size_t record_index) const noexcept {
-    return columns_.direction_of(record_index);
+  /// store seek (plus a segment map when spilled); bulk consumers should
+  /// iterate records() and read the iterator's direction() instead.
+  [[nodiscard]] Direction direction_of(std::size_t record_index) const {
+    return store_.direction_of(record_index);
   }
 
   /// Contiguous window slice for one (vip, direction) series, sorted by
@@ -120,7 +121,7 @@ class WindowedTrace {
   }
 
  private:
-  ColumnarRecords columns_;
+  RecordStore store_;
   std::vector<VipMinuteStats> windows_;
   std::vector<IPv4> vips_;
   std::uint64_t unclassified_ = 0;
@@ -138,10 +139,14 @@ class WindowedTrace {
 /// shards the classify, sort, and window-build phases; the record order is
 /// canonical — (vip, direction, minute, remote, arrival index) — so the
 /// result is byte-identical for any thread count and any input sharding.
+/// A non-null enabled `spill` streams the encoded chunks through a
+/// SpillWriter instead of concatenating them in RAM; the resulting trace
+/// decodes byte-identically either way.
 [[nodiscard]] WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
                                               const PrefixSet& cloud_space,
                                               const PrefixSet* blacklist = nullptr,
-                                              exec::ThreadPool* pool = nullptr);
+                                              exec::ThreadPool* pool = nullptr,
+                                              const SpillConfig* spill = nullptr);
 
 /// One shard's fully aggregated slice: kept records (with directions) in
 /// canonical order inside a shard-local columnar store, windows whose

@@ -13,6 +13,7 @@
 #include "cloud/tds_blacklist.h"
 #include "cloud/vip_registry.h"
 #include "netflow/flow_record.h"
+#include "netflow/spill_policy.h"
 #include "sim/attack_type.h"
 
 namespace dm::sim {
@@ -120,6 +121,13 @@ struct ScenarioConfig {
   /// path — purely a memory/speed knob; ingestion paths (CSV/trace_io) are
   /// unaffected.
   bool fuse_pipeline = true;
+  /// Out-of-core knob: when spill.directory is set, completed shard slices
+  /// are sealed into CRC-framed segment files under it once the pending
+  /// resident store crosses the policy threshold, and the Study's record
+  /// store streams from mmap'd segments instead of RAM. The decoded trace —
+  /// and every downstream exhibit — is byte-identical with spill on or off;
+  /// only peak RSS changes. See DESIGN.md §5f.
+  netflow::SpillConfig spill;
 
   cloud::VipRegistryConfig vips;
   cloud::AsRegistryConfig ases;

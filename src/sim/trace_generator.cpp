@@ -175,10 +175,13 @@ FusedTrace generate_windows(const Scenario& scenario, exec::ThreadPool* pool) {
   };
   const std::size_t workers =
       pool == nullptr ? 0 : static_cast<std::size_t>(pool->thread_count());
-  const std::size_t shard_count =
-      std::min(vip_count, std::max<std::size_t>(64, 64 * workers));
-  std::vector<Shard> shards = exec::parallel_map_chunks_n<Shard>(
-      pool, vip_count, shard_count, [&](std::size_t lo, std::size_t hi) {
+  // In spill mode shards are also the unit of out-of-core progress (each
+  // completed shard can be sealed to disk), so a finer floor keeps the
+  // in-flight raw-record transient small relative to the RAM budget.
+  const std::size_t shard_floor = config.spill.enabled() ? 256 : 64;
+  const std::size_t shard_count = std::min(
+      vip_count, std::max<std::size_t>(shard_floor, shard_floor * workers));
+  const auto run_shard = [&](std::size_t lo, std::size_t hi) {
         Shard shard;
         std::vector<netflow::FlowRecord> records;
         // Benign first, then attacks in episode-index order — the same
@@ -205,7 +208,49 @@ FusedTrace generate_windows(const Scenario& scenario, exec::ThreadPool* pool) {
         shard.agg =
             netflow::aggregate_shard(std::move(records), cloud_space, blacklist);
         return shard;
-      });
+      };
+
+  if (config.spill.enabled()) {
+    // Out-of-core merge: shards are consumed in index order as their wave
+    // completes — rebase windows against the running record count, hand the
+    // columnar slice to the SpillWriter (which seals segments per policy),
+    // and never hold more than one wave of shards. The consumed sequence is
+    // identical to the barrier path below, so the decoded trace is too.
+    netflow::SpillWriter writer(config.spill);
+    std::vector<netflow::VipMinuteStats> windows;
+    // Reserve the exact ceiling (one window per VIP-minute-direction) up
+    // front: the count isn't known until the last shard lands, and letting
+    // the vector grow geometrically would briefly hold old + new copies —
+    // a 2x transient on what is the largest resident array of a spilled
+    // run. The reservation is virtual; only touched pages cost RSS.
+    windows.reserve(2 * static_cast<std::size_t>(vip_count) *
+                    static_cast<std::size_t>(config.total_minutes()));
+    std::uint64_t unclassified = 0;
+    const std::size_t wave = 2 * std::max<std::size_t>(workers, 1);
+    std::size_t consumed = 0;
+    exec::parallel_map_waves_n<Shard>(
+        pool, vip_count, shard_count, wave, run_shard,
+        [&](std::size_t, Shard&& s) {
+          const auto base = static_cast<std::uint32_t>(writer.records_so_far());
+          for (netflow::VipMinuteStats w : s.agg.windows) {
+            w.first_record += base;
+            w.last_record += base;
+            windows.push_back(w);
+          }
+          writer.append(std::move(s.agg.columns));
+          unclassified += s.agg.unclassified;
+          result.generated_records += s.generated;
+          s.agg = netflow::ShardWindows();
+          if (++consumed % 64 == 0) util::release_free_heap();
+        });
+    util::release_free_heap();
+    result.windowed = netflow::WindowedTrace(std::move(writer).finish(),
+                                             std::move(windows), unclassified);
+    return result;
+  }
+
+  std::vector<Shard> shards = exec::parallel_map_chunks_n<Shard>(
+      pool, vip_count, shard_count, run_shard);
 
   // Index-ordered concatenation of the compressed shard slices; only the
   // window record-index ranges need rebasing from shard-local to global

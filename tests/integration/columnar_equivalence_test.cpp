@@ -4,26 +4,26 @@
 // directions against an in-test AoS pipeline (classify + stable canonical
 // sort over the serial generator output), and windows, detections, and the
 // four record-consuming exhibits across 1/2/8 threads and both pipeline
-// shapes (fused and unfused).
+// shapes (fused and unfused). Exhibit serialization and study comparison
+// live in study_exhibits.h, shared with the spill-equivalence suite.
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <iomanip>
-#include <memory>
-#include <sstream>
+#include <string>
 #include <tuple>
 #include <vector>
 
-#include "analysis/attribution.h"
-#include "analysis/service_mix.h"
-#include "analysis/signature.h"
-#include "analysis/spoof_analysis.h"
 #include "core/study.h"
 #include "netflow/window_aggregator.h"
 #include "sim/trace_generator.h"
+#include "integration/study_exhibits.h"
 
 namespace dm {
 namespace {
+
+using test_support::Exhibits;
+using test_support::exhibits_of;
+using test_support::expect_same_study;
 
 sim::ScenarioConfig base_config() {
   auto config = sim::ScenarioConfig::smoke();
@@ -86,134 +86,6 @@ void expect_matches_reference(const AosReference& ref,
     ASSERT_EQ(*it, ref.records[i]) << "record " << i;
     ASSERT_EQ(it.direction(), ref.directions[i]) << "direction " << i;
   }
-}
-
-// ---- Exhibit serialization: every field, full precision. Two studies
-// agree on an exhibit iff they produce the same string.
-
-std::ostringstream exhibit_stream() {
-  std::ostringstream os;
-  os << std::setprecision(17);
-  return os;
-}
-
-std::string dump_incident_remotes(const core::Study& study) {
-  auto os = exhibit_stream();
-  const auto& incidents = study.detection().incidents;
-  for (std::size_t i = 0; i < incidents.size(); ++i) {
-    os << "incident " << i << ":";
-    for (const auto& rc : analysis::incident_remotes(
-             study.trace(), incidents[i], &study.blacklist())) {
-      os << " " << rc.remote.value() << "=" << rc.packets;
-    }
-    os << "\n";
-  }
-  return os.str();
-}
-
-std::string dump_service_tables(const core::Study& study) {
-  auto os = exhibit_stream();
-  const auto table = analysis::compute_service_attack_table(
-      study.trace(), study.detection().minutes, study.detection().incidents);
-  os << "victims=" << table.victim_vips << "\n";
-  for (std::size_t s = 0; s < analysis::kReportedServiceCount; ++s) {
-    os << "svc" << s << " share=" << table.hosting_share[s] << " cells=";
-    for (const double c : table.cell[s]) os << c << ",";
-    os << "\n";
-  }
-  const auto targets = analysis::compute_outbound_app_targets(
-      study.trace(), study.detection().incidents);
-  os << "attacking=" << targets.attacking_vips
-     << " web=" << targets.web_share << " per_svc=";
-  for (const auto v : targets.vips_per_service) os << v << ",";
-  os << "\n";
-  return os.str();
-}
-
-std::string dump_signatures(const core::Study& study) {
-  auto os = exhibit_stream();
-  for (const netflow::IPv4 vip : study.trace().vips()) {
-    os << "vip " << vip.value() << ":\n";
-    for (const auto& rule : analysis::extract_signatures(
-             study.trace(), study.detection().incidents, vip, {},
-             &study.blacklist())) {
-      os << "  " << analysis::to_string(rule) << " incidents="
-         << rule.incidents << " share=" << rule.packet_share << "\n";
-    }
-  }
-  return os.str();
-}
-
-std::string dump_spoofing(const core::Study& study) {
-  auto os = exhibit_stream();
-  const auto result = analysis::analyze_spoofing(
-      study.trace(), study.detection().incidents, &study.blacklist());
-  for (const auto& v : result.verdicts) {
-    os << v.incident_index << " spoofed=" << v.spoofed
-       << " n=" << v.test.n << " A2=" << v.test.statistic
-       << " p=" << v.test.p_value << "\n";
-  }
-  for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
-    os << "type" << t << " frac=" << result.spoofed_fraction[t]
-       << " tested=" << result.tested[t] << "\n";
-  }
-  return os.str();
-}
-
-struct Exhibits {
-  std::string remotes;
-  std::string services;
-  std::string signatures;
-  std::string spoofing;
-};
-
-Exhibits exhibits_of(const core::Study& study) {
-  return {dump_incident_remotes(study), dump_service_tables(study),
-          dump_signatures(study), dump_spoofing(study)};
-}
-
-auto window_tuple(const netflow::VipMinuteStats& w) {
-  return std::make_tuple(
-      w.vip.value(), w.minute, w.direction, w.packets, w.bytes, w.tcp_packets,
-      w.udp_packets, w.icmp_packets, w.ipencap_packets, w.syn_packets,
-      w.null_scan_packets, w.xmas_scan_packets, w.bare_rst_packets,
-      w.dns_response_packets, w.flows, w.unique_remote_ips, w.smtp_flows,
-      w.unique_smtp_remotes, w.remote_admin_flows, w.unique_admin_remotes,
-      w.sql_flows, w.smtp_packets, w.admin_packets, w.sql_packets,
-      w.blacklist_flows, w.unique_blacklist_remotes, w.blacklist_packets,
-      w.first_record, w.last_record);
-}
-
-auto incident_tuple(const detect::AttackIncident& a) {
-  return std::make_tuple(a.vip.value(), a.direction, a.type, a.start, a.end,
-                         a.active_minutes, a.total_sampled_packets,
-                         a.peak_sampled_ppm, a.peak_unique_remotes,
-                         a.ramp_up_minutes);
-}
-
-void expect_same_study(const core::Study& base, const Exhibits& base_exhibits,
-                       const core::Study& other) {
-  ASSERT_EQ(base.record_count(), other.record_count());
-
-  const auto& bw = base.trace().windows();
-  const auto& ow = other.trace().windows();
-  ASSERT_EQ(bw.size(), ow.size());
-  for (std::size_t i = 0; i < bw.size(); ++i) {
-    ASSERT_EQ(window_tuple(bw[i]), window_tuple(ow[i])) << "window " << i;
-  }
-
-  const auto& bi = base.detection().incidents;
-  const auto& oi = other.detection().incidents;
-  ASSERT_EQ(bi.size(), oi.size());
-  for (std::size_t i = 0; i < bi.size(); ++i) {
-    ASSERT_EQ(incident_tuple(bi[i]), incident_tuple(oi[i])) << "incident " << i;
-  }
-
-  const Exhibits other_exhibits = exhibits_of(other);
-  EXPECT_EQ(base_exhibits.remotes, other_exhibits.remotes);
-  EXPECT_EQ(base_exhibits.services, other_exhibits.services);
-  EXPECT_EQ(base_exhibits.signatures, other_exhibits.signatures);
-  EXPECT_EQ(base_exhibits.spoofing, other_exhibits.spoofing);
 }
 
 TEST(ColumnarEquivalence, StudyMatchesAosReferenceAndIsThreadInvariant) {

@@ -1,0 +1,155 @@
+// Differential spill-vs-resident verification (DESIGN.md §5f): a Study run
+// with the spill tier enabled must be byte-identical — windows, incidents,
+// and all four record-consuming exhibits — to the resident-mode study, at
+// 1/2/8 threads and across RAM budgets chosen to force zero, one, and many
+// spill waves. The spill knob must be a pure memory/placement decision,
+// never a semantic one.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/study.h"
+#include "integration/study_exhibits.h"
+#include "netflow/segment_store.h"
+
+namespace dm {
+namespace {
+
+namespace fs = std::filesystem;
+
+using test_support::Exhibits;
+using test_support::exhibits_of;
+using test_support::expect_same_study;
+
+sim::ScenarioConfig base_config() {
+  auto config = sim::ScenarioConfig::smoke();
+  config.seed = 24601;
+  return config;
+}
+
+/// Unique scratch directory per (suffix) under the system temp dir; removed
+/// by the caller.
+fs::path scratch_dir(const std::string& suffix) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dm_spill_eq_" + std::to_string(::getpid()) + "_" + suffix);
+  fs::remove_all(dir);
+  return dir;
+}
+
+struct SpillCase {
+  const char* label;
+  std::uint64_t segment_bytes;
+  std::uint64_t ram_budget_bytes;
+};
+
+// The smoke trace encodes to roughly 1–2 MiB; the policy seals at
+// min(max(segment_bytes, 1 MiB), max(ram_budget / 2, 1 MiB)).
+//   huge-budget  → threshold far above the trace → 0 segments sealed
+//                  (finish() returns the resident store).
+//   one-wave     → threshold ≈ the whole trace → a single late seal.
+//   many-waves   → threshold floors at 1 MiB → several segments.
+constexpr SpillCase kSpillCases[] = {
+    {"zero-spills", 1ull << 30, 1ull << 32},
+    {"one-wave", 64ull << 20, 16ull << 20},
+    {"many-waves", 1ull << 20, 2ull << 20},
+};
+
+TEST(SpillEquivalence, StudyIsByteIdenticalAcrossBudgetsAndThreads) {
+  auto resident_config = base_config();
+  resident_config.thread_count = 1;
+  const core::Study resident(resident_config);
+  ASSERT_GT(resident.record_count(), 0u);
+  ASSERT_FALSE(resident.detection().incidents.empty());
+  ASSERT_FALSE(resident.trace().store().spilled());
+  const Exhibits resident_exhibits = exhibits_of(resident);
+  ASSERT_FALSE(resident_exhibits.remotes.empty());
+
+  for (const SpillCase& c : kSpillCases) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(std::string(c.label) +
+                   " threads=" + std::to_string(threads));
+      const fs::path dir =
+          scratch_dir(std::string(c.label) + "_t" + std::to_string(threads));
+      auto config = base_config();
+      config.thread_count = threads;
+      config.spill.directory = dir.string();
+      config.spill.segment_bytes = c.segment_bytes;
+      config.spill.ram_budget_bytes = c.ram_budget_bytes;
+      const core::Study spilled(config);
+
+      // The case labels must describe what actually happened: the
+      // zero-spill budget must come back resident, the others spilled.
+      const netflow::RecordStore& store = spilled.trace().store();
+      if (std::string(c.label) == "zero-spills") {
+        EXPECT_FALSE(store.spilled());
+      } else {
+        EXPECT_TRUE(store.spilled());
+        EXPECT_GE(store.segments().segment_count(), 1u);
+        if (std::string(c.label) == "many-waves") {
+          EXPECT_GE(store.segments().segment_count(), 2u);
+        }
+      }
+
+      expect_same_study(resident, resident_exhibits, spilled);
+      fs::remove_all(dir);
+    }
+  }
+}
+
+TEST(SpillEquivalence, UnfusedPipelineSpillsIdenticallyToo) {
+  auto resident_config = base_config();
+  resident_config.thread_count = 2;
+  resident_config.fuse_pipeline = false;
+  const core::Study resident(resident_config);
+  const Exhibits resident_exhibits = exhibits_of(resident);
+
+  const fs::path dir = scratch_dir("unfused");
+  auto config = base_config();
+  config.thread_count = 2;
+  config.fuse_pipeline = false;
+  config.spill.directory = dir.string();
+  config.spill.segment_bytes = 1ull << 20;
+  config.spill.ram_budget_bytes = 2ull << 20;
+  const core::Study spilled(config);
+  EXPECT_TRUE(spilled.trace().store().spilled());
+
+  expect_same_study(resident, resident_exhibits, spilled);
+  fs::remove_all(dir);
+}
+
+TEST(SpillEquivalence, SegmentDirectoryReopensToTheSameRecords) {
+  // The segment files a study leaves behind are a complete, self-contained
+  // copy of the trace: SegmentStore::open on the directory must decode the
+  // identical record sequence.
+  const fs::path dir = scratch_dir("reopen");
+  auto config = base_config();
+  config.thread_count = 1;
+  config.spill.directory = dir.string();
+  config.spill.segment_bytes = 1ull << 20;
+  config.spill.ram_budget_bytes = 2ull << 20;
+  const core::Study study(config);
+  ASSERT_TRUE(study.trace().store().spilled());
+
+  const netflow::RecordStore reopened(
+      netflow::SegmentStore::open(dir.string()));
+  ASSERT_EQ(reopened.size(), study.record_count());
+  auto expect = study.trace().records();
+  auto got = reopened.all();
+  auto eit = expect.begin();
+  auto git = got.begin();
+  for (; eit != expect.end() && git != got.end(); ++eit, ++git) {
+    ASSERT_EQ(*eit, *git) << "record " << eit.index();
+    ASSERT_EQ(eit.direction(), git.direction()) << "direction " << eit.index();
+  }
+  EXPECT_TRUE(eit == expect.end());
+  EXPECT_TRUE(git == got.end());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dm

@@ -12,6 +12,7 @@
 #      clang-tidy binary is available)
 #   3. TSan build + concurrency suites
 #   4. ASan+UBSan build + codec suites
+#   5. DM_SPILL=1: spill-tier differential + crash-recovery suites (ASan)
 #
 # Usage: tools/check.sh [extra ctest -R regex]
 set -euo pipefail
@@ -20,7 +21,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-tsan}"
 ASAN_BUILD="${ASAN_BUILD_DIR:-$ROOT/build-asan}"
 FILTER="${1:-ThreadPool|ParallelExec|ParallelEquivalence|WindowShardMerge|FusedPipeline|RadixSort}"
-ASAN_FILTER="${2:-ColumnarRecords|ColumnarEquivalence|TraceIo|Aggregate|WindowShardMerge}"
+ASAN_FILTER="${2:-ColumnarRecords|ColumnarEquivalence|TraceIo|Aggregate|WindowShardMerge|SegmentStore}"
 
 # Determinism & invariant lint gate. Exits nonzero on any finding not in
 # the committed baseline (which is kept empty).
@@ -87,6 +88,17 @@ if [[ "${DM_FAULT_MATRIX:-0}" != "0" ]]; then
     -R "FaultInjector|TraceSalvage|StreamCheckpoint|FaultMatrix|StreamMonitor|Csv"
   DM_SOAK_SECONDS="${DM_SOAK_SECONDS:-30}" \
     ctest --test-dir "$ASAN_BUILD" --output-on-failure -R "SalvageSoak"
+fi
+
+# Optional out-of-core stage: the spill tier's differential equivalence
+# suite (full Study byte-identity, spill vs resident, across thread counts
+# and RAM budgets), the segment round-trip/property suite, and the
+# segment crash-recovery suite run under the same ASan+UBSan build — the
+# spill path does mmap'd varint pointer walks over CRC-framed files, which
+# is exactly the code ASan should watch. Enable with DM_SPILL=1.
+if [[ "${DM_SPILL:-0}" != "0" ]]; then
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure \
+    -R "SegmentStore|SpillEquivalence|SegmentSalvage"
 fi
 
 # Optional Release-mode perf snapshot: refreshes BENCH_pipeline.json at the

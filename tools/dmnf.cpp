@@ -3,15 +3,21 @@
 //   dmnf gen    --out trace.dmnf [--vips N] [--days D] [--seed S]
 //   dmnf info   trace.dmnf
 //   dmnf detect trace.dmnf [--cloud CIDR]... [--stream] [--reorder-lag N]
+//               [--spill-dir DIR] [--ram-budget BYTES]
 //   dmnf top    trace.dmnf [--count N] [--cloud CIDR]...
-//   dmnf verify trace.dmnf
+//   dmnf verify trace.dmnf | segment-dir
 //   dmnf export trace.dmnf out.csv
 //   dmnf import in.csv out.dmnf [--sampling N]
 //
 // The default cloud address space is 100.64.0.0/12 (the simulator's).
+// `detect --spill-dir` aggregates out-of-core: encoded record chunks spill
+// into CRC-framed segment files under DIR and the detectors stream from the
+// mmap'd segments (see DESIGN.md §5f). `verify` on a directory runs the
+// segment salvage scanner and prints the per-file damage ledger.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -22,6 +28,7 @@
 #include "detect/stream.h"
 #include "util/error.h"
 #include "netflow/csv.h"
+#include "netflow/segment_store.h"
 #include "netflow/trace_io.h"
 #include "netflow/window_aggregator.h"
 #include "sim/trace_generator.h"
@@ -37,8 +44,9 @@ int usage() {
       "  dmnf gen    --out trace.dmnf [--vips N] [--days D] [--seed S]\n"
       "  dmnf info   trace.dmnf\n"
       "  dmnf detect trace.dmnf [--cloud CIDR]... [--stream] [--reorder-lag N]\n"
+      "              [--spill-dir DIR] [--ram-budget BYTES]\n"
       "  dmnf top    trace.dmnf [--count N] [--cloud CIDR]...\n"
-      "  dmnf verify trace.dmnf\n"
+      "  dmnf verify trace.dmnf | segment-dir\n"
       "  dmnf export trace.dmnf out.csv\n"
       "  dmnf import in.csv out.dmnf [--sampling N]\n",
       stderr);
@@ -211,7 +219,16 @@ int cmd_detect(const Args& args) {
     return 0;
   }
 
-  const auto trace = netflow::aggregate_windows(std::move(records), space);
+  netflow::SpillConfig spill;
+  if (const auto it = args.options.find("--spill-dir");
+      it != args.options.end()) {
+    spill.directory = it->second;
+  }
+  spill.ram_budget_bytes = static_cast<std::uint64_t>(option_number(
+      args, "--ram-budget",
+      static_cast<long long>(spill.ram_budget_bytes)));
+  const auto trace = netflow::aggregate_windows(std::move(records), space,
+                                                nullptr, nullptr, &spill);
   const auto result = detect::DetectionPipeline{}.run(trace);
   print_incidents(result.incidents, sampling);
   std::printf("%zu incidents from %zu windows (%llu unattributable records)\n",
@@ -220,8 +237,45 @@ int cmd_detect(const Args& args) {
   return 0;
 }
 
+const char* segment_status_name(netflow::SegmentFileStatus status) {
+  switch (status) {
+    case netflow::SegmentFileStatus::kOk: return "ok";
+    case netflow::SegmentFileStatus::kBadHeader: return "BAD HEADER";
+    case netflow::SegmentFileStatus::kTruncated: return "TRUNCATED";
+    case netflow::SegmentFileStatus::kBodyCorrupt: return "BODY CORRUPT";
+  }
+  return "?";
+}
+
+int cmd_verify_segments(const std::string& directory) {
+  const auto [store, report] = netflow::SegmentStore::salvage(directory);
+  util::TextTable table;
+  table.set_header({"segment", "status", "bytes", "records", "detail"});
+  for (const auto& entry : report.entries) {
+    table.row(std::filesystem::path(entry.path).filename().string(),
+              std::string(segment_status_name(entry.status)), entry.file_bytes,
+              entry.records, entry.detail);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("segments:  %llu recovered, %llu damaged\n",
+              static_cast<unsigned long long>(report.segments_recovered),
+              static_cast<unsigned long long>(report.segments_damaged));
+  std::printf("records:   %llu recovered, %llu lost\n",
+              static_cast<unsigned long long>(report.records_recovered),
+              static_cast<unsigned long long>(report.records_lost));
+  if (report.clean()) {
+    std::printf("verdict:   clean\n");
+    return 0;
+  }
+  std::printf("verdict:   DAMAGED\n");
+  return 1;
+}
+
 int cmd_verify(const Args& args) {
   if (args.positional.empty()) return usage();
+  if (std::filesystem::is_directory(args.positional[0])) {
+    return cmd_verify_segments(args.positional[0]);
+  }
   const auto result = netflow::salvage_trace_file(args.positional[0]);
   const netflow::IngestReport& report = result.report;
 
