@@ -1,5 +1,7 @@
 #include "detect/detectors.h"
 
+#include "detect/incident.h"
+
 namespace dm::detect {
 
 using netflow::VipMinuteStats;
@@ -138,6 +140,20 @@ SeriesDetector::Verdicts SeriesDetector::observe(
   }
 
   return v;
+}
+
+void SeriesDetector::observe_series(
+    std::span<const VipMinuteStats> series,
+    std::vector<MinuteDetection>& out) {
+  for (const VipMinuteStats& w : series) {
+    const Verdicts verdicts = observe(w);
+    for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
+      if (!verdicts[t].attack) continue;
+      out.push_back(MinuteDetection{w.vip, w.direction, sim::kAllAttackTypes[t],
+                                    w.minute, verdicts[t].sampled_packets,
+                                    verdicts[t].unique_remotes});
+    }
+  }
 }
 
 }  // namespace dm::detect

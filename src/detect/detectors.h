@@ -12,6 +12,8 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "netflow/window_aggregator.h"
 #include "sim/attack_type.h"
@@ -19,6 +21,8 @@
 #include "util/time.h"
 
 namespace dm::detect {
+
+struct MinuteDetection;  // incident.h
 
 /// Tunable thresholds; defaults are the paper's (§2.2), expressed over
 /// *sampled* counts at 1:4096.
@@ -111,6 +115,16 @@ class SeriesDetector {
   using Verdicts = std::array<WindowVerdict, sim::kAttackTypeCount>;
   [[nodiscard]] Verdicts observe(const netflow::VipMinuteStats& window,
                                  std::size_t excluded_silence = 0) noexcept;
+
+  /// Batch counterpart of observe(): feeds one whole (VIP, direction)
+  /// series of windows in time order, appending a MinuteDetection per
+  /// alarming (window, type) pair. Exactly the arithmetic (and hence
+  /// output) of the per-window observe() loop it replaces in the detection
+  /// pipeline — but the loop lives next to the change-point updates, so
+  /// the feature extraction over each window batch stays in-cache and
+  /// inlined instead of crossing a TU boundary per window.
+  void observe_series(std::span<const netflow::VipMinuteStats> series,
+                      std::vector<MinuteDetection>& out);
 
   /// Serializable state: one entry per change-point baseline, in a fixed
   /// order. Restore into a SeriesDetector built with the same config.

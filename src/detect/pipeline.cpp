@@ -29,17 +29,11 @@ std::vector<MinuteDetection> DetectionPipeline::detect_minutes(
       pool, series_count, [&](std::size_t lo, std::size_t hi) {
         DetectionVec out;
         for (std::size_t s = lo; s < hi; ++s) {
+          // One batch call per series: the whole window slice streams
+          // through the detector bank without a per-window TU crossing.
           SeriesDetector detector(config_);
-          for (std::size_t i = starts[s]; i < starts[s + 1]; ++i) {
-            const VipMinuteStats& w = windows[i];
-            const auto verdicts = detector.observe(w);
-            for (std::size_t t = 0; t < sim::kAttackTypeCount; ++t) {
-              if (!verdicts[t].attack) continue;
-              out.push_back(MinuteDetection{
-                  w.vip, w.direction, sim::kAllAttackTypes[t], w.minute,
-                  verdicts[t].sampled_packets, verdicts[t].unique_remotes});
-            }
-          }
+          detector.observe_series(
+              windows.subspan(starts[s], starts[s + 1] - starts[s]), out);
         }
         return out;
       });

@@ -8,8 +8,10 @@
 namespace dm::netflow {
 
 void ColumnarRecords::begin_run(std::uint64_t key, std::uint64_t minute) {
-  put_varint(headers_, delta64(key, last_key_));
-  put_varint(headers_, delta64(minute, last_minute_));
+  std::uint8_t buf[2 * kMaxVarintBytes];
+  std::uint8_t* p = put_varint_raw(buf, delta64(key, last_key_));
+  p = put_varint_raw(p, delta64(minute, last_minute_));
+  headers_.insert(headers_.end(), buf, p);
 
   const std::size_t run = run_starts_.size();
   if (checkpoints_.empty() ||
@@ -36,20 +38,25 @@ void ColumnarRecords::push_back(const FlowRecord& record, Direction direction) {
                             static_cast<std::uint64_t>(direction);
   const auto minute = static_cast<std::uint64_t>(record.minute);
 
+  // Stage the record's seven varints (~16 bytes typical) in a stack buffer
+  // and splice them in with one capacity check instead of one per byte.
+  std::uint8_t buf[7 * kMaxVarintBytes];
+  std::uint8_t* p;
   if (size_ == 0 || key != last_key_ || minute != last_minute_) {
     begin_run(key, minute);
-    put_varint(payload_, remote);
+    p = put_varint_raw(buf, remote);
   } else {
-    put_varint(payload_, delta32(remote, last_remote_));
+    p = put_varint_raw(buf, delta32(remote, last_remote_));
   }
   last_remote_ = remote;
 
-  put_varint(payload_, record.src_port);
-  put_varint(payload_, record.dst_port);
-  put_varint(payload_, static_cast<std::uint8_t>(record.protocol));
-  put_varint(payload_, static_cast<std::uint8_t>(record.tcp_flags));
-  put_varint(payload_, record.packets);
-  put_varint(payload_, record.bytes);
+  p = put_varint_raw(p, record.src_port);
+  p = put_varint_raw(p, record.dst_port);
+  p = put_varint_raw(p, static_cast<std::uint8_t>(record.protocol));
+  p = put_varint_raw(p, static_cast<std::uint8_t>(record.tcp_flags));
+  p = put_varint_raw(p, record.packets);
+  p = put_varint_raw(p, record.bytes);
+  payload_.insert(payload_.end(), buf, p);
   ++size_;
 }
 

@@ -65,6 +65,42 @@ void PrefixSet::add(Prefix p) {
   if (it != bucket.end() && *it == net) return;  // duplicate
   bucket.insert(it, net);
   ++count_;
+
+  // Maintain the /32 membership prefilter (see contains()).
+  if (p.length() == 32) {
+    if (hosts_only_) {
+      if (filter_.empty()) filter_.resize(kFilterWords);
+      const std::uint64_t h = filter_hash(net);
+      filter_[(h >> 6) & (kFilterWords - 1)] |= 1ull << (h & 63);
+    }
+  } else {
+    hosts_only_ = false;
+    filter_ = std::vector<std::uint64_t>();
+  }
+
+  // Fold the prefix's address range into the disjoint span index, merging
+  // every span it overlaps or directly adjoins.
+  std::uint32_t lo = net;
+  std::uint32_t hi =
+      p.length() >= 32 ? net : net | (~std::uint32_t{0} >> p.length());
+  const std::uint32_t lo_adj = lo == 0 ? lo : lo - 1;
+  const std::uint32_t hi_adj = hi == ~std::uint32_t{0} ? hi : hi + 1;
+  const auto first = std::lower_bound(
+      spans_.begin(), spans_.end(), lo_adj,
+      [](const Span& s, std::uint32_t value) { return s.hi < value; });
+  auto last = first;
+  while (last != spans_.end() && last->lo <= hi_adj) {
+    lo = std::min(lo, last->lo);
+    hi = std::max(hi, last->hi);
+    ++last;
+  }
+  if (first == last) {
+    spans_.insert(first, Span{lo, hi});
+  } else {
+    first->lo = lo;
+    first->hi = hi;
+    spans_.erase(first + 1, last);
+  }
 }
 
 std::optional<Prefix> PrefixSet::match(IPv4 ip) const noexcept {
@@ -78,7 +114,5 @@ std::optional<Prefix> PrefixSet::match(IPv4 ip) const noexcept {
   }
   return std::nullopt;
 }
-
-bool PrefixSet::contains(IPv4 ip) const noexcept { return match(ip).has_value(); }
 
 }  // namespace dm::netflow

@@ -1,6 +1,7 @@
 // IPv4 addresses and CIDR prefixes.
 #pragma once
 
+#include <algorithm>
 #include <compare>
 #include <cstdint>
 #include <optional>
@@ -87,8 +88,13 @@ class Prefix {
 };
 
 /// Longest-prefix-match structure over arbitrary (possibly nested) prefixes.
-/// One hash set of network addresses per mask length; lookup probes the 33
-/// lengths from most to least specific — constant time, no allocation.
+/// One sorted vector of network addresses per mask length serves match();
+/// membership queries go through a flattened interval index instead: add()
+/// keeps the union of all prefixes as sorted disjoint [lo, hi] address
+/// spans, so contains() is a single binary search over typically very few
+/// spans (adjacent prefixes coalesce — the cloud's contiguous per-DC /16s
+/// collapse to one span). That matters because classification calls
+/// contains() twice per record.
 class PrefixSet {
  public:
   PrefixSet() = default;
@@ -96,7 +102,24 @@ class PrefixSet {
 
   void add(Prefix p);
 
-  [[nodiscard]] bool contains(IPv4 ip) const noexcept;
+  [[nodiscard]] bool contains(IPv4 ip) const noexcept {
+    const std::uint32_t v = ip.value();
+    if (hosts_only_ && !filter_.empty()) {
+      // All-/32 sets (the TDS blacklist) get a one-bit-per-hash prefilter:
+      // a clear bit proves absence, so the overwhelmingly common miss costs
+      // one load instead of a binary search over thousands of spans.
+      const std::uint64_t h = filter_hash(v);
+      if ((filter_[(h >> 6) & (kFilterWords - 1)] & (1ull << (h & 63))) == 0) {
+        return false;
+      }
+    }
+    // Last span starting at or below v; spans are disjoint, so it is the
+    // only candidate.
+    auto it = std::upper_bound(
+        spans_.begin(), spans_.end(), v,
+        [](std::uint32_t value, const Span& s) { return value < s.lo; });
+    return it != spans_.begin() && v <= (it - 1)->hi;
+  }
 
   /// The longest (most specific) prefix containing ip, if any.
   [[nodiscard]] std::optional<Prefix> match(IPv4 ip) const noexcept;
@@ -105,7 +128,23 @@ class PrefixSet {
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
  private:
+  struct Span {
+    std::uint32_t lo;
+    std::uint32_t hi;  // inclusive
+  };
+
+  // 2^19 filter bits (64 KiB): ~1% false-positive rate at the blacklist's
+  // host counts, and small enough to live in L2 next to the hot loops.
+  static constexpr std::size_t kFilterWords = (std::size_t{1} << 19) / 64;
+
+  static constexpr std::uint64_t filter_hash(std::uint32_t v) noexcept {
+    return (static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL) >> 45;
+  }
+
   std::vector<std::vector<std::uint32_t>> by_length_;  // sorted networks, index = mask length
+  std::vector<Span> spans_;  // sorted, disjoint union of all prefixes
+  std::vector<std::uint64_t> filter_;  // see contains(); /32-only sets
+  bool hosts_only_ = true;
   std::size_t count_ = 0;
 };
 

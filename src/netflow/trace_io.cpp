@@ -253,6 +253,48 @@ void TraceWriter::write_all(RecordStore::Range records) {
   for (const FlowRecord& r : records) write(r);
 }
 
+namespace {
+
+/// Streams every block of `cursor` into `writer`, reassembling wire-order
+/// records from the SoA columns (the inverse of the codec's orientation
+/// split).
+template <typename BlockCursorT>
+void write_decoded_blocks(TraceWriter& writer, BlockCursorT cursor) {
+  DecodedBlock block;
+  FlowRecord r;
+  while (cursor.next(block)) {
+    for (std::size_t i = 0; i < block.count; ++i) {
+      r.minute = block.minute[i];
+      const IPv4 vip(block.vip[i]);
+      const IPv4 remote(block.remote[i]);
+      if (static_cast<Direction>(block.direction[i]) == Direction::kInbound) {
+        r.src_ip = remote;
+        r.dst_ip = vip;
+      } else {
+        r.src_ip = vip;
+        r.dst_ip = remote;
+      }
+      r.src_port = block.src_port[i];
+      r.dst_port = block.dst_port[i];
+      r.protocol = static_cast<Protocol>(block.protocol[i]);
+      r.tcp_flags = static_cast<TcpFlags>(block.tcp_flags[i]);
+      r.packets = block.packets[i];
+      r.bytes = block.bytes[i];
+      writer.write(r);
+    }
+  }
+}
+
+}  // namespace
+
+void TraceWriter::write_all(const ColumnarRecords& records) {
+  write_decoded_blocks(*this, records.block_cursor_at(0));
+}
+
+void TraceWriter::write_all(const RecordStore& store) {
+  write_decoded_blocks(*this, store.block_cursor_at(0));
+}
+
 void TraceWriter::flush_block() {
   if (pending_.empty()) return;
   std::vector<std::uint8_t> payload;

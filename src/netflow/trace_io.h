@@ -50,6 +50,11 @@ class TraceWriter {
   /// Same, over a possibly spilled RecordStore (one segment mapped at a
   /// time, so exporting a multi-month trace stays at flat RSS).
   void write_all(RecordStore::Range records);
+  /// Whole-store exports decode through the SoA block pipeline (a
+  /// BlockCursor per store) instead of one record at a time; the Range
+  /// overloads above remain for partial ranges.
+  void write_all(const ColumnarRecords& records);
+  void write_all(const RecordStore& store);
 
   /// Flushes pending records and writes the end marker. Idempotent.
   void finish();

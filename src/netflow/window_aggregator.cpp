@@ -78,6 +78,42 @@ std::span<const VipMinuteStats> WindowedTrace::series(IPv4 vip,
 
 namespace {
 
+/// One-entry longest-prefix-membership memo. classify() pays two
+/// PrefixSet::contains() walks per record, but the generator emits episode
+/// bursts whose cloud-side endpoint is constant for long stretches, so the
+/// per-side repeat rate is high. Verdicts are a pure function of the IP, so
+/// memoization cannot change any output — it only skips redundant walks.
+class MembershipMemo {
+ public:
+  /// `set` may be null only if contains() is never called.
+  explicit MembershipMemo(const PrefixSet* set) noexcept : set_(set) {}
+
+  [[nodiscard]] bool contains(IPv4 ip) noexcept {
+    if (!valid_ || ip != ip_) {
+      ip_ = ip;
+      valid_ = true;
+      verdict_ = set_->contains(ip);
+    }
+    return verdict_;
+  }
+
+ private:
+  const PrefixSet* set_;
+  IPv4 ip_;
+  bool verdict_ = false;
+  bool valid_ = false;
+};
+
+/// classify() with per-side memos — bitwise-identical verdicts.
+std::optional<Direction> classify_memo(const FlowRecord& record,
+                                       MembershipMemo& src_cloud,
+                                       MembershipMemo& dst_cloud) noexcept {
+  const bool src_in = src_cloud.contains(record.src_ip);
+  const bool dst_in = dst_cloud.contains(record.dst_ip);
+  if (src_in == dst_in) return std::nullopt;
+  return dst_in ? Direction::kInbound : Direction::kOutbound;
+}
+
 /// The canonical record ordering, packed for cheap comparisons:
 ///   k0 = (vip, direction), k1 = minute (sign-bias mapped), and
 ///   k2 = (remote ip, arrival index). The arrival-index tie-break makes the
@@ -106,107 +142,156 @@ SortKey key_of(const FlowRecord& r, Direction dir, std::size_t index) noexcept {
           static_cast<std::uint64_t>(index)};
 }
 
-/// Single-pass window builder over one boundary-aligned range
-/// [begin, end) of the canonically sorted records. Remote IPs arrive sorted
-/// within a window, so distinct counts fall out of adjacent comparisons.
-std::vector<VipMinuteStats> build_windows(std::span<const FlowRecord> records,
-                                          std::span<const Direction> dirs,
-                                          const PrefixSet* blacklist,
-                                          std::size_t begin, std::size_t end) {
+/// Single-pass window builder over a just-encoded canonical slice,
+/// consuming SoA decode blocks (DecodedBlock) instead of one record at a
+/// time. A window boundary can only occur at a run start — runs have
+/// constant (vip, direction, minute) by construction — so the boundary
+/// check runs once per run, flagged by the block's run_mask, not once per
+/// record. Remote IPs arrive sorted within a window, so distinct counts
+/// fall out of adjacent comparisons exactly as in the record-wise builder
+/// this replaces (the Cursor-based reference in the differential tests).
+/// `index_base` rebases first/last_record into the caller's global index
+/// space; the view's own records always start at a window boundary.
+std::vector<VipMinuteStats> build_windows_blocks(const ColumnarView& view,
+                                                 const PrefixSet* blacklist,
+                                                 std::size_t index_base) {
   std::vector<VipMinuteStats> windows;
+  // Every window starts at a run boundary, and nearly every run opens a
+  // window (adjacent equal-key runs only arise from mid-run shard cuts), so
+  // the run count is a tight capacity bound — reserving it avoids doubling
+  // reallocs of a vector of ~184-byte structs.
+  windows.reserve(view.runs);
   VipMinuteStats* current = nullptr;
-  IPv4 last_remote, last_admin_remote, last_smtp_remote, last_blacklist_remote;
-  bool any_remote = false, any_admin = false, any_smtp = false, any_blacklist = false;
+  std::uint32_t last_remote = 0, last_admin_remote = 0, last_smtp_remote = 0,
+                last_blacklist_remote = 0;
+  bool any_remote = false, any_admin = false, any_smtp = false,
+       any_blacklist = false;
+  // Blacklist membership is a pure function of the remote IP, and remotes
+  // repeat in adjacent records (sorted within a window) — memoize the walk.
+  MembershipMemo blacklisted(blacklist);
 
-  for (std::size_t i = begin; i < end; ++i) {
-    const FlowRecord& r = records[i];
-    const OrientedFlow flow{&r, dirs[i]};
-    const IPv4 vip = flow.vip();
-
-    if (current == nullptr || current->vip != vip ||
-        current->direction != flow.direction || current->minute != r.minute) {
-      VipMinuteStats w;
-      w.vip = vip;
-      w.minute = r.minute;
-      w.direction = flow.direction;
-      w.first_record = static_cast<std::uint32_t>(i);
-      w.last_record = static_cast<std::uint32_t>(i);
-      windows.push_back(w);
-      current = &windows.back();
-      any_remote = any_admin = any_smtp = any_blacklist = false;
-    }
-
-    current->last_record = static_cast<std::uint32_t>(i + 1);
-    current->packets += r.packets;
-    current->bytes += r.bytes;
-    current->flows += 1;
-
-    switch (r.protocol) {
-      case Protocol::kTcp:
-        current->tcp_packets += r.packets;
-        if (is_pure_syn(r.tcp_flags)) current->syn_packets += r.packets;
-        if (is_null_scan(r.tcp_flags)) current->null_scan_packets += r.packets;
-        if (is_xmas_scan(r.tcp_flags)) current->xmas_scan_packets += r.packets;
-        if (is_bare_rst(r.tcp_flags)) current->bare_rst_packets += r.packets;
-        break;
-      case Protocol::kUdp:
-        current->udp_packets += r.packets;
-        // A DNS response travels *from* the resolver's port 53; for inbound
-        // reflection that is the remote side, for the outbound case the VIP.
-        if (r.src_port == ports::kDns) current->dns_response_packets += r.packets;
-        break;
-      case Protocol::kIcmp:
-        current->icmp_packets += r.packets;
-        break;
-      case Protocol::kIpEncap:
-        current->ipencap_packets += r.packets;
-        break;
-    }
-
-    const IPv4 remote = flow.remote_ip();
-    if (!any_remote || remote != last_remote) {
-      current->unique_remote_ips += 1;
-      last_remote = remote;
-      any_remote = true;
-    }
-
-    const std::uint16_t service_port = flow.service_port();
-    if (r.protocol == Protocol::kTcp && service_port == ports::kSmtp) {
-      current->smtp_flows += 1;
-      current->smtp_packets += r.packets;
-      if (!any_smtp || remote != last_smtp_remote) {
-        current->unique_smtp_remotes += 1;
-        last_smtp_remote = remote;
-        any_smtp = true;
+  ColumnarRecords::BlockCursor cursor;
+  cursor.reset(view, view.records);
+  DecodedBlock block;
+  while (cursor.next(block)) {
+    std::size_t i = 0;
+    while (i < block.count) {
+      // The block decomposes into run segments — maximal stretches with no
+      // run start strictly after their first record. (vip, direction,
+      // minute) are constant per run, so the window-boundary test runs once
+      // per segment and last_record advances once per segment, not once per
+      // record.
+      const std::uint64_t later_starts =
+          i + 1 < 64 ? block.run_mask & ~((std::uint64_t{2} << i) - 1) : 0;
+      const std::size_t seg_end =
+          later_starts != 0
+              ? static_cast<std::size_t>(std::countr_zero(later_starts))
+              : block.count;
+      if (((block.run_mask >> i) & 1) != 0 &&
+          (current == nullptr || current->vip.value() != block.vip[i] ||
+           current->direction != static_cast<Direction>(block.direction[i]) ||
+           current->minute != block.minute[i])) {
+        // Construct in place: a stack temp would zero-init and then copy
+        // all ~184 bytes a second time on push_back.
+        current = &windows.emplace_back();
+        current->vip = IPv4(block.vip[i]);
+        current->minute = block.minute[i];
+        current->direction = static_cast<Direction>(block.direction[i]);
+        current->first_record =
+            static_cast<std::uint32_t>(index_base + block.base_index + i);
+        current->last_record = current->first_record;
+        any_remote = any_admin = any_smtp = any_blacklist = false;
       }
-    }
-    if (r.protocol == Protocol::kTcp && ports::is_remote_admin(service_port)) {
-      current->remote_admin_flows += 1;
-      current->admin_packets += r.packets;
-      if (!any_admin || remote != last_admin_remote) {
-        current->unique_admin_remotes += 1;
-        last_admin_remote = remote;
-        any_admin = true;
-      }
-    }
-    if (r.protocol == Protocol::kTcp && ports::is_sql(service_port)) {
-      current->sql_flows += 1;
-      current->sql_packets += r.packets;
-    }
+      current->last_record =
+          static_cast<std::uint32_t>(index_base + block.base_index + seg_end);
 
-    if (blacklist != nullptr && blacklist->contains(remote)) {
-      current->blacklist_flows += 1;
-      current->blacklist_packets += r.packets;
-      if (!any_blacklist || remote != last_blacklist_remote) {
-        current->unique_blacklist_remotes += 1;
-        last_blacklist_remote = remote;
-        any_blacklist = true;
+      for (; i < seg_end; ++i) {
+        const std::uint32_t packets = block.packets[i];
+        current->packets += packets;
+        current->bytes += block.bytes[i];
+        current->flows += 1;
+
+        const auto protocol = static_cast<Protocol>(block.protocol[i]);
+        switch (protocol) {
+          case Protocol::kTcp: {
+            current->tcp_packets += packets;
+            const auto flags = static_cast<TcpFlags>(block.tcp_flags[i]);
+            if (is_pure_syn(flags)) current->syn_packets += packets;
+            if (is_null_scan(flags)) current->null_scan_packets += packets;
+            if (is_xmas_scan(flags)) current->xmas_scan_packets += packets;
+            if (is_bare_rst(flags)) current->bare_rst_packets += packets;
+            break;
+          }
+          case Protocol::kUdp:
+            current->udp_packets += packets;
+            // A DNS response travels *from* the resolver's port 53; for
+            // inbound reflection that is the remote side, for the outbound
+            // case the VIP.
+            if (block.src_port[i] == ports::kDns) {
+              current->dns_response_packets += packets;
+            }
+            break;
+          case Protocol::kIcmp:
+            current->icmp_packets += packets;
+            break;
+          case Protocol::kIpEncap:
+            current->ipencap_packets += packets;
+            break;
+        }
+
+        const std::uint32_t remote = block.remote[i];
+        if (!any_remote || remote != last_remote) {
+          current->unique_remote_ips += 1;
+          last_remote = remote;
+          any_remote = true;
+        }
+
+        // The port identifying the targeted application is the wire
+        // destination port regardless of direction (OrientedFlow::service_port).
+        const std::uint16_t service_port = block.dst_port[i];
+        if (protocol == Protocol::kTcp && service_port == ports::kSmtp) {
+          current->smtp_flows += 1;
+          current->smtp_packets += packets;
+          if (!any_smtp || remote != last_smtp_remote) {
+            current->unique_smtp_remotes += 1;
+            last_smtp_remote = remote;
+            any_smtp = true;
+          }
+        }
+        if (protocol == Protocol::kTcp && ports::is_remote_admin(service_port)) {
+          current->remote_admin_flows += 1;
+          current->admin_packets += packets;
+          if (!any_admin || remote != last_admin_remote) {
+            current->unique_admin_remotes += 1;
+            last_admin_remote = remote;
+            any_admin = true;
+          }
+        }
+        if (protocol == Protocol::kTcp && ports::is_sql(service_port)) {
+          current->sql_flows += 1;
+          current->sql_packets += packets;
+        }
+
+        if (blacklist != nullptr && blacklisted.contains(IPv4(remote))) {
+          current->blacklist_flows += 1;
+          current->blacklist_packets += packets;
+          if (!any_blacklist || remote != last_blacklist_remote) {
+            current->unique_blacklist_remotes += 1;
+            last_blacklist_remote = remote;
+            any_blacklist = true;
+          }
+        }
       }
     }
   }
 
   return windows;
 }
+
+/// Gather distance for the permuted read in the encode loop: far enough to
+/// cover DRAM latency at ~1 record decoded per few ns, near enough to stay
+/// inside the already-sorted locality window.
+constexpr std::size_t kGatherPrefetch = 8;
 
 }  // namespace
 
@@ -218,14 +303,17 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
   util::tune_malloc_for_streaming();
   const std::size_t n = records.size();
 
-  // Phase 1: orient every record (parallel — two longest-prefix lookups per
-  // record), then compact serially so kept records retain arrival order.
+  // Phase 1: orient every record (parallel — at most two longest-prefix
+  // lookups per record, memoized per side within a chunk), then compact
+  // serially so kept records retain arrival order.
   std::vector<std::uint8_t> cls(n);
   constexpr std::uint8_t kDrop = 2;
   exec::parallel_for_chunks(
       pool, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        MembershipMemo src_cloud(&cloud_space);
+        MembershipMemo dst_cloud(&cloud_space);
         for (std::size_t i = lo; i < hi; ++i) {
-          const auto dir = classify(records[i], cloud_space);
+          const auto dir = classify_memo(records[i], src_cloud, dst_cloud);
           cls[i] = dir ? static_cast<std::uint8_t>(*dir) : kDrop;
         }
       });
@@ -239,7 +327,7 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
         ++unclassified;
         continue;
       }
-      records[keep] = records[i];
+      if (keep != i) records[keep] = records[i];
       dirs.push_back(static_cast<Direction>(cls[i]));
       ++keep;
     }
@@ -259,23 +347,14 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
   exec::parallel_sort(pool, keys,
                       [](const SortKey& a, const SortKey& b) { return a < b; });
 
-  // Phase 3: gather records/directions into canonical order.
-  std::vector<FlowRecord> sorted_records(kept);
-  std::vector<Direction> sorted_dirs(kept);
-  exec::parallel_for_chunks(
-      pool, kept, [&](std::size_t lo, std::size_t hi, std::size_t) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const auto src = static_cast<std::size_t>(keys[i].k2 & 0xffffffffULL);
-          sorted_records[i] = records[src];
-          sorted_dirs[i] = dirs[src];
-        }
-      });
-
-  // Phase 4: build windows AND encode the columnar slice per shard, with
-  // shard edges snapped forward to the next (vip, direction, minute)
-  // boundary so no window (hence no run) straddles two shards;
-  // concatenating shard outputs in index order reproduces the single-pass
-  // result exactly.
+  // Phase 3: encode the columnar slice AND build windows per shard — the
+  // gather into a sorted array-of-structs copy is gone; each chunk encodes
+  // straight through the sort permutation (keys[i].k2 carries the source
+  // index) and then block-decodes its own just-encoded columns to build the
+  // windows. Shard edges are snapped forward to the next
+  // (vip, direction, minute) boundary so no window (hence no run) straddles
+  // two shards; concatenating shard outputs in index order reproduces the
+  // single-pass result exactly.
   const auto aligned = [&](std::size_t i) {
     while (i > 0 && i < kept && keys[i - 1].window_equal(keys[i])) ++i;
     return i;
@@ -288,14 +367,20 @@ WindowedTrace aggregate_windows(std::vector<FlowRecord> records,
     BuiltChunk chunk;
     const std::size_t b = aligned(lo);
     const std::size_t e = aligned(hi);
-    chunk.windows = build_windows(sorted_records, sorted_dirs, blacklist, b, e);
+    for (std::size_t i = b; i < e; ++i) {
+      if (i + kGatherPrefetch < e) {
+        const auto ahead = static_cast<std::size_t>(
+            keys[i + kGatherPrefetch].k2 & 0xffffffffULL);
+        exec::prefetch_read(&records[ahead]);
+      }
+      const auto src = static_cast<std::size_t>(keys[i].k2 & 0xffffffffULL);
+      chunk.columns.push_back(records[src], dirs[src]);
+    }
     // Both outputs are held until the index-ordered merge; drop the
     // push_back growth overshoot so the barrier holds exact sizes.
-    chunk.windows.shrink_to_fit();
-    for (std::size_t i = b; i < e; ++i) {
-      chunk.columns.push_back(sorted_records[i], sorted_dirs[i]);
-    }
     chunk.columns.shrink_to_fit();
+    chunk.windows = build_windows_blocks(chunk.columns.view(), blacklist, b);
+    chunk.windows.shrink_to_fit();
     return chunk;
   };
 
@@ -350,55 +435,116 @@ ShardWindows aggregate_shard(std::vector<FlowRecord> records,
                              const PrefixSet* blacklist) {
   ShardWindows out;
 
-  // Classify and compact in one serial pass; compaction is stable, so kept
-  // records retain arrival order — the tie-break the canonical sort uses.
+  // Classify, compact, and build the packed sort words in one serial pass;
+  // compaction is stable, so kept records retain arrival order — the
+  // tie-break the canonical sort uses. The per-side memos skip redundant
+  // prefix walks across episode bursts. Fusing the key build here saves a
+  // second full sweep over the record array; the speculative hi/remote
+  // words are simply abandoned if a record turns out not packable (the
+  // SortKey fallback below rebuilds from records — identical ordering).
+  constexpr std::size_t kMaxRankedVips = 32;
+  constexpr util::Minute kMaxPackedMinute = util::Minute{1} << 26;
   bool packable = true;
   std::size_t keep = 0;
   std::vector<Direction> directions;
   directions.reserve(records.size());
+  std::vector<std::uint64_t> hi(records.size());
+  std::vector<std::uint32_t> remote(records.size());
+  std::uint32_t vips[kMaxRankedVips];
+  std::size_t vip_count = 0;
+  std::uint32_t last_vip = 0;
+  util::Minute max_minute = 0;
+  MembershipMemo src_cloud(&cloud_space);
+  MembershipMemo dst_cloud(&cloud_space);
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto dir = classify(records[i], cloud_space);
+    const auto dir = classify_memo(records[i], src_cloud, dst_cloud);
     if (!dir) {
       ++out.unclassified;
       continue;
     }
     packable &= records[i].minute >= 0 &&
                 records[i].minute < (util::Minute{1} << 31);
-    records[keep] = records[i];
+    // Unclassified records are rare, so keep usually equals i — skip the
+    // 40-byte self-assignment in that case.
+    if (keep != i) records[keep] = records[i];
     directions.push_back(*dir);
+    const OrientedFlow f{&records[keep], *dir};
+    const std::uint32_t vip = f.vip().value();
+    hi[keep] = (static_cast<std::uint64_t>(vip) << 32) |
+               (static_cast<std::uint64_t>(*dir) << 31) |
+               static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(records[keep].minute));
+    remote[keep] = f.remote_ip().value();
+    max_minute = std::max(max_minute, records[keep].minute);
+    // Arrival order keeps each VIP constant for long stretches, so the
+    // repeat check skips nearly every ranked-set probe.
+    if (vip_count <= kMaxRankedVips && !(keep > 0 && vip == last_vip)) {
+      auto* const end = vips + vip_count;
+      const auto* at = std::lower_bound(vips, end, vip);
+      if (at == end || *at != vip) {
+        if (vip_count == kMaxRankedVips) {
+          ++vip_count;  // overflow marker: too many VIPs to rank
+        } else {
+          const auto slot = static_cast<std::size_t>(at - vips);
+          for (std::size_t j = vip_count; j > slot; --j) vips[j] = vips[j - 1];
+          vips[slot] = vip;
+          ++vip_count;
+        }
+      }
+    }
+    last_vip = vip;
     ++keep;
   }
   records.resize(keep);
 
-  // Canonical sort. Generator minutes always fit 31 bits, so
-  // (vip, dir, minute, remote) packs into 128 bits and an LSD radix sort
-  // replaces the comparison sort — the arrival-index tie-break costs
-  // nothing because the radix sort is stable and the permutation starts in
-  // arrival order. Arbitrary ingested minutes fall back to the comparison
-  // order (identical ordering — the packed key is a monotone reencoding of
-  // SortKey for in-range minutes).
-  std::vector<FlowRecord> sorted_records(keep);
-  std::vector<Direction> sorted_dirs(keep);
+  // Canonical sort, computed as a permutation only — the sorted
+  // array-of-structs copy is gone; the encode loop below reads through the
+  // permutation. Generator minutes always fit 31 bits, so (vip, dir,
+  // minute) packs into 64 bits, the remote into 32, and two stable LSD
+  // radix passes — by remote, then by the packed high word — produce
+  // exactly the order the old single 128-bit-key sort did: stable LSD at
+  // word granularity is lexicographic (hi, remote, arrival), and the
+  // arrival-index tie-break costs nothing because the permutation starts in
+  // arrival order. Splitting the words halves the key traffic the sort
+  // moves.
+  //
+  // A shard usually qualifies for a tighter high word: it owns a narrow
+  // VIP slice (few distinct VIPs) and realistic horizons stay far under
+  // 2^26 minutes (~127 years), so
+  //   (vip rank : 5 | direction : 1 | minute : 26)
+  // fits 32 bits and is a monotone reencoding of the full high word — rank
+  // order equals VIP address order by construction. Both radix phases then
+  // sort u32 keys instead of one sorting a u64, which cuts the scatter
+  // traffic by a third and lets the histogram skip the minute bytes a
+  // short horizon leaves constant. Shards with too many VIPs or ingested
+  // out-of-range minutes keep the u64 high word (identical ordering —
+  // every packed key is a monotone reencoding of SortKey in its range).
+  std::vector<std::uint32_t> order(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
   if (packable) {
-    std::vector<exec::Key128> keys(keep);
-    for (std::size_t i = 0; i < keep; ++i) {
-      const OrientedFlow f{&records[i], directions[i]};
-      keys[i] = exec::Key128{
-          (static_cast<std::uint64_t>(f.vip().value()) << 32) |
-              (static_cast<std::uint64_t>(directions[i]) << 31) |
-              static_cast<std::uint64_t>(records[i].minute),
-          static_cast<std::uint64_t>(f.remote_ip().value()) << 32};
-    }
-    std::vector<std::uint32_t> order(keep);
-    for (std::size_t i = 0; i < keep; ++i) {
-      order[i] = static_cast<std::uint32_t>(i);
-    }
-    exec::radix_sort(order,
-                     [&](std::uint32_t i) -> const exec::Key128& { return keys[i]; });
-    for (std::size_t i = 0; i < keep; ++i) {
-      const std::size_t src = order[i];
-      sorted_records[i] = records[src];
-      sorted_dirs[i] = directions[src];
+    if (vip_count <= kMaxRankedVips && max_minute < kMaxPackedMinute) {
+      std::vector<std::uint32_t> hi32(keep);
+      std::uint32_t memo_vip = vip_count > 0 ? vips[0] : 0;
+      std::uint32_t memo_rank = 0;
+      for (std::size_t i = 0; i < keep; ++i) {
+        const auto vip = static_cast<std::uint32_t>(hi[i] >> 32);
+        if (vip != memo_vip) {
+          memo_vip = vip;
+          memo_rank = static_cast<std::uint32_t>(
+              std::lower_bound(vips, vips + vip_count, vip) - vips);
+        }
+        const std::uint32_t rank = memo_rank;
+        hi32[i] = (rank << 27) |
+                  (static_cast<std::uint32_t>(hi[i] >> 31) & 1u) << 26 |
+                  static_cast<std::uint32_t>(hi[i] & (kMaxPackedMinute - 1));
+      }
+      exec::radix_sort(order, [&](std::uint32_t i) { return remote[i]; });
+      exec::radix_sort(order, [&](std::uint32_t i) { return hi32[i]; });
+    } else {
+      exec::radix_sort(order, [&](std::uint32_t i) { return remote[i]; });
+      exec::radix_sort(order, [&](std::uint32_t i) { return hi[i]; });
     }
   } else {
     std::vector<SortKey> keys(keep);
@@ -407,27 +553,33 @@ ShardWindows aggregate_shard(std::vector<FlowRecord> records,
     }
     std::sort(keys.begin(), keys.end());
     for (std::size_t i = 0; i < keep; ++i) {
-      const auto src = static_cast<std::size_t>(keys[i].k2 & 0xffffffffULL);
-      sorted_records[i] = records[src];
-      sorted_dirs[i] = directions[src];
+      order[i] = static_cast<std::uint32_t>(keys[i].k2 & 0xffffffffULL);
     }
   }
-  // Free the arrival-order copies before encoding; only the canonical slice
-  // is still needed.
+
+  // Gather-encode through the permutation: the randomly ordered reads
+  // stream straight into the columnar encoder, software-prefetched a few
+  // records ahead to hide the permuted-access latency. Only the compressed
+  // form leaves the shard.
+  for (std::size_t i = 0; i < keep; ++i) {
+    if (i + kGatherPrefetch < keep) {
+      exec::prefetch_read(&records[order[i + kGatherPrefetch]]);
+    }
+    const std::size_t src = order[i];
+    out.columns.push_back(records[src], directions[src]);
+  }
+  out.columns.shrink_to_fit();
+  // Free the arrival-order copies before the window build.
   records = std::vector<FlowRecord>();
   directions = std::vector<Direction>();
+  order = std::vector<std::uint32_t>();
 
-  out.windows = build_windows(sorted_records, sorted_dirs, blacklist, 0, keep);
+  // Feature extraction consumes the shard's own encoded slice in SoA
+  // blocks — the decode kernel, not the raw arrays, is the hot path.
+  out.windows = build_windows_blocks(out.columns.view(), blacklist, 0);
   // Shard outputs accumulate until the caller's merge; hold exact sizes,
   // not push_back growth overshoot.
   out.windows.shrink_to_fit();
-  // Encode the canonical slice into the shard-local columnar store — the
-  // raw arrays die with this scope, so only the compressed form leaves the
-  // shard.
-  for (std::size_t i = 0; i < keep; ++i) {
-    out.columns.push_back(sorted_records[i], sorted_dirs[i]);
-  }
-  out.columns.shrink_to_fit();
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <iterator>
 
 namespace dm::sim {
 
@@ -86,16 +88,55 @@ BenignTrafficModel::BenignTrafficModel(const ScenarioConfig& config,
       pool.push_back(host);
     }
   }
+
+  diurnal_.resize(std::size(cloud::kAllGeoRegions) * util::kMinutesPerDay);
+  for (const GeoRegion region : cloud::kAllGeoRegions) {
+    const auto base =
+        static_cast<std::size_t>(region) * util::kMinutesPerDay;
+    for (util::Minute m = 0; m < util::kMinutesPerDay; ++m) {
+      diurnal_[base + static_cast<std::size_t>(m)] = diurnal_factor(m, region);
+    }
+  }
 }
 
-void BenignTrafficModel::emit_minute(std::uint32_t vip_index, util::Minute minute,
-                                     const netflow::PacketSampler& sampler,
-                                     util::Rng& rng,
-                                     std::vector<FlowRecord>& out) const {
+double BenignTrafficModel::Scratch::exp_neg(double mean) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &mean, sizeof bits);
+  // Fibonacci-hash the bit pattern down to a slot index.
+  auto& slot = slots_[(bits * 0x9e3779b97f4a7c15ULL) >> 51];
+  if (slot.bits != bits) {
+    slot.bits = bits;
+    slot.value = std::exp(-mean);
+  }
+  return slot.value;
+}
+
+namespace {
+
+/// Rng::poisson with the exponential routed through the scratch memo when
+/// one is held; the branch structure mirrors Rng::poisson exactly, so the
+/// consumed draws are identical either way.
+std::uint64_t sample_poisson(util::Rng& rng, double mean,
+                             BenignTrafficModel::Scratch* scratch) noexcept {
+  if (scratch == nullptr) return rng.poisson(mean);
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) return rng.poisson_knuth(scratch->exp_neg(mean));
+  return rng.poisson(mean);
+}
+
+}  // namespace
+
+void BenignTrafficModel::emit_minute_impl(std::uint32_t vip_index,
+                                          util::Minute minute,
+                                          const netflow::PacketSampler& sampler,
+                                          util::Rng& rng, Scratch* scratch,
+                                          std::vector<FlowRecord>& out) const {
   const cloud::VipInfo& vip = vips_->all()[vip_index];
   if (!vip.active_at(minute, trace_end_)) return;
   const GeoRegion region = vips_->data_centers()[vip.data_center].region;
-  const double diurnal = diurnal_factor(minute, region);
+  const double diurnal =
+      diurnal_[static_cast<std::size_t>(region) * util::kMinutesPerDay +
+               static_cast<std::size_t>(util::minute_of_day(minute))];
   const std::span<const IPv4> pool = pools_[vip_index];
 
   for (ServiceType s : vip.services) {
@@ -106,16 +147,17 @@ void BenignTrafficModel::emit_minute(std::uint32_t vip_index, util::Minute minut
     const double active_clients =
         std::max(1.0, profile.base_clients_per_minute * scale);
 
-    const std::uint64_t in_sampled = rng.poisson(true_in_ppm * sampler.probability());
+    const std::uint64_t in_sampled =
+        sample_poisson(rng, true_in_ppm * sampler.probability(), scratch);
     if (in_sampled > 0) {
       emit_flows(vip.vip, profile, minute, in_sampled, active_clients,
-                 /*outbound=*/false, rng, pool, out);
+                 /*outbound=*/false, rng, scratch, pool, out);
     }
     const std::uint64_t out_sampled =
-        rng.poisson(true_out_ppm * sampler.probability());
+        sample_poisson(rng, true_out_ppm * sampler.probability(), scratch);
     if (out_sampled > 0) {
       emit_flows(vip.vip, profile, minute, out_sampled, active_clients,
-                 /*outbound=*/true, rng, pool, out);
+                 /*outbound=*/true, rng, scratch, pool, out);
     }
   }
 }
@@ -124,16 +166,28 @@ void BenignTrafficModel::emit_flows(IPv4 vip, const ServiceProfile& profile,
                                     util::Minute minute,
                                     std::uint64_t sampled_packets,
                                     double active_clients, bool outbound,
-                                    util::Rng& rng, std::span<const IPv4> pool,
+                                    util::Rng& rng, Scratch* scratch,
+                                    std::span<const IPv4> pool,
                                     std::vector<FlowRecord>& out) const {
   // How many distinct client flows do the sampled packets land in?
   const std::uint64_t client_draw = std::max<std::uint64_t>(
-      1, rng.poisson(std::min(active_clients, 4'000.0)));
+      1, sample_poisson(rng, std::min(active_clients, 4'000.0), scratch));
   const std::uint64_t flows = std::min(sampled_packets, client_draw);
 
   // Split sampled packets across flows: give each flow one packet, then
-  // scatter the remainder uniformly.
-  std::vector<std::uint64_t> pkts(flows, 1);
+  // scatter the remainder uniformly. Flow counts are small (a handful of
+  // sampled packets per service-minute), so the split lives on the stack;
+  // the heap fallback covers the rare flash-crowd draw.
+  std::uint64_t stack_pkts[256];
+  std::vector<std::uint64_t> heap_pkts;
+  std::uint64_t* pkts;
+  if (flows <= std::size(stack_pkts)) {
+    std::fill_n(stack_pkts, flows, 1);
+    pkts = stack_pkts;
+  } else {
+    heap_pkts.assign(flows, 1);
+    pkts = heap_pkts.data();
+  }
   for (std::uint64_t extra = sampled_packets - flows; extra > 0; --extra) {
     pkts[static_cast<std::size_t>(rng.below(flows))] += 1;
   }

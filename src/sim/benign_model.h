@@ -23,6 +23,28 @@ namespace dm::sim {
 
 class BenignTrafficModel {
  public:
+  /// Per-shard scratch state for emit_minute: a direct-mapped memo of
+  /// exp(-mean) keyed on the mean's bit pattern. Poisson means repeat with
+  /// day periodicity per (VIP, service, direction), so every day after the
+  /// first hits the memo instead of recomputing the exponential. The memo
+  /// only caches a pure function of the mean — the drawn uniforms are
+  /// identical with or without it (Rng::poisson_knuth).
+  class Scratch {
+   public:
+    /// exp(-mean), memoized.
+    [[nodiscard]] double exp_neg(double mean) noexcept;
+
+   private:
+    struct Slot {
+      std::uint64_t bits = ~std::uint64_t{0};  // NaN pattern: never a mean
+      double value = 0.0;
+    };
+    // Comfortably above the ~services x directions x 1440 distinct means
+    // one VIP cycles through, so cross-day hits survive direct mapping.
+    static constexpr std::size_t kSlots = 8192;
+    std::vector<Slot> slots_{kSlots};
+  };
+
   /// Builds per-VIP client pools (deterministic from `seed`). Pool hosts
   /// never coincide with TDS-blacklisted addresses when `tds` is given —
   /// legitimate clients do not live on dedicated malicious hosts.
@@ -34,7 +56,18 @@ class BenignTrafficModel {
   /// directions) into `out`. `vip_index` indexes VipRegistry::all().
   void emit_minute(std::uint32_t vip_index, util::Minute minute,
                    const netflow::PacketSampler& sampler, util::Rng& rng,
-                   std::vector<netflow::FlowRecord>& out) const;
+                   std::vector<netflow::FlowRecord>& out) const {
+    emit_minute_impl(vip_index, minute, sampler, rng, nullptr, out);
+  }
+
+  /// emit_minute with a caller-held Scratch — byte-identical records, but
+  /// the generation loops pass one Scratch per shard so repeated means skip
+  /// the exp() (the generator's hot path).
+  void emit_minute(std::uint32_t vip_index, util::Minute minute,
+                   const netflow::PacketSampler& sampler, util::Rng& rng,
+                   Scratch& scratch, std::vector<netflow::FlowRecord>& out) const {
+    emit_minute_impl(vip_index, minute, sampler, rng, &scratch, out);
+  }
 
   /// The client pool backing a VIP (exposed for tests).
   [[nodiscard]] std::span<const netflow::IPv4> pool_of(std::uint32_t vip_index) const {
@@ -42,16 +75,26 @@ class BenignTrafficModel {
   }
 
  private:
+  void emit_minute_impl(std::uint32_t vip_index, util::Minute minute,
+                        const netflow::PacketSampler& sampler, util::Rng& rng,
+                        Scratch* scratch,
+                        std::vector<netflow::FlowRecord>& out) const;
+
   void emit_flows(netflow::IPv4 vip, const cloud::ServiceProfile& profile,
                   util::Minute minute, std::uint64_t sampled_packets,
                   double active_clients, bool outbound, util::Rng& rng,
-                  std::span<const netflow::IPv4> pool,
+                  Scratch* scratch, std::span<const netflow::IPv4> pool,
                   std::vector<netflow::FlowRecord>& out) const;
 
   const ScenarioConfig* config_;
   const cloud::VipRegistry* vips_;
   util::Minute trace_end_;
   std::vector<std::vector<netflow::IPv4>> pools_;
+  /// diurnal_factor() tabulated per (region, minute-of-day): the factor is
+  /// periodic by construction, and emit_minute runs once per VIP-minute, so
+  /// the cos() would otherwise be recomputed millions of times for the same
+  /// 1440 values. Bit-identical to calling diurnal_factor() directly.
+  std::vector<double> diurnal_;
 };
 
 /// Diurnal load factor in [0.55, 1.45]: peak in the data center region's

@@ -89,20 +89,21 @@ bool Rng::chance(double p) noexcept {
 
 std::uint64_t Rng::poisson(double mean) noexcept {
   if (mean <= 0.0) return 0;
-  if (mean < 64.0) {
-    // Knuth: multiply uniforms until the product drops below exp(-mean).
-    const double limit = std::exp(-mean);
-    double product = 1.0;
-    std::uint64_t k = 0;
-    do {
-      ++k;
-      product *= uniform01();
-    } while (product > limit);
-    return k - 1;
-  }
+  if (mean < 64.0) return poisson_knuth(std::exp(-mean));
   // Normal approximation with continuity correction.
   const double draw = normal(mean, std::sqrt(mean)) + 0.5;
   return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw);
+}
+
+std::uint64_t Rng::poisson_knuth(double exp_neg_mean) noexcept {
+  // Knuth: multiply uniforms until the product drops below exp(-mean).
+  double product = 1.0;
+  std::uint64_t k = 0;
+  do {
+    ++k;
+    product *= uniform01();
+  } while (product > exp_neg_mean);
+  return k - 1;
 }
 
 std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {

@@ -63,6 +63,13 @@ class Rng {
   /// normal approximation above 64 (adequate for traffic synthesis).
   [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
 
+  /// The Knuth small-mean Poisson draw, parameterized by exp(-mean)
+  /// directly. poisson() computes the exponential on every call; hot
+  /// callers whose means repeat (the benign model's day-periodic rates)
+  /// memoize exp(-mean) and feed it here — the drawn uniforms, and hence
+  /// the stream position, are identical to poisson(mean) for mean < 64.
+  [[nodiscard]] std::uint64_t poisson_knuth(double exp_neg_mean) noexcept;
+
   /// Binomial(n, p) draw. Exact inversion for small n*p, normal
   /// approximation for large — matches how NetFlow sampling thins packets.
   [[nodiscard]] std::uint64_t binomial(std::uint64_t n, double p) noexcept;

@@ -1,0 +1,166 @@
+// Study-level differential verification of the block decode pipeline: the
+// production path now aggregates and detects through DecodedBlocks, so
+// (a) full studies must stay tuple-identical across thread counts in both
+// resident and spill mode — the block pipeline inherits the determinism
+// contract — and (b) draining a finished study's RecordStore through
+// BlockCursor must be field-for-field identical to the scalar Cursor, the
+// retained differential oracle, including across spill-segment boundaries
+// and over clipped sub-ranges.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/study.h"
+#include "integration/study_exhibits.h"
+#include "netflow/columnar_records.h"
+#include "netflow/segment_store.h"
+#include "util/rng.h"
+
+namespace dm {
+namespace {
+
+namespace fs = std::filesystem;
+
+using test_support::Exhibits;
+using test_support::exhibits_of;
+using test_support::expect_same_study;
+
+sim::ScenarioConfig base_config() {
+  auto config = sim::ScenarioConfig::smoke();
+  config.seed = 31337;
+  return config;
+}
+
+fs::path scratch_dir(const std::string& suffix) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dm_block_eq_" + std::to_string(::getpid()) + "_" + suffix);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Drains `store.blocks(first, last)` against the scalar range — every
+/// decoded field, the rebased base_index, and block-capacity bounds.
+void expect_blocks_match_range(const netflow::RecordStore& store,
+                               std::size_t first, std::size_t last) {
+  auto blocks = store.blocks(first, last);
+  auto range = store.range(first, last);
+  auto it = range.begin();
+  netflow::DecodedBlock block;
+  std::size_t i = first;
+  while (blocks.next(block)) {
+    ASSERT_GT(block.count, 0u);
+    ASSERT_LE(block.count, +netflow::DecodedBlock::kCapacity);
+    ASSERT_EQ(block.base_index, i);
+    for (std::size_t k = 0; k < block.count; ++k, ++i, ++it) {
+      ASSERT_TRUE(it != range.end()) << "blocks decoded past the range";
+      const netflow::FlowRecord& r = *it;
+      const auto dir = static_cast<netflow::Direction>(block.direction[k]);
+      ASSERT_EQ(dir, it.direction()) << "record " << i;
+      const netflow::IPv4 vip =
+          dir == netflow::Direction::kInbound ? r.dst_ip : r.src_ip;
+      const netflow::IPv4 remote =
+          dir == netflow::Direction::kInbound ? r.src_ip : r.dst_ip;
+      ASSERT_EQ(block.vip[k], vip.value()) << "record " << i;
+      ASSERT_EQ(block.remote[k], remote.value()) << "record " << i;
+      ASSERT_EQ(block.minute[k], r.minute) << "record " << i;
+      ASSERT_EQ(block.src_port[k], r.src_port) << "record " << i;
+      ASSERT_EQ(block.dst_port[k], r.dst_port) << "record " << i;
+      ASSERT_EQ(static_cast<netflow::Protocol>(block.protocol[k]), r.protocol)
+          << "record " << i;
+      ASSERT_EQ(static_cast<netflow::TcpFlags>(block.tcp_flags[k]),
+                r.tcp_flags)
+          << "record " << i;
+      ASSERT_EQ(block.packets[k], r.packets) << "record " << i;
+      ASSERT_EQ(block.bytes[k], r.bytes) << "record " << i;
+    }
+  }
+  EXPECT_EQ(i, last);
+  EXPECT_TRUE(it == range.end()) << "scalar range has records blocks missed";
+}
+
+TEST(BlockEquivalence, StudyBlocksMatchScalarAcrossThreadsAndSpill) {
+  auto baseline_config = base_config();
+  baseline_config.thread_count = 1;
+  const core::Study baseline(baseline_config);
+  ASSERT_GT(baseline.record_count(), 0u);
+  ASSERT_FALSE(baseline.detection().incidents.empty());
+  const Exhibits baseline_exhibits = exhibits_of(baseline);
+
+  for (const bool spill : {false, true}) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(std::string(spill ? "spill" : "resident") +
+                   " threads=" + std::to_string(threads));
+      const fs::path dir = scratch_dir((spill ? "s" : "r") + std::string("_t") +
+                                       std::to_string(threads));
+      auto config = base_config();
+      config.thread_count = threads;
+      if (spill) {
+        // Floor the seal threshold so the smoke trace spans segments.
+        config.spill.directory = dir.string();
+        config.spill.segment_bytes = 1ull << 20;
+        config.spill.ram_budget_bytes = 2ull << 20;
+      }
+      const core::Study study(config);
+      const netflow::RecordStore& store = study.trace().store();
+      ASSERT_EQ(store.spilled(), spill);
+
+      // The study the block pipeline produced must match the baseline's
+      // windows, incidents, and exhibits tuple-for-tuple.
+      expect_same_study(baseline, baseline_exhibits, study);
+
+      // And the store itself must block-decode identically to the scalar
+      // cursor: full scan plus ranges that start mid-run, end mid-block,
+      // and (in spill mode) straddle segment boundaries.
+      const std::size_t n = store.size();
+      expect_blocks_match_range(store, 0, n);
+      util::Rng rng(903 + threads);
+      for (int round = 0; round < 12; ++round) {
+        const std::size_t first = rng.below(n + 1);
+        const std::size_t last = first + rng.below(n + 1 - first);
+        SCOPED_TRACE("range [" + std::to_string(first) + ", " +
+                     std::to_string(last) + ")");
+        expect_blocks_match_range(store, first, last);
+      }
+      if (spill) {
+        // Ranges pinned to segment seams: one record either side of each
+        // boundary, where BlockCursor must end a block early and remap.
+        const auto& segs = store.segments().segments();
+        std::size_t boundary = 0;
+        for (std::size_t s = 0; s + 1 < segs.size(); ++s) {
+          boundary += static_cast<std::size_t>(segs[s].records);
+          SCOPED_TRACE("segment boundary " + std::to_string(boundary));
+          expect_blocks_match_range(store, boundary - 1,
+                                    std::min(n, boundary + 1));
+          expect_blocks_match_range(store, boundary, std::min(n, boundary + 1));
+        }
+      }
+      fs::remove_all(dir);
+    }
+  }
+}
+
+TEST(BlockEquivalence, EmptyAndDegenerateRanges) {
+  auto config = base_config();
+  config.thread_count = 1;
+  const core::Study study(config);
+  const netflow::RecordStore& store = study.trace().store();
+  const std::size_t n = store.size();
+
+  netflow::DecodedBlock block;
+  auto empty_mid = store.blocks(n / 2, n / 2);
+  EXPECT_FALSE(empty_mid.next(block));
+  EXPECT_EQ(block.count, 0u);
+  auto empty_end = store.blocks(n, n);
+  EXPECT_FALSE(empty_end.next(block));
+  expect_blocks_match_range(store, n - 1, n);  // single final record
+}
+
+}  // namespace
+}  // namespace dm

@@ -132,6 +132,23 @@ TEST(LintRules, SortTieClean) {
   EXPECT_TRUE(report.findings.empty());
 }
 
+TEST(LintRules, SoaScratchCleanReuseIsNotAFinding) {
+  // The block decode pipeline refills one caller-owned SoA scratch block per
+  // next() call (DESIGN.md §5g). The reuse pattern itself is deterministic —
+  // every consumed row is overwritten first — and must lint clean.
+  const auto report = lint_fixture("soa_scratch_clean.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+TEST(LintRules, SoaScratchPointerKeyedResultsStillFire) {
+  // The actual hazard of reused scratch: keying anything by the block's
+  // address. Same slot, different contents every call.
+  const auto report = lint_fixture("soa_scratch_positive.cc");
+  EXPECT_EQ(count_rule(report.findings, kRulePointerKey), 1u);
+  EXPECT_EQ(report.findings.size(), 1u);
+}
+
 TEST(LintRules, CoveragePositive) {
   const auto report = lint_fixture("coverage_positive.cc");
   ASSERT_EQ(count_rule(report.findings, kRuleCheckpointCoverage), 1u);

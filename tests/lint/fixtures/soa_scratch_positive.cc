@@ -1,0 +1,16 @@
+// Fixture: the one real determinism hazard of reused SoA scratch — keying
+// results by the scratch block's ADDRESS. The same heap slot is refilled
+// every call, so pointer identity says nothing about content, and iteration
+// order over a pointer-keyed map varies run to run. pointer-keyed-container
+// must fire.
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+struct Block {
+  static constexpr std::size_t kCapacity = 64;
+  std::uint32_t remote[kCapacity];
+  std::size_t count = 0;
+};
+
+std::map<const Block*, std::uint64_t> g_totals_by_block;

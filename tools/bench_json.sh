@@ -51,6 +51,7 @@ run() { # run <output.json> <binary> [filter]
   "$BUILD/bench/$bin" "${args[@]}" > /dev/null
 }
 
+run decode_kernels.json perf_pipeline 'BM_VarintDecode|BM_BlockDecode'
 run pipeline_stages.json perf_pipeline \
   "(BM_GenerateTrace|BM_AggregateWindows|BM_FusedGenerateWindows|BM_DetectMinutes)/${THREAD1}|BM_FullDetection"
 run study_fused.json perf_pipeline "BM_StudyEndToEnd/${THREAD1}"

@@ -13,6 +13,9 @@
 #   3. TSan build + concurrency suites
 #   4. ASan+UBSan build + codec suites
 #   5. DM_SPILL=1: spill-tier differential + crash-recovery suites (ASan)
+#   6. DM_BENCH_JSON=1: refresh BENCH_pipeline.json (Release)
+#   7. DM_BENCH_GATE=1: per-stage items/s regression gate vs the committed
+#      BENCH_pipeline.json (tools/bench_gate.sh)
 #
 # Usage: tools/check.sh [extra ctest -R regex]
 set -euo pipefail
@@ -106,4 +109,14 @@ fi
 # the gate fast; enable with DM_BENCH_JSON=1.
 if [[ "${DM_BENCH_JSON:-0}" != "0" ]]; then
   "$ROOT/tools/bench_json.sh"
+fi
+
+# Optional throughput regression gate: re-measures the decode kernels and
+# the serial fused-aggregation/detection rows and fails if any falls below
+# tolerance x its committed BENCH_pipeline.json baseline. Enable with
+# DM_BENCH_GATE=1 (runs after DM_BENCH_JSON so a freshly regenerated
+# baseline is compared against itself — a cheap sanity check — while a
+# stale baseline catches real regressions).
+if [[ "${DM_BENCH_GATE:-0}" != "0" ]]; then
+  "$ROOT/tools/bench_gate.sh"
 fi
