@@ -6,6 +6,7 @@
 // so the rows measure the same work.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -18,6 +19,8 @@
 #include "exhibit.h"
 #include "netflow/varint.h"
 #include "netflow/window_aggregator.h"
+#include "serve/supervisor.h"
+#include "serve/writer.h"
 #include "sim/trace_generator.h"
 
 namespace {
@@ -235,6 +238,76 @@ void BM_FullDetection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullDetection)->Unit(benchmark::kMillisecond);
+
+/// The serve fleet under sustained overload: a two-tenant supervisor fed
+/// the bench trace in feed-minute order, with rate and memory budgets set
+/// low enough that both shed paths fire every minute, checkpoint rotation
+/// live (the pool parallelizes generation serialization — the threads
+/// axis), and events flowing through the buffered writer into a flaky sink
+/// so the retry/backoff and drop ledgers do real work. The counters are
+/// the degradation cost BENCH_pipeline.json tracks per PR: shed_records
+/// (admission control), writer_retries / writer_dropped (sink backoff).
+void BM_ServeOverload(benchmark::State& state) {
+  exec::ThreadPool pool(
+      exec::workers_for(static_cast<unsigned>(state.range(0))));
+  static const std::vector<netflow::FlowRecord> feed = [] {
+    // Traces are canonical per-VIP order; the service consumes feed time.
+    auto records = perf_trace().records;
+    std::stable_sort(records.begin(), records.end(),
+                     [](const netflow::FlowRecord& a,
+                        const netflow::FlowRecord& b) {
+                       return a.minute < b.minute;
+                     });
+    return records;
+  }();
+
+  const std::string state_dir =
+      (std::filesystem::temp_directory_path() / "dm_bench_serve").string();
+  double shed_records = 0.0;
+  double writer_retries = 0.0;
+  double writer_dropped = 0.0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(state_dir);
+    serve::NullSink null;
+    serve::FlakySink flaky(null, 7, 0.3, 4);
+    serve::WriterConfig wconfig;
+    wconfig.threaded = false;  // inline: the counters are feed-deterministic
+    wconfig.max_attempts = 3;
+    serve::BufferedWriter writer(flaky, wconfig);
+
+    std::vector<serve::TenantSpec> tenants;
+    tenants.push_back({"alpha", 2, 40, 0, 4});  // rate budget trips per minute
+    tenants.push_back({"beta", 2, 0, 1, 8});    // memory budget always tripped
+    serve::ServeConfig config;
+    config.seed = 33;
+    config.rotation_interval = 120;
+    config.state_dir = state_dir;
+    serve::Supervisor sup(perf_scenario().vips().cloud_space(), nullptr,
+                          std::move(tenants), config, &writer, &pool);
+    for (const auto& r : feed) sup.ingest_routed(r);
+    sup.finish();
+    writer.close();
+
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(feed.size()));
+    shed_records = static_cast<double>(sup.book(0).shed + sup.book(1).shed);
+    const serve::WriterStats stats = writer.stats();
+    writer_retries = static_cast<double>(stats.retries);
+    writer_dropped = static_cast<double>(stats.dropped);
+  }
+  std::filesystem::remove_all(state_dir);
+  state.counters["shed_records"] = shed_records;
+  state.counters["writer_retries"] = writer_retries;
+  state.counters["writer_dropped"] = writer_dropped;
+}
+BENCHMARK(BM_ServeOverload)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 /// End-to-end Study (generate + aggregate + detect) at bench scale; the
 /// threads-vs-wall-time rows are the headline scaling table.

@@ -24,6 +24,12 @@ namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4b434d44;  // "DMCK" little-endian
 constexpr std::uint16_t kCheckpointVersion = 1;
 
+/// Upper bound on a plausible checkpoint payload. A malformed size varint
+/// must not become a multi-gigabyte allocation before the CRC ever gets a
+/// chance to reject the frame; 1 GiB is orders of magnitude above any real
+/// monitor state.
+constexpr std::uint64_t kMaxCheckpointPayload = 1ull << 30;
+
 /// Content hash for duplicate suppression: FNV-1a over every record field.
 /// 64 bits keeps accidental collisions (a distinct record silently dropped)
 /// below ~2^-32 per open minute at realistic window populations.
@@ -348,6 +354,37 @@ void StreamMonitor::finish() {
   }
 }
 
+std::size_t StreamMonitor::open_window_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [minute, series_map] : open_minutes_) {
+    total += series_map.size();
+  }
+  return total;
+}
+
+std::uint64_t StreamMonitor::approx_state_bytes() const noexcept {
+  // Entry sizes plus set payloads: a stable gauge of the state the
+  // checkpoint would serialize, cheap enough to walk once per accounting
+  // minute. Deliberately ignores allocator overhead and hash-table load
+  // factors so the number is identical across runs and platforms.
+  std::uint64_t bytes = 0;
+  for (const auto& [minute, series_map] : open_minutes_) {
+    bytes += sizeof(minute) + 48;  // map node overhead estimate
+    for (const auto& [key, open] : series_map) {
+      bytes += sizeof(key) + sizeof(OpenWindow);
+      bytes += 4 * (open.remotes.size() + open.admin_remotes.size() +
+                    open.smtp_remotes.size() + open.blacklist_remotes.size());
+    }
+  }
+  bytes += detectors_.size() * (sizeof(SeriesKey) + sizeof(SeriesState) + 48);
+  bytes += open_incidents_.size() * (sizeof(OpenIncident) + 72);
+  bytes += outages_.size() * sizeof(outages_[0]);
+  for (const auto& [minute, hashes] : seen_) {
+    bytes += sizeof(minute) + 48 + 8 * hashes.size();
+  }
+  return bytes;
+}
+
 void StreamMonitor::checkpoint(std::ostream& out) const {
   std::vector<std::uint8_t> payload;
 
@@ -487,11 +524,17 @@ void StreamMonitor::checkpoint(std::ostream& out) const {
 }
 
 void StreamMonitor::restore(std::istream& in) {
+  // Frame validation happens in full — header, size, payload bytes, CRC —
+  // before a single payload varint is decoded, and decoding lands in local
+  // state swapped in only at the very end. Every exit path before the final
+  // swap therefore leaves this monitor byte-identical to its pre-call
+  // state, including on empty and truncated streams.
   const auto read_bytes = [&in](std::uint8_t* dst, std::size_t n,
                                 const char* what) {
     in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
     if (static_cast<std::size_t>(in.gcount()) != n) {
-      throw FormatError(std::string("checkpoint: truncated ") + what);
+      throw CheckpointError(CheckpointError::Kind::kTruncated,
+                            std::string("checkpoint: truncated ") + what);
     }
   };
 
@@ -502,13 +545,15 @@ void StreamMonitor::restore(std::istream& in) {
                               (static_cast<std::uint32_t>(head[2]) << 16) |
                               (static_cast<std::uint32_t>(head[3]) << 24);
   if (magic != kCheckpointMagic) {
-    throw FormatError("checkpoint: bad magic (not a DMCK checkpoint)");
+    throw CheckpointError(CheckpointError::Kind::kBadMagic,
+                          "checkpoint: bad magic (not a DMCK checkpoint)");
   }
   const std::uint16_t version = static_cast<std::uint16_t>(
       head[4] | (static_cast<std::uint16_t>(head[5]) << 8));
   if (version != kCheckpointVersion) {
-    throw FormatError("checkpoint: unsupported version " +
-                      std::to_string(version));
+    throw CheckpointError(
+        CheckpointError::Kind::kBadVersion,
+        "checkpoint: unsupported version " + std::to_string(version));
   }
 
   std::uint64_t payload_size = 0;
@@ -516,10 +561,20 @@ void StreamMonitor::restore(std::istream& in) {
   for (;;) {
     std::uint8_t b;
     read_bytes(&b, 1, "payload size");
-    if (shift > 63) throw FormatError("checkpoint: oversized payload varint");
+    if (shift > 63) {
+      throw CheckpointError(CheckpointError::Kind::kOversized,
+                            "checkpoint: oversized payload varint");
+    }
     payload_size |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) break;
     shift += 7;
+  }
+  // A corrupt size varint must fail the size check, not become a huge
+  // allocation: the cap rejects it before the vector is ever sized.
+  if (payload_size > kMaxCheckpointPayload) {
+    throw CheckpointError(
+        CheckpointError::Kind::kOversized,
+        "checkpoint: implausible payload size " + std::to_string(payload_size));
   }
 
   std::vector<std::uint8_t> payload(payload_size);
@@ -532,7 +587,8 @@ void StreamMonitor::restore(std::istream& in) {
                                  (static_cast<std::uint32_t>(crc_bytes[3]) << 24);
   const std::uint32_t actual = netflow::crc32(payload);
   if (expected != actual) {
-    throw FormatError("checkpoint: CRC mismatch");
+    throw CheckpointError(CheckpointError::Kind::kCrcMismatch,
+                          "checkpoint: CRC mismatch");
   }
 
   netflow::CheckedCursor cur(payload, "checkpoint");
@@ -549,16 +605,31 @@ void StreamMonitor::restore(std::istream& in) {
   decltype(outages_) outages;
   decltype(seen_) seen;
 
-  const util::Minute watermark = get_i64();
-  const util::Minute max_seen = get_i64();
-  const std::uint64_t ingested = get_u64();
-  const std::uint64_t late = get_u64();
-  const std::uint64_t unclassifiable = get_u64();
-  const std::uint64_t duplicate = get_u64();
-  const std::uint64_t quarantined = get_u64();
-  const std::uint64_t closed = get_u64();
-  const std::uint64_t alerts = get_u64();
-  const std::uint64_t incidents = get_u64();
+  util::Minute watermark = 0;
+  util::Minute max_seen = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t late = 0;
+  std::uint64_t unclassifiable = 0;
+  std::uint64_t duplicate = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t incidents = 0;
+
+  // A CRC-valid payload that still fails to decode (a version-1 encoder bug,
+  // or a 2^-32 CRC collision over damaged bytes) surfaces as a structured
+  // kMalformedPayload, and the monitor stays untouched.
+  try {
+  watermark = get_i64();
+  max_seen = get_i64();
+  ingested = get_u64();
+  late = get_u64();
+  unclassifiable = get_u64();
+  duplicate = get_u64();
+  quarantined = get_u64();
+  closed = get_u64();
+  alerts = get_u64();
+  incidents = get_u64();
 
   const std::uint64_t outage_count = get_u64();
   outages.reserve(outage_count);
@@ -673,8 +744,15 @@ void StreamMonitor::restore(std::istream& in) {
     for (std::uint64_t h = 0; h < hash_count; ++h) hashes.insert(get_u64());
   }
 
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const FormatError& e) {
+    throw CheckpointError(CheckpointError::Kind::kMalformedPayload, e.what());
+  }
+
   if (!cur.exhausted()) {
-    throw FormatError("checkpoint: trailing bytes after payload");
+    throw CheckpointError(CheckpointError::Kind::kTrailingBytes,
+                          "checkpoint: trailing bytes after payload");
   }
 
   open_minutes_ = std::move(open_minutes);

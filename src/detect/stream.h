@@ -29,8 +29,36 @@
 #include "detect/detectors.h"
 #include "detect/incident.h"
 #include "netflow/window_aggregator.h"
+#include "util/error.h"
 
 namespace dm::detect {
+
+/// Structured failure from StreamMonitor::restore. Derives from FormatError
+/// so existing catch sites keep working, but carries a machine-readable
+/// Kind so supervisors can distinguish "not a checkpoint at all" from "a
+/// checkpoint this build cannot read" from "a damaged checkpoint" when
+/// deciding which generation to fall back to. restore() guarantees the
+/// monitor is untouched whenever this is thrown.
+class CheckpointError : public FormatError {
+ public:
+  enum class Kind {
+    kTruncated,         ///< stream ended inside the frame
+    kBadMagic,          ///< not a DMCK checkpoint
+    kBadVersion,        ///< DMCK, but a version this build does not read
+    kOversized,         ///< frame claims an implausibly large payload
+    kCrcMismatch,       ///< payload bytes fail the frame CRC
+    kMalformedPayload,  ///< CRC passed but the payload does not decode
+    kTrailingBytes,     ///< payload decoded with bytes left over
+  };
+
+  CheckpointError(Kind kind, const std::string& what)
+      : FormatError(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 /// Degraded-feed knobs. Defaults reproduce the paper-strict behavior
 /// (no reorder tolerance, no duplicate suppression).
@@ -91,7 +119,12 @@ class StreamMonitor {
   /// Restores state captured by checkpoint() into this monitor, replacing
   /// its current state. The monitor must have been constructed with the
   /// same DetectionConfig/TimeoutTable/StreamConfig (those are not
-  /// serialized). Throws dm::FormatError on damaged input.
+  /// serialized). Throws CheckpointError (a FormatError) on damaged input —
+  /// empty streams, truncated frames, CRC mismatches, and CRC-valid but
+  /// undecodable payloads included — and leaves the monitor's state exactly
+  /// as it was before the call in every failure case: the frame is read and
+  /// CRC-validated in full, decoded into fresh state, and only then swapped
+  /// in.
   void restore(std::istream& in);
 
   // Counters.
@@ -119,6 +152,19 @@ class StreamMonitor {
   }
   [[nodiscard]] std::uint64_t alerts() const noexcept { return alerts_; }
   [[nodiscard]] std::uint64_t incidents() const noexcept { return incidents_; }
+
+  // State-size gauges — what a supervisor's admission controller consults
+  // when enforcing per-tenant memory budgets.
+  /// Open (minute, series) windows currently under accumulation.
+  [[nodiscard]] std::size_t open_window_count() const noexcept;
+  /// Per-series detector banks retained (grows with distinct VIPs seen).
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return detectors_.size();
+  }
+  /// Rough resident footprint of the monitor state in bytes: container
+  /// entries times their element sizes plus the per-window remote-IP sets.
+  /// A budget gauge (stable across runs), not an allocator measurement.
+  [[nodiscard]] std::uint64_t approx_state_bytes() const noexcept;
 
  private:
   struct SeriesKey {

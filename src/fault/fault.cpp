@@ -25,10 +25,18 @@ constexpr std::uint64_t kDupStream = 19;      // record duplication
 constexpr std::uint64_t kSegFlipStream = 32;      // segment body bit flips
 constexpr std::uint64_t kSegHeaderStream = 33;    // segment header flip
 constexpr std::uint64_t kSegTruncateStream = 34;  // segment tail chop
+constexpr std::uint64_t kCkptFlipStream = 48;      // checkpoint payload flips
+constexpr std::uint64_t kCkptHeaderStream = 49;    // checkpoint header flip
+constexpr std::uint64_t kCkptTruncateStream = 50;  // checkpoint tail chop
+constexpr std::uint64_t kCkptTornStream = 51;      // torn-write prefix
 
 /// Segment header size (netflow/segment_store.h format) — the boundary
 /// between header-CRC and body-CRC territory.
 constexpr std::size_t kSegmentHeaderBytes = 56;
+
+/// DMCK checkpoint header size (detect/stream.cpp framing): 4-byte magic +
+/// 2-byte version; everything after it is the varint-sized CRC'd payload.
+constexpr std::size_t kCheckpointHeaderBytes = 6;
 
 }  // namespace
 
@@ -152,6 +160,72 @@ SegmentDamage FaultInjector::corrupt_segment(std::vector<std::uint8_t>& bytes,
     damage.header_corrupted = true;
   }
   return damage;
+}
+
+CheckpointDamage FaultInjector::corrupt_checkpoint(
+    std::vector<std::uint8_t>& bytes, const CheckpointPlan& plan,
+    std::uint64_t file_index) const {
+  CheckpointDamage damage;
+  if (bytes.size() <= kCheckpointHeaderBytes) return damage;
+
+  // Torn prefix replaces the whole file: no other family can act after it
+  // (a torn write leaves nothing else to damage), so it goes first and
+  // returns early.
+  if (plan.torn_prefix) {
+    util::Rng rng = base_.split(kCkptTornStream).split(file_index);
+    const std::size_t keep =
+        static_cast<std::size_t>(rng.below(kCheckpointHeaderBytes));
+    damage.bytes_removed = bytes.size() - keep;
+    damage.torn = true;
+    bytes.resize(keep);
+    return damage;
+  }
+
+  // Tail truncation before flips, mirroring corrupt_segment: flip offsets
+  // in the ledger always point at bytes that survive on disk.
+  if (plan.truncate_tail) {
+    util::Rng rng = base_.split(kCkptTruncateStream).split(file_index);
+    const std::uint64_t payload = bytes.size() - kCheckpointHeaderBytes;
+    const std::size_t cut =
+        kCheckpointHeaderBytes + static_cast<std::size_t>(rng.below(payload));
+    damage.bytes_removed = bytes.size() - cut;
+    bytes.resize(cut);
+  }
+
+  // Payload bit flips: offsets land past the header so the damage is
+  // attributable to the payload CRC alone.
+  if (bytes.size() > kCheckpointHeaderBytes && plan.bit_flips > 0) {
+    util::Rng rng = base_.split(kCkptFlipStream).split(file_index);
+    const std::uint64_t payload = bytes.size() - kCheckpointHeaderBytes;
+    for (std::size_t i = 0; i < plan.bit_flips; ++i) {
+      const std::uint64_t offset = kCheckpointHeaderBytes + rng.below(payload);
+      bytes[offset] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      damage.flipped_offsets.push_back(offset);
+    }
+  }
+
+  // Header flip last: independent of payload damage by construction.
+  if (plan.corrupt_header) {
+    util::Rng rng = base_.split(kCkptHeaderStream).split(file_index);
+    const std::uint64_t offset = rng.below(kCheckpointHeaderBytes);
+    bytes[offset] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    damage.header_corrupted = true;
+  }
+  return damage;
+}
+
+void KillSwitch::poll(std::uint64_t step) {
+  const std::uint64_t seen = ++counts_[step];
+  if (!fired_ && occurrence_ != 0 && step == step_ && seen == occurrence_) {
+    fired_ = true;
+    throw InjectedCrash("injected crash at step " + std::to_string(step) +
+                        " occurrence " + std::to_string(seen));
+  }
+}
+
+std::uint64_t KillSwitch::count(std::uint64_t step) const noexcept {
+  const auto it = counts_.find(step);
+  return it == counts_.end() ? 0 : it->second;
 }
 
 std::vector<FlowRecord> FaultInjector::degrade(

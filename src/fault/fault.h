@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -70,6 +72,33 @@ struct SegmentDamage {
   }
 };
 
+/// Corruption plan for one DMCK-framed StreamMonitor checkpoint file. The
+/// frame is a 6-byte header (magic + version) followed by a varint-sized
+/// CRC-protected payload, so the interesting failure surfaces are: payload
+/// damage (CRC path), header damage (magic/version path), tail loss (size
+/// path), and the torn-write prefix a crash mid-`write(2)` leaves when the
+/// file was not written through the temp + fsync + rename protocol.
+struct CheckpointPlan {
+  std::size_t bit_flips = 0;    ///< random single-bit flips past the header
+  bool corrupt_header = false;  ///< flip one bit inside the 6-byte header
+  bool truncate_tail = false;   ///< chop the file at a random payload offset
+  /// Replace the file with a short random prefix (shorter than the header),
+  /// simulating the visible result of a torn non-atomic write.
+  bool torn_prefix = false;
+};
+
+/// Ground truth of the checkpoint damage a plan produced.
+struct CheckpointDamage {
+  std::vector<std::uint64_t> flipped_offsets;  ///< absolute file offsets
+  std::uint64_t bytes_removed = 0;
+  bool header_corrupted = false;
+  bool torn = false;
+  [[nodiscard]] bool any() const noexcept {
+    return torn || header_corrupted || bytes_removed > 0 ||
+           !flipped_offsets.empty();
+  }
+};
+
 /// Record-level degradation plan for a live feed.
 struct RecordPlan {
   /// Probability a record is emitted twice (the copy lands immediately
@@ -120,6 +149,15 @@ class FaultInjector {
                                 const SegmentPlan& plan,
                                 std::uint64_t file_index) const;
 
+  /// Applies `plan` to one DMCK checkpoint file's bytes in place, with the
+  /// same (seed, plan, file_index) reproducibility contract as
+  /// corrupt_segment: each file of a checkpoint generation takes distinct,
+  /// individually replayable damage. Files shorter than the 6-byte DMCK
+  /// header are returned untouched (already torn).
+  CheckpointDamage corrupt_checkpoint(std::vector<std::uint8_t>& bytes,
+                                      const CheckpointPlan& plan,
+                                      std::uint64_t file_index) const;
+
   /// Returns a degraded copy of `feed`; `damage` (optional) receives the
   /// ground truth. Stages apply in order: loss bursts, stuck clocks,
   /// bounded reorder, duplication.
@@ -129,6 +167,44 @@ class FaultInjector {
 
  private:
   util::Rng base_;
+};
+
+/// Thrown by KillSwitch::poll at the armed kill-point. A crash-injection
+/// harness catches it at the same boundary where a real process death would
+/// end execution: everything already flushed to disk stays, everything in
+/// memory is lost (the harness abandons the crashed object).
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Deterministic kill-point: arm it with a (step, occurrence) pair and pass
+/// it to crash-safe multi-step protocols (the serve checkpoint rotator polls
+/// it after every rotation step). poll(step) counts how many times each step
+/// completed and throws InjectedCrash when the armed step reaches the armed
+/// occurrence — so "crash right after the 3rd shard file rename" is a
+/// reproducible test input, not a race. Fires at most once.
+class KillSwitch {
+ public:
+  /// `occurrence` is 1-based: occurrence 1 kills at the first poll of
+  /// `step`. occurrence 0 never fires (a disarmed switch).
+  KillSwitch(std::uint64_t step, std::uint64_t occurrence) noexcept
+      : step_(step), occurrence_(occurrence) {}
+
+  /// Records one completion of `step`; throws InjectedCrash when this is
+  /// the armed occurrence of the armed step.
+  void poll(std::uint64_t step);
+
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+  /// Completions of `step` seen so far (including the fatal one).
+  [[nodiscard]] std::uint64_t count(std::uint64_t step) const noexcept;
+
+ private:
+  std::uint64_t step_ = 0;
+  std::uint64_t occurrence_ = 0;
+  bool fired_ = false;
+  std::map<std::uint64_t, std::uint64_t> counts_;
 };
 
 }  // namespace dm::fault

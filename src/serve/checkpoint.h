@@ -1,0 +1,123 @@
+// Crash-safe checkpoint generation rotation for the serve fleet.
+//
+// A generation is one directory `gen-<G>` holding every shard's DMCK
+// checkpoint plus the supervisor book and a MANIFEST naming each file with
+// its size and CRC32. Rotation follows the classic temp + fsync + atomic
+// rename protocol:
+//
+//   1. stage every file into `gen-<G>.tmp/` (write `<name>.part`, fsync,
+//      rename to `<name>` — so a half-written file is never mistaken for a
+//      finished one even inside the staging dir),
+//   2. write + fsync + rename the MANIFEST last (its presence marks the
+//      staging dir internally complete),
+//   3. commit with ONE atomic rename `gen-<G>.tmp` -> `gen-<G>`,
+//   4. fsync the parent directory so the rename itself is durable,
+//   5. GC committed generations beyond `keep_generations`, oldest first.
+//
+// A crash at ANY point leaves either the old generation set untouched (steps
+// 1-2: the leftover `.tmp` dir is swept on recovery) or the new generation
+// fully committed (steps 3-5). The CheckpointRotator polls an optional
+// fault::KillSwitch after every step above, so the crash matrix test can
+// kill the protocol deterministically at each boundary and prove recovery
+// lands on the newest intact generation — or falls back one generation —
+// with the damage ledger naming exactly what was lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace dm::serve {
+
+/// Kill-point identifiers, polled in protocol order. Per-file steps fire
+/// once per file (arm an occurrence > 1 to crash on a later shard).
+enum class RotationStep : std::uint64_t {
+  kShardWrite = 1,     ///< one shard's `.part` file fully written + closed
+  kShardFsync = 2,     ///< that file fsync'd
+  kShardRename = 3,    ///< `.part` -> final name inside the staging dir
+  kManifestWrite = 4,  ///< MANIFEST.part written + closed
+  kManifestFsync = 5,  ///< MANIFEST.part fsync'd
+  kManifestRename = 6, ///< MANIFEST.part -> MANIFEST
+  kCommit = 7,         ///< staging dir renamed to `gen-<G>`
+  kDirFsync = 8,       ///< parent directory fsync'd
+  kGcRemove = 9,       ///< one expired generation removed
+};
+
+inline constexpr std::uint64_t kRotationStepCount = 9;
+
+[[nodiscard]] const char* rotation_step_name(RotationStep step) noexcept;
+
+/// One file of a generation, by name and serialized content.
+struct ShardFile {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Why recovery rejected a file or generation.
+enum class DamageKind : std::uint8_t {
+  kTornStaging = 0,     ///< leftover `.tmp` staging dir (pre-commit crash)
+  kMissingManifest = 1, ///< committed dir with no MANIFEST
+  kBadManifest = 2,     ///< MANIFEST unparseable or failed its own CRC
+  kMissingFile = 3,     ///< manifest names a file that is not there
+  kSizeMismatch = 4,    ///< file length differs from the manifest
+  kCrcMismatch = 5,     ///< file bytes fail the manifest CRC
+  kUndecodable = 6,     ///< CRC-clean bytes the caller's decoder rejected
+};
+
+[[nodiscard]] const char* damage_kind_name(DamageKind kind) noexcept;
+
+/// One damage ledger entry: exactly what recovery discarded and why.
+struct DamageEntry {
+  std::int64_t generation = -1;  ///< -1 for staging dirs (no committed gen)
+  std::string file;              ///< dir or file name relative to the root
+  DamageKind kind = DamageKind::kTornStaging;
+  std::string detail;            ///< human-readable specifics
+};
+
+/// A committed generation recovery validated and loaded.
+struct LoadedGeneration {
+  std::int64_t generation = -1;      ///< -1: nothing intact, fresh start
+  std::vector<ShardFile> files;      ///< manifest order (name-sorted)
+};
+
+class CheckpointRotator {
+ public:
+  /// `root` is created if absent. keep_generations >= 1.
+  CheckpointRotator(std::string root, std::size_t keep_generations);
+
+  /// Runs the full rotation protocol over `files` (any order; staged in
+  /// name order so bytes on disk are input-order independent). Returns the
+  /// committed generation number. `kill` (optional) is polled after every
+  /// protocol step. Throws dm::Error on I/O failure.
+  std::int64_t rotate(std::vector<ShardFile> files,
+                      fault::KillSwitch* kill = nullptr);
+
+  /// Sweeps torn staging dirs, then walks committed generations newest to
+  /// oldest: parses + CRC-checks the MANIFEST, then every file against it.
+  /// The first generation whose bytes all verify AND pass `decode_ok` (when
+  /// provided — return false for bytes that fail semantic decode) is
+  /// returned loaded; everything newer that failed is REMOVED and recorded
+  /// in `ledger`, so the next rotate() re-issues the same generation number
+  /// an uninterrupted run would have produced. Returns generation -1 when
+  /// nothing intact remains.
+  LoadedGeneration recover(
+      std::vector<DamageEntry>& ledger,
+      const std::function<bool(const LoadedGeneration&, std::string&)>&
+          decode_ok = nullptr);
+
+  /// Committed generation numbers, ascending.
+  [[nodiscard]] std::vector<std::int64_t> generations() const;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  [[nodiscard]] std::string gen_dir(std::int64_t gen) const;
+
+  std::string root_;
+  std::size_t keep_;
+};
+
+}  // namespace dm::serve

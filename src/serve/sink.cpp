@@ -1,0 +1,151 @@
+#include "serve/sink.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "netflow/flow_record.h"
+#include "netflow/ipv4.h"
+#include "netflow/varint.h"
+#include "sim/attack_type.h"
+
+namespace dm::serve {
+
+namespace {
+
+[[nodiscard]] std::string_view kind_name(Event::Kind k) noexcept {
+  return k == Event::Kind::kAlert ? "alert" : "incident";
+}
+
+[[nodiscard]] std::string_view direction_name(std::uint8_t d) noexcept {
+  return netflow::to_string(static_cast<netflow::Direction>(d & 1));
+}
+
+[[nodiscard]] std::string_view type_name(std::uint8_t t) noexcept {
+  if (t >= sim::kAttackTypeCount) return "unknown";
+  return sim::to_string(static_cast<sim::AttackType>(t));
+}
+
+/// Escapes the few characters a tenant name could smuggle into JSON.
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_human(const Event& e) {
+  std::ostringstream out;
+  out << e.tenant << " #" << e.seq << " " << kind_name(e.kind) << " "
+      << type_name(e.type) << " " << direction_name(e.direction) << " vip="
+      << netflow::IPv4(e.vip).to_string() << " minutes=[" << e.start << ","
+      << e.end << ") packets=" << e.packets << " remotes=" << e.remotes;
+  return out.str();
+}
+
+std::string render_json(const Event& e) {
+  std::ostringstream out;
+  out << "{\"tenant\":\"" << json_escape(e.tenant) << "\",\"seq\":" << e.seq
+      << ",\"kind\":\"" << kind_name(e.kind) << "\",\"type\":\""
+      << type_name(e.type) << "\",\"direction\":\"" << direction_name(e.direction)
+      << "\",\"vip\":\"" << netflow::IPv4(e.vip).to_string() << "\",\"start\":"
+      << e.start << ",\"end\":" << e.end << ",\"packets\":" << e.packets
+      << ",\"remotes\":" << e.remotes << "}";
+  return out.str();
+}
+
+void encode_event(std::vector<std::uint8_t>& out, const Event& e) {
+  using netflow::put_varint;
+  put_varint(out, static_cast<std::uint64_t>(e.kind));
+  put_varint(out, e.tenant.size());
+  for (const char c : e.tenant) {
+    put_varint(out, static_cast<std::uint8_t>(c));
+  }
+  put_varint(out, e.seq);
+  put_varint(out, e.vip);
+  put_varint(out, e.direction);
+  put_varint(out, e.type);
+  put_varint(out, netflow::zigzag64(e.start));
+  put_varint(out, netflow::zigzag64(e.end));
+  put_varint(out, e.packets);
+  put_varint(out, e.remotes);
+}
+
+std::vector<Event> decode_events(const std::vector<std::uint8_t>& bytes) {
+  netflow::CheckedCursor cur({bytes.data(), bytes.size()}, "event");
+  std::vector<Event> events;
+  while (!cur.exhausted()) {
+    Event e;
+    const std::uint64_t kind = cur.varint();
+    if (kind > 1) throw FormatError("event: unknown kind");
+    e.kind = static_cast<Event::Kind>(kind);
+    const std::uint64_t name_len = cur.varint();
+    if (name_len > 4096) throw FormatError("event: implausible tenant name");
+    e.tenant.reserve(name_len);
+    for (std::uint64_t i = 0; i < name_len; ++i) {
+      e.tenant.push_back(static_cast<char>(cur.varint() & 0xff));
+    }
+    e.seq = cur.varint();
+    e.vip = static_cast<std::uint32_t>(cur.varint());
+    e.direction = static_cast<std::uint8_t>(cur.varint());
+    e.type = static_cast<std::uint8_t>(cur.varint());
+    e.start = netflow::unzigzag64(cur.varint());
+    e.end = netflow::unzigzag64(cur.varint());
+    e.packets = cur.varint();
+    e.remotes = static_cast<std::uint32_t>(cur.varint());
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+bool HumanSink::deliver(const Event& event) {
+  out_ << render_human(event) << '\n';
+  return static_cast<bool>(out_);
+}
+
+void HumanSink::flush() { out_.flush(); }
+
+bool JsonLinesSink::deliver(const Event& event) {
+  out_ << render_json(event) << '\n';
+  return static_cast<bool>(out_);
+}
+
+void JsonLinesSink::flush() { out_.flush(); }
+
+bool BinarySink::deliver(const Event& event) {
+  std::vector<std::uint8_t> buf;
+  encode_event(buf, event);
+  out_.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+  return static_cast<bool>(out_);
+}
+
+void BinarySink::flush() { out_.flush(); }
+
+bool FlakySink::deliver(const Event& event) {
+  const std::uint64_t attempt = attempts_++;
+  // Pure function of (seed, attempt index): replayable schedule.
+  util::Rng draw = base_.split(attempt);
+  const bool fail = streak_cap_ != 0 && streak_ >= streak_cap_
+                        ? false
+                        : draw.chance(fail_prob_);
+  if (fail) {
+    ++failures_;
+    ++streak_;
+    return false;
+  }
+  streak_ = 0;
+  return inner_.deliver(event);
+}
+
+}  // namespace dm::serve

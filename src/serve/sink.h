@@ -1,0 +1,143 @@
+// Delivery sinks for the supervised monitor service.
+//
+// The serve fleet (dm::serve::Supervisor) turns StreamMonitor callbacks into
+// Events and hands them to a Sink through the BufferedWriter. A Sink is the
+// unreliable outside world — a terminal, a log shipper, a downstream
+// collector — so the interface is deliberately narrow: deliver one event,
+// report success or transient failure, flush on demand. Three production
+// renderings share the interface (human text, JSON lines, a varint-framed
+// binary stream that round-trips), plus a NullSink for benches and a
+// FlakySink that fails deterministically from a seeded schedule — the test
+// double the retry/backoff machinery is proven against.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace dm::serve {
+
+/// One unit of sink output: a flagged minute or a closed incident from one
+/// tenant's monitor fleet, flattened so every sink can render it without
+/// reaching back into detector state. `seq` is the tenant's event sequence
+/// number, assigned at emission and checkpointed with the tenant book, so a
+/// resumed run re-emits the same events with the same numbers (delivery is
+/// at-least-once after a crash; seq lets consumers deduplicate exactly).
+struct Event {
+  enum class Kind : std::uint8_t { kAlert = 0, kIncident = 1 };
+
+  Kind kind = Kind::kAlert;
+  std::string tenant;
+  std::uint64_t seq = 0;
+  std::uint32_t vip = 0;        ///< IPv4 value of the attacked/attacking VIP
+  std::uint8_t direction = 0;   ///< netflow::Direction underlying value
+  std::uint8_t type = 0;        ///< sim::AttackType underlying value
+  util::Minute start = 0;       ///< alert: the minute; incident: first minute
+  util::Minute end = 0;         ///< alert: minute + 1; incident: last + 1
+  std::uint64_t packets = 0;    ///< sampled packets (alert: the minute's)
+  std::uint32_t remotes = 0;    ///< unique remotes (alert: minute, else peak)
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Renders `e` as one human-readable line (no trailing newline).
+[[nodiscard]] std::string render_human(const Event& e);
+
+/// Renders `e` as one JSON object (stable key order, no trailing newline).
+[[nodiscard]] std::string render_json(const Event& e);
+
+/// Appends the varint-framed binary encoding of `e` to `out`.
+void encode_event(std::vector<std::uint8_t>& out, const Event& e);
+
+/// Decodes events previously encoded by encode_event until the buffer is
+/// exhausted. Throws dm::FormatError on malformed bytes.
+[[nodiscard]] std::vector<Event> decode_events(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Abstract delivery target. deliver() returns false on a transient failure
+/// the caller may retry; it must not partially emit an event when it fails.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  [[nodiscard]] virtual bool deliver(const Event& event) = 0;
+  virtual void flush() {}
+};
+
+/// Human-readable line-per-event sink.
+class HumanSink final : public Sink {
+ public:
+  /// The stream must outlive the sink.
+  explicit HumanSink(std::ostream& out) noexcept : out_(out) {}
+  [[nodiscard]] bool deliver(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// JSON-lines sink (one object per line, stable key order).
+class JsonLinesSink final : public Sink {
+ public:
+  explicit JsonLinesSink(std::ostream& out) noexcept : out_(out) {}
+  [[nodiscard]] bool deliver(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Binary sink: the encode_event framing, appended to a stream. Consumers
+/// recover the exact Event structs with decode_events.
+class BinarySink final : public Sink {
+ public:
+  explicit BinarySink(std::ostream& out) noexcept : out_(out) {}
+  [[nodiscard]] bool deliver(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Swallows everything (bench baseline).
+class NullSink final : public Sink {
+ public:
+  [[nodiscard]] bool deliver(const Event&) override { return true; }
+};
+
+/// Deterministically unreliable decorator: each delivery ATTEMPT fails with
+/// probability `fail_prob`, drawn from a seeded stream indexed by the
+/// attempt counter — so the exact fail/succeed schedule is a pure function
+/// of (seed, attempt index), reproducible across runs and thread counts.
+/// Events that do get through are forwarded to the wrapped sink.
+class FlakySink final : public Sink {
+ public:
+  /// `inner` must outlive the sink. `fail_streak_cap` bounds consecutive
+  /// failures per event so bounded-retry tests can force eventual success.
+  FlakySink(Sink& inner, std::uint64_t seed, double fail_prob,
+            std::uint64_t fail_streak_cap = 0) noexcept
+      : inner_(inner),
+        base_(seed),
+        fail_prob_(fail_prob),
+        streak_cap_(fail_streak_cap) {}
+
+  [[nodiscard]] bool deliver(const Event& event) override;
+  void flush() override { inner_.flush(); }
+
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+
+ private:
+  Sink& inner_;
+  util::Rng base_;
+  double fail_prob_;
+  std::uint64_t streak_cap_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t streak_ = 0;
+};
+
+}  // namespace dm::serve

@@ -1,0 +1,243 @@
+// dm::serve::Supervisor — the supervised multi-tenant monitor service.
+//
+// One Supervisor owns a fleet of per-tenant, VIP-sharded StreamMonitors and
+// wraps them in the three service-hardening layers the offline pipeline
+// never needed:
+//
+//  * Admission control / graceful degradation. Each tenant carries a
+//    record-rate budget (offered records per feed minute) and a memory
+//    budget (approx_state_bytes per shard). While a budget is exceeded the
+//    tenant's shards shed load by deterministic 1:k systematic sampling —
+//    admit exactly when `offered_before % k == phase(tenant, shard, minute)`
+//    with the phase drawn from counter-based Rng splits — so WHAT is shed is
+//    a pure function of the feed, reproducible across runs, threads, and
+//    crash/resume. Every shed record lands in an exact per-tenant ledger,
+//    and minutes a shard shed in are declared collector outages to its
+//    monitor (note_outage) so downsampled minutes never poison detector
+//    baselines.
+//
+//  * Crash-safe checkpoint rotation. On feed-minute boundaries (every
+//    rotation_interval minutes) the fleet's complete state — every monitor's
+//    DMCK checkpoint plus the supervisor book (admission counters, ledgers,
+//    event sequence numbers, and the exact feed resume index) — rotates
+//    through CheckpointRotator's temp + fsync + atomic-rename protocol.
+//    recover() salvages the newest intact generation (falling back one
+//    generation per damaged set, with an exact damage ledger) and returns
+//    the feed index to replay from; a resumed run is byte-identical to an
+//    uninterrupted one.
+//
+//  * Event delivery. Monitor alerts/incidents become serve::Events carrying
+//    checkpointed per-tenant sequence numbers and flow out through a
+//    BufferedWriter (retry/backoff/spill) — at-least-once after a crash,
+//    exactly ordered within a run.
+//
+// Time is virtual throughout: every decision is driven by feed minutes,
+// never the wall clock, which is what makes the whole service replayable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/stream.h"
+#include "exec/thread_pool.h"
+#include "netflow/flow_record.h"
+#include "serve/checkpoint.h"
+#include "serve/writer.h"
+#include "util/rng.h"
+
+namespace dm::serve {
+
+/// Static description of one tenant.
+struct TenantSpec {
+  std::string name;
+  std::uint32_t shards = 1;                ///< VIP-sharded monitors (>= 1)
+  std::uint64_t max_records_per_minute = 0;  ///< rate budget; 0 = unlimited
+  std::uint64_t max_state_bytes = 0;       ///< per-shard memory budget; 0 = off
+  std::uint64_t shed_factor = 8;           ///< k of the 1:k shed sampler (>= 2)
+};
+
+struct ServeConfig {
+  detect::DetectionConfig detection;
+  detect::TimeoutTable timeouts = detect::TimeoutTable::paper();
+  detect::StreamConfig stream;
+  std::uint64_t seed = 1;              ///< shed-phase stream seed
+  util::Minute rotation_interval = 60; ///< feed minutes between rotations
+  std::size_t keep_generations = 2;    ///< checkpoint GC depth
+  std::string state_dir;               ///< empty: checkpointing disabled
+  std::size_t ledger_capacity = 256;   ///< recent shed-ledger entries kept
+  /// Gauge refresh cadence: approx_state_bytes is re-sampled every this
+  /// many admitted records per shard (checkpointed, so resume agrees).
+  std::uint64_t gauge_refresh = 1024;
+};
+
+/// Per-shard admission accounting (one per monitor).
+struct ShardBook {
+  // dmlint: checkpointed
+  std::uint64_t offered = 0;   ///< records routed to this shard
+  std::uint64_t admitted = 0;  ///< records its monitor ingested
+  std::uint64_t shed = 0;      ///< records dropped by the shed sampler
+  std::uint64_t state_gauge = 0;  ///< cached approx_state_bytes sample
+};
+
+/// Accounting for one still-open feed minute of one tenant.
+struct BucketBook {
+  // dmlint: checkpointed
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::vector<std::uint64_t> shard_shed;  ///< per-shard shed in this minute
+};
+
+/// One closed minute in the shed ledger (only minutes that shed are kept).
+struct ShedLedgerEntry {
+  // dmlint: checkpointed
+  util::Minute minute = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Sentinel for "no feed minute seen yet".
+inline constexpr util::Minute kNoMinute = INT64_MIN;
+
+/// Complete per-tenant accounting state.
+struct TenantBook {
+  // dmlint: checkpointed
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t event_seq = 0;  ///< next Event sequence number
+  /// Ledger-ring evictions fold into these exact totals.
+  std::uint64_t folded_offered = 0;
+  std::uint64_t folded_admitted = 0;
+  std::uint64_t folded_shed = 0;
+  util::Minute high_water = kNoMinute;  ///< newest feed minute seen
+  std::map<util::Minute, BucketBook> open_buckets;
+  std::vector<ShedLedgerEntry> ledger;  ///< closed shed minutes, oldest first
+  std::vector<ShardBook> shards;
+};
+
+/// What recover() found on disk.
+struct RecoveryReport {
+  std::int64_t generation = -1;   ///< adopted generation; -1 = fresh start
+  std::uint64_t resume_index = 0; ///< replay the feed from this record index
+  std::vector<DamageEntry> ledger;
+};
+
+class Supervisor {
+ public:
+  /// `blacklist` and `pool` (both optional) must outlive the supervisor;
+  /// `writer` (optional) receives alert/incident events. The pool
+  /// parallelizes rotation serialization only — ingest is sequential, so
+  /// results never depend on thread count.
+  Supervisor(netflow::PrefixSet cloud_space,
+             const netflow::PrefixSet* blacklist,
+             std::vector<TenantSpec> tenants, ServeConfig config,
+             BufferedWriter* writer = nullptr,
+             exec::ThreadPool* pool = nullptr);
+
+  /// Deterministic VIP -> shard assignment (splitmix64 finalizer mod n).
+  [[nodiscard]] static std::uint32_t shard_of(std::uint32_t vip,
+                                              std::uint32_t shards) noexcept;
+
+  /// The tenant dmnf's router assigns a record to (mix of its cloud-side
+  /// address; unclassifiable records fall back to the destination).
+  [[nodiscard]] std::size_t route(const netflow::FlowRecord& record) const;
+
+  /// Feeds one record to `tenant`'s fleet through admission control.
+  /// Rotates the checkpoint first when the record's minute crosses a
+  /// rotation boundary (so the rotation point is an exact feed index).
+  void ingest(std::size_t tenant, const netflow::FlowRecord& record);
+
+  /// route() + ingest().
+  void ingest_routed(const netflow::FlowRecord& record);
+
+  /// Declares a collector outage to every shard of `tenant`.
+  void note_outage(std::size_t tenant, util::Minute from, util::Minute to);
+
+  /// Closes feed minutes < `minute` everywhere (buckets + monitors).
+  void advance_to(util::Minute minute);
+
+  /// Flushes every bucket, monitor, and (when present) the writer.
+  void finish();
+
+  /// Serializes the fleet and commits one checkpoint generation now.
+  /// Returns the generation, or -1 when checkpointing is disabled.
+  std::int64_t rotate_now(fault::KillSwitch* kill = nullptr);
+
+  /// Arms every ingest-triggered rotation with `kill` (nullable to disarm;
+  /// not owned) — how the crash matrix kills the protocol mid-feed.
+  void set_rotation_killswitch(fault::KillSwitch* kill) noexcept {
+    auto_kill_ = kill;
+  }
+
+  /// Recovers from the newest intact generation under state_dir (see class
+  /// comment). Must be called before any ingest. The caller replays the
+  /// feed from report.resume_index.
+  [[nodiscard]] RecoveryReport recover();
+
+  /// The fleet's complete serialized state as generation files (what
+  /// rotate_now would commit) — the byte-identity oracle for tests.
+  [[nodiscard]] std::vector<ShardFile> snapshot_files() const;
+
+  /// Human-readable status: per-tenant admission/shed/alert counters plus
+  /// writer and rotation state.
+  [[nodiscard]] std::string status_report() const;
+
+  // Introspection.
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return specs_.size();
+  }
+  [[nodiscard]] const TenantSpec& spec(std::size_t t) const {
+    return specs_[t];
+  }
+  [[nodiscard]] const TenantBook& book(std::size_t t) const {
+    return books_[t];
+  }
+  [[nodiscard]] const detect::StreamMonitor& monitor(std::size_t t,
+                                                     std::uint32_t s) const {
+    return *monitors_[t][s];
+  }
+  [[nodiscard]] std::uint64_t records_routed() const noexcept {
+    return records_routed_;
+  }
+  [[nodiscard]] std::int64_t last_generation() const noexcept {
+    return last_generation_;
+  }
+
+ private:
+  [[nodiscard]] std::unique_ptr<detect::StreamMonitor> make_monitor(
+      std::size_t tenant);
+  /// Closes every open bucket of `tenant` with minute < `before`: declares
+  /// shed minutes as outages to the affected shards and folds the bucket
+  /// into the shed ledger.
+  void close_buckets(std::size_t tenant, util::Minute before);
+  void emit_alert(std::size_t tenant, const detect::MinuteDetection& d);
+  void emit_incident(std::size_t tenant, const detect::AttackIncident& inc);
+  [[nodiscard]] std::vector<std::uint8_t> encode_books() const;
+  void decode_books(const std::vector<std::uint8_t>& bytes,
+                    std::vector<TenantBook>& tenants_out,
+                    std::uint64_t& routed_out,
+                    std::int64_t& rotation_mark_out) const;
+
+  netflow::PrefixSet cloud_space_;
+  const netflow::PrefixSet* blacklist_;
+  std::vector<TenantSpec> specs_;
+  ServeConfig config_;
+  BufferedWriter* writer_;
+  exec::ThreadPool* pool_;
+  util::Rng shed_base_;
+
+  std::vector<TenantBook> books_;
+  std::vector<std::vector<std::unique_ptr<detect::StreamMonitor>>> monitors_;
+  std::uint64_t records_routed_ = 0;
+  std::int64_t rotation_mark_ = INT64_MIN;  ///< last rotation bucket index
+  std::int64_t last_generation_ = -1;
+  fault::KillSwitch* auto_kill_ = nullptr;
+  std::unique_ptr<CheckpointRotator> rotator_;  ///< null when disabled
+};
+
+}  // namespace dm::serve

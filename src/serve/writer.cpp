@@ -1,0 +1,170 @@
+#include "serve/writer.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dm::serve {
+
+namespace {
+/// Jitter stream index: keeps writer draws clear of every other split
+/// family hanging off a shared seed (fault uses 0..51).
+constexpr std::uint64_t kJitterStream = 64;
+}  // namespace
+
+BufferedWriter::BufferedWriter(Sink& sink, WriterConfig config)
+    : sink_(sink),
+      config_(std::move(config)),
+      jitter_base_(util::Rng(config_.seed).split(kJitterStream)) {
+  config_.capacity = std::max<std::size_t>(1, config_.capacity);
+  config_.max_attempts = std::max<std::uint32_t>(1, config_.max_attempts);
+  if (config_.overflow == OverflowPolicy::kSpill &&
+      !config_.spill_path.empty()) {
+    spill_out_.open(config_.spill_path, std::ios::binary | std::ios::trunc);
+  }
+  if (config_.threaded) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+BufferedWriter::~BufferedWriter() { close(); }
+
+std::uint64_t BufferedWriter::backoff_units(std::uint64_t seq,
+                                            std::uint32_t attempt) const {
+  // Capped exponential: base << attempt, saturating well before overflow.
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt, 32);
+  std::uint64_t units = config_.base_delay << shift;
+  units = std::min(units, config_.max_delay);
+  if (config_.jitter > 0) {
+    // Pure function of (seed, seq, attempt): split never advances parents.
+    util::Rng draw = jitter_base_.split(seq).split(attempt);
+    units += draw.below(config_.jitter + 1);
+  }
+  return units;
+}
+
+void BufferedWriter::deliver_with_retries(const Event& event) {
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (sink_.deliver(event)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.delivered;
+      return;
+    }
+    if (attempt + 1 == config_.max_attempts) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    const std::uint64_t units = backoff_units(event.seq, attempt);
+    if (units > 0 && config_.unit_micros > 0) {
+      // A computed duration, not a deadline: no clock is ever read.
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait_for(
+          lock, std::chrono::microseconds(units * config_.unit_micros),
+          [this] { return stopping_; });
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.dropped;
+}
+
+void BufferedWriter::spill(const Event& event) {
+  std::vector<std::uint8_t> buf;
+  encode_event(buf, event);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spill_out_.is_open()) {
+    spill_out_.write(reinterpret_cast<const char*>(buf.data()),
+                     static_cast<std::streamsize>(buf.size()));
+  }
+  ++stats_.spilled;
+}
+
+void BufferedWriter::push(Event event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.enqueued;
+  }
+  bool inline_delivery = !config_.threaded;
+  if (!inline_delivery) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      inline_delivery = true;  // worker gone; fall through to inline
+    } else if (queue_.size() >= config_.capacity) {
+      if (config_.overflow == OverflowPolicy::kSpill) {
+        lock.unlock();
+        spill(event);
+        return;
+      }
+      not_full_.wait(lock, [this] {
+        return stopping_ || queue_.size() < config_.capacity;
+      });
+      if (stopping_) inline_delivery = true;
+    }
+    if (!inline_delivery) {
+      queue_.push_back(std::move(event));
+      not_empty_.notify_one();
+      return;
+    }
+  }
+  deliver_with_retries(event);
+}
+
+void BufferedWriter::worker_loop() {
+  for (;;) {
+    Event event;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      event = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      not_full_.notify_one();
+    }
+    deliver_with_retries(event);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void BufferedWriter::drain() {
+  if (config_.threaded) {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] {
+      return (queue_.empty() && in_flight_ == 0) ||
+             (stopping_ && queue_.empty() && in_flight_ == 0);
+    });
+  }
+  sink_.flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spill_out_.is_open()) spill_out_.flush();
+}
+
+void BufferedWriter::close() {
+  if (config_.threaded && worker_.joinable()) {
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    worker_.join();
+  } else {
+    sink_.flush();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spill_out_.is_open()) spill_out_.flush();
+}
+
+WriterStats BufferedWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dm::serve

@@ -1,0 +1,119 @@
+// Bounded buffered writer: the retry/timeout/backoff stage between the
+// supervisor's event stream and an unreliable Sink.
+//
+// Events enter through push() and leave through exactly one Sink, in push
+// order, from a single worker thread (or inline when threaded=false — both
+// modes drive the identical attempt/backoff code path, so sink output bytes
+// match). A failed delivery retries up to max_attempts with capped
+// exponential backoff; the delay is computed, never measured: units come
+// from `base_delay << attempt` plus a jitter drawn from a seeded
+// counter-split stream indexed by (event seq, attempt), so the retry
+// schedule is a pure function of configuration and input, replayable across
+// runs. Exhausted events are dropped to the drop ledger (never silently).
+//
+// Overflow policy when the queue is full:
+//  - kBlock (default): push() waits for space — deterministic backpressure;
+//    the producer's view of every counter is a pure function of the feed.
+//  - kSpill (fail-open): push() appends the event to a binary spill file and
+//    returns. WHICH events spill depends on queue timing, so only the union
+//    (delivered + spilled) is deterministic; the spill file round-trips
+//    through decode_events for later replay.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/sink.h"
+
+namespace dm::serve {
+
+/// What to do when the bounded queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  kBlock = 0,  ///< backpressure the producer (deterministic)
+  kSpill = 1,  ///< fail open: divert to the spill file, never block
+};
+
+struct WriterConfig {
+  std::size_t capacity = 1024;       ///< bounded queue depth
+  std::uint32_t max_attempts = 5;    ///< delivery attempts per event (>= 1)
+  std::uint64_t base_delay = 1;      ///< backoff units for the first retry
+  std::uint64_t max_delay = 64;      ///< backoff cap in units
+  std::uint64_t jitter = 1;          ///< max extra units added per retry
+  std::uint64_t unit_micros = 0;     ///< wall micros one backoff unit sleeps
+  std::uint64_t seed = 1;            ///< jitter stream seed
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  std::string spill_path;            ///< required when overflow == kSpill
+  bool threaded = true;              ///< false: deliver inline from push()
+};
+
+/// Counters for the status report. All exact; `retries` counts failed
+/// attempts that were followed by another attempt, `dropped` events that
+/// exhausted max_attempts, `spilled` events diverted by kSpill overflow.
+struct WriterStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t spilled = 0;
+};
+
+class BufferedWriter {
+ public:
+  /// `sink` must outlive the writer. Starts the worker when threaded.
+  BufferedWriter(Sink& sink, WriterConfig config);
+
+  /// Drains and joins the worker; errors in late deliveries only show in
+  /// the stats, so call close() + stats() explicitly when you care.
+  ~BufferedWriter();
+
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  /// Hands one event to the writer. Blocks while the queue is full under
+  /// kBlock; spills under kSpill; delivers inline when threaded=false.
+  void push(Event event);
+
+  /// Waits until every pushed event reached a terminal state (delivered,
+  /// dropped, or spilled) and flushes the sink.
+  void drain();
+
+  /// drain() + stop the worker. Idempotent; push() after close() delivers
+  /// inline (close() only stops the thread, not the writer).
+  void close();
+
+  [[nodiscard]] WriterStats stats() const;
+
+  /// The backoff schedule, exposed for tests: units to wait after failed
+  /// attempt `attempt` (0-based) of event `seq`.
+  [[nodiscard]] std::uint64_t backoff_units(std::uint64_t seq,
+                                            std::uint32_t attempt) const;
+
+ private:
+  void worker_loop();
+  /// Runs the full attempt/backoff loop for one event; updates counters.
+  void deliver_with_retries(const Event& event);
+  void spill(const Event& event);
+
+  Sink& sink_;
+  WriterConfig config_;
+  util::Rng jitter_base_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable idle_;
+  std::deque<Event> queue_;
+  WriterStats stats_;
+  std::uint64_t in_flight_ = 0;  ///< events popped but not yet terminal
+  bool stopping_ = false;
+  std::ofstream spill_out_;
+  std::thread worker_;
+};
+
+}  // namespace dm::serve

@@ -1,0 +1,250 @@
+// BufferedWriter: the retry/backoff/overflow stage must produce identical
+// sink bytes threaded and inline, count every retry/drop/spill exactly, and
+// never lose an event under kSpill (delivered + spilled == pushed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/sink.h"
+#include "serve/writer.h"
+
+namespace dm::serve {
+namespace {
+
+Event sample_event(std::uint64_t seq) {
+  Event e;
+  e.kind = seq % 2 == 0 ? Event::Kind::kAlert : Event::Kind::kIncident;
+  e.tenant = "t" + std::to_string(seq % 2);
+  e.seq = seq;
+  e.vip = static_cast<std::uint32_t>(0x64400000 + seq);
+  e.start = static_cast<util::Minute>(seq);
+  e.end = static_cast<util::Minute>(seq + 1);
+  e.packets = seq * 17;
+  e.remotes = static_cast<std::uint32_t>(seq % 11);
+  return e;
+}
+
+/// Collects delivered events; optionally blocks deliveries on a gate so
+/// tests can force the queue full at a deterministic point.
+class GateSink final : public Sink {
+ public:
+  bool deliver(const Event& event) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      entered_cv_.notify_all();
+      gate_cv_.wait(lock, [this] { return open_; });
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    delivered.push_back(event);
+    return true;
+  }
+
+  /// Blocks until `n` deliveries have entered deliver().
+  void await_entered(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    gate_cv_.notify_all();
+  }
+
+  std::vector<Event> delivered;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable gate_cv_;
+  std::condition_variable entered_cv_;
+  std::size_t entered_ = 0;
+  bool open_ = false;
+};
+
+std::vector<Event> make_events(std::size_t n) {
+  std::vector<Event> events;
+  for (std::uint64_t i = 0; i < n; ++i) events.push_back(sample_event(i));
+  return events;
+}
+
+TEST(BufferedWriter, ThreadedAndInlineProduceIdenticalSinkBytes) {
+  const auto events = make_events(200);
+  std::string threaded_bytes;
+  std::string inline_bytes;
+  for (const bool threaded : {true, false}) {
+    std::ostringstream out(std::ios::binary);
+    BinarySink sink(out);
+    WriterConfig config;
+    config.threaded = threaded;
+    config.capacity = 8;
+    BufferedWriter writer(sink, config);
+    for (const Event& e : events) writer.push(e);
+    writer.close();
+    (threaded ? threaded_bytes : inline_bytes) = out.str();
+    const WriterStats stats = writer.stats();
+    EXPECT_EQ(stats.enqueued, events.size());
+    EXPECT_EQ(stats.delivered, events.size());
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(stats.spilled, 0u);
+  }
+  ASSERT_FALSE(threaded_bytes.empty());
+  EXPECT_EQ(threaded_bytes, inline_bytes);
+  EXPECT_EQ(decode_events({threaded_bytes.begin(), threaded_bytes.end()}),
+            events);
+}
+
+TEST(BufferedWriter, RetriesAreExactAgainstACappedFlakySink) {
+  // fail_prob 1 with streak cap 2: every event fails twice then succeeds,
+  // so delivered == all, retries == 2 per event, dropped == 0.
+  const auto events = make_events(50);
+  std::ostringstream out(std::ios::binary);
+  BinarySink inner(out);
+  FlakySink flaky(inner, 13, 1.0, 2);
+  WriterConfig config;
+  config.threaded = false;
+  config.max_attempts = 5;
+  BufferedWriter writer(flaky, config);
+  for (const Event& e : events) writer.push(e);
+  writer.close();
+
+  const WriterStats stats = writer.stats();
+  EXPECT_EQ(stats.enqueued, 50u);
+  EXPECT_EQ(stats.delivered, 50u);
+  EXPECT_EQ(stats.retries, 100u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(flaky.attempts(), 150u);
+  EXPECT_EQ(flaky.failures(), 100u);
+  const std::string bytes = out.str();
+  EXPECT_EQ(decode_events({bytes.begin(), bytes.end()}), events);
+}
+
+TEST(BufferedWriter, ExhaustedEventsAreDroppedAndCounted) {
+  const auto events = make_events(20);
+  NullSink null;
+  FlakySink flaky(null, 1, 1.0);  // fails every attempt, no cap
+  WriterConfig config;
+  config.threaded = false;
+  config.max_attempts = 3;
+  BufferedWriter writer(flaky, config);
+  for (const Event& e : events) writer.push(e);
+  writer.close();
+
+  const WriterStats stats = writer.stats();
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.dropped, 20u);
+  EXPECT_EQ(stats.retries, 40u);  // max_attempts - 1 per event
+  EXPECT_EQ(flaky.attempts(), 60u);
+}
+
+TEST(BufferedWriter, BackoffScheduleIsDeterministicAndBounded) {
+  NullSink null;
+  WriterConfig config;
+  config.base_delay = 2;
+  config.max_delay = 32;
+  config.jitter = 3;
+  BufferedWriter a(null, config);
+  BufferedWriter b(null, config);
+  std::uint64_t prev = 0;
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t units = a.backoff_units(7, attempt);
+    EXPECT_EQ(units, b.backoff_units(7, attempt)) << attempt;
+    const std::uint64_t exponential =
+        std::min<std::uint64_t>(config.max_delay, config.base_delay << attempt);
+    EXPECT_GE(units, exponential);
+    EXPECT_LE(units, exponential + config.jitter);
+    EXPECT_GE(units + config.jitter, prev);  // grows modulo jitter, then caps
+    prev = units;
+  }
+  // Different (seq, attempt) pairs draw different jitter eventually.
+  bool any_difference = false;
+  for (std::uint64_t seq = 0; seq < 32 && !any_difference; ++seq) {
+    any_difference = a.backoff_units(seq, 10) != a.backoff_units(seq + 1, 10);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BufferedWriter, BlockPolicyDeliversEverythingInOrder) {
+  const auto events = make_events(100);
+  std::ostringstream out(std::ios::binary);
+  BinarySink sink(out);
+  WriterConfig config;
+  config.capacity = 2;  // tiny queue: pushes must block, never drop
+  config.overflow = OverflowPolicy::kBlock;
+  BufferedWriter writer(sink, config);
+  for (const Event& e : events) writer.push(e);
+  writer.close();
+  const WriterStats stats = writer.stats();
+  EXPECT_EQ(stats.delivered, 100u);
+  EXPECT_EQ(stats.spilled, 0u);
+  const std::string bytes = out.str();
+  EXPECT_EQ(decode_events({bytes.begin(), bytes.end()}), events);
+}
+
+TEST(BufferedWriter, SpillPolicyFailsOpenAndRoundTrips) {
+  const auto spill_path =
+      std::filesystem::temp_directory_path() / "dm_writer_spill_test.dmev";
+  std::filesystem::remove(spill_path);
+
+  GateSink sink;
+  WriterConfig config;
+  config.capacity = 1;
+  config.overflow = OverflowPolicy::kSpill;
+  config.spill_path = spill_path.string();
+  const auto events = make_events(6);
+  {
+    BufferedWriter writer(sink, config);
+    writer.push(events[0]);
+    sink.await_entered(1);  // worker holds events[0] inside deliver()
+    writer.push(events[1]);  // fills the queue
+    for (std::size_t i = 2; i < events.size(); ++i) {
+      writer.push(events[i]);  // queue full: spills, never blocks
+    }
+    sink.open();
+    writer.close();
+
+    const WriterStats stats = writer.stats();
+    EXPECT_EQ(stats.enqueued, events.size());
+    EXPECT_EQ(stats.delivered, 2u);
+    EXPECT_EQ(stats.spilled, events.size() - 2);
+    EXPECT_EQ(sink.delivered.size(), 2u);
+  }
+
+  // The spill file replays: delivered + spilled == everything pushed.
+  std::ifstream in(spill_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const std::string blob((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const std::vector<Event> spilled = decode_events({blob.begin(), blob.end()});
+  EXPECT_EQ(spilled.size(), events.size() - 2);
+  std::vector<Event> recovered = sink.delivered;
+  recovered.insert(recovered.end(), spilled.begin(), spilled.end());
+  std::sort(recovered.begin(), recovered.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  EXPECT_EQ(recovered, events);
+  std::filesystem::remove(spill_path);
+}
+
+TEST(BufferedWriter, PushAfterCloseDeliversInline) {
+  std::ostringstream out(std::ios::binary);
+  BinarySink sink(out);
+  BufferedWriter writer(sink, WriterConfig{});
+  writer.push(sample_event(0));
+  writer.close();
+  writer.push(sample_event(1));
+  EXPECT_EQ(writer.stats().delivered, 2u);
+  const std::string bytes = out.str();
+  EXPECT_EQ(decode_events({bytes.begin(), bytes.end()}), make_events(2));
+}
+
+}  // namespace
+}  // namespace dm::serve

@@ -55,6 +55,7 @@ run decode_kernels.json perf_pipeline 'BM_VarintDecode|BM_BlockDecode'
 run pipeline_stages.json perf_pipeline \
   "(BM_GenerateTrace|BM_AggregateWindows|BM_FusedGenerateWindows|BM_DetectMinutes)/${THREAD1}|BM_FullDetection"
 run study_fused.json perf_pipeline "BM_StudyEndToEnd/${THREAD1}"
+run serve_overload.json perf_pipeline "BM_ServeOverload/${THREAD1}"
 if [[ "$NCPU" == "1" ]]; then
   run study_unfused.json perf_pipeline 'BM_StudyEndToEndUnfused/threads:1'
 else
@@ -115,7 +116,8 @@ for path in sorted(glob.glob(os.path.join(tmp, "*.json"))):
         if "items_per_second" in b:
             row["items_per_second"] = round(b["items_per_second"], 1)
         for counter in ("peak_rss_mib", "encoded_bytes_per_record",
-                        "vip_minutes", "segments"):
+                        "vip_minutes", "segments", "shed_records",
+                        "writer_retries", "writer_dropped"):
             if counter in b:
                 row[counter] = round(b[counter], 2)
         stages.setdefault(stage, {})[threads] = row

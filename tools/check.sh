@@ -13,8 +13,12 @@
 #   3. TSan build + concurrency suites
 #   4. ASan+UBSan build + codec suites
 #   5. DM_SPILL=1: spill-tier differential + crash-recovery suites (ASan)
-#   6. DM_BENCH_JSON=1: refresh BENCH_pipeline.json (Release)
-#   7. DM_BENCH_GATE=1: per-stage items/s regression gate vs the committed
+#   6. DM_SERVE=1: serve fleet suites — checkpoint-rotation crash matrix,
+#      supervisor admission/shed, sink + buffered-writer retry/backoff,
+#      restore validation — plus a randomized crash/corruption soak
+#      (DM_SOAK_SECONDS), all under the same ASan+UBSan build
+#   7. DM_BENCH_JSON=1: refresh BENCH_pipeline.json (Release)
+#   8. DM_BENCH_GATE=1: per-stage items/s regression gate vs the committed
 #      BENCH_pipeline.json (tools/bench_gate.sh)
 #
 # Usage: tools/check.sh [extra ctest -R regex]
@@ -102,6 +106,22 @@ fi
 if [[ "${DM_SPILL:-0}" != "0" ]]; then
   ctest --test-dir "$ASAN_BUILD" --output-on-failure \
     -R "SegmentStore|SpillEquivalence|SegmentSalvage"
+fi
+
+# Optional serve-fleet stage: the checkpoint-rotation crash matrix (every
+# kill-point x {clean, corrupted gen-N} x 1/2/8 rotation threads, asserting
+# byte-identical resume with exact damage ledgers), the supervisor
+# admission/shed suites, the sink + buffered-writer retry/backoff suites,
+# the malformed-checkpoint restore regression, and the rotation-coverage
+# tripwire — all under the ASan+UBSan build, because recovery walks
+# attacker-controlled (torn/corrupt) bytes. A randomized crash-cell soak
+# (DM_SOAK_SECONDS, seed printed via SCOPED_TRACE on failure) then hammers
+# arbitrary kill-point/corruption combinations. Enable with DM_SERVE=1.
+if [[ "${DM_SERVE:-0}" != "0" ]]; then
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure \
+    -R "RotationCrashMatrix|CheckpointRotator|RotationCoverage|Supervisor|BufferedWriter|Sink|CorruptCheckpoint|KillSwitch|StreamRestoreError"
+  DM_SOAK_SECONDS="${DM_SOAK_SECONDS:-30}" \
+    ctest --test-dir "$ASAN_BUILD" --output-on-failure -R "RotationCrashSoak"
 fi
 
 # Optional Release-mode perf snapshot: refreshes BENCH_pipeline.json at the
