@@ -131,9 +131,12 @@ class StreamMonitor {
   [[nodiscard]] std::uint64_t records_ingested() const noexcept {
     return records_ingested_;
   }
-  /// Back-compat aggregate: late + unclassifiable.
+  /// Every record ingest() refused, whatever the reason: the sum of the
+  /// late, unclassifiable, duplicate, and quarantined counters.
+  // dmlint: ledger-total(stream-drops)
   [[nodiscard]] std::uint64_t records_dropped() const noexcept {
-    return records_late_ + records_unclassifiable_;
+    return records_late_ + records_unclassifiable_ + records_duplicate_ +
+           records_quarantined_;
   }
   [[nodiscard]] std::uint64_t records_late() const noexcept {
     return records_late_;  ///< arrived at or before the commit watermark
@@ -231,9 +234,13 @@ class StreamMonitor {
   std::map<util::Minute, std::unordered_set<std::uint64_t>> seen_;
 
   std::uint64_t records_ingested_ = 0;
+  // dmlint: ledger(stream-drops)
   std::uint64_t records_late_ = 0;
+  // dmlint: ledger(stream-drops)
   std::uint64_t records_unclassifiable_ = 0;
+  // dmlint: ledger(stream-drops)
   std::uint64_t records_duplicate_ = 0;
+  // dmlint: ledger(stream-drops)
   std::uint64_t records_quarantined_ = 0;
   std::uint64_t windows_closed_ = 0;
   std::uint64_t alerts_ = 0;

@@ -45,6 +45,7 @@ struct BytePlan {
 
 /// Ground truth of the byte damage a plan produced.
 struct ByteDamage {
+  // dmlint: must-use
   std::vector<std::uint64_t> flipped_offsets;   ///< post-edit file offsets
   std::vector<std::uint32_t> corrupted_blocks;  ///< indices into the clean layout
   std::vector<std::uint32_t> truncated_blocks;  ///< indices into the clean layout
@@ -64,6 +65,7 @@ struct SegmentPlan {
 
 /// Ground truth of the segment damage a plan produced.
 struct SegmentDamage {
+  // dmlint: must-use
   std::vector<std::uint64_t> flipped_offsets;  ///< absolute file offsets
   std::uint64_t bytes_removed = 0;
   bool header_corrupted = false;
@@ -89,6 +91,7 @@ struct CheckpointPlan {
 
 /// Ground truth of the checkpoint damage a plan produced.
 struct CheckpointDamage {
+  // dmlint: must-use
   std::vector<std::uint64_t> flipped_offsets;  ///< absolute file offsets
   std::uint64_t bytes_removed = 0;
   bool header_corrupted = false;
@@ -118,6 +121,7 @@ struct RecordPlan {
 
 /// Ground truth of the feed degradation a plan produced.
 struct RecordDamage {
+  // dmlint: must-use
   std::uint64_t duplicated = 0;
   std::uint64_t displaced = 0;  ///< records whose output position changed
   std::uint64_t dropped = 0;
@@ -137,7 +141,7 @@ class FaultInjector {
 
   /// Applies `plan` to serialized trace bytes in place. The buffer must be
   /// a well-formed trace (block targeting parses the clean layout first).
-  ByteDamage corrupt(std::vector<std::uint8_t>& bytes,
+  [[nodiscard]] ByteDamage corrupt(std::vector<std::uint8_t>& bytes,
                      const BytePlan& plan) const;
 
   /// Applies `plan` to one segment file's bytes in place. `file_index`
@@ -145,7 +149,7 @@ class FaultInjector {
   /// distinct damage that is still individually reproducible from
   /// (seed, plan, index) — corrupting file 3 never changes what file 7
   /// would have suffered.
-  SegmentDamage corrupt_segment(std::vector<std::uint8_t>& bytes,
+  [[nodiscard]] SegmentDamage corrupt_segment(std::vector<std::uint8_t>& bytes,
                                 const SegmentPlan& plan,
                                 std::uint64_t file_index) const;
 
@@ -154,7 +158,7 @@ class FaultInjector {
   /// corrupt_segment: each file of a checkpoint generation takes distinct,
   /// individually replayable damage. Files shorter than the 6-byte DMCK
   /// header are returned untouched (already torn).
-  CheckpointDamage corrupt_checkpoint(std::vector<std::uint8_t>& bytes,
+  [[nodiscard]] CheckpointDamage corrupt_checkpoint(std::vector<std::uint8_t>& bytes,
                                       const CheckpointPlan& plan,
                                       std::uint64_t file_index) const;
 

@@ -1,0 +1,169 @@
+#include "lint/annotations.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "lint/lint.h"
+
+namespace dm::lint {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// First line strictly after `after` that carries a code token.
+[[nodiscard]] int next_code_line(const TokenStream& ts, int after) {
+  for (const Token& t : ts.tokens) {
+    if (t.line > after) return t.line;
+  }
+  return after + 1;
+}
+
+}  // namespace
+
+ParsedAnnotations parse_annotations(const TokenStream& ts,
+                                    const std::vector<std::string>& known_rules) {
+  ParsedAnnotations out;
+  const auto fail = [&out](int line, const char* rule, std::string msg) {
+    out.errors.push_back(AnnotationError{rule, std::move(msg), line});
+  };
+
+  for (const Comment& c : ts.comments) {
+    const std::string_view body = trim(c.text);
+    constexpr std::string_view kPrefix = "dmlint:";
+    if (body.substr(0, kPrefix.size()) != kPrefix) continue;
+    std::string_view rest = trim(body.substr(kPrefix.size()));
+
+    std::size_t kw_end = 0;
+    while (kw_end < rest.size() && rest[kw_end] != '(' &&
+           rest[kw_end] != ' ' && rest[kw_end] != '\t') {
+      ++kw_end;
+    }
+    const std::string_view keyword = rest.substr(0, kw_end);
+    rest = rest.substr(kw_end);
+
+    // Parses "(a)" or "(a, b)" off the front of rest.
+    const auto parse_args =
+        [&rest]() -> std::optional<std::pair<std::string, std::string>> {
+      std::string_view r = trim(rest);
+      if (r.empty() || r.front() != '(') return std::nullopt;
+      const std::size_t close = r.find(')');
+      if (close == std::string_view::npos) return std::nullopt;
+      const std::string_view inner = r.substr(1, close - 1);
+      rest = r.substr(close + 1);
+      const std::size_t comma = inner.find(',');
+      if (comma == std::string_view::npos) {
+        return std::make_pair(std::string(trim(inner)), std::string());
+      }
+      return std::make_pair(std::string(trim(inner.substr(0, comma))),
+                            std::string(trim(inner.substr(comma + 1))));
+    };
+
+    Annotation a;
+    a.line = c.line;
+    a.target_line = c.own_line ? next_code_line(ts, c.line) : c.line;
+
+    if (keyword == "allow") {
+      const auto args = parse_args();
+      if (!args || args->first.empty()) {
+        fail(c.line, kRuleDirective,
+             "malformed allow directive; expected 'dmlint: allow(<rule>) "
+             "<reason>'");
+        continue;
+      }
+      a.kind = Annotation::Kind::kAllow;
+      a.arg1 = args->first;
+      a.reason = std::string(trim(rest));
+      if (std::find(known_rules.begin(), known_rules.end(), a.arg1) ==
+          known_rules.end()) {
+        fail(c.line, kRuleDirective,
+             "allow() names unknown rule '" + a.arg1 + "'");
+        continue;
+      }
+      if (a.reason.empty()) {
+        fail(c.line, kRuleSuppressionReason,
+             "allow(" + a.arg1 +
+                 ") has no justification; a bare suppression is rejected "
+                 "and suppresses nothing");
+        continue;
+      }
+    } else if (keyword == "total-order") {
+      a.kind = Annotation::Kind::kTotalOrder;
+      std::string_view r = trim(rest);
+      if (!r.empty() && r.front() == '(' && r.back() == ')') {
+        r = trim(r.substr(1, r.size() - 2));
+      }
+      a.reason = std::string(r);
+      if (a.reason.empty()) {
+        fail(c.line, kRuleSuppressionReason,
+             "total-order annotation has no justification; state why ties "
+             "are impossible or harmless");
+        continue;
+      }
+    } else if (keyword == "covers") {
+      const auto args = parse_args();
+      if (!args || args->first.empty() || args->second.empty()) {
+        fail(c.line, kRuleDirective,
+             "malformed covers directive; expected 'dmlint: covers(<var>, "
+             "<Struct>)'");
+        continue;
+      }
+      a.kind = Annotation::Kind::kCovers;
+      a.arg1 = args->first;
+      a.arg2 = args->second;
+    } else if (keyword == "covers-end") {
+      const auto args = parse_args();
+      if (!args || args->first.empty()) {
+        fail(c.line, kRuleDirective,
+             "malformed covers-end directive; expected 'dmlint: "
+             "covers-end(<var>)'");
+        continue;
+      }
+      a.kind = Annotation::Kind::kCoversEnd;
+      a.arg1 = args->first;
+    } else if (keyword == "checkpointed") {
+      a.kind = Annotation::Kind::kCheckpointed;
+    } else if (keyword == "durable-commit") {
+      a.kind = Annotation::Kind::kDurableCommit;
+    } else if (keyword == "durable-commit-end") {
+      a.kind = Annotation::Kind::kDurableCommitEnd;
+    } else if (keyword == "must-use") {
+      a.kind = Annotation::Kind::kMustUse;
+    } else if (keyword == "ledger" || keyword == "ledger-total" ||
+               keyword == "guarded-by") {
+      const auto args = parse_args();
+      if (!args || args->first.empty() || !args->second.empty()) {
+        fail(c.line, kRuleDirective,
+             "malformed " + std::string(keyword) +
+                 " directive; expected 'dmlint: " + std::string(keyword) +
+                 "(<" +
+                 (keyword == "guarded-by" ? std::string("mutex")
+                                          : std::string("group")) +
+                 ">)'");
+        continue;
+      }
+      a.kind = keyword == "ledger"         ? Annotation::Kind::kLedger
+               : keyword == "ledger-total" ? Annotation::Kind::kLedgerTotal
+                                           : Annotation::Kind::kGuardedBy;
+      a.arg1 = args->first;
+    } else {
+      fail(c.line, kRuleDirective,
+           "unknown dmlint directive '" + std::string(keyword) + "'");
+      continue;
+    }
+    out.annotations.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace dm::lint

@@ -1,0 +1,76 @@
+// Shared parser for `// dmlint: ...` source annotations.
+//
+// Every directive the linter understands — suppressions, serialization
+// coverage markers, and the dmflow invariant annotations — flows through
+// this one grammar, so lint.cpp, the flow rules, and the tests all agree on
+// what a well-formed annotation looks like:
+//
+//   // dmlint: allow(<rule>) <reason>      suppress <rule> on the target line
+//   // dmlint: total-order(<reason>)       sort comparator needs no tie-break
+//   // dmlint: covers(<var>, <Struct>)     begin a serialization region
+//   // dmlint: covers-end(<var>)           end a serialization region
+//   // dmlint: checkpointed                struct must have covers regions
+//   // dmlint: durable-commit              begin a durability-ordered region
+//   // dmlint: durable-commit-end          end a durability-ordered region
+//   // dmlint: must-use                    struct's values must be consumed
+//   // dmlint: ledger(<group>)             field belongs to counter group
+//   // dmlint: ledger-total(<group>)       next function recomputes the group
+//   // dmlint: guarded-by(<mutex>)         field only touched under <mutex>
+//
+// Target-line resolution: a comment alone on its line governs the next line
+// that carries a code token; a trailing comment governs its own line.
+// Malformed annotations are returned as errors tagged with the meta rule
+// (`directive` or `suppression-reason`) that should report them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace dm::lint {
+
+struct Annotation {
+  enum class Kind {
+    kAllow,
+    kTotalOrder,
+    kCovers,
+    kCoversEnd,
+    kCheckpointed,
+    kDurableCommit,
+    kDurableCommitEnd,
+    kMustUse,
+    kLedger,
+    kLedgerTotal,
+    kGuardedBy,
+  };
+  Kind kind = Kind::kAllow;
+  std::string arg1;     ///< allow: rule; covers: var; ledger/-total: group;
+                        ///< guarded-by: mutex name
+  std::string arg2;     ///< covers: struct name (possibly qualified)
+  std::string reason;   ///< allow/total-order justification
+  int line = 0;         ///< comment start line
+  int target_line = 0;  ///< code line the annotation governs
+};
+
+/// A malformed annotation, reported under the meta rule named in `rule`
+/// (kRuleDirective or kRuleSuppressionReason) with the exact message the
+/// linter should emit.
+struct AnnotationError {
+  std::string rule;
+  std::string message;
+  int line = 0;
+};
+
+struct ParsedAnnotations {
+  std::vector<Annotation> annotations;  ///< well-formed only, in file order
+  std::vector<AnnotationError> errors;
+};
+
+/// Parses every dmlint comment in one translation unit. `known_rules`
+/// validates allow() targets. Malformed annotations become errors and are
+/// dropped from `annotations` (a bad suppression suppresses nothing).
+[[nodiscard]] ParsedAnnotations parse_annotations(
+    const TokenStream& ts, const std::vector<std::string>& known_rules);
+
+}  // namespace dm::lint

@@ -1,0 +1,403 @@
+#include "lint/flow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace dm::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool contains(std::string_view hay, std::string_view needle) {
+  return hay.find(needle) != std::string_view::npos;
+}
+
+/// First identifier inside the call's argument list, or empty.
+[[nodiscard]] std::string_view first_arg_ident(const Tokens& tk,
+                                               std::size_t open) {
+  const std::size_t close = match_pair(tk, open, "(", ")");
+  for (std::size_t i = open + 1; i < close && i < tk.size(); ++i) {
+    if (tk[i].kind == Token::Kind::kIdent) return tk[i].text;
+  }
+  return {};
+}
+
+// -- durability-order ------------------------------------------------------
+
+void rule_durability(const TuIndex& tu, std::vector<Finding>& out) {
+  const Tokens& tk = tu.ts.tokens;
+  const Annotation* begin = nullptr;
+  std::vector<std::pair<int, int>> regions;  // (begin line, end line)
+  for (const Annotation& a : tu.annotations) {
+    if (a.kind == Annotation::Kind::kDurableCommit) {
+      if (begin != nullptr) {
+        out.push_back(Finding{tu.src->path, a.line, kRuleDirective,
+                              "nested durable-commit regions are not "
+                              "supported; close the previous region first"});
+        continue;
+      }
+      begin = &a;
+    } else if (a.kind == Annotation::Kind::kDurableCommitEnd) {
+      if (begin == nullptr) {
+        out.push_back(Finding{tu.src->path, a.line, kRuleDirective,
+                              "durable-commit-end has no matching "
+                              "durable-commit"});
+        continue;
+      }
+      regions.emplace_back(begin->line, a.line);
+      begin = nullptr;
+    }
+  }
+  if (begin != nullptr) {
+    out.push_back(Finding{tu.src->path, begin->line, kRuleDirective,
+                          "durable-commit has no matching "
+                          "durable-commit-end"});
+  }
+
+  for (const auto& [from, to] : regions) {
+    std::set<std::string, std::less<>> synced;
+    std::size_t last_rename = kNoTok;
+    int last_rename_line = 0;
+    std::size_t last_dirsync = kNoTok;
+    for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
+      if (tk[i].line <= from) continue;
+      if (tk[i].line >= to) break;
+      if (tk[i].kind != Token::Kind::kIdent || !tok_punct(tk, i + 1, "(")) {
+        continue;
+      }
+      const std::string_view name = tk[i].text;
+      if (contains(name, "fsync")) {
+        const std::string_view arg = first_arg_ident(tk, i + 1);
+        if (!arg.empty()) synced.insert(std::string(arg));
+        if (contains(name, "dir")) last_dirsync = i;
+        continue;
+      }
+      if (contains(name, "write")) {
+        // A write dirties its target again: fsync must FOLLOW the write.
+        const std::string_view arg = first_arg_ident(tk, i + 1);
+        const auto it = synced.find(arg);
+        if (it != synced.end()) synced.erase(it);
+        continue;
+      }
+      if (name == "rename") {
+        const std::string_view src = first_arg_ident(tk, i + 1);
+        if (!src.empty() && synced.find(src) == synced.end()) {
+          out.push_back(Finding{
+              tu.src->path, tk[i].line, kRuleDurabilityOrder,
+              "durable-commit: rename of '" + std::string(src) +
+                  "' is not preceded by an fsync of '" + std::string(src) +
+                  "' in this region — a crash can publish unsynced bytes"});
+        }
+        last_rename = i;
+        last_rename_line = tk[i].line;
+      }
+    }
+    if (last_rename != kNoTok &&
+        (last_dirsync == kNoTok || last_dirsync < last_rename)) {
+      out.push_back(Finding{
+          tu.src->path, last_rename_line, kRuleDurabilityOrder,
+          "durable-commit: the final rename is not followed by a directory "
+          "fsync — the commit is not durable until the parent directory "
+          "entry is synced"});
+    }
+  }
+}
+
+// -- unchecked-failable ----------------------------------------------------
+
+[[nodiscard]] std::string must_use_type_of(const ProgramIndex& idx,
+                                           const FunctionInfo& fn) {
+  const Tokens& tk = idx.files[fn.file].ts.tokens;
+  for (std::size_t r = fn.ret_begin; r < fn.ret_end; ++r) {
+    if (tk[r].kind == Token::Kind::kIdent &&
+        std::binary_search(idx.must_use_types.begin(),
+                           idx.must_use_types.end(), std::string(tk[r].text))) {
+      return std::string(tk[r].text);
+    }
+  }
+  return {};
+}
+
+void rule_must_use(const ProgramIndex& idx, std::vector<Finding>& out) {
+  // (a) [[nodiscard]] coverage: at least one declaration per name group.
+  std::map<std::string, const FunctionInfo*> first_of;
+  std::set<std::string> has_nodiscard;
+  for (const FunctionInfo& fn : idx.functions) {
+    if (!std::binary_search(idx.must_use_functions.begin(),
+                            idx.must_use_functions.end(), fn.name)) {
+      continue;
+    }
+    if (must_use_type_of(idx, fn).empty()) continue;
+    if (first_of.find(fn.name) == first_of.end()) first_of[fn.name] = &fn;
+    if (fn.has_nodiscard) has_nodiscard.insert(fn.name);
+  }
+  for (const auto& [name, fn] : first_of) {
+    if (has_nodiscard.count(name) != 0) continue;
+    out.push_back(Finding{
+        idx.files[fn->file].src->path, fn->line, kRuleMustUse,
+        "function '" + name + "' returns must-use type '" +
+            must_use_type_of(idx, *fn) +
+            "' but no declaration carries [[nodiscard]] — add it so the "
+            "compiler enforces consumption too"});
+  }
+
+  // (b) discarded calls: `f(...);` as a bare expression statement.
+  for (std::size_t file = 0; file < idx.files.size(); ++file) {
+    const TuIndex& tu = idx.files[file];
+    const Tokens& tk = tu.ts.tokens;
+    std::set<std::size_t> decl_toks;
+    for (const FunctionInfo& fn : idx.functions) {
+      if (fn.file == file) decl_toks.insert(fn.name_tok);
+    }
+    for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
+      if (tk[i].kind != Token::Kind::kIdent) continue;
+      if (!std::binary_search(idx.must_use_functions.begin(),
+                              idx.must_use_functions.end(),
+                              std::string(tk[i].text))) {
+        continue;
+      }
+      if (!tok_punct(tk, i + 1, "(")) continue;
+      if (decl_toks.count(i) != 0) continue;  // its own decl/definition
+      const std::size_t close = match_pair(tk, i + 1, "(", ")");
+      if (close >= tk.size() || !tok_punct(tk, close + 1, ";")) continue;
+      // Backward: accept only a pure object chain (obj.f / obj->f / ns::f)
+      // reaching a statement boundary. Two adjacent identifiers mean a
+      // declaration; anything else (=, return, cast, comma) consumes the
+      // value.
+      bool discarded = false;
+      bool prev_ident = true;  // the callee name itself
+      for (std::size_t j = i; j-- > 0;) {
+        const Token& p = tk[j];
+        if (p.kind == Token::Kind::kIdent) {
+          if (prev_ident) break;  // `Type name(...)` — a declaration
+          prev_ident = true;
+          continue;
+        }
+        if (p.kind == Token::Kind::kPunct &&
+            (p.text == "." || p.text == "->" || p.text == "::")) {
+          if (!prev_ident) break;
+          prev_ident = false;
+          continue;
+        }
+        if (p.kind == Token::Kind::kPunct &&
+            (p.text == ";" || p.text == "{" || p.text == "}")) {
+          discarded = true;
+        }
+        break;
+      }
+      if (!discarded) continue;
+      out.push_back(Finding{
+          tu.src->path, tk[i].line, kRuleMustUse,
+          "result of must-use call '" + std::string(tk[i].text) +
+              "()' is discarded — bind the report and act on (or "
+              "explicitly log) it"});
+    }
+  }
+}
+
+// -- ledger-conservation ---------------------------------------------------
+
+constexpr std::string_view kMutators[] = {"=",  "+=", "-=", "*=",  "/=",
+                                          "%=", "&=", "|=", "^=",  "<<=",
+                                          ">>=", "++", "--"};
+
+[[nodiscard]] bool is_mutator(std::string_view text) {
+  for (const std::string_view m : kMutators) {
+    if (text == m) return true;
+  }
+  return false;
+}
+
+void rule_ledger(const ProgramIndex& idx, std::vector<Finding>& out) {
+  if (idx.ledgers.empty()) return;
+  for (const FunctionInfo& fn : idx.functions) {
+    if (fn.body_begin == kNoTok) continue;
+    const TuIndex& tu = idx.files[fn.file];
+    const Tokens& tk = tu.ts.tokens;
+    // (group index, object name) -> members mutated, first mutation line.
+    std::map<std::pair<std::size_t, std::string>,
+             std::pair<std::set<std::string>, int>>
+        mutated;
+    for (std::size_t k = fn.body_begin + 1;
+         k < fn.body_end && k < tk.size(); ++k) {
+      if (tk[k].kind != Token::Kind::kIdent) continue;
+      for (std::size_t g = 0; g < idx.ledgers.size(); ++g) {
+        const LedgerGroup& group = idx.ledgers[g];
+        if (!std::binary_search(group.members.begin(), group.members.end(),
+                                std::string(tk[k].text))) {
+          continue;
+        }
+        // Object prefix and the token preceding the whole access.
+        std::string obj;
+        std::size_t access_begin = k;
+        if (k > 0 && (tk[k - 1].text == "." || tk[k - 1].text == "->")) {
+          if (k > 1 && tk[k - 2].kind == Token::Kind::kIdent &&
+              tk[k - 2].text != "this") {
+            obj = std::string(tk[k - 2].text);
+            access_begin = k - 2;
+          } else if (k > 1 && tk[k - 2].text == "this") {
+            access_begin = k - 2;
+          } else {
+            obj = "<expr>";
+            access_begin = k - 1;
+          }
+        }
+        const bool written =
+            (k + 1 < tk.size() && tk[k + 1].kind == Token::Kind::kPunct &&
+             is_mutator(tk[k + 1].text)) ||
+            (access_begin > 0 && (tk[access_begin - 1].text == "++" ||
+                                  tk[access_begin - 1].text == "--"));
+        if (!written) continue;
+        auto& slot = mutated[{g, obj}];
+        if (slot.first.empty()) slot.second = tk[k].line;
+        slot.first.insert(std::string(tk[k].text));
+      }
+    }
+    for (const auto& [key, val] : mutated) {
+      const LedgerGroup& group = idx.ledgers[key.first];
+      const auto& [members, line] = val;
+      if (members.size() == group.members.size()) continue;
+      std::string missing;
+      for (const std::string& m : group.members) {
+        if (members.count(m) == 0) {
+          if (!missing.empty()) missing += ", ";
+          missing += m;
+        }
+      }
+      const std::string where =
+          key.second.empty() ? std::string() : " of '" + key.second + "'";
+      out.push_back(Finding{
+          tu.src->path, line, kRuleLedger,
+          "ledger(" + group.name + "): '" + fn.name +
+              "' mutates some group members" + where + " but not: " +
+              missing + " — mutate the group together or route the change "
+              "through its recomputed total"});
+    }
+  }
+
+  // ledger-total: the recomputing function must read every member.
+  for (std::size_t file = 0; file < idx.files.size(); ++file) {
+    const TuIndex& tu = idx.files[file];
+    for (const Annotation& a : tu.annotations) {
+      if (a.kind != Annotation::Kind::kLedgerTotal) continue;
+      const LedgerGroup* group = nullptr;
+      for (const LedgerGroup& g : idx.ledgers) {
+        if (g.name == a.arg1) group = &g;
+      }
+      if (group == nullptr) {
+        out.push_back(Finding{tu.src->path, a.line, kRuleDirective,
+                              "ledger-total(" + a.arg1 +
+                                  ") names a group with no ledger() members"});
+        continue;
+      }
+      const FunctionInfo* target = nullptr;
+      for (const FunctionInfo& fn : idx.functions) {
+        if (fn.file != file) continue;
+        if (fn.line < a.target_line || fn.line > a.target_line + 2) continue;
+        if (target == nullptr || fn.name_tok < target->name_tok) target = &fn;
+      }
+      if (target == nullptr || target->body_begin == kNoTok) {
+        out.push_back(Finding{
+            tu.src->path, a.line, kRuleDirective,
+            "ledger-total(" + a.arg1 +
+                ") must immediately precede a function definition"});
+        continue;
+      }
+      const Tokens& tk = tu.ts.tokens;
+      std::string missing;
+      for (const std::string& m : group->members) {
+        bool read = false;
+        for (std::size_t k = target->body_begin + 1;
+             k < target->body_end && k < tk.size(); ++k) {
+          if (tok_ident(tk, k, m)) {
+            read = true;
+            break;
+          }
+        }
+        if (!read) {
+          if (!missing.empty()) missing += ", ";
+          missing += m;
+        }
+      }
+      if (!missing.empty()) {
+        out.push_back(Finding{
+            tu.src->path, target->line, kRuleLedger,
+            "ledger-total(" + group->name + "): '" + target->name +
+                "' never reads member(s): " + missing +
+                " — the recomputed total must cover every ledger member"});
+      }
+    }
+  }
+}
+
+// -- guarded-by ------------------------------------------------------------
+
+constexpr std::string_view kLockIdents[] = {"lock_guard", "unique_lock",
+                                            "scoped_lock", "shared_lock"};
+
+/// True when the body visibly locks `mutex_name`: the mutex identifier
+/// appears with a lock wrapper within the preceding 10 tokens, or as an
+/// explicit `mu.lock()` call.
+[[nodiscard]] bool body_locks(const Tokens& tk, const FunctionInfo& fn,
+                              const std::string& mutex_name) {
+  for (std::size_t k = fn.body_begin + 1; k < fn.body_end && k < tk.size();
+       ++k) {
+    if (!tok_ident(tk, k, mutex_name)) continue;
+    if (tok_punct(tk, k + 1, ".") && tok_ident(tk, k + 2, "lock")) return true;
+    const std::size_t lo = k >= 10 ? k - 10 : 0;
+    for (std::size_t q = lo; q < k; ++q) {
+      if (tk[q].kind != Token::Kind::kIdent) continue;
+      for (const std::string_view w : kLockIdents) {
+        if (tk[q].text == w) return true;
+      }
+    }
+  }
+  return false;
+}
+
+void rule_guarded(const ProgramIndex& idx, std::vector<Finding>& out) {
+  if (idx.guarded.empty()) return;
+  std::set<std::string> struct_names;
+  for (const StructInfo& s : idx.structs) struct_names.insert(s.name);
+  for (const FunctionInfo& fn : idx.functions) {
+    if (fn.body_begin == kNoTok) continue;
+    if (!fn.name.empty() && fn.name.front() == '~') continue;  // destructor
+    if (struct_names.count(fn.name) != 0) continue;            // constructor
+    const TuIndex& tu = idx.files[fn.file];
+    const Tokens& tk = tu.ts.tokens;
+    for (const GuardedField& gf : idx.guarded) {
+      int touch_line = 0;
+      for (std::size_t k = fn.body_begin + 1; k < fn.body_end && k < tk.size();
+           ++k) {
+        if (!tok_ident(tk, k, gf.field)) continue;
+        const bool member_of_other =
+            k > 0 && (tk[k - 1].text == "." || tk[k - 1].text == "->") &&
+            !(k > 1 && tk[k - 2].text == "this");
+        if (member_of_other) continue;
+        touch_line = tk[k].line;
+        break;
+      }
+      if (touch_line == 0) continue;
+      if (body_locks(tk, fn, gf.mutex_name)) continue;
+      out.push_back(Finding{
+          tu.src->path, touch_line, kRuleGuardedBy,
+          "field '" + gf.field + "' is guarded by '" + gf.mutex_name +
+              "' but '" + fn.name + "' touches it without visibly locking '" +
+              gf.mutex_name + "'"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_flow_rules(const ProgramIndex& idx, std::vector<Finding>& out) {
+  for (const TuIndex& tu : idx.files) rule_durability(tu, out);
+  rule_must_use(idx, out);
+  rule_ledger(idx, out);
+  rule_guarded(idx, out);
+}
+
+}  // namespace dm::lint

@@ -1,0 +1,37 @@
+// dmflow — pass 2: intra-procedural ordered-call checks over the
+// cross-TU ProgramIndex (lint/index.h). Four rule families:
+//
+//   durability-order    inside `dmlint: durable-commit` regions every
+//                       rename() source must be fsync'd first, and the
+//                       final rename must be followed by a directory fsync
+//                       (fsync_dir-style call), so the temp+fsync+rename
+//                       commit protocol cannot silently lose a sync.
+//   unchecked-failable  every function whose return type is marked
+//                       `dmlint: must-use` needs [[nodiscard]] on at least
+//                       one declaration, and every call whose result is
+//                       discarded as a bare expression statement is a
+//                       finding.
+//   ledger-conservation counters grouped by `dmlint: ledger(<group>)` must
+//                       be mutated together within a function (per object),
+//                       and a `dmlint: ledger-total(<group>)` function must
+//                       read every member it claims to recompute.
+//   guarded-by          fields marked `dmlint: guarded-by(<mutex>)` may
+//                       only be touched by functions that visibly lock that
+//                       mutex (constructors and destructors exempt).
+//
+// All findings carry the line of the offending access/call so the standard
+// `dmlint: allow(<rule>) <reason>` suppression applies. Soundness limits
+// (name keying, linear-order path model) are catalogued in DESIGN.md §5j.
+#pragma once
+
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/lint.h"
+
+namespace dm::lint {
+
+/// Runs the four dmflow rules over a built index, appending findings.
+void run_flow_rules(const ProgramIndex& idx, std::vector<Finding>& out);
+
+}  // namespace dm::lint

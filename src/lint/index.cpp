@@ -1,0 +1,589 @@
+#include "lint/index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dm::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+template <std::size_t N>
+[[nodiscard]] bool one_of(std::string_view needle,
+                          const std::string_view (&hay)[N]) {
+  for (const std::string_view h : hay) {
+    if (needle == h) return true;
+  }
+  return false;
+}
+
+/// Identifiers that can precede a '(' without being a function name: control
+/// keywords, operators-as-keywords, specifiers, and primitive type names.
+/// (`if constexpr (...) {` would otherwise scan as a function definition.)
+constexpr std::string_view kNotFunction[] = {
+    "if",        "for",      "while",    "switch",   "catch",
+    "return",    "sizeof",   "alignof",  "alignas",  "decltype",
+    "static_assert",         "assert",   "defined",  "new",
+    "delete",    "throw",    "co_await", "co_return","co_yield",
+    "noexcept",  "typeid",   "void",     "bool",     "int",
+    "char",      "auto",     "unsigned", "signed",   "long",
+    "short",     "float",    "double",   "requires", "concept",
+    "using",     "typename", "else",     "do",       "case",
+    "goto",      "constexpr","const",    "volatile", "inline",
+    "static",    "virtual",  "explicit", "friend",   "mutable",
+    "thread_local",          "template", "namespace","struct",
+    "class",     "union",    "try",      "typedef"};
+
+/// Identifiers that terminate a backward return-type scan.
+constexpr std::string_view kRetStop[] = {"return", "else",      "case",
+                                         "public", "protected", "private",
+                                         "goto",   "do"};
+
+constexpr std::string_view kRetPunct[] = {"::", "<", ">", "*", "&",
+                                          "&&", "[", "]", "~", ","};
+
+/// Walks a constructor initializer list starting just after the ':'.
+/// Returns the index of the body '{', or kNoTok when the shape does not
+/// match an init list (e.g. a ternary ':' in an expression).
+[[nodiscard]] std::size_t walk_ctor_init(const Tokens& tk, std::size_t j) {
+  while (j < tk.size()) {
+    if (tk[j].kind != Token::Kind::kIdent) return kNoTok;
+    ++j;
+    while (tok_punct(tk, j, "::")) {
+      if (j + 1 >= tk.size() || tk[j + 1].kind != Token::Kind::kIdent) {
+        return kNoTok;
+      }
+      j += 2;
+    }
+    if (tok_punct(tk, j, "<")) {
+      const std::size_t close = match_angles(tk, j);
+      if (close >= tk.size()) return kNoTok;
+      j = close + 1;
+    }
+    if (tok_punct(tk, j, "(")) {
+      j = match_pair(tk, j, "(", ")") + 1;
+    } else if (tok_punct(tk, j, "{")) {
+      j = match_pair(tk, j, "{", "}") + 1;
+    } else {
+      return kNoTok;
+    }
+    if (j >= tk.size()) return kNoTok;
+    if (tok_punct(tk, j, ",")) {
+      ++j;
+      continue;
+    }
+    if (tok_punct(tk, j, "{")) return j;
+    return kNoTok;
+  }
+  return kNoTok;
+}
+
+/// Backward scan for the return-type token region ending at `name_tok`.
+[[nodiscard]] std::size_t ret_region_begin(const Tokens& tk,
+                                           std::size_t name_tok) {
+  std::size_t b = name_tok;
+  while (b > 0) {
+    const Token& p = tk[b - 1];
+    if (p.kind == Token::Kind::kIdent) {
+      if (one_of(p.text, kRetStop)) break;
+      --b;
+      continue;
+    }
+    if (p.kind == Token::Kind::kPunct && one_of(p.text, kRetPunct)) {
+      --b;
+      continue;
+    }
+    break;
+  }
+  return b;
+}
+
+/// Lexical function scanner over one TU. Finds `name (params)` shapes,
+/// classifies the tail (body, ';', ctor-init list, '= default/delete/0'),
+/// skips definition bodies, and records return-type regions. Declarations
+/// whose return region holds no identifier (constructors, expression
+/// statements) are dropped.
+void index_functions(const TuIndex& tu, std::size_t file_idx,
+                     std::vector<FunctionInfo>& out) {
+  const Tokens& tk = tu.ts.tokens;
+  std::size_t i = 0;
+  while (i < tk.size()) {
+    const Token& t = tk[i];
+    if (t.kind == Token::Kind::kIdent) {
+      if (t.text == "enum") {
+        std::size_t j = i + 1;
+        while (j < tk.size() && !tok_punct(tk, j, "{") &&
+               !tok_punct(tk, j, ";")) {
+          ++j;
+        }
+        if (tok_punct(tk, j, "{")) j = match_pair(tk, j, "{", "}");
+        i = j + 1;
+        continue;
+      }
+      if (t.text == "template" && tok_punct(tk, i + 1, "<")) {
+        const std::size_t close = match_angles(tk, i + 1);
+        i = close >= tk.size() ? i + 1 : close + 1;
+        continue;
+      }
+    }
+
+    // Candidate: identifier directly followed by '(' — or `operator` with
+    // its symbol tokens in between (operator() carries an extra '()' pair).
+    std::size_t open = kNoTok;
+    if (t.kind == Token::Kind::kIdent) {
+      if (t.text == "operator") {
+        std::size_t j = i + 1;
+        while (j < tk.size() && tk[j].kind == Token::Kind::kPunct &&
+               tk[j].text != "(") {
+          ++j;
+        }
+        if (tok_punct(tk, j, "(") && tok_punct(tk, j + 1, ")") &&
+            tok_punct(tk, j + 2, "(")) {
+          j += 2;
+        }
+        if (tok_punct(tk, j, "(")) open = j;
+      } else if (tok_punct(tk, i + 1, "(") && !one_of(t.text, kNotFunction)) {
+        const bool member_call =
+            i > 0 && (tk[i - 1].text == "." || tk[i - 1].text == "->");
+        if (!member_call) open = i + 1;
+      }
+    }
+    if (open == kNoTok) {
+      ++i;
+      continue;
+    }
+    const std::size_t close = match_pair(tk, open, "(", ")");
+    if (close >= tk.size()) {
+      ++i;
+      continue;
+    }
+
+    // Qualifier walk from the ')' to the statement's end: cv/ref/noexcept/
+    // attributes/trailing-return tokens, then '{', ';', ctor ':', or '='.
+    enum class End { kNone, kDef, kDecl };
+    End end = End::kNone;
+    std::size_t j = close + 1;
+    std::size_t body = kNoTok;
+    while (j < tk.size()) {
+      const Token& q = tk[j];
+      if (q.kind == Token::Kind::kIdent) {
+        ++j;
+        continue;
+      }
+      if (q.kind != Token::Kind::kPunct) break;
+      if (q.text == "{") {
+        end = End::kDef;
+        body = j;
+        break;
+      }
+      if (q.text == ";") {
+        end = End::kDecl;
+        break;
+      }
+      if (q.text == ":") {
+        body = walk_ctor_init(tk, j + 1);
+        if (body != kNoTok) end = End::kDef;
+        break;
+      }
+      if (q.text == "=") {
+        if (tok_ident(tk, j + 1, "default") || tok_ident(tk, j + 1, "delete") ||
+            (j + 1 < tk.size() && tk[j + 1].text == "0")) {
+          end = End::kDecl;
+        }
+        break;
+      }
+      if (q.text == "::" || q.text == "&" || q.text == "&&" ||
+          q.text == "*" || q.text == "->") {
+        ++j;
+        continue;
+      }
+      if (q.text == "(") {
+        j = match_pair(tk, j, "(", ")") + 1;
+        continue;
+      }
+      if (q.text == "<") {
+        const std::size_t c = match_angles(tk, j);
+        if (c >= tk.size()) break;
+        j = c + 1;
+        continue;
+      }
+      if (q.text == "[" && tok_punct(tk, j + 1, "[")) {
+        j = match_pair(tk, j, "[", "]") + 1;
+        continue;
+      }
+      break;
+    }
+    if (end == End::kNone) {
+      ++i;
+      continue;
+    }
+
+    FunctionInfo fn;
+    fn.name = std::string(t.text);
+    if (i > 0 && tok_punct(tk, i - 1, "~")) fn.name = "~" + fn.name;
+    fn.file = file_idx;
+    fn.line = t.line;
+    fn.name_tok = i;
+    fn.ret_begin = ret_region_begin(tk, i);
+    fn.ret_end = i;
+    // Qualified member definitions (`IngestReport::clean`) carry their class
+    // name right before the function name; strip trailing `Ident ::` pairs
+    // so the qualifier is never mistaken for the return type.
+    while (fn.ret_end >= fn.ret_begin + 2 &&
+           tok_punct(tk, fn.ret_end - 1, "::") &&
+           tk[fn.ret_end - 2].kind == Token::Kind::kIdent) {
+      fn.ret_end -= 2;
+    }
+    for (std::size_t r = fn.ret_begin; r < fn.ret_end; ++r) {
+      if (tok_ident(tk, r, "nodiscard")) fn.has_nodiscard = true;
+    }
+    if (end == End::kDef) {
+      fn.body_begin = body;
+      fn.body_end = match_pair(tk, body, "{", "}");
+      const std::size_t resume = fn.body_end;
+      out.push_back(std::move(fn));
+      i = resume >= tk.size() ? tk.size() : resume + 1;
+      continue;
+    }
+    // Declaration: keep only value-returning shapes (an identifier in the
+    // return region); constructors and expression statements have none.
+    bool has_ret_ident = false;
+    for (std::size_t r = fn.ret_begin; r < fn.ret_end; ++r) {
+      if (tk[r].kind == Token::Kind::kIdent) has_ret_ident = true;
+    }
+    if (has_ret_ident) out.push_back(std::move(fn));
+    i = close + 1;
+  }
+}
+
+/// Extracts declared data-member names from a struct body. Member
+/// functions (a top-level '(' before any '='), nested types, using
+/// declarations, friends, and access specifiers are skipped.
+[[nodiscard]] std::vector<std::string> parse_fields(const Tokens& tk,
+                                                    std::size_t body_begin,
+                                                    std::size_t body_end) {
+  std::vector<std::string> fields;
+  std::size_t i = body_begin + 1;
+  while (i < body_end && i < tk.size()) {
+    if (tok_punct(tk, i, ";")) {
+      ++i;
+      continue;
+    }
+    if ((tok_ident(tk, i, "public") || tok_ident(tk, i, "private") ||
+         tok_ident(tk, i, "protected")) &&
+        tok_punct(tk, i + 1, ":")) {
+      i += 2;
+      continue;
+    }
+    if (tok_punct(tk, i, "[") && tok_punct(tk, i + 1, "[")) {
+      // Attribute: skip the outer bracket pair.
+      i = match_pair(tk, i, "[", "]") + 1;
+      continue;
+    }
+    if (tok_ident(tk, i, "struct") || tok_ident(tk, i, "class") ||
+        tok_ident(tk, i, "enum") || tok_ident(tk, i, "union")) {
+      // Nested type: indexed separately; skip its body and declarators.
+      std::size_t j = i;
+      while (j < body_end && !tok_punct(tk, j, "{") && !tok_punct(tk, j, ";")) {
+        ++j;
+      }
+      if (tok_punct(tk, j, "{")) j = match_pair(tk, j, "{", "}");
+      while (j < body_end && !tok_punct(tk, j, ";")) ++j;
+      i = j + 1;
+      continue;
+    }
+    const bool skip_name = tok_ident(tk, i, "using") ||
+                           tok_ident(tk, i, "typedef") ||
+                           tok_ident(tk, i, "friend") ||
+                           tok_ident(tk, i, "static_assert") ||
+                           tok_ident(tk, i, "template");
+
+    // Generic statement walk.
+    int pdepth = 0;
+    int adepth = 0;
+    std::size_t eq_pos = 0;
+    std::size_t paren_pos = 0;
+    std::size_t name_end = 0;  // index of '=', '{' init, or ';'
+    bool is_function = false;
+    std::size_t j = i;
+    for (; j < body_end; ++j) {
+      const Token& t = tk[j];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "<" && j > 0 &&
+            (tk[j - 1].kind == Token::Kind::kIdent || tk[j - 1].text == ">")) {
+          ++adepth;
+          continue;
+        }
+        if (t.text == ">" && adepth > 0) {
+          --adepth;
+          continue;
+        }
+        if (t.text == "(") {
+          if (pdepth == 0 && adepth == 0 && paren_pos == 0 && eq_pos == 0) {
+            paren_pos = j;
+          }
+          ++pdepth;
+          continue;
+        }
+        if (t.text == ")") {
+          --pdepth;
+          continue;
+        }
+        if (pdepth > 0) continue;
+        if (t.text == "=" && adepth == 0 && eq_pos == 0) {
+          eq_pos = j;
+          continue;
+        }
+        if (t.text == "{") {
+          if (paren_pos != 0 && eq_pos == 0) {
+            // Function definition: body ends the statement.
+            is_function = true;
+            j = match_pair(tk, j, "{", "}");
+            if (j + 1 < body_end && tok_punct(tk, j + 1, ";")) ++j;
+            break;
+          }
+          if (name_end == 0) name_end = j;
+          j = match_pair(tk, j, "{", "}");
+          continue;
+        }
+        if (t.text == ";") {
+          if (name_end == 0) name_end = j;
+          break;
+        }
+      }
+    }
+    if (!is_function && paren_pos != 0 && (eq_pos == 0 || paren_pos < eq_pos)) {
+      is_function = true;  // declaration without a body
+    }
+    if (!skip_name && !is_function) {
+      std::size_t limit = eq_pos != 0 ? eq_pos : name_end;
+      if (limit == 0) limit = j;
+      // Array member: the declarator ends with [extent].
+      if (limit > 0 && tok_punct(tk, limit - 1, "]")) {
+        std::size_t b = limit - 1;
+        int depth = 1;
+        while (b > i && depth > 0) {
+          --b;
+          if (tok_punct(tk, b, "]")) ++depth;
+          if (tok_punct(tk, b, "[")) --depth;
+        }
+        limit = b;
+      }
+      for (std::size_t k = limit; k-- > i;) {
+        if (tk[k].kind == Token::Kind::kIdent) {
+          fields.emplace_back(tk[k].text);
+          break;
+        }
+      }
+    }
+    i = j + 1;
+  }
+  return fields;
+}
+
+void index_structs(const TuIndex& tu, std::size_t file_idx, ProgramIndex& idx) {
+  const Tokens& tk = tu.ts.tokens;
+  const std::size_t first_of_file = idx.structs.size();
+  for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
+    if (!(tok_ident(tk, i, "struct") || tok_ident(tk, i, "class"))) continue;
+    if (tk[i + 1].kind != Token::Kind::kIdent) continue;
+    if (i > 0 && (tk[i - 1].text == "<" || tk[i - 1].text == "," ||
+                  tk[i - 1].text == "enum")) {
+      continue;  // template parameter or enum class
+    }
+    // Scan past the optional base clause for the body brace.
+    std::size_t j = i + 2;
+    bool has_body = false;
+    while (j < tk.size()) {
+      if (tok_punct(tk, j, ";") || tok_punct(tk, j, "(")) break;
+      if (tok_punct(tk, j, "{")) {
+        has_body = true;
+        break;
+      }
+      ++j;
+    }
+    if (!has_body) continue;
+    StructInfo def;
+    def.name = std::string(tk[i + 1].text);
+    def.file = file_idx;
+    def.line = tk[i].line;
+    def.body_begin = j;
+    def.body_end = match_pair(tk, j, "{", "}");
+    def.fields = parse_fields(tk, def.body_begin, def.body_end);
+    idx.structs.push_back(std::move(def));
+  }
+  // A checkpointed or must-use marker belongs to the INNERMOST struct whose
+  // body contains it (nested state structs sit inside their owning class).
+  for (const Annotation& a : tu.annotations) {
+    const bool is_ckpt = a.kind == Annotation::Kind::kCheckpointed;
+    const bool is_must = a.kind == Annotation::Kind::kMustUse;
+    if (!is_ckpt && !is_must) continue;
+    StructInfo* innermost = nullptr;
+    for (std::size_t s = first_of_file; s < idx.structs.size(); ++s) {
+      StructInfo& def = idx.structs[s];
+      if (def.body_end >= tk.size()) continue;
+      if (a.line < tk[def.body_begin].line || a.line > tk[def.body_end].line) {
+        continue;
+      }
+      if (innermost == nullptr || def.body_begin > innermost->body_begin) {
+        innermost = &def;
+      }
+    }
+    if (innermost != nullptr) {
+      (is_ckpt ? innermost->checkpointed : innermost->must_use) = true;
+    } else {
+      idx.findings.push_back(
+          Finding{tu.src->path, a.line, kRuleDirective,
+                  std::string(is_ckpt ? "checkpointed" : "must-use") +
+                      " marker is not inside any struct body"});
+    }
+  }
+}
+
+/// The declarator name on `line`: the last identifier before the first
+/// top-level '=', ';', '{', or '[' on that line. Empty when the line
+/// carries no declaration.
+[[nodiscard]] std::string member_on_line(const Tokens& tk, int line) {
+  std::string last;
+  for (const Token& t : tk) {
+    if (t.line < line) continue;
+    if (t.line > line) break;
+    if (t.kind == Token::Kind::kIdent) {
+      last = std::string(t.text);
+    } else if (t.kind == Token::Kind::kPunct &&
+               (t.text == "=" || t.text == ";" || t.text == "{" ||
+                t.text == "[")) {
+      break;
+    }
+  }
+  return last;
+}
+
+void collect_field_annotations(const TuIndex& tu, ProgramIndex& idx) {
+  for (const Annotation& a : tu.annotations) {
+    if (a.kind == Annotation::Kind::kLedger) {
+      const std::string member = member_on_line(tu.ts.tokens, a.target_line);
+      if (member.empty()) {
+        idx.findings.push_back(
+            Finding{tu.src->path, a.line, kRuleDirective,
+                    "ledger(" + a.arg1 +
+                        ") annotation is not attached to a field declaration"});
+        continue;
+      }
+      LedgerGroup* group = nullptr;
+      for (LedgerGroup& g : idx.ledgers) {
+        if (g.name == a.arg1) group = &g;
+      }
+      if (group == nullptr) {
+        idx.ledgers.push_back(LedgerGroup{a.arg1, {}});
+        group = &idx.ledgers.back();
+      }
+      group->members.push_back(member);
+    } else if (a.kind == Annotation::Kind::kGuardedBy) {
+      const std::string member = member_on_line(tu.ts.tokens, a.target_line);
+      if (member.empty()) {
+        idx.findings.push_back(Finding{
+            tu.src->path, a.line, kRuleDirective,
+            "guarded-by(" + a.arg1 +
+                ") annotation is not attached to a field declaration"});
+        continue;
+      }
+      bool conflict = false;
+      for (const GuardedField& g : idx.guarded) {
+        if (g.field == member && g.mutex_name != a.arg1) {
+          idx.findings.push_back(Finding{
+              tu.src->path, a.line, kRuleDirective,
+              "guarded-by: field '" + member + "' is pinned to both '" +
+                  g.mutex_name + "' and '" + a.arg1 +
+                  "' — name-keyed fields need one mutex program-wide"});
+          conflict = true;
+        }
+      }
+      if (!conflict) idx.guarded.push_back(GuardedField{member, a.arg1});
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t match_pair(const Tokens& tk, std::size_t open,
+                       std::string_view opener, std::string_view closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < tk.size(); ++i) {
+    if (tk[i].kind != Token::Kind::kPunct) continue;
+    if (tk[i].text == opener) ++depth;
+    if (tk[i].text == closer && --depth == 0) return i;
+  }
+  return tk.size();
+}
+
+std::size_t match_angles(const Tokens& tk, std::size_t open) {
+  int depth = 1;
+  for (std::size_t i = open + 1; i < tk.size(); ++i) {
+    const Token& t = tk[i];
+    if (t.kind != Token::Kind::kPunct) continue;
+    if (t.text == "<" && i > 0 &&
+        (tk[i - 1].kind == Token::Kind::kIdent || tk[i - 1].text == ">")) {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return i;
+    } else if (t.text == ";" || t.text == "{") {
+      return tk.size();  // not a template after all
+    }
+  }
+  return tk.size();
+}
+
+ProgramIndex build_index(const std::vector<SourceFile>& files,
+                         const std::vector<std::string>& known_rules) {
+  ProgramIndex idx;
+  idx.files.reserve(files.size());
+  for (const SourceFile& f : files) {
+    TuIndex tu;
+    tu.src = &f;
+    tu.ts = tokenize(f.text);
+    ParsedAnnotations parsed = parse_annotations(tu.ts, known_rules);
+    tu.annotations = std::move(parsed.annotations);
+    for (AnnotationError& e : parsed.errors) {
+      idx.findings.push_back(
+          Finding{f.path, e.line, std::move(e.rule), std::move(e.message)});
+    }
+    idx.files.push_back(std::move(tu));
+  }
+  for (std::size_t i = 0; i < idx.files.size(); ++i) {
+    index_structs(idx.files[i], i, idx);
+    index_functions(idx.files[i], i, idx.functions);
+    collect_field_annotations(idx.files[i], idx);
+  }
+  for (const StructInfo& s : idx.structs) {
+    if (s.must_use) idx.must_use_types.push_back(s.name);
+  }
+  std::sort(idx.must_use_types.begin(), idx.must_use_types.end());
+  idx.must_use_types.erase(
+      std::unique(idx.must_use_types.begin(), idx.must_use_types.end()),
+      idx.must_use_types.end());
+  for (const FunctionInfo& fn : idx.functions) {
+    for (std::size_t r = fn.ret_begin; r < fn.ret_end; ++r) {
+      const Token& t = idx.files[fn.file].ts.tokens[r];
+      if (t.kind == Token::Kind::kIdent &&
+          std::binary_search(idx.must_use_types.begin(),
+                             idx.must_use_types.end(), std::string(t.text))) {
+        idx.must_use_functions.push_back(fn.name);
+        break;
+      }
+    }
+  }
+  std::sort(idx.must_use_functions.begin(), idx.must_use_functions.end());
+  idx.must_use_functions.erase(std::unique(idx.must_use_functions.begin(),
+                                           idx.must_use_functions.end()),
+                               idx.must_use_functions.end());
+  for (LedgerGroup& g : idx.ledgers) {
+    std::sort(g.members.begin(), g.members.end());
+    g.members.erase(std::unique(g.members.begin(), g.members.end()),
+                    g.members.end());
+  }
+  return idx;
+}
+
+}  // namespace dm::lint

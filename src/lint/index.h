@@ -1,0 +1,135 @@
+// Cross-translation-unit program index for dm::lint.
+//
+// Pass 1 of the dmflow analyzer: tokenize every TU, parse its annotations,
+// and build name-keyed tables the flow rules (lint/flow.h) consume —
+//
+//   structs     every struct/class with a body, its declared fields, and
+//               the checkpointed / must-use markers resolved to the
+//               innermost enclosing body;
+//   functions   every function declaration and definition found by a
+//               lexical scanner (namespace scope, class scope, and
+//               out-of-class qualified definitions), with its return-type
+//               token region, [[nodiscard]] flag, and body token range;
+//   must_use    type names marked `dmlint: must-use` plus the names of all
+//               functions whose return region mentions one — the
+//               unchecked-failable rule and the clang-tidy
+//               bugprone-unused-return-value config both key off this set;
+//   ledgers     counter groups collected from `dmlint: ledger(<group>)`
+//               field annotations, name-keyed across TUs;
+//   guarded     field -> mutex pairs from `dmlint: guarded-by(<mutex>)`.
+//
+// The scanner is lexical: it cannot resolve overloads or templates, so
+// functions are keyed by unqualified name across the whole program. That is
+// the useful granularity here — every rule that consumes the index treats a
+// name match as "the same protocol surface", which is exactly how the
+// annotated code is written (see DESIGN.md §5j for the soundness limits).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/annotations.h"
+#include "lint/lint.h"
+#include "lint/token.h"
+
+namespace dm::lint {
+
+inline constexpr std::size_t kNoTok = static_cast<std::size_t>(-1);
+
+// -- token-scan helpers shared by the index, the flow rules, and lint.cpp --
+
+[[nodiscard]] inline bool tok_ident(const std::vector<Token>& tk,
+                                    std::size_t i, std::string_view text) {
+  return i < tk.size() && tk[i].kind == Token::Kind::kIdent &&
+         tk[i].text == text;
+}
+
+[[nodiscard]] inline bool tok_punct(const std::vector<Token>& tk,
+                                    std::size_t i, std::string_view text) {
+  return i < tk.size() && tk[i].kind == Token::Kind::kPunct &&
+         tk[i].text == text;
+}
+
+/// Index of the matching closer for the opener at `open`, or tk.size().
+[[nodiscard]] std::size_t match_pair(const std::vector<Token>& tk,
+                                     std::size_t open, std::string_view opener,
+                                     std::string_view closer);
+
+/// Walks template arguments starting at the '<' index; returns the index of
+/// the matching '>' (or tk.size()). Angle depth is heuristic: a '<' counts
+/// as an opener when it follows an identifier or '>', which covers every
+/// declaration-position template in this codebase.
+[[nodiscard]] std::size_t match_angles(const std::vector<Token>& tk,
+                                       std::size_t open);
+
+// -- index tables ----------------------------------------------------------
+
+struct TuIndex {
+  const SourceFile* src = nullptr;
+  TokenStream ts;
+  std::vector<Annotation> annotations;
+};
+
+/// One struct/class definition, indexed across all scanned files.
+struct StructInfo {
+  std::string name;
+  std::size_t file = 0;  ///< index into ProgramIndex::files
+  int line = 0;
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index of matching '}'
+  bool checkpointed = false;
+  bool must_use = false;
+  int covers_regions = 0;  ///< mutated by the checkpoint-coverage rule
+  std::vector<std::string> fields;
+};
+
+/// One function declaration or definition. `body_begin == kNoTok` means a
+/// declaration without a body.
+struct FunctionInfo {
+  std::string name;  ///< unqualified; dtors keep their '~'
+  std::size_t file = 0;
+  int line = 0;               ///< line of the name token
+  std::size_t name_tok = 0;   ///< token index of the name
+  std::size_t ret_begin = 0;  ///< return-type region [ret_begin, ret_end)
+  std::size_t ret_end = 0;
+  std::size_t body_begin = kNoTok;  ///< '{' token of the definition
+  std::size_t body_end = kNoTok;    ///< matching '}'
+  bool has_nodiscard = false;       ///< [[nodiscard]] in the return region
+};
+
+/// A counter group collected from `dmlint: ledger(<group>)` annotations.
+struct LedgerGroup {
+  std::string name;
+  std::vector<std::string> members;  ///< sorted, unique
+};
+
+/// A field pinned to a mutex by `dmlint: guarded-by(<mutex>)`.
+struct GuardedField {
+  std::string field;
+  std::string mutex_name;
+};
+
+struct ProgramIndex {
+  std::vector<TuIndex> files;
+  std::vector<StructInfo> structs;
+  std::vector<FunctionInfo> functions;  ///< file order, then token order
+  /// Type names marked must-use, sorted unique.
+  std::vector<std::string> must_use_types;
+  /// Names of functions whose return region mentions a must-use type,
+  /// sorted unique.
+  std::vector<std::string> must_use_functions;
+  std::vector<LedgerGroup> ledgers;
+  std::vector<GuardedField> guarded;
+  /// Indexing-time findings: malformed annotations, markers outside any
+  /// struct body, conflicting guarded-by annotations.
+  std::vector<Finding> findings;
+};
+
+/// Builds the two-pass index over a whole program's worth of TUs.
+/// `known_rules` validates allow() targets (see parse_annotations).
+[[nodiscard]] ProgramIndex build_index(
+    const std::vector<SourceFile>& files,
+    const std::vector<std::string>& known_rules);
+
+}  // namespace dm::lint

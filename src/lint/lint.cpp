@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <optional>
 #include <sstream>
 #include <tuple>
 
+#include "lint/annotations.h"
+#include "lint/flow.h"
+#include "lint/index.h"
 #include "lint/token.h"
 
 namespace dm::lint {
@@ -15,46 +16,6 @@ namespace dm::lint {
 namespace {
 
 using Tokens = std::vector<Token>;
-
-[[nodiscard]] std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() &&
-         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-struct Directive {
-  enum class Kind { kAllow, kTotalOrder, kCovers, kCoversEnd, kCheckpointed };
-  Kind kind = Kind::kAllow;
-  std::string arg1;    // allow: rule name; covers/covers-end: variable name
-  std::string arg2;    // covers: struct name (possibly qualified)
-  std::string reason;  // allow/total-order justification
-  int line = 0;        // comment start line
-  int target_line = 0; // code line the directive governs (allow/total-order)
-  bool paired = false; // covers matched to a covers-end
-};
-
-struct FileCtx {
-  const SourceFile* src = nullptr;
-  TokenStream ts;
-  std::vector<Directive> directives;
-};
-
-/// One struct/class definition, indexed across all scanned files.
-struct StructDef {
-  std::string name;
-  const FileCtx* file = nullptr;
-  int line = 0;
-  std::size_t body_begin = 0;  // token index of '{'
-  std::size_t body_end = 0;    // token index of matching '}'
-  bool checkpointed = false;
-  int covers_regions = 0;
-  std::vector<std::string> fields;
-};
 
 constexpr std::string_view kUnorderedContainers[] = {
     "unordered_map", "unordered_set", "unordered_multimap",
@@ -85,68 +46,16 @@ template <std::size_t N>
   return false;
 }
 
-[[nodiscard]] bool is_ident(const Tokens& tk, std::size_t i,
-                            std::string_view text) {
-  return i < tk.size() && tk[i].kind == Token::Kind::kIdent &&
-         tk[i].text == text;
-}
-
-[[nodiscard]] bool is_punct(const Tokens& tk, std::size_t i,
-                            std::string_view text) {
-  return i < tk.size() && tk[i].kind == Token::Kind::kPunct &&
-         tk[i].text == text;
-}
-
-/// Index of the matching closer for the opener at `open`, or tk.size().
-[[nodiscard]] std::size_t match_pair(const Tokens& tk, std::size_t open,
-                                     std::string_view opener,
-                                     std::string_view closer) {
-  int depth = 0;
-  for (std::size_t i = open; i < tk.size(); ++i) {
-    if (tk[i].kind != Token::Kind::kPunct) continue;
-    if (tk[i].text == opener) ++depth;
-    if (tk[i].text == closer && --depth == 0) return i;
-  }
-  return tk.size();
-}
-
-/// Walks template arguments starting at the '<' index; returns the index of
-/// the matching '>' (or tk.size()). Angle depth is heuristic: a '<' counts
-/// as an opener when it follows an identifier or '>', which covers every
-/// declaration-position template in this codebase.
-[[nodiscard]] std::size_t match_angles(const Tokens& tk, std::size_t open) {
-  int depth = 1;
-  for (std::size_t i = open + 1; i < tk.size(); ++i) {
-    const Token& t = tk[i];
-    if (t.kind != Token::Kind::kPunct) continue;
-    if (t.text == "<" && i > 0 &&
-        (tk[i - 1].kind == Token::Kind::kIdent || tk[i - 1].text == ">")) {
-      ++depth;
-    } else if (t.text == ">") {
-      if (--depth == 0) return i;
-    } else if (t.text == ";" || t.text == "{") {
-      return tk.size();  // not a template after all
-    }
-  }
-  return tk.size();
-}
-
+/// Per-line/token rules (PR 5) over the shared ProgramIndex, followed by
+/// the dmflow pass (lint/flow.h), suppression matching, and ordering.
 class Linter {
  public:
-  explicit Linter(const std::vector<SourceFile>& files) {
-    files_.reserve(files.size());
-    for (const SourceFile& f : files) {
-      FileCtx ctx;
-      ctx.src = &f;
-      ctx.ts = tokenize(f.text);
-      files_.push_back(std::move(ctx));
-    }
-  }
+  explicit Linter(const std::vector<SourceFile>& files)
+      : idx_(build_index(files, rule_names())) {}
 
   LintReport run() {
-    for (FileCtx& f : files_) parse_directives(f);
-    for (FileCtx& f : files_) index_structs(f);
-    for (const FileCtx& f : files_) {
+    raw_ = idx_.findings;
+    for (const TuIndex& f : idx_.files) {
       rule_nondet(f);
       rule_pointer_key(f);
       rule_unordered_iter(f);
@@ -154,314 +63,18 @@ class Linter {
       rule_coverage(f);
     }
     rule_checkpointed_structs();
+    run_flow_rules(idx_, raw_);
     return finish();
   }
 
  private:
-  void emit(const FileCtx& f, int line, const char* rule, std::string msg) {
+  void emit(const TuIndex& f, int line, const char* rule, std::string msg) {
     raw_.push_back(Finding{f.src->path, line, rule, std::move(msg)});
-  }
-
-  // -- directives ----------------------------------------------------------
-
-  void parse_directives(FileCtx& f) {
-    for (const Comment& c : f.ts.comments) {
-      const std::string_view body = trim(c.text);
-      constexpr std::string_view kPrefix = "dmlint:";
-      if (body.substr(0, kPrefix.size()) != kPrefix) continue;
-      std::string_view rest = trim(body.substr(kPrefix.size()));
-
-      std::size_t kw_end = 0;
-      while (kw_end < rest.size() && rest[kw_end] != '(' &&
-             rest[kw_end] != ' ' && rest[kw_end] != '\t') {
-        ++kw_end;
-      }
-      const std::string_view keyword = rest.substr(0, kw_end);
-      rest = rest.substr(kw_end);
-
-      // Parses "(a)" or "(a, b)" off the front of rest.
-      const auto parse_args =
-          [&rest]() -> std::optional<std::pair<std::string, std::string>> {
-        std::string_view r = trim(rest);
-        if (r.empty() || r.front() != '(') return std::nullopt;
-        const std::size_t close = r.find(')');
-        if (close == std::string_view::npos) return std::nullopt;
-        const std::string_view inner = r.substr(1, close - 1);
-        rest = r.substr(close + 1);
-        const std::size_t comma = inner.find(',');
-        if (comma == std::string_view::npos) {
-          return std::make_pair(std::string(trim(inner)), std::string());
-        }
-        return std::make_pair(std::string(trim(inner.substr(0, comma))),
-                              std::string(trim(inner.substr(comma + 1))));
-      };
-
-      Directive d;
-      d.line = c.line;
-      d.target_line = c.own_line ? next_code_line(f, c.line) : c.line;
-
-      if (keyword == "allow") {
-        const auto args = parse_args();
-        if (!args || args->first.empty()) {
-          emit(f, c.line, kRuleDirective,
-               "malformed allow directive; expected 'dmlint: allow(<rule>) "
-               "<reason>'");
-          continue;
-        }
-        d.kind = Directive::Kind::kAllow;
-        d.arg1 = args->first;
-        d.reason = std::string(trim(rest));
-        const auto& rules = rule_names();
-        if (std::find(rules.begin(), rules.end(), d.arg1) == rules.end()) {
-          emit(f, c.line, kRuleDirective,
-               "allow() names unknown rule '" + d.arg1 + "'");
-          continue;
-        }
-        if (d.reason.empty()) {
-          emit(f, c.line, kRuleSuppressionReason,
-               "allow(" + d.arg1 +
-                   ") has no justification; a bare suppression is rejected "
-                   "and suppresses nothing");
-          continue;
-        }
-      } else if (keyword == "total-order") {
-        d.kind = Directive::Kind::kTotalOrder;
-        std::string_view r = trim(rest);
-        if (!r.empty() && r.front() == '(' && r.back() == ')') {
-          r = trim(r.substr(1, r.size() - 2));
-        }
-        d.reason = std::string(r);
-        if (d.reason.empty()) {
-          emit(f, c.line, kRuleSuppressionReason,
-               "total-order annotation has no justification; state why ties "
-               "are impossible or harmless");
-          continue;
-        }
-      } else if (keyword == "covers") {
-        const auto args = parse_args();
-        if (!args || args->first.empty() || args->second.empty()) {
-          emit(f, c.line, kRuleDirective,
-               "malformed covers directive; expected 'dmlint: covers(<var>, "
-               "<Struct>)'");
-          continue;
-        }
-        d.kind = Directive::Kind::kCovers;
-        d.arg1 = args->first;
-        d.arg2 = args->second;
-      } else if (keyword == "covers-end") {
-        const auto args = parse_args();
-        if (!args || args->first.empty()) {
-          emit(f, c.line, kRuleDirective,
-               "malformed covers-end directive; expected 'dmlint: "
-               "covers-end(<var>)'");
-          continue;
-        }
-        d.kind = Directive::Kind::kCoversEnd;
-        d.arg1 = args->first;
-      } else if (keyword == "checkpointed") {
-        d.kind = Directive::Kind::kCheckpointed;
-      } else {
-        emit(f, c.line, kRuleDirective,
-             "unknown dmlint directive '" + std::string(keyword) + "'");
-        continue;
-      }
-      f.directives.push_back(std::move(d));
-    }
-  }
-
-  [[nodiscard]] int next_code_line(const FileCtx& f, int after) const {
-    for (const Token& t : f.ts.tokens) {
-      if (t.line > after) return t.line;
-    }
-    return after + 1;
-  }
-
-  // -- struct index --------------------------------------------------------
-
-  void index_structs(FileCtx& f) {
-    const Tokens& tk = f.ts.tokens;
-    const std::size_t first_of_file = structs_.size();
-    for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
-      if (!(is_ident(tk, i, "struct") || is_ident(tk, i, "class"))) continue;
-      if (tk[i + 1].kind != Token::Kind::kIdent) continue;
-      if (i > 0 && (tk[i - 1].text == "<" || tk[i - 1].text == "," ||
-                    tk[i - 1].text == "enum")) {
-        continue;  // template parameter or enum class
-      }
-      // Scan past the optional base clause for the body brace.
-      std::size_t j = i + 2;
-      bool has_body = false;
-      while (j < tk.size()) {
-        if (is_punct(tk, j, ";") || is_punct(tk, j, "(")) break;
-        if (is_punct(tk, j, "{")) {
-          has_body = true;
-          break;
-        }
-        ++j;
-      }
-      if (!has_body) continue;
-      StructDef def;
-      def.name = std::string(tk[i + 1].text);
-      def.file = &f;
-      def.line = tk[i].line;
-      def.body_begin = j;
-      def.body_end = match_pair(tk, j, "{", "}");
-      def.fields = parse_fields(tk, def.body_begin, def.body_end);
-      structs_.push_back(std::move(def));
-    }
-    // A checkpointed marker belongs to the INNERMOST struct whose body
-    // contains it (nested state structs sit inside their owning class).
-    for (const Directive& d : f.directives) {
-      if (d.kind != Directive::Kind::kCheckpointed) continue;
-      StructDef* innermost = nullptr;
-      for (std::size_t s = first_of_file; s < structs_.size(); ++s) {
-        StructDef& def = structs_[s];
-        if (def.body_end >= tk.size()) continue;
-        if (d.line < tk[def.body_begin].line || d.line > tk[def.body_end].line) {
-          continue;
-        }
-        if (innermost == nullptr ||
-            def.body_begin > innermost->body_begin) {
-          innermost = &def;
-        }
-      }
-      if (innermost != nullptr) {
-        innermost->checkpointed = true;
-      } else {
-        emit(f, d.line, kRuleDirective,
-             "checkpointed marker is not inside any struct body");
-      }
-    }
-  }
-
-  /// Extracts declared data-member names from a struct body. Member
-  /// functions (a top-level '(' before any '='), nested types, using
-  /// declarations, friends, and access specifiers are skipped.
-  [[nodiscard]] static std::vector<std::string> parse_fields(
-      const Tokens& tk, std::size_t body_begin, std::size_t body_end) {
-    std::vector<std::string> fields;
-    std::size_t i = body_begin + 1;
-    while (i < body_end && i < tk.size()) {
-      if (is_punct(tk, i, ";")) {
-        ++i;
-        continue;
-      }
-      if ((is_ident(tk, i, "public") || is_ident(tk, i, "private") ||
-           is_ident(tk, i, "protected")) &&
-          is_punct(tk, i + 1, ":")) {
-        i += 2;
-        continue;
-      }
-      if (is_punct(tk, i, "[") && is_punct(tk, i + 1, "[")) {
-        // Attribute: skip the outer bracket pair.
-        i = match_pair(tk, i, "[", "]") + 1;
-        continue;
-      }
-      if (is_ident(tk, i, "struct") || is_ident(tk, i, "class") ||
-          is_ident(tk, i, "enum") || is_ident(tk, i, "union")) {
-        // Nested type: indexed separately; skip its body and declarators.
-        std::size_t j = i;
-        while (j < body_end && !is_punct(tk, j, "{") && !is_punct(tk, j, ";")) {
-          ++j;
-        }
-        if (is_punct(tk, j, "{")) j = match_pair(tk, j, "{", "}");
-        while (j < body_end && !is_punct(tk, j, ";")) ++j;
-        i = j + 1;
-        continue;
-      }
-      const bool skip_name = is_ident(tk, i, "using") ||
-                             is_ident(tk, i, "typedef") ||
-                             is_ident(tk, i, "friend") ||
-                             is_ident(tk, i, "static_assert") ||
-                             is_ident(tk, i, "template");
-
-      // Generic statement walk.
-      int pdepth = 0;
-      int adepth = 0;
-      std::size_t eq_pos = 0;
-      std::size_t paren_pos = 0;
-      std::size_t name_end = 0;  // index of '=', '{' init, or ';'
-      bool is_function = false;
-      std::size_t j = i;
-      for (; j < body_end; ++j) {
-        const Token& t = tk[j];
-        if (t.kind == Token::Kind::kPunct) {
-          if (t.text == "<" && j > 0 &&
-              (tk[j - 1].kind == Token::Kind::kIdent ||
-               tk[j - 1].text == ">")) {
-            ++adepth;
-            continue;
-          }
-          if (t.text == ">" && adepth > 0) {
-            --adepth;
-            continue;
-          }
-          if (t.text == "(") {
-            if (pdepth == 0 && adepth == 0 && paren_pos == 0 && eq_pos == 0) {
-              paren_pos = j;
-            }
-            ++pdepth;
-            continue;
-          }
-          if (t.text == ")") {
-            --pdepth;
-            continue;
-          }
-          if (pdepth > 0) continue;
-          if (t.text == "=" && adepth == 0 && eq_pos == 0) {
-            eq_pos = j;
-            continue;
-          }
-          if (t.text == "{") {
-            if (paren_pos != 0 && eq_pos == 0) {
-              // Function definition: body ends the statement.
-              is_function = true;
-              j = match_pair(tk, j, "{", "}");
-              if (j + 1 < body_end && is_punct(tk, j + 1, ";")) ++j;
-              break;
-            }
-            if (name_end == 0) name_end = j;
-            j = match_pair(tk, j, "{", "}");
-            continue;
-          }
-          if (t.text == ";") {
-            if (name_end == 0) name_end = j;
-            break;
-          }
-        }
-      }
-      if (!is_function && paren_pos != 0 && (eq_pos == 0 || paren_pos < eq_pos)) {
-        is_function = true;  // declaration without a body
-      }
-      if (!skip_name && !is_function) {
-        std::size_t limit = eq_pos != 0 ? eq_pos : name_end;
-        if (limit == 0) limit = j;
-        // Array member: the declarator ends with [extent].
-        if (limit > 0 && is_punct(tk, limit - 1, "]")) {
-          std::size_t b = limit - 1;
-          int depth = 1;
-          while (b > i && depth > 0) {
-            --b;
-            if (is_punct(tk, b, "]")) ++depth;
-            if (is_punct(tk, b, "[")) --depth;
-          }
-          limit = b;
-        }
-        for (std::size_t k = limit; k-- > i;) {
-          if (tk[k].kind == Token::Kind::kIdent) {
-            fields.emplace_back(tk[k].text);
-            break;
-          }
-        }
-      }
-      i = j + 1;
-    }
-    return fields;
   }
 
   // -- rule: nondeterministic-call ----------------------------------------
 
-  void rule_nondet(const FileCtx& f) {
+  void rule_nondet(const TuIndex& f) {
     const Tokens& tk = f.ts.tokens;
     for (std::size_t i = 0; i < tk.size(); ++i) {
       if (tk[i].kind != Token::Kind::kIdent) continue;
@@ -481,7 +94,7 @@ class Linter {
       if (one_of(t, {"rand", "srand", "time", "clock", "localtime", "gmtime",
                      "timespec_get"})) {
         if (member_access || scoped_non_std || declaration ||
-            !is_punct(tk, i + 1, "(")) {
+            !tok_punct(tk, i + 1, "(")) {
           continue;
         }
         emit(f, tk[i].line, kRuleNondetCall,
@@ -499,7 +112,7 @@ class Linter {
       }
       if (one_of(t, {"pthread_self", "gettid", "getpid",
                      "GetCurrentThreadId"})) {
-        if (member_access || !is_punct(tk, i + 1, "(")) continue;
+        if (member_access || !tok_punct(tk, i + 1, "(")) continue;
         emit(f, tk[i].line, kRuleNondetCall,
              "'" + std::string(t) +
                  "' yields a scheduling-dependent identity; results must not "
@@ -528,12 +141,12 @@ class Linter {
 
   // -- rule: pointer-keyed-container --------------------------------------
 
-  void rule_pointer_key(const FileCtx& f) {
+  void rule_pointer_key(const TuIndex& f) {
     const Tokens& tk = f.ts.tokens;
     for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
       if (tk[i].kind != Token::Kind::kIdent) continue;
       if (!one_of(tk[i].text, kAssociativeContainers)) continue;
-      if (!is_punct(tk, i + 1, "<")) continue;
+      if (!tok_punct(tk, i + 1, "<")) continue;
       // First template argument: tokens up to the first top-level ',' or
       // the matching '>'.
       int adepth = 0;
@@ -562,7 +175,7 @@ class Linter {
         }
         last = j;
       }
-      if (last != 0 && is_punct(tk, last, "*")) {
+      if (last != 0 && tok_punct(tk, last, "*")) {
         emit(f, tk[i].line, kRulePointerKey,
              "associative container keyed by a pointer orders/hashes by "
              "address, which varies run to run; key by a stable identity "
@@ -573,7 +186,7 @@ class Linter {
 
   // -- rule: unordered-iteration ------------------------------------------
 
-  void rule_unordered_iter(const FileCtx& f) {
+  void rule_unordered_iter(const TuIndex& f) {
     const Tokens& tk = f.ts.tokens;
 
     // Pass A: names declared with an unordered container type in this file
@@ -582,13 +195,13 @@ class Linter {
     for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
       if (tk[i].kind != Token::Kind::kIdent) continue;
       if (!one_of(tk[i].text, kUnorderedContainers)) continue;
-      if (!is_punct(tk, i + 1, "<")) continue;
+      if (!tok_punct(tk, i + 1, "<")) continue;
       std::size_t close = match_angles(tk, i + 1);
       if (close >= tk.size()) continue;
       std::size_t j = close + 1;
       while (j < tk.size() &&
-             (is_punct(tk, j, "&") || is_punct(tk, j, "*") ||
-              is_punct(tk, j, "..."))) {
+             (tok_punct(tk, j, "&") || tok_punct(tk, j, "*") ||
+              tok_punct(tk, j, "..."))) {
         ++j;
       }
       if (j < tk.size() && tk[j].kind == Token::Kind::kIdent) {
@@ -604,12 +217,12 @@ class Linter {
       if (tk[i].kind != Token::Kind::kIdent || !is_unordered_var(tk[i].text)) {
         continue;
       }
-      if (!is_punct(tk, i + 1, ".")) continue;
+      if (!tok_punct(tk, i + 1, ".")) continue;
       if (tk[i + 2].kind != Token::Kind::kIdent ||
           !one_of(tk[i + 2].text, kBeginFamily)) {
         continue;
       }
-      if (!is_punct(tk, i + 3, "(")) continue;
+      if (!tok_punct(tk, i + 3, "(")) continue;
       emit(f, tk[i].line, kRuleUnorderedIter,
            "iterating unordered container '" + std::string(tk[i].text) +
                "' visits hash order; sort the elements first or use an "
@@ -618,7 +231,7 @@ class Linter {
 
     // Pass B2: range-for over an unordered variable.
     for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
-      if (!is_ident(tk, i, "for") || !is_punct(tk, i + 1, "(")) continue;
+      if (!tok_ident(tk, i, "for") || !tok_punct(tk, i + 1, "(")) continue;
       const std::size_t close = match_pair(tk, i + 1, "(", ")");
       if (close >= tk.size()) continue;
       // Find the range-for ':' one paren level in, outside brackets/braces.
@@ -663,13 +276,13 @@ class Linter {
 
   // -- rule: sort-tie-break -----------------------------------------------
 
-  void rule_sort_tie_break(const FileCtx& f) {
+  void rule_sort_tie_break(const TuIndex& f) {
     const Tokens& tk = f.ts.tokens;
     for (std::size_t i = 2; i + 1 < tk.size(); ++i) {
       if (tk[i].kind != Token::Kind::kIdent) continue;
       if (tk[i].text != "sort" && tk[i].text != "stable_sort") continue;
       if (!(tk[i - 1].text == "::" && tk[i - 2].text == "std")) continue;
-      if (!is_punct(tk, i + 1, "(")) continue;
+      if (!tok_punct(tk, i + 1, "(")) continue;
       const std::size_t open = i + 1;
       const std::size_t close = match_pair(tk, open, "(", ")");
       if (close >= tk.size()) continue;
@@ -711,7 +324,7 @@ class Linter {
       }
       if (args.size() < 3) continue;
       const auto [cb, ce] = args.back();
-      if (!is_punct(tk, cb, "[")) continue;  // named comparator: canonical
+      if (!tok_punct(tk, cb, "[")) continue;  // named comparator: canonical
 
       if (lambda_breaks_ties(tk, cb, ce)) continue;
       if (has_total_order_annotation(f, tk[i].line)) continue;
@@ -739,11 +352,11 @@ class Linter {
         ++returns;
         // Projection: return f(x) < f(y);
         if (j + 9 <= end && tk[j + 1].kind == Token::Kind::kIdent &&
-            is_punct(tk, j + 2, "(") && is_punct(tk, j + 4, ")") &&
-            (is_punct(tk, j + 5, "<") || is_punct(tk, j + 5, ">")) &&
+            tok_punct(tk, j + 2, "(") && tok_punct(tk, j + 4, ")") &&
+            (tok_punct(tk, j + 5, "<") || tok_punct(tk, j + 5, ">")) &&
             tk[j + 6].kind == Token::Kind::kIdent &&
-            tk[j + 6].text == tk[j + 1].text && is_punct(tk, j + 7, "(") &&
-            is_punct(tk, j + 9, ")")) {
+            tk[j + 6].text == tk[j + 1].text && tok_punct(tk, j + 7, "(") &&
+            tok_punct(tk, j + 9, ")")) {
           return true;
         }
       }
@@ -751,10 +364,10 @@ class Linter {
     return returns >= 2;
   }
 
-  [[nodiscard]] bool has_total_order_annotation(const FileCtx& f,
+  [[nodiscard]] bool has_total_order_annotation(const TuIndex& f,
                                                 int line) const {
-    for (const Directive& d : f.directives) {
-      if (d.kind == Directive::Kind::kTotalOrder && d.target_line == line) {
+    for (const Annotation& a : f.annotations) {
+      if (a.kind == Annotation::Kind::kTotalOrder && a.target_line == line) {
         return true;
       }
     }
@@ -763,55 +376,55 @@ class Linter {
 
   // -- rule: checkpoint-coverage ------------------------------------------
 
-  void rule_coverage(const FileCtx& f) {
+  void rule_coverage(const TuIndex& f) {
     // Pair covers/covers-end regions by variable name, in order.
-    std::vector<char> end_used(f.directives.size(), 0);
-    for (const Directive& d : f.directives) {
-      if (d.kind != Directive::Kind::kCovers) continue;
+    std::vector<char> end_used(f.annotations.size(), 0);
+    for (const Annotation& a : f.annotations) {
+      if (a.kind != Annotation::Kind::kCovers) continue;
       int end_line = -1;
-      for (std::size_t e = 0; e < f.directives.size(); ++e) {
-        const Directive& de = f.directives[e];
-        if (end_used[e] != 0 || de.kind != Directive::Kind::kCoversEnd) {
+      for (std::size_t e = 0; e < f.annotations.size(); ++e) {
+        const Annotation& ae = f.annotations[e];
+        if (end_used[e] != 0 || ae.kind != Annotation::Kind::kCoversEnd) {
           continue;
         }
-        if (de.arg1 == d.arg1 && de.line > d.line) {
+        if (ae.arg1 == a.arg1 && ae.line > a.line) {
           end_used[e] = 1;
-          end_line = de.line;
+          end_line = ae.line;
           break;
         }
       }
       if (end_line < 0) {
-        emit(f, d.line, kRuleDirective,
-             "covers(" + d.arg1 + ", " + d.arg2 +
-                 ") has no matching covers-end(" + d.arg1 + ")");
+        emit(f, a.line, kRuleDirective,
+             "covers(" + a.arg1 + ", " + a.arg2 +
+                 ") has no matching covers-end(" + a.arg1 + ")");
         continue;
       }
-      check_region(f, d, end_line);
+      check_region(f, a, end_line);
     }
   }
 
-  void check_region(const FileCtx& f, const Directive& d, int end_line) {
+  void check_region(const TuIndex& f, const Annotation& a, int end_line) {
     // Resolve the struct by the final :: component of its name.
-    std::string short_name = d.arg2;
+    std::string short_name = a.arg2;
     const std::size_t sep = short_name.rfind("::");
     if (sep != std::string::npos) short_name = short_name.substr(sep + 2);
-    StructDef* match = nullptr;
+    StructInfo* match = nullptr;
     int candidates = 0;
-    for (StructDef& s : structs_) {
+    for (StructInfo& s : idx_.structs) {
       if (s.name == short_name) {
         ++candidates;
         match = &s;
       }
     }
     if (candidates == 0) {
-      emit(f, d.line, kRuleCheckpointCoverage,
-           "covers() names struct '" + d.arg2 +
+      emit(f, a.line, kRuleCheckpointCoverage,
+           "covers() names struct '" + a.arg2 +
                "', which was not found in the scanned sources");
       return;
     }
     if (candidates > 1) {
-      emit(f, d.line, kRuleCheckpointCoverage,
-           "covers() name '" + d.arg2 + "' is ambiguous (" +
+      emit(f, a.line, kRuleCheckpointCoverage,
+           "covers() name '" + a.arg2 + "' is ambiguous (" +
                std::to_string(candidates) +
                " structs match); qualify it uniquely");
       return;
@@ -823,12 +436,12 @@ class Linter {
     std::vector<std::string_view> accessed;
     const Tokens& tk = f.ts.tokens;
     for (std::size_t i = 0; i + 2 < tk.size(); ++i) {
-      if (tk[i].line < d.line) continue;
+      if (tk[i].line < a.line) continue;
       if (tk[i].line > end_line) break;
-      if (tk[i].kind != Token::Kind::kIdent || tk[i].text != d.arg1) continue;
-      if (!is_punct(tk, i + 1, ".")) continue;
+      if (tk[i].kind != Token::Kind::kIdent || tk[i].text != a.arg1) continue;
+      if (!tok_punct(tk, i + 1, ".")) continue;
       if (tk[i + 2].kind != Token::Kind::kIdent) continue;
-      if (is_punct(tk, i + 3, "(")) continue;
+      if (tok_punct(tk, i + 3, "(")) continue;
       accessed.push_back(tk[i + 2].text);
     }
 
@@ -841,17 +454,17 @@ class Linter {
       }
     }
     if (!missing.empty()) {
-      emit(f, d.line, kRuleCheckpointCoverage,
-           "covers(" + d.arg1 + ", " + d.arg2 + ") region (lines " +
-               std::to_string(d.line) + "-" + std::to_string(end_line) +
+      emit(f, a.line, kRuleCheckpointCoverage,
+           "covers(" + a.arg1 + ", " + a.arg2 + ") region (lines " +
+               std::to_string(a.line) + "-" + std::to_string(end_line) +
                ") never touches declared field(s): " + missing +
                " — serialize every field or remove it from the struct");
     }
     std::string unknown;
-    for (const std::string_view a : accessed) {
+    for (const std::string_view acc : accessed) {
       if (std::find(match->fields.begin(), match->fields.end(),
-                    std::string(a)) == match->fields.end()) {
-        const std::string as(a);
+                    std::string(acc)) == match->fields.end()) {
+        const std::string as(acc);
         if (unknown.find(as) == std::string::npos) {
           if (!unknown.empty()) unknown += ", ";
           unknown += as;
@@ -859,18 +472,18 @@ class Linter {
       }
     }
     if (!unknown.empty()) {
-      emit(f, d.line, kRuleCheckpointCoverage,
-           "covers(" + d.arg1 + ", " + d.arg2 +
+      emit(f, a.line, kRuleCheckpointCoverage,
+           "covers(" + a.arg1 + ", " + a.arg2 +
                ") region accesses undeclared field(s): " + unknown +
                " — the annotation is stale or the field was renamed");
     }
   }
 
   void rule_checkpointed_structs() {
-    for (const StructDef& s : structs_) {
+    for (const StructInfo& s : idx_.structs) {
       if (!s.checkpointed) continue;
       if (s.covers_regions < 2) {
-        emit(*s.file, s.line, kRuleCheckpointCoverage,
+        emit(idx_.files[s.file], s.line, kRuleCheckpointCoverage,
              "struct '" + s.name +
                  "' is marked checkpointed but has " +
                  std::to_string(s.covers_regions) +
@@ -885,8 +498,8 @@ class Linter {
   [[nodiscard]] LintReport finish() {
     LintReport report;
     for (Finding& fin : raw_) {
-      const FileCtx* ctx = nullptr;
-      for (const FileCtx& f : files_) {
+      const TuIndex* ctx = nullptr;
+      for (const TuIndex& f : idx_.files) {
         if (f.src->path == fin.file) {
           ctx = &f;
           break;
@@ -895,9 +508,9 @@ class Linter {
       bool suppressed = false;
       if (ctx != nullptr && fin.rule != kRuleSuppressionReason &&
           fin.rule != kRuleDirective) {
-        for (const Directive& d : ctx->directives) {
-          if (d.kind == Directive::Kind::kAllow && d.arg1 == fin.rule &&
-              d.target_line == fin.line && !d.reason.empty()) {
+        for (const Annotation& a : ctx->annotations) {
+          if (a.kind == Annotation::Kind::kAllow && a.arg1 == fin.rule &&
+              a.target_line == fin.line && !a.reason.empty()) {
             suppressed = true;
             break;
           }
@@ -915,8 +528,7 @@ class Linter {
     return report;
   }
 
-  std::vector<FileCtx> files_;
-  std::vector<StructDef> structs_;
+  ProgramIndex idx_;
   std::vector<Finding> raw_;
 };
 
@@ -924,8 +536,10 @@ class Linter {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      kRuleNondetCall, kRulePointerKey, kRuleUnorderedIter, kRuleSortTieBreak,
-      kRuleCheckpointCoverage};
+      kRuleNondetCall,       kRulePointerKey, kRuleUnorderedIter,
+      kRuleSortTieBreak,     kRuleCheckpointCoverage,
+      kRuleDurabilityOrder,  kRuleMustUse,    kRuleLedger,
+      kRuleGuardedBy};
   return kNames;
 }
 

@@ -44,10 +44,30 @@
 //                           carrying `// dmlint: checkpointed` in their
 //                           body must have at least two covers regions
 //                           (serialize + restore) somewhere in the scan.
+//   durability-order        inside `// dmlint: durable-commit` regions,
+//                           every rename() source must carry a preceding
+//                           fsync and the final rename must be followed by
+//                           a directory fsync — the temp+fsync+atomic-
+//                           rename commit protocol, machine-checked.
+//   unchecked-failable      functions returning a `// dmlint: must-use`
+//                           type are indexed cross-TU; discarding a call
+//                           result is a finding, and at least one
+//                           declaration must carry [[nodiscard]].
+//   ledger-conservation     counters grouped by `// dmlint: ledger(name)`
+//                           must be mutated together within a function, and
+//                           a `// dmlint: ledger-total(name)` function must
+//                           read every member it recomputes.
+//   guarded-by              fields marked `// dmlint: guarded-by(mutex)`
+//                           may only be touched by functions that visibly
+//                           lock that mutex.
 //   suppression-reason      every `// dmlint: allow(rule)` must carry a
 //                           non-empty justification; a bare allow is
 //                           itself a finding and suppresses nothing.
 //   directive               malformed or unknown `dmlint:` comments.
+//
+// The first six rules are per-line/token (PR 5); the next four are the
+// dmflow pass: a cross-TU function/annotation index (lint/index.h) feeding
+// intra-procedural ordered-call checks (lint/flow.h). See DESIGN.md §5j.
 //
 // Suppressions: `// dmlint: allow(<rule>) <reason>` on the offending line,
 // or alone on the line above it.
@@ -63,6 +83,10 @@ inline constexpr const char* kRulePointerKey = "pointer-keyed-container";
 inline constexpr const char* kRuleUnorderedIter = "unordered-iteration";
 inline constexpr const char* kRuleSortTieBreak = "sort-tie-break";
 inline constexpr const char* kRuleCheckpointCoverage = "checkpoint-coverage";
+inline constexpr const char* kRuleDurabilityOrder = "durability-order";
+inline constexpr const char* kRuleMustUse = "unchecked-failable";
+inline constexpr const char* kRuleLedger = "ledger-conservation";
+inline constexpr const char* kRuleGuardedBy = "guarded-by";
 inline constexpr const char* kRuleSuppressionReason = "suppression-reason";
 inline constexpr const char* kRuleDirective = "directive";
 

@@ -144,6 +144,7 @@ class SegmentStore {
 
   /// Damage ledger from salvage(): exact per-file outcomes plus totals.
   struct SalvageReport {
+    // dmlint: must-use
     std::vector<LedgerEntry> entries;
     std::uint64_t segments_recovered = 0;
     std::uint64_t segments_damaged = 0;

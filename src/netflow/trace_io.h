@@ -83,6 +83,7 @@ enum class ReadMode {
 /// `lost_ranges` per contiguous damaged byte region skipped over; the
 /// per-error counters classify the failure that opened each region.
 struct IngestReport {
+  // dmlint: must-use
   bool header_valid = true;     ///< magic/version/sampling parsed cleanly
   bool end_marker_seen = false; ///< the trailing zero-count block was intact
   std::uint64_t bytes_scanned = 0;
@@ -155,6 +156,7 @@ void write_trace_file(const std::string& path, RecordStore::Range records,
 
 /// Salvage-reads a possibly damaged trace file in one call.
 struct SalvageResult {
+  // dmlint: must-use
   std::vector<FlowRecord> records;
   std::uint32_t sampling = 0;
   IngestReport report;

@@ -225,6 +225,7 @@ std::int64_t CheckpointRotator::rotate(std::vector<ShardFile> files,
   fs::remove_all(staging);  // a leftover from an interrupted earlier attempt
   fs::create_directories(staging);
 
+  // dmlint: durable-commit
   for (const ShardFile& f : files) {
     const fs::path part = staging / (f.name + ".part");
     write_file(part, f.bytes);
@@ -245,10 +246,18 @@ std::int64_t CheckpointRotator::rotate(std::vector<ShardFile> files,
   fs::rename(manifest_part, staging / kManifestName);
   poll(kill, RotationStep::kManifestRename);
 
+  // The staging directory's own entries (shard + manifest renames above)
+  // must hit disk before the directory is published: without this sync a
+  // crash right after the commit rename can expose a generation whose
+  // directory entries are still in flight. Deliberately not a RotationStep
+  // kill-point — the crash matrix is keyed by kRotationStepCount and every
+  // cell after kManifestRename already exercises the post-sync states.
+  fsync_dir(staging);
   fs::rename(staging, gen_dir(gen));
   poll(kill, RotationStep::kCommit);
   fsync_dir(root_);
   poll(kill, RotationStep::kDirFsync);
+  // dmlint: durable-commit-end
 
   // GC beyond keep_, oldest first. `gens` predates the commit, so the
   // retained set is {newest keep_-1 of gens} + the new generation.

@@ -77,8 +77,10 @@ struct DamageEntry {
   std::string detail;            ///< human-readable specifics
 };
 
-/// A committed generation recovery validated and loaded.
+/// A committed generation recovery validated and loaded. Carries the resume
+/// state a caller must act on — dropping one silently restarts from scratch.
 struct LoadedGeneration {
+  // dmlint: must-use
   std::int64_t generation = -1;      ///< -1: nothing intact, fresh start
   std::vector<ShardFile> files;      ///< manifest order (name-sorted)
 };
@@ -103,7 +105,7 @@ class CheckpointRotator {
   /// in `ledger`, so the next rotate() re-issues the same generation number
   /// an uninterrupted run would have produced. Returns generation -1 when
   /// nothing intact remains.
-  LoadedGeneration recover(
+  [[nodiscard]] LoadedGeneration recover(
       std::vector<DamageEntry>& ledger,
       const std::function<bool(const LoadedGeneration&, std::string&)>&
           decode_ok = nullptr);

@@ -76,8 +76,11 @@ struct ServeConfig {
 /// Per-shard admission accounting (one per monitor).
 struct ShardBook {
   // dmlint: checkpointed
+  // dmlint: ledger(admission)
   std::uint64_t offered = 0;   ///< records routed to this shard
+  // dmlint: ledger(admission)
   std::uint64_t admitted = 0;  ///< records its monitor ingested
+  // dmlint: ledger(admission)
   std::uint64_t shed = 0;      ///< records dropped by the shed sampler
   std::uint64_t state_gauge = 0;  ///< cached approx_state_bytes sample
 };
@@ -85,8 +88,11 @@ struct ShardBook {
 /// Accounting for one still-open feed minute of one tenant.
 struct BucketBook {
   // dmlint: checkpointed
+  // dmlint: ledger(admission)
   std::uint64_t offered = 0;
+  // dmlint: ledger(admission)
   std::uint64_t admitted = 0;
+  // dmlint: ledger(admission)
   std::uint64_t shed = 0;
   std::vector<std::uint64_t> shard_shed;  ///< per-shard shed in this minute
 };
@@ -95,8 +101,11 @@ struct BucketBook {
 struct ShedLedgerEntry {
   // dmlint: checkpointed
   util::Minute minute = 0;
+  // dmlint: ledger(admission)
   std::uint64_t offered = 0;
+  // dmlint: ledger(admission)
   std::uint64_t admitted = 0;
+  // dmlint: ledger(admission)
   std::uint64_t shed = 0;
 };
 
@@ -106,13 +115,19 @@ inline constexpr util::Minute kNoMinute = INT64_MIN;
 /// Complete per-tenant accounting state.
 struct TenantBook {
   // dmlint: checkpointed
+  // dmlint: ledger(admission)
   std::uint64_t offered = 0;
+  // dmlint: ledger(admission)
   std::uint64_t admitted = 0;
+  // dmlint: ledger(admission)
   std::uint64_t shed = 0;
   std::uint64_t event_seq = 0;  ///< next Event sequence number
   /// Ledger-ring evictions fold into these exact totals.
+  // dmlint: ledger(folded)
   std::uint64_t folded_offered = 0;
+  // dmlint: ledger(folded)
   std::uint64_t folded_admitted = 0;
+  // dmlint: ledger(folded)
   std::uint64_t folded_shed = 0;
   util::Minute high_water = kNoMinute;  ///< newest feed minute seen
   std::map<util::Minute, BucketBook> open_buckets;
@@ -120,8 +135,10 @@ struct TenantBook {
   std::vector<ShardBook> shards;
 };
 
-/// What recover() found on disk.
+/// What recover() found on disk. Resume position and damage ledger both
+/// demand action from the caller — dropping one replays from record zero.
 struct RecoveryReport {
+  // dmlint: must-use
   std::int64_t generation = -1;   ///< adopted generation; -1 = fresh start
   std::uint64_t resume_index = 0; ///< replay the feed from this record index
   std::vector<DamageEntry> ledger;

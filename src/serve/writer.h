@@ -108,10 +108,15 @@ class BufferedWriter {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::condition_variable idle_;
+  // dmlint: guarded-by(mu_)
   std::deque<Event> queue_;
+  // dmlint: guarded-by(mu_)
   WriterStats stats_;
+  // dmlint: guarded-by(mu_)
   std::uint64_t in_flight_ = 0;  ///< events popped but not yet terminal
+  // dmlint: guarded-by(mu_)
   bool stopping_ = false;
+  // dmlint: guarded-by(mu_)
   std::ofstream spill_out_;
   std::thread worker_;
 };

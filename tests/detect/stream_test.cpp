@@ -177,8 +177,9 @@ TEST(StreamMonitor, SplitCountersPartitionDrops) {
   EXPECT_EQ(monitor.records_unclassifiable(), 1u);
   EXPECT_EQ(monitor.records_quarantined(), 1u);
   EXPECT_EQ(monitor.records_duplicate(), 0u);
-  // Back-compat aggregate: late + unclassifiable, quarantine excluded.
-  EXPECT_EQ(monitor.records_dropped(), 2u);
+  // Aggregate covers every refusal cause: late + unclassifiable +
+  // quarantined (+ duplicate, zero here).
+  EXPECT_EQ(monitor.records_dropped(), 3u);
 }
 
 TEST(StreamMonitor, ReorderLagAcceptsBoundedDisorder) {

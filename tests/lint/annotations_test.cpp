@@ -1,0 +1,131 @@
+#include "lint/annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/lint.h"
+#include "lint/token.h"
+
+namespace dm::lint {
+namespace {
+
+ParsedAnnotations parse(const std::string& text) {
+  return parse_annotations(tokenize(text), rule_names());
+}
+
+// --- target-line resolution -----------------------------------------------
+
+TEST(LintAnnotations, OwnLineCommentGovernsNextCodeLine) {
+  const auto parsed = parse(
+      "// dmlint: must-use\n"
+      "\n"
+      "struct R { int a; };\n");
+  ASSERT_EQ(parsed.annotations.size(), 1u);
+  EXPECT_EQ(parsed.annotations[0].kind, Annotation::Kind::kMustUse);
+  EXPECT_EQ(parsed.annotations[0].line, 1);
+  EXPECT_EQ(parsed.annotations[0].target_line, 3);
+}
+
+TEST(LintAnnotations, TrailingCommentGovernsItsOwnLine) {
+  const auto parsed = parse("int x = f();  // dmlint: allow(sort-tie-break) r\n");
+  ASSERT_EQ(parsed.annotations.size(), 1u);
+  EXPECT_EQ(parsed.annotations[0].target_line, 1);
+}
+
+// --- per-keyword parsing --------------------------------------------------
+
+TEST(LintAnnotations, AllowCarriesRuleAndReason) {
+  const auto parsed =
+      parse("// dmlint: allow(guarded-by) stale read is a benign hint\n"
+            "int x;\n");
+  ASSERT_EQ(parsed.annotations.size(), 1u);
+  const Annotation& a = parsed.annotations[0];
+  EXPECT_EQ(a.kind, Annotation::Kind::kAllow);
+  EXPECT_EQ(a.arg1, "guarded-by");
+  EXPECT_EQ(a.reason, "stale read is a benign hint");
+}
+
+TEST(LintAnnotations, CoversCarriesVarAndStruct) {
+  const auto parsed = parse("// dmlint: covers(w, MinuteWindow)\nint x;\n");
+  ASSERT_EQ(parsed.annotations.size(), 1u);
+  EXPECT_EQ(parsed.annotations[0].kind, Annotation::Kind::kCovers);
+  EXPECT_EQ(parsed.annotations[0].arg1, "w");
+  EXPECT_EQ(parsed.annotations[0].arg2, "MinuteWindow");
+}
+
+TEST(LintAnnotations, DurableCommitPairParsesWithoutArgs) {
+  const auto parsed = parse(
+      "// dmlint: durable-commit\n"
+      "int a;\n"
+      "// dmlint: durable-commit-end\n"
+      "int b;\n");
+  ASSERT_EQ(parsed.annotations.size(), 2u);
+  EXPECT_EQ(parsed.annotations[0].kind, Annotation::Kind::kDurableCommit);
+  EXPECT_EQ(parsed.annotations[1].kind, Annotation::Kind::kDurableCommitEnd);
+  EXPECT_TRUE(parsed.errors.empty());
+}
+
+TEST(LintAnnotations, LedgerFamilyCarriesItsGroup) {
+  const auto parsed = parse(
+      "// dmlint: ledger(admission)\n"
+      "int offered;\n"
+      "// dmlint: ledger-total(admission)\n"
+      "int total();\n"
+      "// dmlint: guarded-by(mu_)\n"
+      "int depth;\n");
+  ASSERT_EQ(parsed.annotations.size(), 3u);
+  EXPECT_EQ(parsed.annotations[0].kind, Annotation::Kind::kLedger);
+  EXPECT_EQ(parsed.annotations[0].arg1, "admission");
+  EXPECT_EQ(parsed.annotations[1].kind, Annotation::Kind::kLedgerTotal);
+  EXPECT_EQ(parsed.annotations[1].arg1, "admission");
+  EXPECT_EQ(parsed.annotations[2].kind, Annotation::Kind::kGuardedBy);
+  EXPECT_EQ(parsed.annotations[2].arg1, "mu_");
+}
+
+// --- malformed directives -------------------------------------------------
+
+TEST(LintAnnotations, LedgerWithoutGroupIsADirectiveError) {
+  for (const char* text : {"// dmlint: ledger\nint x;\n",
+                           "// dmlint: ledger()\nint x;\n",
+                           "// dmlint: ledger(a, b)\nint x;\n"}) {
+    const auto parsed = parse(text);
+    EXPECT_TRUE(parsed.annotations.empty()) << text;
+    ASSERT_EQ(parsed.errors.size(), 1u) << text;
+    EXPECT_EQ(parsed.errors[0].rule, kRuleDirective);
+  }
+}
+
+TEST(LintAnnotations, GuardedByWithoutMutexIsADirectiveError) {
+  const auto parsed = parse("// dmlint: guarded-by\nint x;\n");
+  ASSERT_EQ(parsed.errors.size(), 1u);
+  EXPECT_EQ(parsed.errors[0].rule, kRuleDirective);
+  EXPECT_NE(parsed.errors[0].message.find("guarded-by"), std::string::npos);
+  EXPECT_NE(parsed.errors[0].message.find("mutex"), std::string::npos);
+}
+
+TEST(LintAnnotations, BareAllowIsASuppressionReasonError) {
+  const auto parsed = parse("// dmlint: allow(guarded-by)\nint x;\n");
+  EXPECT_TRUE(parsed.annotations.empty());
+  ASSERT_EQ(parsed.errors.size(), 1u);
+  EXPECT_EQ(parsed.errors[0].rule, kRuleSuppressionReason);
+}
+
+TEST(LintAnnotations, UnknownKeywordIsADirectiveError) {
+  const auto parsed = parse("// dmlint: frobnicate\nint x;\n");
+  ASSERT_EQ(parsed.errors.size(), 1u);
+  EXPECT_EQ(parsed.errors[0].rule, kRuleDirective);
+  EXPECT_NE(parsed.errors[0].message.find("frobnicate"), std::string::npos);
+}
+
+TEST(LintAnnotations, NonDmlintCommentsAreIgnored) {
+  const auto parsed = parse(
+      "// plain comment\n"
+      "/* dm lint: not ours */\n"
+      "int x;  // trailing prose about dmlint grammar, no colon prefix\n");
+  EXPECT_TRUE(parsed.annotations.empty());
+  EXPECT_TRUE(parsed.errors.empty());
+}
+
+}  // namespace
+}  // namespace dm::lint

@@ -1,0 +1,229 @@
+// dmflow: fixture and mutation coverage for the cross-TU flow rules
+// (durability-order, unchecked-failable, ledger-conservation, guarded-by).
+//
+// The fixture tests pin each rule's positive / suppressed / clean behavior
+// on small synthetic sources. The mutation tests are the teeth: they take
+// the REAL tree, delete one load-bearing line (an fsync, a ledger
+// increment, a lock, a [[nodiscard]]), and assert the scan reports exactly
+// one new finding naming that line — proving the annotations in src/ are
+// live and the rules would catch the regression they were written for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace dm::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+LintReport lint_fixture(const std::string& name) {
+  const std::string path =
+      std::string(DM_SOURCE_ROOT) + "/tests/lint/fixtures/" + name;
+  return run_lint({SourceFile{name, read_file(path)}});
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&rule](const Finding& f) { return f.rule == rule; }));
+}
+
+/// Scans the real tree with `needle` (in file `rel`) replaced by
+/// `replacement` and returns the report. Fails the test if the needle is
+/// missing or ambiguous — a stale needle must break loudly, not scan the
+/// unmutated tree.
+LintReport lint_mutated(const std::string& rel, const std::string& needle,
+                        const std::string& replacement) {
+  auto files = load_tree(DM_SOURCE_ROOT, {"src", "tools"});
+  auto it = std::find_if(
+      files.begin(), files.end(),
+      [&rel](const SourceFile& f) { return f.path == rel; });
+  EXPECT_NE(it, files.end()) << rel;
+  const std::size_t pos = it->text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "needle not found in " << rel;
+  EXPECT_EQ(it->text.find(needle, pos + 1), std::string::npos)
+      << "needle ambiguous in " << rel;
+  it->text.replace(pos, needle.size(), replacement);
+  return run_lint(files);
+}
+
+/// Asserts the mutated tree produced exactly one finding, of `rule`, whose
+/// message contains `substr`. (The unmutated tree scans clean — see
+/// LintSelfScan — so one finding total means one NEW finding.)
+void expect_single_finding(const LintReport& report, const std::string& rule,
+                           const std::string& substr) {
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, rule) << f.file << ":" << f.line << " " << f.message;
+    EXPECT_NE(f.message.find(substr), std::string::npos) << f.message;
+  }
+  EXPECT_EQ(report.findings.size(), 1u);
+}
+
+// --- durability-order fixtures --------------------------------------------
+
+TEST(DmflowRules, DurabilityPositive) {
+  const auto report = lint_fixture("durability_positive.cc");
+  EXPECT_EQ(count_rule(report.findings, kRuleDurabilityOrder), 1u);
+  EXPECT_EQ(report.findings.size(), 1u);
+}
+
+TEST(DmflowRules, DurabilitySuppressed) {
+  const auto report = lint_fixture("durability_suppressed.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(count_rule(report.suppressed, kRuleDurabilityOrder), 1u);
+}
+
+TEST(DmflowRules, DurabilityClean) {
+  const auto report = lint_fixture("durability_clean.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+TEST(DmflowRules, UnmatchedDurableCommitIsADirectiveFinding) {
+  const auto report = run_lint({SourceFile{
+      "inline.cc", "void f() {\n  // dmlint: durable-commit\n  int x = 0;\n}\n"}});
+  EXPECT_EQ(count_rule(report.findings, kRuleDirective), 1u);
+}
+
+// --- unchecked-failable fixtures ------------------------------------------
+
+TEST(DmflowRules, MustUsePositive) {
+  const auto report = lint_fixture("must_use_positive.cc");
+  // One [[nodiscard]]-coverage finding on the producer, one discarded call.
+  EXPECT_EQ(count_rule(report.findings, kRuleMustUse), 2u);
+  EXPECT_EQ(report.findings.size(), 2u);
+}
+
+TEST(DmflowRules, MustUseSuppressed) {
+  const auto report = lint_fixture("must_use_suppressed.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(count_rule(report.suppressed, kRuleMustUse), 1u);
+}
+
+TEST(DmflowRules, MustUseClean) {
+  const auto report = lint_fixture("must_use_clean.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+// --- ledger-conservation fixtures -----------------------------------------
+
+TEST(DmflowRules, LedgerPositive) {
+  const auto report = lint_fixture("ledger_positive.cc");
+  ASSERT_EQ(count_rule(report.findings, kRuleLedger), 1u);
+  EXPECT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("dropped"), std::string::npos);
+}
+
+TEST(DmflowRules, LedgerSuppressed) {
+  const auto report = lint_fixture("ledger_suppressed.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(count_rule(report.suppressed, kRuleLedger), 1u);
+}
+
+TEST(DmflowRules, LedgerClean) {
+  const auto report = lint_fixture("ledger_clean.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+// --- guarded-by fixtures --------------------------------------------------
+
+TEST(DmflowRules, GuardedPositive) {
+  const auto report = lint_fixture("guarded_positive.cc");
+  ASSERT_EQ(count_rule(report.findings, kRuleGuardedBy), 1u);
+  EXPECT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("depth_"), std::string::npos);
+}
+
+TEST(DmflowRules, GuardedSuppressed) {
+  const auto report = lint_fixture("guarded_suppressed.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(count_rule(report.suppressed, kRuleGuardedBy), 1u);
+}
+
+TEST(DmflowRules, GuardedClean) {
+  const auto report = lint_fixture("guarded_clean.cc");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+// --- mutations against the real tree --------------------------------------
+
+TEST(DmflowMutation, DeletingAShardFsyncFailsDurability) {
+  const auto report =
+      lint_mutated("src/serve/checkpoint.cpp", "fsync_path(part);", "");
+  expect_single_finding(report, kRuleDurabilityOrder, "'part'");
+}
+
+TEST(DmflowMutation, DeletingTheStagingDirFsyncFailsDurability) {
+  const auto report =
+      lint_mutated("src/serve/checkpoint.cpp", "fsync_dir(staging);", "");
+  expect_single_finding(report, kRuleDurabilityOrder, "'staging'");
+}
+
+TEST(DmflowMutation, DeletingTheCommitDirFsyncFailsDurability) {
+  const auto report =
+      lint_mutated("src/serve/checkpoint.cpp", "fsync_dir(root_);", "");
+  expect_single_finding(report, kRuleDurabilityOrder,
+                        "not followed by a directory fsync");
+}
+
+TEST(DmflowMutation, DroppingALedgerIncrementFailsConservation) {
+  const auto report =
+      lint_mutated("src/serve/supervisor.cpp", "++bb.shed;", "");
+  expect_single_finding(report, kRuleLedger, "shed");
+}
+
+TEST(DmflowMutation, NarrowingTheDropTotalFailsLedgerTotal) {
+  const auto report = lint_mutated(
+      "src/detect/stream.h",
+      "return records_late_ + records_unclassifiable_ + records_duplicate_ +",
+      "return records_late_ + records_unclassifiable_ +");
+  expect_single_finding(report, kRuleLedger, "records_duplicate_");
+}
+
+TEST(DmflowMutation, RemovingTheStatsLockFailsGuardedBy) {
+  const auto report = lint_mutated(
+      "src/serve/writer.cpp",
+      "WriterStats BufferedWriter::stats() const {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  return stats_;",
+      "WriterStats BufferedWriter::stats() const {\n"
+      "  return stats_;");
+  expect_single_finding(report, kRuleGuardedBy, "stats_");
+}
+
+TEST(DmflowMutation, RemovingTheLastNodiscardFailsCoverage) {
+  const auto report = lint_mutated(
+      "src/netflow/trace_io.h",
+      "[[nodiscard]] SalvageResult salvage_trace_file",
+      "SalvageResult salvage_trace_file");
+  expect_single_finding(report, kRuleMustUse, "salvage_trace_file");
+}
+
+TEST(DmflowMutation, DiscardingAMustUseResultIsAFinding) {
+  // Turn a consuming call site into a bare expression statement.
+  const auto report = lint_mutated(
+      "src/serve/checkpoint.cpp",
+      "fs::rename(staging, gen_dir(gen));",
+      "fs::rename(staging, gen_dir(gen));\n  recover(ledger_unused);");
+  // The injected call discards LoadedGeneration; nothing else may fire.
+  expect_single_finding(report, kRuleMustUse, "recover");
+}
+
+}  // namespace
+}  // namespace dm::lint

@@ -1,0 +1,15 @@
+// durability-order clean: full temp + fsync + atomic rename protocol —
+// staged file synced before its rename, directory synced after the commit.
+void fsync_path(const char* p);
+void fsync_dir(const char* p);
+void write_file(const char* p);
+void rename(const char* from, const char* to);
+
+void commit(const char* part, const char* final_name, const char* dir) {
+  // dmlint: durable-commit
+  write_file(part);
+  fsync_path(part);
+  rename(part, final_name);
+  fsync_dir(dir);
+  // dmlint: durable-commit-end
+}

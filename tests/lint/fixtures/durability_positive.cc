@@ -1,0 +1,14 @@
+// durability-order positive: the staged file is renamed without a
+// preceding fsync inside the durable-commit region.
+void fsync_path(const char* p);
+void fsync_dir(const char* p);
+void write_file(const char* p);
+void rename(const char* from, const char* to);
+
+void commit(const char* part, const char* final_name, const char* dir) {
+  // dmlint: durable-commit
+  write_file(part);
+  rename(part, final_name);
+  fsync_dir(dir);
+  // dmlint: durable-commit-end
+}

@@ -1,0 +1,15 @@
+// durability-order suppressed: the unsynced rename carries a justified
+// allow(), so it lands in the suppressed list instead of the findings.
+void fsync_path(const char* p);
+void fsync_dir(const char* p);
+void write_file(const char* p);
+void rename(const char* from, const char* to);
+
+void commit(const char* part, const char* final_name, const char* dir) {
+  // dmlint: durable-commit
+  write_file(part);
+  // dmlint: allow(durability-order) caller fsyncs the staged file batch-wise
+  rename(part, final_name);
+  fsync_dir(dir);
+  // dmlint: durable-commit-end
+}

@@ -1,0 +1,28 @@
+// guarded-by clean: every touch of depth_ happens under a visible lock of
+// mu_ — a lock_guard in size(), an explicit lock()/unlock() pair in push().
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+class Queue {
+ public:
+  int size();
+  void push(int v);
+
+ private:
+  Mutex mu_;
+  // dmlint: guarded-by(mu_)
+  int depth_ = 0;
+};
+
+int Queue::size() {
+  const std::lock_guard<Mutex> guard(mu_);
+  return depth_;
+}
+
+void Queue::push(int v) {
+  mu_.lock();
+  depth_ += v;
+  mu_.unlock();
+}

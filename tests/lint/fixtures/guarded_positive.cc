@@ -1,0 +1,20 @@
+// guarded-by positive: depth_ is declared mutex-guarded but size() reads
+// it without taking the lock.
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+class Queue {
+ public:
+  int size();
+
+ private:
+  Mutex mu_;
+  // dmlint: guarded-by(mu_)
+  int depth_ = 0;
+};
+
+int Queue::size() {
+  return depth_;
+}

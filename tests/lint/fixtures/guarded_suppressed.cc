@@ -1,0 +1,20 @@
+// guarded-by suppressed: the unlocked read carries a justified allow().
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+class Queue {
+ public:
+  int size();
+
+ private:
+  Mutex mu_;
+  // dmlint: guarded-by(mu_)
+  int depth_ = 0;
+};
+
+int Queue::size() {
+  // dmlint: allow(guarded-by) monotonic hint read; staleness is benign
+  return depth_;
+}

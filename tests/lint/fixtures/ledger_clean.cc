@@ -1,0 +1,18 @@
+// ledger-conservation clean: every mutator touches the whole group, and
+// the recomputed total reads every member.
+struct Book {
+  // dmlint: ledger(flows)
+  unsigned long long offered = 0;
+  // dmlint: ledger(flows)
+  unsigned long long dropped = 0;
+};
+
+void admit(Book& b) {
+  ++b.offered;
+  b.dropped += 0;
+}
+
+// dmlint: ledger-total(flows)
+unsigned long long conserved(const Book& b) {
+  return b.offered + b.dropped;
+}

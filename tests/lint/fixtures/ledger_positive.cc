@@ -1,0 +1,12 @@
+// ledger-conservation positive: admit() bumps one side of the ledger and
+// forgets the other, so the group's conservation identity drifts.
+struct Book {
+  // dmlint: ledger(flows)
+  unsigned long long offered = 0;
+  // dmlint: ledger(flows)
+  unsigned long long dropped = 0;
+};
+
+void admit(Book& b) {
+  ++b.offered;
+}

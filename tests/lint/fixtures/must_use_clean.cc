@@ -1,0 +1,13 @@
+// unchecked-failable clean: [[nodiscard]] producer and every call site
+// binds or consumes the report.
+struct ProbeReport {
+  // dmlint: must-use
+  int failures = 0;
+};
+
+[[nodiscard]] ProbeReport probe_store();
+
+int tick() {
+  const ProbeReport report = probe_store();
+  return report.failures + probe_store().failures;
+}

@@ -1,0 +1,13 @@
+// unchecked-failable positive: a must-use report type whose producer has
+// no [[nodiscard]] declaration anywhere, plus a call site that throws the
+// result away as a bare expression statement.
+struct ProbeReport {
+  // dmlint: must-use
+  int failures = 0;
+};
+
+ProbeReport probe_store();
+
+void tick() {
+  probe_store();
+}

@@ -1,0 +1,12 @@
+// unchecked-failable suppressed: the discard carries a justified allow().
+struct ProbeReport {
+  // dmlint: must-use
+  int failures = 0;
+};
+
+[[nodiscard]] ProbeReport probe_store();
+
+void tick() {
+  // dmlint: allow(unchecked-failable) best-effort warmup; failures recount
+  probe_store();
+}

@@ -31,7 +31,10 @@ FILTER="${1:-ThreadPool|ParallelExec|ParallelEquivalence|WindowShardMerge|FusedP
 ASAN_FILTER="${2:-ColumnarRecords|ColumnarEquivalence|TraceIo|Aggregate|WindowShardMerge|SegmentStore}"
 
 # Determinism & invariant lint gate. Exits nonzero on any finding not in
-# the committed baseline (which is kept empty).
+# the committed baseline (which is kept empty). The scan itself (not the
+# build) must finish inside DM_LINT_BUDGET seconds — the two-pass dmflow
+# analyzer re-tokenizes the whole tree, and this tripwire keeps it from
+# quietly growing into the slowest stage of the gate.
 if [[ "${DM_LINT:-1}" != "0" ]]; then
   LINT_BUILD="${LINT_BUILD_DIR:-$ROOT/build-lint}"
   cmake -B "$LINT_BUILD" -S "$ROOT" \
@@ -41,7 +44,15 @@ if [[ "${DM_LINT:-1}" != "0" ]]; then
     -DDM_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$LINT_BUILD" -j"$(nproc)" --target dmlint
+  LINT_BUDGET="${DM_LINT_BUDGET:-60}"
+  LINT_START=$SECONDS
   "$LINT_BUILD/tools/dmlint" --root "$ROOT" --baseline "$ROOT/.dmlint-baseline"
+  LINT_ELAPSED=$((SECONDS - LINT_START))
+  echo "check.sh: dmlint scan took ${LINT_ELAPSED}s (budget ${LINT_BUDGET}s)"
+  if [[ "$LINT_ELAPSED" -gt "$LINT_BUDGET" ]]; then
+    echo "check.sh: dmlint exceeded its ${LINT_BUDGET}s budget" >&2
+    exit 1
+  fi
 fi
 
 # clang-tidy over the determinism-critical subsystems, when available.

@@ -4,9 +4,16 @@
 // subtracts the committed baseline, and exits nonzero on any new finding.
 //
 //   dmlint [--root DIR] [--baseline FILE] [--write-baseline FILE]
-//          [--format human|json] [--verbose]
+//          [--format human|json] [--rules r1,r2,...] [--verbose]
 //
-// Exit codes: 0 clean, 1 new findings, 2 usage/IO error.
+// --rules narrows the run to the named rule families; the two meta rules
+// (directive, suppression-reason) stay on regardless, because a malformed
+// annotation invalidates whatever rule it belongs to.
+//
+// Exit codes: 0 clean, 1 new findings, 2 usage/IO error, 3 when any new
+// finding is a directive/suppression parse error (the scan itself is
+// untrustworthy until annotations parse).
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,16 +32,57 @@ struct Options {
   std::string baseline_path;
   std::string write_baseline_path;
   std::string format = "human";
+  std::vector<std::string> rules;  ///< empty = all rules
   bool verbose = false;
 };
 
 void usage(std::ostream& out) {
   out << "usage: dmlint [--root DIR] [--baseline FILE]\n"
          "              [--write-baseline FILE] [--format human|json]\n"
-         "              [--verbose]\n"
+         "              [--rules r1,r2,...] [--verbose]\n"
          "\n"
          "Scans DIR/src and DIR/tools for determinism-invariant violations.\n"
-         "Exits 0 when clean, 1 on new findings, 2 on usage or IO errors.\n";
+         "--rules keeps only the named rule families (meta rules stay on).\n"
+         "Exits 0 when clean, 1 on new findings, 2 on usage or IO errors,\n"
+         "3 when annotations themselves fail to parse.\n";
+}
+
+/// Splits a comma-separated --rules value and validates every name against
+/// the engine's rule list. Returns false (after printing the offender and
+/// the valid names) on an unknown rule.
+[[nodiscard]] bool parse_rules(const std::string& value,
+                               std::vector<std::string>* out) {
+  std::istringstream in(value);
+  std::string name;
+  while (std::getline(in, name, ',')) {
+    if (name.empty()) continue;
+    const std::vector<std::string>& known = dm::lint::rule_names();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::cerr << "dmlint: --rules names unknown rule '" << name
+                << "'; valid rules:";
+      for (const std::string& r : known) std::cerr << ' ' << r;
+      std::cerr << '\n';
+      return false;
+    }
+    out->push_back(name);
+  }
+  if (out->empty()) {
+    std::cerr << "dmlint: --rules needs at least one rule name\n";
+    return false;
+  }
+  return true;
+}
+
+/// True when `rule` survives the --rules filter: meta rules always do,
+/// everything else only when named (or when no filter is active).
+[[nodiscard]] bool rule_selected(const Options& opt, const std::string& rule) {
+  if (opt.rules.empty()) return true;
+  if (rule == dm::lint::kRuleDirective ||
+      rule == dm::lint::kRuleSuppressionReason) {
+    return true;
+  }
+  return std::find(opt.rules.begin(), opt.rules.end(), rule) !=
+         opt.rules.end();
 }
 
 /// Baseline file format, one entry per line:
@@ -126,6 +174,12 @@ int main(int argc, char** argv) {
         std::cerr << "dmlint: unknown format '" << opt.format << "'\n";
         return 2;
       }
+    } else if (arg == "--rules") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      if (!parse_rules(v, &opt.rules)) return 2;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      if (!parse_rules(std::string(arg.substr(8)), &opt.rules)) return 2;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
@@ -155,13 +209,15 @@ int main(int argc, char** argv) {
   const dm::lint::LintReport report = dm::lint::run_lint(files);
 
   // Fingerprint with ordinals so identical (rule, path, message) triples
-  // stay distinct.
+  // stay distinct. Ordinals are computed BEFORE the --rules filter so a
+  // narrowed run agrees with the full run on every fingerprint.
   std::vector<Annotated> rows;
   rows.reserve(report.findings.size());
   std::map<std::string, int> ordinals;
   for (const dm::lint::Finding& f : report.findings) {
     const std::string key = f.rule + '\0' + f.file + '\0' + f.message;
     const int ordinal = ordinals[key]++;
+    if (!rule_selected(opt, f.rule)) continue;
     Annotated row;
     row.finding = &f;
     row.fingerprint = dm::lint::fingerprint(f, ordinal);
@@ -185,8 +241,14 @@ int main(int argc, char** argv) {
   }
 
   std::size_t fresh = 0;
+  bool parse_error = false;
   for (const Annotated& row : rows) {
-    if (!row.baselined) ++fresh;
+    if (row.baselined) continue;
+    ++fresh;
+    if (row.finding->rule == dm::lint::kRuleDirective ||
+        row.finding->rule == dm::lint::kRuleSuppressionReason) {
+      parse_error = true;
+    }
   }
 
   if (opt.format == "json") {
@@ -225,5 +287,6 @@ int main(int argc, char** argv) {
               << " suppressed\n";
   }
 
-  return fresh == 0 ? 0 : 1;
+  if (fresh == 0) return 0;
+  return parse_error ? 3 : 1;
 }
